@@ -1,0 +1,142 @@
+#pragma once
+
+// Shared harness for the paper-reproduction benches. Each bench binary
+// regenerates one table or figure from the paper's evaluation (Section 5):
+// it builds the environment (topology + churn trace + workload), runs the
+// overlay simulation, and prints the series/rows the paper reports,
+// together with the paper's own numbers where it states them.
+//
+// Scale: by default runs are scaled down so the full bench suite finishes
+// in minutes. Set REPRO_FULL=1 for paper-scale runs (hours).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/corpnet.hpp"
+#include "net/hier_as.hpp"
+#include "net/transit_stub.hpp"
+#include "overlay/driver.hpp"
+#include "trace/churn_generators.hpp"
+
+namespace mspastry::bench {
+
+inline bool full_scale() {
+  const char* v = std::getenv("REPRO_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Node-count scale factor relative to the paper (1.0 = paper scale).
+inline double node_scale() { return full_scale() ? 1.0 : 0.1; }
+
+/// Trace-length scale factor relative to the paper.
+inline double time_scale() { return full_scale() ? 1.0 : 0.033; }
+
+enum class TopologyKind { kGATech, kMercator, kCorpNet };
+
+inline std::shared_ptr<net::Topology> make_topology(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kGATech:
+      return std::make_shared<net::TransitStubTopology>(
+          full_scale() ? net::TransitStubParams{}
+                       : net::TransitStubParams::scaled(6, 4, 5));
+    case TopologyKind::kMercator: {
+      net::HierASParams p;
+      if (!full_scale()) {
+        p.autonomous_systems = 80;
+        p.routers_per_as = 15;
+      }
+      return std::make_shared<net::HierASTopology>(p);
+    }
+    case TopologyKind::kCorpNet:
+      return std::make_shared<net::CorpNetTopology>(net::CorpNetParams{});
+  }
+  return nullptr;
+}
+
+inline net::NetworkConfig make_net_config(TopologyKind kind,
+                                          double loss_rate = 0.0) {
+  net::NetworkConfig cfg;
+  cfg.loss_rate = loss_rate;
+  // The paper attaches GATech/CorpNet end nodes via 1 ms LAN links and
+  // Mercator end nodes directly.
+  cfg.lan_delay = kind == TopologyKind::kMercator ? 0 : milliseconds(1);
+  return cfg;
+}
+
+/// The paper's base configuration (Section 5.1).
+inline overlay::DriverConfig base_driver_config(std::uint64_t seed = 7) {
+  overlay::DriverConfig cfg;
+  cfg.lookup_rate_per_node = 0.01;
+  cfg.metrics_window = minutes(10);
+  cfg.warmup = full_scale() ? hours(1) : minutes(10);
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct RunSummary {
+  double rdp = 0.0;
+  double rdp_p50 = 0.0;
+  double control_traffic = 0.0;
+  double loss_rate = 0.0;
+  double incorrect_rate = 0.0;
+  std::uint64_t lookups = 0;
+  double join_latency_p50 = 0.0;
+  double join_latency_p95 = 0.0;
+  pastry::Counters counters;
+};
+
+/// Run one trace-driven experiment and summarise.
+inline RunSummary run_experiment(TopologyKind kind,
+                                 const overlay::DriverConfig& dcfg,
+                                 const trace::ChurnTrace& trace,
+                                 double loss_rate = 0.0) {
+  overlay::OverlayDriver driver(make_topology(kind),
+                                make_net_config(kind, loss_rate), dcfg);
+  driver.run_trace(trace);
+  RunSummary s;
+  auto& m = driver.metrics();
+  s.rdp = m.mean_rdp();
+  s.rdp_p50 = m.rdp_samples().quantile(0.5);
+  s.control_traffic = m.control_traffic_rate();
+  s.loss_rate = m.loss_rate();
+  s.incorrect_rate = m.incorrect_delivery_rate();
+  s.lookups = m.lookups_issued();
+  s.join_latency_p50 = m.join_latency_samples().quantile(0.5);
+  s.join_latency_p95 = m.join_latency_samples().quantile(0.95);
+  s.counters = driver.counters();
+  return s;
+}
+
+/// Gnutella-like churn scaled for bench runs.
+inline trace::ChurnTrace bench_gnutella(std::uint64_t seed = 11) {
+  return trace::generate_synthetic(
+      trace::gnutella_params(node_scale(), std::max(0.02, time_scale()),
+                             seed));
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf("mode: %s scale (set REPRO_FULL=1 for paper scale)\n",
+              full_scale() ? "PAPER" : "reduced");
+}
+
+/// One "paper says X, we measured Y" comparison row.
+inline void print_compare(const char* what, double paper, double measured,
+                          const char* unit = "") {
+  std::printf("  %-44s paper=%-10.4g measured=%-10.4g %s\n", what, paper,
+              measured, unit);
+}
+
+inline void print_series(const char* name,
+                         const std::vector<overlay::Metrics::SeriesPoint>& s,
+                         double x_scale = 1.0) {
+  std::printf("# series: %s (x\ty)\n", name);
+  for (const auto& p : s) {
+    std::printf("%.6g\t%.6g\n", p.t_seconds * x_scale, p.value);
+  }
+}
+
+}  // namespace mspastry::bench

@@ -1,0 +1,56 @@
+// Figure 3: node failure rate (failures per node per second) over time for
+// the Gnutella, OverNet and Microsoft traces, with the daily/weekly
+// patterns and the order-of-magnitude gap between open-Internet and
+// corporate environments.
+
+#include "bench_util.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+namespace {
+
+void one_trace(const trace::SyntheticChurnParams& params,
+               SimDuration window, double paper_mean_session_s,
+               double paper_peak_rate) {
+  const auto t = trace::generate_synthetic(params);
+  const auto stats = t.session_stats();
+  const auto pop = t.population_stats();
+  std::printf("\n-- %s: %d sessions, active [%d..%d]\n", t.name().c_str(),
+              t.session_count(), pop.min_active, pop.max_active);
+  print_compare("mean session time (s, completed sessions)",
+                paper_mean_session_s, stats.mean_seconds);
+  // Peak failure rate over the trace (compare against the figure's axis).
+  const auto series = t.failure_rate_series(window);
+  double peak = 0.0;
+  double sum = 0.0;
+  for (const auto& [ts, rate] : series) {
+    (void)ts;
+    peak = std::max(peak, rate);
+    sum += rate;
+  }
+  print_compare("peak failure rate (/node/s)", paper_peak_rate, peak);
+  print_compare("mean failure rate (/node/s)",
+                1.0 / paper_mean_session_s,
+                series.empty() ? 0.0 : sum / series.size());
+  std::printf("# series: %s failure rate (hours\t/node/s)\n",
+              t.name().c_str());
+  for (const auto& [ts, rate] : series) {
+    std::printf("%.4g\t%.4g\n", ts / 3600.0, rate);
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 3: failure rates of the three churn traces");
+  const double ns = node_scale();
+  const double ts = full_scale() ? 1.0 : 0.2;
+  // Paper peaks read off Figure 3: Gnutella/OverNet ~3e-4, Microsoft ~2e-5.
+  one_trace(trace::gnutella_params(ns, ts), minutes(10), 2.3 * 3600, 3.0e-4);
+  one_trace(trace::overnet_params(std::max(0.2, ns * 4), ts), minutes(10),
+            134 * 60.0, 3.0e-4);
+  one_trace(trace::microsoft_params(ns / 5, ts), hours(1), 37.7 * 3600,
+            2.0e-5);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 6: RDP, control traffic, lookup loss rate and incorrect-delivery
+// rate as the uniform network message loss rate varies from 0% to 5%,
+// with the Gnutella trace on GATech.
+
+#include "bench_util.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+int main() {
+  print_header("Figure 6: varying the network message loss rate");
+
+  // Paper values read off Figure 6 (at 0% and 5%).
+  std::printf(
+      "\nloss%%\tRDP\tctrl(msgs/s/node)\tlookup_loss\tincorrect\t"
+      "ack_timeouts\tfalse_positives\n");
+  for (int pct = 0; pct <= 5; ++pct) {
+    auto dcfg = base_driver_config(600 + static_cast<std::uint64_t>(pct));
+    const auto trace = bench_gnutella(42);
+    const auto s = run_experiment(TopologyKind::kGATech, dcfg, trace,
+                                  pct / 100.0);
+    std::printf("%d\t%.2f\t%.3f\t%.3g\t%.3g\t%llu\t%llu\n", pct, s.rdp,
+                s.control_traffic, s.loss_rate, s.incorrect_rate,
+                (unsigned long long)s.counters.ack_timeouts,
+                (unsigned long long)s.counters.false_positives);
+  }
+  std::printf(
+      "\npaper: RDP ~1.8 -> ~2.1 from 0%% to 5%%; control traffic rises "
+      "slightly (0.245 -> ~0.27); lookup loss 1.5e-5 -> 3.3e-5; incorrect "
+      "deliveries 0 at <=1%% and 1.6e-5 at 5%%. Shape to check: all four "
+      "curves stay nearly flat — per-hop acks absorb link loss.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 8: validation against the Squirrel web-cache deployment. The
+// paper fed a 6-day log (52 machines at MSR Cambridge, 11-17 Dec 2003,
+// four weekdays + a weekend) through the simulator and compared total
+// per-node traffic against the live deployment.
+//
+// The deployment does not exist here, so per DESIGN.md the substitution
+// is: synthesise the 6-day workload (diurnal weekday browsing over 52
+// machines with corporate churn), run it through the simulator, and
+// compare against an independently perturbed replica run (different seed,
+// 10% network jitter — standing in for the deployment's real messaging
+// layer). Figure 8's claim becomes: the two executions of the same
+// workload produce near-identical traffic curves.
+
+#include <cmath>
+
+#include "apps/app_mux.hpp"
+#include "apps/web_cache.hpp"
+#include "apps/web_workload.hpp"
+#include "bench_util.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+namespace {
+
+constexpr int kMachines = 52;
+constexpr double kDays = 6.0;
+
+std::vector<overlay::Metrics::SeriesPoint> run_once(std::uint64_t seed,
+                                                    double jitter) {
+  // Corporate churn: most machines stay up, a few reboot.
+  trace::SyntheticChurnParams churn;
+  churn.duration = days(kDays);
+  churn.mean_session_seconds = 37.7 * 3600;
+  churn.median_session_seconds = 30.0 * 3600;
+  churn.target_population = kMachines;
+  churn.seed = seed * 13 + 1;
+  churn.name = "squirrel-corp";
+  const auto trace = trace::generate_synthetic(churn);
+
+  auto dcfg = base_driver_config(seed);
+  dcfg.lookup_rate_per_node = 0.0;  // web requests drive all lookups
+  dcfg.metrics_window = hours(1);
+  dcfg.warmup = hours(2);
+  auto ncfg = make_net_config(TopologyKind::kCorpNet);
+  ncfg.jitter_fraction = jitter;
+
+  overlay::OverlayDriver driver(make_topology(TopologyKind::kCorpNet), ncfg,
+                                dcfg);
+  apps::AppMux mux(driver);
+  apps::WebCacheService cache(driver);
+  mux.attach(cache);
+
+  // Non-homogeneous Poisson browsing over a Zipf-ish URL universe; day 0
+  // is a Thursday so days 2-3 are the weekend, matching the trace's "4
+  // week days and one weekend, clearly visible".
+  apps::WebWorkload workload(apps::WebWorkloadParams{}, seed * 7 + 3);
+  std::function<void()> pump = [&] {
+    driver.sim().schedule_after(
+        workload.next_gap(driver.sim().now(), kMachines), [&] {
+          const auto src = driver.oracle().random_active(workload.rng());
+          if (src) cache.request(src->second, workload.pick_url());
+          pump();
+        });
+  };
+  pump();
+  driver.run_trace(trace);
+
+  std::printf("  run seed=%llu jitter=%.0f%%: requests=%llu hit-rate=%.2f "
+              "mean-latency=%.0fms\n",
+              (unsigned long long)seed, jitter * 100,
+              (unsigned long long)cache.stats().requests,
+              cache.stats().requests
+                  ? static_cast<double>(cache.stats().hits) /
+                        cache.stats().requests
+                  : 0.0,
+              cache.latencies().mean() * 1000.0);
+  return driver.metrics().total_traffic_series(days(kDays));
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8: Squirrel deployment vs simulator (total traffic)");
+  std::printf("\nsimulator run:\n");
+  const auto sim_series = run_once(2001, 0.0);
+  std::printf("deployment-like replica (different seed, 10%% jitter):\n");
+  const auto dep_series = run_once(4243, 0.10);
+
+  std::printf("\n# series: total traffic per node (hours\tsim\treplica)\n");
+  const std::size_t n = std::min(sim_series.size(), dep_series.size());
+  double max_rel_gap = 0.0;
+  RunningStats sim_stats;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("%.1f\t%.4f\t%.4f\n", sim_series[i].t_seconds / 3600.0,
+                sim_series[i].value, dep_series[i].value);
+    sim_stats.add(sim_series[i].value);
+    const double hi = std::max(sim_series[i].value, dep_series[i].value);
+    if (hi > 0.02) {  // ignore dead-of-night windows
+      max_rel_gap = std::max(
+          max_rel_gap, std::abs(sim_series[i].value - dep_series[i].value) /
+                           hi);
+    }
+  }
+  std::printf(
+      "\npaper shape: four weekday humps and a quiet weekend, simulator "
+      "and deployment curves near-coincident (peaks ~0.2-0.35 "
+      "msgs/s/node). measured: mean=%.3f max=%.3f msgs/s/node, "
+      "max relative gap between runs=%.0f%%\n",
+      sim_stats.mean(), sim_stats.max(), max_rel_gap * 100);
+  return 0;
+}

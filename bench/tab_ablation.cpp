@@ -1,0 +1,64 @@
+// Section 5.3 "Active probing and per-hop acks": the reliability/delay
+// ablation. Paper: 32% of lookups lost with neither technique; 2.8e-5
+// loss with acks only; 1.6e-5 with both; active probing alone cannot get
+// below ~1e-3 (minimum probing period); acks-only RDP is 17% higher than
+// both at 0.01 lookups/s/node and 61% higher at 0.001.
+
+#include "bench_util.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+namespace {
+
+RunSummary run_variant(bool acks, bool probing, double lookup_rate,
+                       std::uint64_t seed) {
+  auto dcfg = base_driver_config(seed);
+  dcfg.lookup_rate_per_node = lookup_rate;
+  dcfg.pastry.per_hop_acks = acks;
+  dcfg.pastry.active_rt_probing = probing;
+  if (!acks && !probing) {
+    // The paper's "neither" variant also lacks fast leaf-set detection
+    // tuning; keep Tls at default but rely on nothing else.
+  }
+  return run_experiment(TopologyKind::kGATech, dcfg, bench_gnutella(46));
+}
+
+}  // namespace
+
+int main() {
+  print_header("Section 5.3 table: active probing and per-hop acks");
+
+  std::printf("\nvariant\t\t\tloss\tpaper_loss\tRDP\tctrl\n");
+  const auto both = run_variant(true, true, 0.01, 1000);
+  std::printf("acks+probing\t\t%.3g\t%.3g\t\t%.2f\t%.3f\n", both.loss_rate,
+              1.6e-5, both.rdp, both.control_traffic);
+  const auto acks_only = run_variant(true, false, 0.01, 1001);
+  std::printf("acks only\t\t%.3g\t%.3g\t\t%.2f\t%.3f\n",
+              acks_only.loss_rate, 2.8e-5, acks_only.rdp,
+              acks_only.control_traffic);
+  const auto probe_only = run_variant(false, true, 0.01, 1002);
+  // Paper: probing alone cannot reach 1e-5-order loss; at the 5% tuning
+  // target the raw loss is ~5.3%.
+  std::printf("probing only\t\t%.3g\t%.3g\t\t%.2f\t%.3f\n",
+              probe_only.loss_rate, 0.053, probe_only.rdp,
+              probe_only.control_traffic);
+  const auto neither = run_variant(false, false, 0.01, 1003);
+  std::printf("neither\t\t\t%.3g\t%.3g\t\t%.2f\t%.3f\n", neither.loss_rate,
+              0.32, neither.rdp, neither.control_traffic);
+
+  print_compare("acks-only RDP / both RDP at 0.01 lookups/s (paper 1.17)",
+                1.17, acks_only.rdp / both.rdp, "(ratio)");
+
+  // Low application traffic: acks-only degrades much more.
+  const auto both_low = run_variant(true, true, 0.001, 1004);
+  const auto acks_low = run_variant(true, false, 0.001, 1005);
+  print_compare("acks-only RDP / both RDP at 0.001 lookups/s (paper 1.61)",
+                1.61, acks_low.rdp / both_low.rdp, "(ratio)");
+
+  std::printf(
+      "\nshape checks: loss(neither) >> loss(probing only) > "
+      "loss(acks only) >= loss(both); ack-only delay penalty grows as "
+      "application traffic shrinks.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Section 3.1's comparison against best-effort implementations: "a recent
+// study [Handling Churn in a DHT] shows that existing implementations have
+// a significant number of inconsistent deliveries in scenarios where
+// MSPastry should have none while incurring a higher overhead than
+// MSPastry."
+//
+// We regenerate the comparison with a Chord-style baseline (periodic
+// stabilization, best-effort consistency, no per-hop acks) against
+// MSPastry under identical churn, across session times. The baseline's
+// stabilization period also shows the paper's overhead point: to push its
+// inconsistency down it must stabilize faster, and its maintenance traffic
+// rises accordingly, while MSPastry's failure detection is reactive.
+
+#include "bench_util.hpp"
+#include "chord/chord_driver.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+namespace {
+
+struct Row {
+  double incorrect;
+  double loss;
+  double control;
+};
+
+Row run_chord(const trace::ChurnTrace& trace, SimDuration stabilize,
+              std::uint64_t seed) {
+  chord::ChordDriverConfig cfg;
+  cfg.lookup_rate_per_node = 0.01;
+  cfg.warmup = full_scale() ? hours(1) : minutes(10);
+  cfg.seed = seed;
+  cfg.chord.stabilize_period = stabilize;
+  cfg.chord.fix_fingers_period = stabilize;
+  cfg.chord.check_predecessor_period = stabilize;
+  chord::ChordDriver d(make_topology(TopologyKind::kGATech),
+                       make_net_config(TopologyKind::kGATech), cfg);
+  d.run_trace(trace);
+  return Row{d.metrics().incorrect_delivery_rate(), d.metrics().loss_rate(),
+             d.metrics().control_traffic_rate()};
+}
+
+Row run_mspastry(const trace::ChurnTrace& trace, std::uint64_t seed) {
+  auto cfg = base_driver_config(seed);
+  overlay::OverlayDriver d(make_topology(TopologyKind::kGATech),
+                           make_net_config(TopologyKind::kGATech), cfg);
+  d.run_trace(trace);
+  return Row{d.metrics().incorrect_delivery_rate(), d.metrics().loss_rate(),
+             d.metrics().control_traffic_rate()};
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Section 3.1: best-effort baseline (Chord-style) vs MSPastry");
+
+  const int population = full_scale() ? 1000 : 150;
+  const SimDuration duration = full_scale() ? hours(6) : minutes(50);
+
+  std::printf(
+      "\nsession_min\toverlay\t\t\tincorrect\tloss\t\tctrl\n");
+  for (const double session_min : {15.0, 30.0, 60.0, 120.0}) {
+    const auto trace = trace::generate_poisson(
+        duration, session_min * 60.0, population,
+        1400 + static_cast<std::uint64_t>(session_min));
+    const auto ms = run_mspastry(trace, 1500);
+    const auto ch = run_chord(trace, seconds(15), 1501);
+    std::printf("%.0f\t\tMSPastry\t\t%.3g\t\t%.3g\t\t%.3f\n", session_min,
+                ms.incorrect, ms.loss, ms.control);
+    std::printf("%.0f\t\tChord-style (15s)\t%.3g\t\t%.3g\t\t%.3f\n",
+                session_min, ch.incorrect, ch.loss, ch.control);
+  }
+
+  // Overhead vs consistency for the baseline: faster stabilization buys
+  // lower inconsistency at higher cost; MSPastry sits below both axes.
+  const auto trace = trace::generate_poisson(duration, 30.0 * 60.0,
+                                             population, 1499);
+  std::printf("\nstabilize_s\tincorrect\tloss\t\tctrl (30-min sessions)\n");
+  for (const double s : {5.0, 15.0, 30.0, 60.0}) {
+    const auto r = run_chord(trace, from_seconds(s),
+                             1600 + static_cast<std::uint64_t>(s));
+    std::printf("%.0f\t\t%.3g\t\t%.3g\t\t%.3f\n", s, r.incorrect, r.loss,
+                r.control);
+  }
+  const auto ms = run_mspastry(trace, 1601);
+  std::printf("MSPastry\t%.3g\t\t%.3g\t\t%.3f\n", ms.incorrect, ms.loss,
+              ms.control);
+  std::printf(
+      "\nshape check (paper, Section 3.1): the best-effort baseline shows "
+      "inconsistent deliveries and losses where MSPastry has (near) none; "
+      "driving the baseline's inconsistency down requires more maintenance "
+      "traffic.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "overlay/driver.hpp"
+
+namespace mspastry::apps {
+
+/// Interface implemented by overlay applications. Each upcall returns true
+/// when the application recognised and consumed the event, so several
+/// applications can share one overlay (as Squirrel, PAST and Scribe share
+/// MSPastry in the paper's deployments).
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// A lookup was delivered at `self` (this node is the key's root).
+  virtual bool deliver(net::Address self, const pastry::LookupMsg& m) = 0;
+
+  /// A lookup is about to be forwarded from `self`; return {true, consume}
+  /// when recognised.
+  struct ForwardVerdict {
+    bool recognised = false;
+    bool consume = false;
+  };
+  virtual ForwardVerdict forward(net::Address self,
+                                 const pastry::LookupMsg& m,
+                                 const pastry::NodeDescriptor& next) {
+    (void)self;
+    (void)m;
+    (void)next;
+    return {};
+  }
+
+  /// A direct (non-overlay) application packet arrived at `self`.
+  virtual bool packet(net::Address self, net::Address from,
+                      const net::PacketPtr& p) = 0;
+};
+
+/// Dispatches driver application hooks to a set of Applications, first
+/// claim wins. Install exactly one AppMux per driver.
+class AppMux {
+ public:
+  explicit AppMux(overlay::OverlayDriver& driver) {
+    driver.on_app_deliver = [this](net::Address self,
+                                   const pastry::LookupMsg& m) {
+      for (auto* app : apps_) {
+        if (app->deliver(self, m)) return;
+      }
+    };
+    driver.on_app_forward = [this](net::Address self,
+                                   const pastry::LookupMsg& m,
+                                   const pastry::NodeDescriptor& next) {
+      for (auto* app : apps_) {
+        const auto v = app->forward(self, m, next);
+        if (v.recognised) return v.consume;
+      }
+      return false;
+    };
+    driver.on_app_packet = [this](net::Address self, net::Address from,
+                                  const net::PacketPtr& p) {
+      for (auto* app : apps_) {
+        if (app->packet(self, from, p)) return;
+      }
+    };
+  }
+
+  /// Register an application (not owned; must outlive the driver run).
+  void attach(Application& app) { apps_.push_back(&app); }
+
+ private:
+  std::vector<Application*> apps_;
+};
+
+}  // namespace mspastry::apps

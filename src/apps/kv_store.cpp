@@ -1,0 +1,146 @@
+#include "apps/kv_store.hpp"
+
+namespace mspastry::apps {
+
+KvStoreService::KvStoreService(overlay::OverlayDriver& driver, int replicas)
+    : driver_(driver), replicas_(replicas) {}
+
+std::uint64_t KvStoreService::put(net::Address via, const std::string& key,
+                                  std::string value, PutCallback done) {
+  const NodeId key_id = NodeId::hash_of(key);
+  auto data = std::make_shared<PutData>();
+  data->op = next_op_++;
+  data->key_id = key_id;
+  data->value = std::move(value);
+  data->requester = via;
+  pending_[data->op] = Pending{std::move(done), {}};
+  ++stats_.puts;
+  driver_.issue_lookup(via, key_id, data->op, data);
+  return data->op;
+}
+
+std::uint64_t KvStoreService::get(net::Address via, const std::string& key,
+                                  GetCallback done) {
+  const NodeId key_id = NodeId::hash_of(key);
+  auto data = std::make_shared<GetData>();
+  data->op = next_op_++;
+  data->key_id = key_id;
+  data->requester = via;
+  pending_[data->op] = Pending{{}, std::move(done)};
+  ++stats_.gets;
+  driver_.issue_lookup(via, key_id, data->op, data);
+  return data->op;
+}
+
+void KvStoreService::enable_repair(SimDuration interval) {
+  if (repair_interval_ > 0) return;
+  repair_interval_ = interval;
+  driver_.sim().schedule_after(interval, [this] { repair_tick(); });
+}
+
+void KvStoreService::repair_tick() {
+  driver_.sim().schedule_after(repair_interval_, [this] { repair_tick(); });
+  // Snapshot (addr, key, value) triples first: replicate() writes into
+  // stores_ of other nodes while we iterate.
+  struct Item {
+    net::Address addr;
+    NodeId key;
+    std::string value;
+  };
+  std::vector<Item> owned;
+  for (const auto& [addr, store] : stores_) {
+    const pastry::PastryNode* n = driver_.node(addr);
+    if (n == nullptr || !n->active()) continue;
+    for (const auto& [key, value] : store) {
+      if (n->believes_root_of(key)) owned.push_back({addr, key, value});
+    }
+  }
+  for (const auto& item : owned) {
+    replicate(item.addr, item.key, item.value);
+  }
+}
+
+std::size_t KvStoreService::stored_on(net::Address a) const {
+  const auto it = stores_.find(a);
+  return it == stores_.end() ? 0 : it->second.size();
+}
+
+void KvStoreService::replicate(net::Address root, NodeId key_id,
+                               const std::string& value) {
+  const pastry::PastryNode* n = driver_.node(root);
+  if (n == nullptr) return;
+  // Closest leaf-set neighbours, half per side (the members vector is
+  // sorted by clockwise distance: front = successors, back = predecessors).
+  const auto& members = n->leaf_set().members();
+  const int per_side = replicas_ / 2;
+  std::vector<net::Address> targets;
+  const int sz = static_cast<int>(members.size());
+  for (int i = 0; i < per_side && i < sz; ++i) {
+    targets.push_back(members[static_cast<std::size_t>(i)].addr);
+  }
+  for (int i = 0; i < replicas_ - per_side && sz - 1 - i >= per_side; ++i) {
+    targets.push_back(members[static_cast<std::size_t>(sz - 1 - i)].addr);
+  }
+  for (const net::Address t : targets) {
+    auto r = std::make_shared<ReplicateMsg>();
+    r->key_id = key_id;
+    r->value = value;
+    driver_.send_app_packet(root, t, r);
+  }
+}
+
+bool KvStoreService::deliver(net::Address self, const pastry::LookupMsg& m) {
+  if (auto putd = std::dynamic_pointer_cast<const PutData>(m.app_data)) {
+    stores_[self][putd->key_id] = putd->value;
+    replicate(self, putd->key_id, putd->value);
+    auto resp = std::make_shared<ResponseMsg>();
+    resp->op = putd->op;
+    resp->is_put = true;
+    resp->found = true;
+    driver_.send_app_packet(self, putd->requester, resp);
+    return true;
+  }
+  if (auto getd = std::dynamic_pointer_cast<const GetData>(m.app_data)) {
+    auto resp = std::make_shared<ResponseMsg>();
+    resp->op = getd->op;
+    resp->is_put = false;
+    const auto& store = stores_[self];
+    const auto it = store.find(getd->key_id);
+    if (it != store.end()) {
+      resp->found = true;
+      resp->value = it->second;
+    }
+    driver_.send_app_packet(self, getd->requester, resp);
+    return true;
+  }
+  return false;
+}
+
+bool KvStoreService::packet(net::Address self, net::Address /*from*/,
+                            const net::PacketPtr& p) {
+  if (auto rep = std::dynamic_pointer_cast<const ReplicateMsg>(p)) {
+    stores_[self][rep->key_id] = rep->value;
+    ++stats_.replicas_stored;
+    return true;
+  }
+  if (auto resp = std::dynamic_pointer_cast<const ResponseMsg>(p)) {
+    const auto it = pending_.find(resp->op);
+    if (it == pending_.end()) return true;
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    if (resp->is_put) {
+      if (pending.put_cb) pending.put_cb(resp->found);
+    } else {
+      if (resp->found) {
+        ++stats_.get_hits;
+      } else {
+        ++stats_.get_misses;
+      }
+      if (pending.get_cb) pending.get_cb(resp->found, resp->value);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mspastry::apps

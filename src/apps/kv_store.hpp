@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "apps/app_mux.hpp"
+
+namespace mspastry::apps {
+
+/// A PAST-like replicated key-value store on top of MSPastry: values live
+/// at the key's root node and are replicated to the nearest leaf-set
+/// neighbours, so they survive root failures (the archival-storage use
+/// case the paper's introduction cites for consistent routing).
+class KvStoreService final : public Application {
+ public:
+  /// `replicas` additional copies beyond the root (spread over the
+  /// closest leaf-set neighbours, half per side).
+  KvStoreService(overlay::OverlayDriver& driver, int replicas = 4);
+
+  using PutCallback = std::function<void(bool ok)>;
+  using GetCallback = std::function<void(bool found, const std::string&)>;
+
+  /// Store key -> value, initiated from node `via`.
+  std::uint64_t put(net::Address via, const std::string& key,
+                    std::string value, PutCallback done = {});
+
+  /// Fetch a value, initiated from node `via`.
+  std::uint64_t get(net::Address via, const std::string& key,
+                    GetCallback done = {});
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t get_hits = 0;
+    std::uint64_t get_misses = 0;
+    std::uint64_t replicas_stored = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Number of objects held by a node (root copies + replicas).
+  std::size_t stored_on(net::Address a) const;
+
+  /// Enable PAST-like replica maintenance: every `interval`, each live
+  /// node scans its store; for every object it believes it is the root
+  /// of, it re-replicates to its current leaf-set neighbours. This keeps
+  /// the replica set aligned with the ring as nodes come and go, so data
+  /// survives arbitrarily many sequential root failures (not just the
+  /// first). Call once.
+  void enable_repair(SimDuration interval);
+
+  // Application interface ---------------------------------------------------
+  bool deliver(net::Address self, const pastry::LookupMsg& m) override;
+  bool packet(net::Address self, net::Address from,
+              const net::PacketPtr& p) override;
+
+ private:
+  struct PutData final : net::Packet {
+    std::uint64_t op = 0;
+    NodeId key_id;
+    std::string value;
+    net::Address requester = net::kNullAddress;
+  };
+  struct GetData final : net::Packet {
+    std::uint64_t op = 0;
+    NodeId key_id;
+    net::Address requester = net::kNullAddress;
+  };
+  struct ReplicateMsg final : net::Packet {
+    NodeId key_id;
+    std::string value;
+  };
+  struct ResponseMsg final : net::Packet {
+    std::uint64_t op = 0;
+    bool is_put = false;
+    bool found = false;
+    std::string value;
+  };
+
+  void replicate(net::Address root, NodeId key_id, const std::string& value);
+  void repair_tick();
+
+  overlay::OverlayDriver& driver_;
+  int replicas_;
+  Stats stats_;
+  SimDuration repair_interval_ = 0;  // 0 = repair off
+  std::uint64_t next_op_ = 1;
+
+  struct Pending {
+    PutCallback put_cb;
+    GetCallback get_cb;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;
+
+  /// Per-session object stores (a crashed node loses its store; that is
+  /// the point of replication).
+  std::unordered_map<net::Address,
+                     std::unordered_map<NodeId, std::string>>
+      stores_;
+};
+
+}  // namespace mspastry::apps

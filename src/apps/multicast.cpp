@@ -1,0 +1,141 @@
+#include "apps/multicast.hpp"
+
+namespace mspastry::apps {
+
+namespace {
+std::uint64_t dedup_key(NodeId group, std::uint64_t msg_id) {
+  return std::hash<NodeId>{}(group) ^ (msg_id * 0x9e3779b97f4a7c15ull);
+}
+}  // namespace
+
+void MulticastService::enable_auto_refresh(SimDuration interval) {
+  if (refresh_interval_ > 0) return;  // already running
+  refresh_interval_ = interval;
+  driver_.sim().schedule_after(interval, [this] { refresh_tick(); });
+}
+
+void MulticastService::refresh_tick() {
+  driver_.sim().schedule_after(refresh_interval_, [this] { refresh_tick(); });
+  // Snapshot first: subscribing routes lookups, whose upcalls touch state_.
+  std::vector<std::pair<net::Address, NodeId>> memberships;
+  for (const auto& [addr, groups] : state_) {
+    if (driver_.node(addr) == nullptr) continue;  // session gone
+    for (const auto& [group, st] : groups) {
+      if (st.member) memberships.emplace_back(addr, group);
+    }
+  }
+  for (const auto& [addr, group] : memberships) subscribe(addr, group);
+}
+
+void MulticastService::subscribe(net::Address member, NodeId group) {
+  ++stats_.subscribes;
+  state_[member][group].member = true;
+  auto data = std::make_shared<SubscribeData>();
+  data->group = group;
+  data->member = member;
+  driver_.issue_lookup(member, group, 0, data);
+}
+
+void MulticastService::publish(net::Address via, NodeId group,
+                               std::uint64_t msg_id) {
+  ++stats_.publishes;
+  auto data = std::make_shared<PublishData>();
+  data->group = group;
+  data->msg_id = msg_id;
+  driver_.issue_lookup(via, group, msg_id, data);
+}
+
+std::size_t MulticastService::children_of(net::Address node,
+                                          NodeId group) const {
+  const auto nit = state_.find(node);
+  if (nit == state_.end()) return 0;
+  const auto git = nit->second.find(group);
+  return git == nit->second.end() ? 0 : git->second.children.size();
+}
+
+bool MulticastService::is_member(net::Address node, NodeId group) const {
+  const auto nit = state_.find(node);
+  if (nit == state_.end()) return false;
+  const auto git = nit->second.find(group);
+  return git != nit->second.end() && git->second.member;
+}
+
+void MulticastService::splice(net::Address self, const SubscribeData& sub,
+                              net::Address child) {
+  auto& st = state_[self][sub.group];
+  if (child != net::kNullAddress && child != self) {
+    st.children.insert(child);
+  }
+}
+
+MulticastService::ForwardVerdict MulticastService::forward(
+    net::Address self, const pastry::LookupMsg& m,
+    const pastry::NodeDescriptor& /*next*/) {
+  auto sub = std::dynamic_pointer_cast<const SubscribeData>(m.app_data);
+  if (!sub) {
+    // Publish lookups are recognised but always continue to the root.
+    if (std::dynamic_pointer_cast<const PublishData>(m.app_data)) {
+      return {true, false};
+    }
+    return {};
+  }
+  // Origin hop: the member is routing its own subscribe; nothing to
+  // splice yet (m.sender is stamped only on transmission).
+  if (!m.sender.valid() || m.sender.addr == self) {
+    return {true, false};
+  }
+  auto& st = state_[self][sub->group];
+  const bool was_in_tree = st.in_tree || st.member;
+  splice(self, *sub, m.sender.addr);
+  if (was_in_tree) {
+    // Already part of the tree: absorb the join here (Scribe).
+    return {true, true};
+  }
+  st.in_tree = true;  // this node now forwards for the group
+  return {true, false};
+}
+
+bool MulticastService::deliver(net::Address self, const pastry::LookupMsg& m) {
+  if (auto sub = std::dynamic_pointer_cast<const SubscribeData>(m.app_data)) {
+    auto& st = state_[self][sub->group];
+    st.in_tree = true;  // the rendezvous root anchors the tree
+    const net::Address child =
+        m.sender.valid() && m.sender.addr != self ? m.sender.addr
+                                                  : net::kNullAddress;
+    splice(self, *sub, child);
+    return true;
+  }
+  if (auto pub = std::dynamic_pointer_cast<const PublishData>(m.app_data)) {
+    disseminate(self, pub->group, pub->msg_id);
+    return true;
+  }
+  return false;
+}
+
+void MulticastService::disseminate(net::Address self, NodeId group,
+                                   std::uint64_t msg_id) {
+  auto& seen = seen_[self];
+  if (!seen.insert(dedup_key(group, msg_id)).second) return;
+  const auto& st = state_[self][group];
+  if (st.member) {
+    ++stats_.deliveries;
+    if (on_message) on_message(self, group, msg_id);
+  }
+  for (const net::Address child : st.children) {
+    auto data = std::make_shared<TreeData>();
+    data->group = group;
+    data->msg_id = msg_id;
+    ++stats_.forwards;
+    driver_.send_app_packet(self, child, data);
+  }
+}
+
+bool MulticastService::packet(net::Address self, net::Address /*from*/,
+                              const net::PacketPtr& p) {
+  auto tree = std::dynamic_pointer_cast<const TreeData>(p);
+  if (!tree) return false;
+  disseminate(self, tree->group, tree->msg_id);
+  return true;
+}
+
+}  // namespace mspastry::apps

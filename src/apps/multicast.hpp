@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/app_mux.hpp"
+
+namespace mspastry::apps {
+
+/// A Scribe-like application-level multicast system (Castro, Druschel,
+/// Kermarrec, Rowstron): a group is named by a key; the key's root is the
+/// rendezvous point. Subscriptions are routed toward the root, and each
+/// node along the route splices itself into the tree (via the common-API
+/// forward() upcall), recording the previous hop as a child. Published
+/// messages flow from the root down the reverse-path tree.
+///
+/// Tree state is soft: members should re-subscribe periodically (as in
+/// Scribe) so the tree heals around failed forwarders.
+class MulticastService final : public Application {
+ public:
+  explicit MulticastService(overlay::OverlayDriver& driver)
+      : driver_(driver) {}
+
+  static NodeId group_id(const std::string& name) {
+    return NodeId::hash_of("group:" + name);
+  }
+
+  /// Subscribe the node at `member` to the group. Safe to call repeatedly
+  /// (soft-state refresh).
+  void subscribe(net::Address member, NodeId group);
+
+  /// Enable Scribe's soft-state maintenance: every `interval`, each live
+  /// member re-subscribes to each of its groups, healing tree edges that
+  /// broke when forwarders failed. Call once.
+  void enable_auto_refresh(SimDuration interval);
+
+  /// Publish a message to the group from node `via`: routed to the
+  /// rendezvous root, then disseminated down the tree.
+  void publish(net::Address via, NodeId group, std::uint64_t msg_id);
+
+  /// Invoked once per (member, message) delivery.
+  std::function<void(net::Address member, NodeId group, std::uint64_t msg)>
+      on_message;
+
+  struct Stats {
+    std::uint64_t subscribes = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t forwards = 0;  ///< tree-edge transmissions
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Tree introspection (tests): children of a node for a group.
+  std::size_t children_of(net::Address node, NodeId group) const;
+  bool is_member(net::Address node, NodeId group) const;
+
+  // Application interface ---------------------------------------------------
+  bool deliver(net::Address self, const pastry::LookupMsg& m) override;
+  ForwardVerdict forward(net::Address self, const pastry::LookupMsg& m,
+                         const pastry::NodeDescriptor& next) override;
+  bool packet(net::Address self, net::Address from,
+              const net::PacketPtr& p) override;
+
+ private:
+  struct SubscribeData final : net::Packet {
+    NodeId group;
+    net::Address member = net::kNullAddress;
+  };
+  struct PublishData final : net::Packet {
+    NodeId group;
+    std::uint64_t msg_id = 0;
+  };
+  struct TreeData final : net::Packet {
+    NodeId group;
+    std::uint64_t msg_id = 0;
+  };
+
+  struct GroupState {
+    std::unordered_set<net::Address> children;
+    bool member = false;
+    bool in_tree = false;  ///< this node forwards for the group
+  };
+
+  void splice(net::Address self, const SubscribeData& sub,
+              net::Address child);
+  void disseminate(net::Address self, NodeId group, std::uint64_t msg_id);
+
+  void refresh_tick();
+
+  overlay::OverlayDriver& driver_;
+  Stats stats_;
+  SimDuration refresh_interval_ = 0;  // 0 = auto-refresh off
+  /// Per-node, per-group forwarding state.
+  std::unordered_map<net::Address, std::unordered_map<NodeId, GroupState>>
+      state_;
+  /// Per-node duplicate suppression: (group, msg) pairs already seen.
+  std::unordered_map<net::Address,
+                     std::unordered_set<std::uint64_t>>
+      seen_;
+};
+
+}  // namespace mspastry::apps

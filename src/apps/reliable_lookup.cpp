@@ -1,0 +1,79 @@
+#include "apps/reliable_lookup.hpp"
+
+namespace mspastry::apps {
+
+std::uint64_t ReliableLookupService::lookup(net::Address via, NodeId key,
+                                            Callback done) {
+  const std::uint64_t op = next_op_++;
+  Pending p;
+  p.via = via;
+  p.key = key;
+  p.done = std::move(done);
+  pending_.emplace(op, std::move(p));
+  ++stats_.requests;
+  transmit(op);
+  return op;
+}
+
+void ReliableLookupService::transmit(std::uint64_t op) {
+  auto it = pending_.find(op);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (driver_.node(p.via) == nullptr) {
+    // The requester itself died: the request dies with it.
+    Pending finished = std::move(p);
+    pending_.erase(it);
+    ++stats_.failures;
+    if (finished.done) finished.done(false, net::kNullAddress);
+    return;
+  }
+  auto data = std::make_shared<RequestData>();
+  data->op = op;
+  data->requester = p.via;
+  driver_.issue_lookup(p.via, p.key, op, data);
+  p.timer = driver_.sim().schedule_after(params_.retry_after,
+                                         [this, op] { on_timeout(op); });
+}
+
+void ReliableLookupService::on_timeout(std::uint64_t op) {
+  auto it = pending_.find(op);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  p.timer = kInvalidTimer;
+  if (p.retries >= params_.max_retries) {
+    Pending finished = std::move(p);
+    pending_.erase(it);
+    ++stats_.failures;
+    if (finished.done) finished.done(false, net::kNullAddress);
+    return;
+  }
+  p.retries += 1;
+  ++stats_.retransmissions;
+  transmit(op);
+}
+
+bool ReliableLookupService::deliver(net::Address self,
+                                    const pastry::LookupMsg& m) {
+  auto req = std::dynamic_pointer_cast<const RequestData>(m.app_data);
+  if (!req) return false;
+  auto ack = std::make_shared<E2eAck>();
+  ack->op = req->op;
+  driver_.send_app_packet(self, req->requester, ack);
+  return true;
+}
+
+bool ReliableLookupService::packet(net::Address /*self*/, net::Address from,
+                                   const net::PacketPtr& pkt) {
+  auto ack = std::dynamic_pointer_cast<const E2eAck>(pkt);
+  if (!ack) return false;
+  const auto it = pending_.find(ack->op);
+  if (it == pending_.end()) return true;  // duplicate ack
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.timer != kInvalidTimer) driver_.sim().cancel(p.timer);
+  ++stats_.acked;
+  if (p.done) p.done(true, from);
+  return true;
+}
+
+}  // namespace mspastry::apps

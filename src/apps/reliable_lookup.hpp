@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "apps/app_mux.hpp"
+
+namespace mspastry::apps {
+
+/// End-to-end reliable lookups (Section 3.2: "Applications that require
+/// guaranteed delivery can use end-to-end acks and retransmissions"): the
+/// requester retransmits a lookup until the key's root acknowledges it
+/// directly, surviving even the rare losses that per-hop recovery misses
+/// (e.g. a lookup buffered at a node that dies mid-join).
+class ReliableLookupService final : public Application {
+ public:
+  struct Params {
+    /// Retransmission interval (end-to-end, so much coarser than the
+    /// per-hop RTO) and the retry budget before reporting failure.
+    SimDuration retry_after = seconds(5);
+    int max_retries = 5;
+  };
+
+  ReliableLookupService(overlay::OverlayDriver& driver, Params params)
+      : driver_(driver), params_(params) {}
+  explicit ReliableLookupService(overlay::OverlayDriver& driver)
+      : ReliableLookupService(driver, Params{}) {}
+
+  /// done(ok, root_address): ok is false after the retry budget runs out.
+  using Callback = std::function<void(bool ok, net::Address root)>;
+
+  std::uint64_t lookup(net::Address via, NodeId key, Callback done = {});
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t acked = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Application interface --------------------------------------------------
+  bool deliver(net::Address self, const pastry::LookupMsg& m) override;
+  bool packet(net::Address self, net::Address from,
+              const net::PacketPtr& p) override;
+
+ private:
+  struct RequestData final : net::Packet {
+    std::uint64_t op = 0;
+    net::Address requester = net::kNullAddress;
+  };
+  struct E2eAck final : net::Packet {
+    std::uint64_t op = 0;
+  };
+
+  struct Pending {
+    net::Address via = net::kNullAddress;
+    NodeId key;
+    int retries = 0;
+    Callback done;
+    TimerId timer = kInvalidTimer;
+  };
+
+  void transmit(std::uint64_t op);
+  void on_timeout(std::uint64_t op);
+
+  overlay::OverlayDriver& driver_;
+  Params params_;
+  Stats stats_;
+  std::uint64_t next_op_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace mspastry::apps

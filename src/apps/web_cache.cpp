@@ -1,0 +1,73 @@
+#include "apps/web_cache.hpp"
+
+namespace mspastry::apps {
+
+WebCacheService::WebCacheService(overlay::OverlayDriver& driver,
+                                 Params params)
+    : driver_(driver), params_(params) {}
+
+std::uint64_t WebCacheService::request(net::Address via,
+                                       const std::string& url) {
+  const NodeId key = NodeId::hash_of(url);
+  auto data = std::make_shared<RequestData>();
+  data->op = next_op_++;
+  data->url_key = key;
+  data->requester = via;
+  pending_[data->op] = driver_.sim().now();
+  ++stats_.requests;
+  driver_.issue_lookup(via, key, data->op, data);
+  return data->op;
+}
+
+std::size_t WebCacheService::cached_on(net::Address a) const {
+  const auto it = caches_.find(a);
+  return it == caches_.end() ? 0 : it->second.size();
+}
+
+void WebCacheService::respond(net::Address home, const RequestData& req,
+                              bool was_cached) {
+  auto resp = std::make_shared<ResponseMsg>();
+  resp->op = req.op;
+  resp->was_cached = was_cached;
+  driver_.send_app_packet(home, req.requester, resp);
+}
+
+bool WebCacheService::deliver(net::Address self, const pastry::LookupMsg& m) {
+  auto req = std::dynamic_pointer_cast<const RequestData>(m.app_data);
+  if (!req) return false;
+  auto& cache = caches_[self];
+  if (cache.count(req->url_key) > 0) {
+    ++stats_.hits;
+    respond(self, *req, /*was_cached=*/true);
+    return true;
+  }
+  ++stats_.misses;
+  // Origin fetch: after the simulated delay, cache the object and respond
+  // (if this node is still alive, which the scheduled lambda checks by
+  // consulting the driver).
+  driver_.sim().schedule_after(
+      params_.origin_delay, [this, self, req] {
+        if (driver_.node(self) == nullptr) return;  // home node died
+        auto& c = caches_[self];
+        if (params_.capacity > 0 && c.size() >= params_.capacity) {
+          c.erase(c.begin());  // crude eviction; enough for simulation
+        }
+        c.insert(req->url_key);
+        respond(self, *req, /*was_cached=*/false);
+      });
+  return true;
+}
+
+bool WebCacheService::packet(net::Address /*self*/, net::Address /*from*/,
+                             const net::PacketPtr& p) {
+  auto resp = std::dynamic_pointer_cast<const ResponseMsg>(p);
+  if (!resp) return false;
+  const auto it = pending_.find(resp->op);
+  if (it == pending_.end()) return true;
+  latencies_.add(to_seconds(driver_.sim().now() - it->second));
+  pending_.erase(it);
+  ++stats_.responses;
+  return true;
+}
+
+}  // namespace mspastry::apps

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/app_mux.hpp"
+#include "common/stats.hpp"
+
+namespace mspastry::apps {
+
+/// A Squirrel-like decentralized cooperative web cache (Iyer, Rowstron,
+/// Druschel): every participating desktop runs a proxy; a web object's
+/// URL is hashed to a key, and the key's root node is the object's "home
+/// node", responsible for caching it. Requests are routed through
+/// MSPastry to the home node; on a miss the home node fetches from the
+/// origin server (simulated as a configurable delay) and caches.
+///
+/// This is the application used to validate the paper's simulator
+/// (Figure 8).
+class WebCacheService final : public Application {
+ public:
+  struct Params {
+    /// Simulated origin-server fetch time on a cache miss.
+    SimDuration origin_delay = milliseconds(150);
+    /// Cache capacity per node (objects); 0 = unbounded.
+    std::size_t capacity = 0;
+  };
+
+  WebCacheService(overlay::OverlayDriver& driver, Params params);
+  explicit WebCacheService(overlay::OverlayDriver& driver)
+      : WebCacheService(driver, Params{}) {}
+
+  /// Issue a web request for `url` from the proxy running on `via`.
+  std::uint64_t request(net::Address via, const std::string& url);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;          ///< served from the home-node cache
+    std::uint64_t misses = 0;        ///< required an origin fetch
+    std::uint64_t responses = 0;     ///< responses received by requesters
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// End-to-end request latencies (seconds), requester-side.
+  SampleSet& latencies() { return latencies_; }
+
+  std::size_t cached_on(net::Address a) const;
+
+  // Application interface ---------------------------------------------------
+  bool deliver(net::Address self, const pastry::LookupMsg& m) override;
+  bool packet(net::Address self, net::Address from,
+              const net::PacketPtr& p) override;
+
+ private:
+  struct RequestData final : net::Packet {
+    std::uint64_t op = 0;
+    NodeId url_key;
+    net::Address requester = net::kNullAddress;
+  };
+  struct ResponseMsg final : net::Packet {
+    std::uint64_t op = 0;
+    bool was_cached = false;
+  };
+
+  void respond(net::Address home, const RequestData& req, bool was_cached);
+
+  overlay::OverlayDriver& driver_;
+  Params params_;
+  Stats stats_;
+  std::uint64_t next_op_ = 1;
+  std::unordered_map<std::uint64_t, SimTime> pending_;  // op -> issue time
+  std::unordered_map<net::Address, std::unordered_set<NodeId>> caches_;
+  SampleSet latencies_;
+};
+
+}  // namespace mspastry::apps

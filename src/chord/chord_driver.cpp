@@ -1,0 +1,186 @@
+#include "chord/chord_driver.hpp"
+
+#include <cassert>
+
+namespace mspastry::chord {
+
+class ChordDriver::NodeEnv final : public ChordEnv {
+ public:
+  NodeEnv(ChordDriver& driver, NodeDescriptor self)
+      : driver_(driver), self_(self), alive_(std::make_shared<bool>(true)) {}
+
+  void shutdown() { *alive_ = false; }
+  const NodeDescriptor& self() const { return self_; }
+
+  SimTime now() const override { return driver_.sim_.now(); }
+
+  TimerId schedule(SimDuration delay, std::function<void()> fn) override {
+    return driver_.sim_.schedule_after(
+        delay, [alive = alive_, fn = std::move(fn)] {
+          if (*alive) fn();
+        });
+  }
+
+  void cancel(TimerId id) override { driver_.sim_.cancel(id); }
+
+  void send(net::Address to,
+            std::shared_ptr<const ChordMessage> msg) override {
+    if (msg->type == ChordMsgType::kLookup) {
+      driver_.metrics_.on_message(driver_.sim_.now(),
+                                  pastry::MsgType::kLookup);
+    } else {
+      driver_.metrics_.on_unclassified_control(driver_.sim_.now());
+    }
+    driver_.net_.send(self_.addr, to, msg);
+  }
+
+  Rng& rng() override { return driver_.rng_; }
+
+  void on_deliver(const ChordLookupMsg& m) override {
+    driver_.handle_delivery(self_.addr, m);
+  }
+
+  void on_joined() override { driver_.handle_joined(self_.addr); }
+
+ private:
+  ChordDriver& driver_;
+  NodeDescriptor self_;
+  std::shared_ptr<bool> alive_;
+};
+
+ChordDriver::ChordDriver(std::shared_ptr<const net::Topology> topology,
+                         net::NetworkConfig net_config,
+                         ChordDriverConfig config)
+    : topology_(std::move(topology)),
+      net_(sim_, topology_, net_config, config.seed ^ 0x51ed270b5ull),
+      cfg_(config),
+      rng_(config.seed),
+      metrics_(config.metrics_window, config.warmup) {}
+
+ChordDriver::~ChordDriver() {
+  for (auto& [a, ln] : nodes_) ln.env->shutdown();
+}
+
+ChordNode* ChordDriver::node(net::Address a) {
+  const auto it = nodes_.find(a);
+  return it == nodes_.end() ? nullptr : it->second.node.get();
+}
+
+std::vector<net::Address> ChordDriver::live_addresses() const {
+  std::vector<net::Address> out;
+  out.reserve(nodes_.size());
+  for (const auto& [a, ln] : nodes_) out.push_back(a);
+  return out;
+}
+
+net::Address ChordDriver::add_node() {
+  const net::Address addr = net_.attach_random(rng_);
+  const NodeDescriptor self{rng_.node_id(), addr};
+  LiveNode ln;
+  ln.env = std::make_unique<NodeEnv>(*this, self);
+  ln.node = std::make_unique<ChordNode>(cfg_.chord, self, *ln.env);
+  ln.join_started = sim_.now();
+  ChordNode* raw = ln.node.get();
+  net_.bind(addr, [this, addr](net::Address from,
+                               const net::PacketPtr& packet) {
+    const auto it = nodes_.find(addr);
+    if (it == nodes_.end()) return;
+    if (auto msg = std::dynamic_pointer_cast<const ChordMessage>(packet)) {
+      it->second.node->handle(from, msg);
+    }
+  });
+  const auto bootstrap = oracle_.random_member(rng_);
+  metrics_.on_join_started(sim_.now());
+  metrics_.population_change(sim_.now(), +1);
+  nodes_.emplace(addr, std::move(ln));
+  if (!bootstrap) {
+    raw->bootstrap();
+  } else {
+    raw->join(NodeDescriptor{bootstrap->first, bootstrap->second});
+  }
+  return addr;
+}
+
+void ChordDriver::kill_node(net::Address a) {
+  const auto it = nodes_.find(a);
+  if (it == nodes_.end()) return;
+  it->second.env->shutdown();
+  net_.unbind(a);
+  oracle_.node_failed(it->second.env->self().id);
+  metrics_.population_change(sim_.now(), -1);
+  nodes_.erase(it);
+}
+
+void ChordDriver::handle_delivery(net::Address self,
+                                  const ChordLookupMsg& m) {
+  const auto owner = oracle_.owner_of(m.key);
+  const bool correct = owner && *owner == self;
+  // RDP is not meaningful without a recorded source; the baseline bench
+  // compares dependability, so pass no delay.
+  metrics_.on_lookup_delivered(m.lookup_id, sim_.now(), correct, 0);
+}
+
+void ChordDriver::handle_joined(net::Address self) {
+  const auto it = nodes_.find(self);
+  assert(it != nodes_.end());
+  oracle_.node_joined(it->second.env->self().id, self);
+  metrics_.on_join_completed(sim_.now(),
+                             sim_.now() - it->second.join_started);
+}
+
+std::uint64_t ChordDriver::issue_lookup(net::Address from, NodeId key) {
+  ChordNode* n = node(from);
+  assert(n != nullptr);
+  const std::uint64_t id = next_lookup_id_++;
+  metrics_.on_lookup_issued(id, sim_.now(), from, key);
+  n->lookup(key, id);
+  return id;
+}
+
+void ChordDriver::start_workload() {
+  if (workload_running_ || cfg_.lookup_rate_per_node <= 0.0) return;
+  workload_running_ = true;
+  schedule_next_workload_lookup();
+}
+
+void ChordDriver::schedule_next_workload_lookup() {
+  const double n = std::max<std::size_t>(1, oracle_.size());
+  const double rate = n * cfg_.lookup_rate_per_node;
+  const SimDuration gap = from_seconds(rng_.exponential(1.0 / rate));
+  sim_.schedule_after(gap, [this] {
+    if (!workload_running_) return;
+    const auto src = oracle_.random_member(rng_);
+    if (src && nodes_.count(src->second) > 0) {
+      issue_lookup(src->second, rng_.node_id());
+    }
+    schedule_next_workload_lookup();
+  });
+}
+
+void ChordDriver::finish() {
+  if (finished_) return;
+  finished_ = true;
+  workload_running_ = false;
+  metrics_.finalize(sim_.now(), cfg_.loss_grace);
+}
+
+void ChordDriver::run_trace(const trace::ChurnTrace& trace,
+                            SimDuration extra) {
+  std::unordered_map<std::int32_t, net::Address> session;
+  for (const trace::ChurnEvent& e : trace.events()) {
+    sim_.schedule_at(e.time, [this, e, &session] {
+      if (e.type == trace::ChurnEventType::kJoin) {
+        session[e.node] = add_node();
+      } else if (const auto it = session.find(e.node);
+                 it != session.end()) {
+        kill_node(it->second);
+        session.erase(it);
+      }
+    });
+  }
+  start_workload();
+  sim_.run_until(trace.duration() + extra);
+  finish();
+}
+
+}  // namespace mspastry::chord

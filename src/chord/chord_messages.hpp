@@ -1,0 +1,76 @@
+#pragma once
+
+// Wire messages of the Chord-style baseline overlay (see chord_node.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "net/network.hpp"
+#include "pastry/types.hpp"
+
+namespace mspastry::chord {
+
+using pastry::NodeDescriptor;
+
+enum class ChordMsgType : std::uint8_t {
+  kFindSucc,        // recursive successor search (join, finger fixing)
+  kFindSuccReply,
+  kGetNeighbours,   // stabilize: ask successor for pred + successor list
+  kNeighboursReply,
+  kNotify,          // "I might be your predecessor"
+  kPing,
+  kPong,
+  kLookup,
+};
+
+struct ChordMessage : net::Packet {
+  explicit ChordMessage(ChordMsgType t) : type(t) {}
+  ChordMsgType type;
+  NodeDescriptor sender;
+};
+
+struct FindSuccMsg final : ChordMessage {
+  FindSuccMsg() : ChordMessage(ChordMsgType::kFindSucc) {}
+  NodeId target;
+  NodeDescriptor reply_to;
+  std::uint64_t request_id = 0;
+  int hops = 0;
+};
+
+struct FindSuccReplyMsg final : ChordMessage {
+  FindSuccReplyMsg() : ChordMessage(ChordMsgType::kFindSuccReply) {}
+  std::uint64_t request_id = 0;
+  NodeDescriptor successor;
+};
+
+struct GetNeighboursMsg final : ChordMessage {
+  GetNeighboursMsg() : ChordMessage(ChordMsgType::kGetNeighbours) {}
+};
+
+struct NeighboursReplyMsg final : ChordMessage {
+  NeighboursReplyMsg() : ChordMessage(ChordMsgType::kNeighboursReply) {}
+  NodeDescriptor predecessor;                 // invalid() if unknown
+  std::vector<NodeDescriptor> successors;     // sender's successor list
+};
+
+struct NotifyMsg final : ChordMessage {
+  NotifyMsg() : ChordMessage(ChordMsgType::kNotify) {}
+};
+
+struct PingMsg final : ChordMessage {
+  PingMsg() : ChordMessage(ChordMsgType::kPing) {}
+};
+
+struct PongMsg final : ChordMessage {
+  PongMsg() : ChordMessage(ChordMsgType::kPong) {}
+};
+
+struct ChordLookupMsg final : ChordMessage {
+  ChordLookupMsg() : ChordMessage(ChordMsgType::kLookup) {}
+  NodeId key;
+  std::uint64_t lookup_id = 0;
+  int hops = 0;
+};
+
+}  // namespace mspastry::chord

@@ -1,0 +1,361 @@
+#include "chord/chord_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mspastry::chord {
+
+ChordNode::ChordNode(const ChordConfig& cfg, NodeDescriptor self,
+                     ChordEnv& env)
+    : cfg_(cfg), self_(self), env_(env) {
+  fingers_.assign(128, NodeDescriptor{});
+}
+
+ChordNode::~ChordNode() {
+  cancel_timer(stabilize_timer_);
+  cancel_timer(fix_fingers_timer_);
+  cancel_timer(check_pred_timer_);
+  cancel_timer(stabilize_reply_timer_);
+  cancel_timer(pong_timer_);
+  cancel_timer(join_retry_timer_);
+  for (auto& [id, p] : pending_finds_) cancel_timer(p.timer);
+}
+
+void ChordNode::cancel_timer(TimerId& t) {
+  if (t != kInvalidTimer) {
+    env_.cancel(t);
+    t = kInvalidTimer;
+  }
+}
+
+void ChordNode::send(net::Address to, std::shared_ptr<ChordMessage> m) {
+  m->sender = self_;
+  env_.send(to, std::move(m));
+}
+
+// --- Interval arithmetic on the ring -----------------------------------------
+
+bool ChordNode::in_interval_open_closed(NodeId a, NodeId x, NodeId b) {
+  if (a == b) return true;  // whole ring
+  const U128 ax = a.clockwise_distance_to(x);
+  const U128 ab = a.clockwise_distance_to(b);
+  return U128{} < ax && ax <= ab;
+}
+
+bool ChordNode::in_interval_open_open(NodeId a, NodeId x, NodeId b) {
+  if (a == b) return x != a;  // whole ring minus the endpoint
+  const U128 ax = a.clockwise_distance_to(x);
+  const U128 ab = a.clockwise_distance_to(b);
+  return U128{} < ax && ax < ab;
+}
+
+bool ChordNode::owns(NodeId key) const {
+  if (!predecessor_.valid()) return true;  // alone (or pre-stabilization)
+  return in_interval_open_closed(predecessor_.id, key, self_.id);
+}
+
+std::optional<NodeDescriptor> ChordNode::successor() const {
+  if (successors_.empty()) return std::nullopt;
+  return successors_.front();
+}
+
+std::size_t ChordNode::finger_count() const {
+  std::size_t n = 0;
+  for (const auto& f : fingers_) n += f.valid() ? 1 : 0;
+  return n;
+}
+
+NodeDescriptor ChordNode::closest_preceding(NodeId key) const {
+  // Highest finger (or successor-list entry) strictly between self and key.
+  NodeDescriptor best{};
+  auto consider = [&](const NodeDescriptor& d) {
+    if (!d.valid() || d.addr == self_.addr) return;
+    if (!in_interval_open_open(self_.id, d.id, key)) return;
+    if (!best.valid() ||
+        in_interval_open_open(best.id, d.id, key)) {
+      best = d;
+    }
+  };
+  for (const auto& f : fingers_) consider(f);
+  for (const auto& s : successors_) consider(s);
+  return best;
+}
+
+// --- Lifecycle -----------------------------------------------------------------
+
+void ChordNode::bootstrap() {
+  assert(!joined_);
+  joined_ = true;
+  // Alone on the ring: self-successor, no predecessor.
+  successors_.assign(1, self_);
+  env_.on_joined();
+  stabilize_timer_ = env_.schedule(
+      from_seconds(env_.rng().uniform(0.5, 1.0) *
+                   to_seconds(cfg_.stabilize_period)),
+      [this] { stabilize_tick(); });
+  fix_fingers_timer_ = env_.schedule(cfg_.fix_fingers_period,
+                                     [this] { fix_fingers_tick(); });
+  check_pred_timer_ = env_.schedule(cfg_.check_predecessor_period,
+                                    [this] { check_predecessor_tick(); });
+}
+
+void ChordNode::join(NodeDescriptor bootstrap) {
+  assert(!joined_);
+  join_bootstrap_ = bootstrap;
+  const std::uint64_t id = next_request_id_++;
+  PendingFind p;
+  p.finger_index = -1;
+  p.timer = env_.schedule(4 * cfg_.rpc_timeout, [this, id] {
+    // Lost somewhere (dead hop, loss): retry through the bootstrap.
+    pending_finds_.erase(id);
+    if (!joined_) join(join_bootstrap_);
+  });
+  pending_finds_.emplace(id, p);
+  auto m = std::make_shared<FindSuccMsg>();
+  m->target = self_.id;
+  m->reply_to = self_;
+  m->request_id = id;
+  send(bootstrap.addr, std::move(m));
+}
+
+// --- Routing ---------------------------------------------------------------------
+
+void ChordNode::route_find_succ(const FindSuccMsg& m) {
+  const auto succ = successor();
+  if (!succ) return;  // not in a ring yet; drop (requester retries)
+  if (m.hops >= cfg_.max_route_hops) return;
+  if (in_interval_open_closed(self_.id, m.target, succ->id)) {
+    auto reply = std::make_shared<FindSuccReplyMsg>();
+    reply->request_id = m.request_id;
+    reply->successor = *succ;
+    send(m.reply_to.addr, std::move(reply));
+    return;
+  }
+  NodeDescriptor next = closest_preceding(m.target);
+  if (!next.valid()) next = *succ;
+  auto fwd = std::make_shared<FindSuccMsg>(m);
+  fwd->hops = m.hops + 1;
+  send(next.addr, std::move(fwd));
+}
+
+void ChordNode::route_lookup(const std::shared_ptr<const ChordLookupMsg>& m) {
+  if (!joined_) return;  // best-effort: dropped
+  if (owns(m->key)) {
+    env_.on_deliver(*m);
+    return;
+  }
+  if (m->hops >= cfg_.max_route_hops) return;
+  const auto succ = successor();
+  NodeDescriptor next = closest_preceding(m->key);
+  if (!next.valid()) {
+    if (!succ || succ->addr == self_.addr) {
+      // Believe we are alone: deliver (may well be inconsistent — this is
+      // exactly the best-effort behaviour the baseline exists to show).
+      env_.on_deliver(*m);
+      return;
+    }
+    next = *succ;
+  }
+  auto fwd = std::make_shared<ChordLookupMsg>(*m);
+  fwd->hops = m->hops + 1;
+  send(next.addr, std::move(fwd));
+}
+
+void ChordNode::lookup(NodeId key, std::uint64_t lookup_id) {
+  auto m = std::make_shared<ChordLookupMsg>();
+  m->key = key;
+  m->lookup_id = lookup_id;
+  m->sender = self_;
+  route_lookup(m);
+}
+
+// --- Periodic maintenance ----------------------------------------------------------
+
+void ChordNode::stabilize_tick() {
+  stabilize_timer_ =
+      env_.schedule(cfg_.stabilize_period, [this] { stabilize_tick(); });
+  const auto succ = successor();
+  if (!succ || succ->addr == self_.addr) return;
+  awaiting_stabilize_reply_ = true;
+  cancel_timer(stabilize_reply_timer_);
+  stabilize_reply_timer_ = env_.schedule(
+      cfg_.rpc_timeout, [this] { on_stabilize_timeout(); });
+  send(succ->addr, std::make_shared<GetNeighboursMsg>());
+}
+
+void ChordNode::on_stabilize_timeout() {
+  stabilize_reply_timer_ = kInvalidTimer;
+  if (!awaiting_stabilize_reply_) return;
+  awaiting_stabilize_reply_ = false;
+  // Successor did not answer: assume dead, fail over to the list.
+  drop_successor_head();
+}
+
+void ChordNode::drop_successor_head() {
+  if (successors_.empty()) return;
+  const net::Address dead = successors_.front().addr;
+  successors_.erase(successors_.begin());
+  for (auto& f : fingers_) {
+    if (f.valid() && f.addr == dead) f = NodeDescriptor{};
+  }
+  if (successors_.empty()) {
+    // Ring lost: point at ourselves and wait for fingers/notify traffic
+    // to reconnect us (best-effort, as in unaugmented implementations).
+    successors_.assign(1, self_);
+  }
+}
+
+void ChordNode::fix_fingers_tick() {
+  fix_fingers_timer_ = env_.schedule(cfg_.fix_fingers_period,
+                                     [this] { fix_fingers_tick(); });
+  if (!joined_) return;
+  const auto succ = successor();
+  if (!succ || succ->addr == self_.addr) return;
+  next_finger_ = (next_finger_ + 1) % 128;
+  const NodeId target{self_.id.value() +
+                      (U128{0, 1} << next_finger_)};
+  const std::uint64_t id = next_request_id_++;
+  PendingFind p;
+  p.finger_index = next_finger_;
+  p.timer = env_.schedule(4 * cfg_.rpc_timeout,
+                          [this, id] { pending_finds_.erase(id); });
+  pending_finds_.emplace(id, p);
+  auto m = std::make_shared<FindSuccMsg>();
+  m->target = target;
+  m->reply_to = self_;
+  m->request_id = id;
+  route_find_succ(*m);
+}
+
+void ChordNode::check_predecessor_tick() {
+  check_pred_timer_ = env_.schedule(cfg_.check_predecessor_period,
+                                    [this] { check_predecessor_tick(); });
+  if (!predecessor_.valid()) return;
+  if (awaiting_pong_) {
+    // Previous ping unanswered: drop the predecessor.
+    predecessor_ = NodeDescriptor{};
+    awaiting_pong_ = false;
+    return;
+  }
+  awaiting_pong_ = true;
+  cancel_timer(pong_timer_);
+  pong_timer_ = env_.schedule(cfg_.rpc_timeout, [this] {
+    if (awaiting_pong_) {
+      predecessor_ = NodeDescriptor{};
+      awaiting_pong_ = false;
+    }
+  });
+  send(predecessor_.addr, std::make_shared<PingMsg>());
+}
+
+// --- Ingress -------------------------------------------------------------------------
+
+void ChordNode::handle(net::Address from,
+                       const std::shared_ptr<const ChordMessage>& msg) {
+  switch (msg->type) {
+    case ChordMsgType::kFindSucc:
+      route_find_succ(static_cast<const FindSuccMsg&>(*msg));
+      return;
+    case ChordMsgType::kFindSuccReply: {
+      const auto& m = static_cast<const FindSuccReplyMsg&>(*msg);
+      const auto it = pending_finds_.find(m.request_id);
+      if (it == pending_finds_.end()) return;
+      PendingFind p = it->second;
+      cancel_timer(p.timer);
+      pending_finds_.erase(it);
+      if (!m.successor.valid()) return;
+      if (p.finger_index < 0) {
+        // Join result: adopt the successor, become part of the ring.
+        if (joined_) return;
+        joined_ = true;
+        cancel_timer(join_retry_timer_);
+        successors_.assign(1, m.successor);
+        env_.on_joined();
+        stabilize_timer_ = env_.schedule(
+            from_seconds(env_.rng().uniform(0.1, 1.0) *
+                         to_seconds(cfg_.stabilize_period)),
+            [this] { stabilize_tick(); });
+        fix_fingers_timer_ = env_.schedule(
+            cfg_.fix_fingers_period, [this] { fix_fingers_tick(); });
+        check_pred_timer_ = env_.schedule(
+            cfg_.check_predecessor_period,
+            [this] { check_predecessor_tick(); });
+        // Announce ourselves to the successor right away.
+        send(m.successor.addr, std::make_shared<NotifyMsg>());
+      } else if (m.successor.addr != self_.addr) {
+        fingers_[static_cast<std::size_t>(p.finger_index)] = m.successor;
+      }
+      return;
+    }
+    case ChordMsgType::kGetNeighbours: {
+      auto reply = std::make_shared<NeighboursReplyMsg>();
+      reply->predecessor = predecessor_;
+      reply->successors = successors_;
+      send(from, std::move(reply));
+      return;
+    }
+    case ChordMsgType::kNeighboursReply: {
+      const auto& m = static_cast<const NeighboursReplyMsg&>(*msg);
+      awaiting_stabilize_reply_ = false;
+      cancel_timer(stabilize_reply_timer_);
+      const auto succ = successor();
+      if (!succ) return;
+      // Classic stabilize: if succ's predecessor sits between us and succ,
+      // it becomes our new successor.
+      if (m.predecessor.valid() && m.predecessor.addr != self_.addr &&
+          in_interval_open_open(self_.id, m.predecessor.id, succ->id)) {
+        successors_.insert(successors_.begin(), m.predecessor);
+      } else {
+        // Refresh the successor list from the successor's list.
+        std::vector<NodeDescriptor> list;
+        list.push_back(*succ);
+        for (const auto& s : m.successors) {
+          if (s.addr == self_.addr) continue;
+          if (static_cast<int>(list.size()) >= cfg_.successor_list_size) {
+            break;
+          }
+          if (std::none_of(list.begin(), list.end(),
+                           [&](const NodeDescriptor& d) {
+                             return d.addr == s.addr;
+                           })) {
+            list.push_back(s);
+          }
+        }
+        successors_ = std::move(list);
+      }
+      if (static_cast<int>(successors_.size()) > cfg_.successor_list_size) {
+        successors_.resize(
+            static_cast<std::size_t>(cfg_.successor_list_size));
+      }
+      if (const auto s2 = successor(); s2 && s2->addr != self_.addr) {
+        send(s2->addr, std::make_shared<NotifyMsg>());
+      }
+      return;
+    }
+    case ChordMsgType::kNotify: {
+      const NodeDescriptor& cand = msg->sender;
+      if (!predecessor_.valid() ||
+          in_interval_open_open(predecessor_.id, cand.id, self_.id)) {
+        predecessor_ = cand;
+        awaiting_pong_ = false;
+      }
+      // A lone bootstrap node also adopts the notifier as successor.
+      if (const auto s = successor(); s && s->addr == self_.addr) {
+        successors_.assign(1, cand);
+      }
+      return;
+    }
+    case ChordMsgType::kPing:
+      send(from, std::make_shared<PongMsg>());
+      return;
+    case ChordMsgType::kPong:
+      awaiting_pong_ = false;
+      cancel_timer(pong_timer_);
+      return;
+    case ChordMsgType::kLookup:
+      route_lookup(std::static_pointer_cast<const ChordLookupMsg>(msg));
+      return;
+  }
+}
+
+}  // namespace mspastry::chord

@@ -1,0 +1,146 @@
+#pragma once
+
+// A Chord-style baseline overlay node [Stoica et al., SIGCOMM'01], used as
+// the comparator the paper positions MSPastry against: *periodic*
+// stabilization with *best-effort* consistency, no probing-before-
+// activation, no per-hop acks. Section 3.1 notes that such
+// implementations "provide best-effort consistency" and show "a
+// significant number of inconsistent deliveries in scenarios where
+// MSPastry should have none" (citing the Handling-Churn study) — the
+// tab_baseline bench regenerates that comparison.
+//
+// Implementation notes:
+//  - Same 128-bit identifier ring as the Pastry side, but Chord ownership:
+//    key k belongs to successor(k), i.e. this node owns (predecessor, self].
+//  - Successor list of `successor_list_size` entries for fault tolerance;
+//    finger table with one finger per bit, fixed round-robin.
+//  - Recursive greedy routing through fingers/successors.
+//  - Joins: find successor via the bootstrap, adopt it, let stabilization
+//    integrate the node; there is no consistency handshake by design.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/chord_messages.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "sim/simulator.hpp"
+
+namespace mspastry::chord {
+
+struct ChordConfig {
+  /// Stabilization period (successor check + notify) — the knob that
+  /// trades maintenance traffic for consistency window length.
+  SimDuration stabilize_period = seconds(15);
+  /// One finger is refreshed per fix-fingers tick.
+  SimDuration fix_fingers_period = seconds(15);
+  /// Predecessor liveness check period; cleared after a missed pong.
+  SimDuration check_predecessor_period = seconds(15);
+  SimDuration rpc_timeout = seconds(3);
+  int successor_list_size = 8;
+  int max_route_hops = 64;
+};
+
+/// Environment for a Chord node (mirrors pastry::Env, kept separate so
+/// neither overlay depends on the other).
+class ChordEnv {
+ public:
+  virtual ~ChordEnv() = default;
+  virtual SimTime now() const = 0;
+  virtual TimerId schedule(SimDuration delay, std::function<void()> fn) = 0;
+  virtual void cancel(TimerId id) = 0;
+  virtual void send(net::Address to,
+                    std::shared_ptr<const ChordMessage> msg) = 0;
+  virtual Rng& rng() = 0;
+  /// A lookup arrived for a key this node believes it owns.
+  virtual void on_deliver(const ChordLookupMsg& m) = 0;
+  /// The node obtained a successor and considers itself part of the ring.
+  virtual void on_joined() {}
+};
+
+class ChordNode {
+ public:
+  ChordNode(const ChordConfig& cfg, NodeDescriptor self, ChordEnv& env);
+  ~ChordNode();
+
+  ChordNode(const ChordNode&) = delete;
+  ChordNode& operator=(const ChordNode&) = delete;
+
+  /// First node of the ring.
+  void bootstrap();
+
+  /// Join via any ring member.
+  void join(NodeDescriptor bootstrap);
+
+  void handle(net::Address from, const std::shared_ptr<const ChordMessage>&);
+
+  /// Route a lookup for `key` (delivered at the node owning it).
+  void lookup(NodeId key, std::uint64_t lookup_id);
+
+  bool joined() const { return joined_; }
+  const NodeDescriptor& descriptor() const { return self_; }
+  std::optional<NodeDescriptor> successor() const;
+  std::optional<NodeDescriptor> predecessor() const {
+    return predecessor_.valid() ? std::optional(predecessor_) : std::nullopt;
+  }
+  const std::vector<NodeDescriptor>& successor_list() const {
+    return successors_;
+  }
+  std::size_t finger_count() const;
+
+ private:
+  /// True if x lies in the clockwise-open interval (a, b].
+  static bool in_interval_open_closed(NodeId a, NodeId x, NodeId b);
+  /// True if x lies in the clockwise-open interval (a, b).
+  static bool in_interval_open_open(NodeId a, NodeId x, NodeId b);
+
+  bool owns(NodeId key) const;
+  NodeDescriptor closest_preceding(NodeId key) const;
+  void route_find_succ(const FindSuccMsg& m);
+  void route_lookup(const std::shared_ptr<const ChordLookupMsg>& m);
+
+  void stabilize_tick();
+  void on_stabilize_timeout();
+  void fix_fingers_tick();
+  void check_predecessor_tick();
+  void drop_successor_head();
+
+  void send(net::Address to, std::shared_ptr<ChordMessage> m);
+  void cancel_timer(TimerId& t);
+
+  ChordConfig cfg_;
+  NodeDescriptor self_;
+  ChordEnv& env_;
+
+  bool joined_ = false;
+  NodeDescriptor predecessor_{};
+  std::vector<NodeDescriptor> successors_;  // [0] = immediate successor
+  std::vector<NodeDescriptor> fingers_;     // fingers_[i] ~ succ(self+2^i)
+  int next_finger_ = 0;
+
+  // Pending find-successor requests we originated (join, finger fixing).
+  struct PendingFind {
+    int finger_index = -1;  // -1: this is the join request
+    TimerId timer = kInvalidTimer;
+  };
+  std::unordered_map<std::uint64_t, PendingFind> pending_finds_;
+  std::uint64_t next_request_id_ = 1;
+
+  bool awaiting_stabilize_reply_ = false;
+  TimerId stabilize_reply_timer_ = kInvalidTimer;
+  bool awaiting_pong_ = false;
+  TimerId pong_timer_ = kInvalidTimer;
+
+  NodeDescriptor join_bootstrap_{};
+  TimerId join_retry_timer_ = kInvalidTimer;
+
+  TimerId stabilize_timer_ = kInvalidTimer;
+  TimerId fix_fingers_timer_ = kInvalidTimer;
+  TimerId check_pred_timer_ = kInvalidTimer;
+};
+
+}  // namespace mspastry::chord

@@ -1,0 +1,106 @@
+#pragma once
+
+// A minimal leveled logger for the simulation harness. Logging in a
+// discrete-event simulator must (a) never allocate on the hot path when
+// disabled and (b) stamp simulated time, not wall time — both are handled
+// here. Off by default; enable per-run via Logger::set_level or the
+// MSPASTRY_LOG environment variable ("error", "warn", "info", "debug").
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/sim_time.hpp"
+
+namespace mspastry {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Process-wide logger. Single-threaded by design (the simulator is).
+class Logger {
+ public:
+  static LogLevel level() { return instance().level_; }
+  static void set_level(LogLevel l) { instance().level_ = l; }
+
+  /// Route output somewhere else (tests capture it); nullptr = stderr.
+  static void set_sink(std::FILE* f) { instance().sink_ = f; }
+
+  static bool enabled(LogLevel l) {
+    return static_cast<int>(l) <= static_cast<int>(level());
+  }
+
+  /// printf-style; `now` is the simulated time stamped on the line.
+  static void log(LogLevel l, SimTime now, const char* component,
+                  const char* fmt, ...) {
+    if (!enabled(l)) return;
+    Logger& self = instance();
+    std::FILE* out = self.sink_ != nullptr ? self.sink_ : stderr;
+    std::fprintf(out, "[%10.3fs] %-5s %-8s ", to_seconds(now),
+                 name_of(l), component);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    std::fputc('\n', out);
+  }
+
+  static const char* name_of(LogLevel l) {
+    switch (l) {
+      case LogLevel::kOff: return "off";
+      case LogLevel::kError: return "error";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kDebug: return "debug";
+    }
+    return "?";
+  }
+
+  /// Parse a level name; unknown names yield kOff.
+  static LogLevel parse(const char* name) {
+    if (name == nullptr) return LogLevel::kOff;
+    if (std::strcmp(name, "error") == 0) return LogLevel::kError;
+    if (std::strcmp(name, "warn") == 0) return LogLevel::kWarn;
+    if (std::strcmp(name, "info") == 0) return LogLevel::kInfo;
+    if (std::strcmp(name, "debug") == 0) return LogLevel::kDebug;
+    return LogLevel::kOff;
+  }
+
+ private:
+  Logger() {
+    level_ = parse(std::getenv("MSPASTRY_LOG"));
+  }
+
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  LogLevel level_ = LogLevel::kOff;
+  std::FILE* sink_ = nullptr;
+};
+
+// Convenience macros: the level check happens before argument evaluation.
+#define MSPASTRY_LOG_AT(lvl, now, component, ...)                        \
+  do {                                                                   \
+    if (::mspastry::Logger::enabled(lvl)) {                              \
+      ::mspastry::Logger::log(lvl, now, component, __VA_ARGS__);         \
+    }                                                                    \
+  } while (0)
+
+#define LOG_ERROR(now, component, ...) \
+  MSPASTRY_LOG_AT(::mspastry::LogLevel::kError, now, component, __VA_ARGS__)
+#define LOG_WARN(now, component, ...) \
+  MSPASTRY_LOG_AT(::mspastry::LogLevel::kWarn, now, component, __VA_ARGS__)
+#define LOG_INFO(now, component, ...) \
+  MSPASTRY_LOG_AT(::mspastry::LogLevel::kInfo, now, component, __VA_ARGS__)
+#define LOG_DEBUG(now, component, ...) \
+  MSPASTRY_LOG_AT(::mspastry::LogLevel::kDebug, now, component, __VA_ARGS__)
+
+}  // namespace mspastry

@@ -1,0 +1,62 @@
+#include "common/node_id.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mspastry {
+
+std::string NodeId::to_string() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(value_.hi),
+                static_cast<unsigned long long>(value_.lo));
+  return std::string(buf);
+}
+
+NodeId NodeId::from_string(const std::string& hex) {
+  if (hex.empty() || hex.size() > 32) {
+    throw std::invalid_argument("NodeId::from_string: bad length");
+  }
+  U128 v;
+  for (char c : hex) {
+    unsigned nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("NodeId::from_string: bad digit");
+    }
+    v = (v << 4) + U128{0, nibble};
+  }
+  return NodeId{v};
+}
+
+namespace {
+
+// 64-bit mixer (splitmix64 finaliser); used to build a 128-bit digest.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+NodeId NodeId::hash_of(const std::string& bytes) {
+  // FNV-1a over the input into two lanes with distinct offsets, then mixed.
+  // Not cryptographic, but uniform and deterministic, which is all the
+  // overlay's key-derivation needs in simulation.
+  std::uint64_t a = 0xcbf29ce484222325ull;
+  std::uint64_t b = 0x84222325cbf29ce4ull;
+  for (unsigned char c : bytes) {
+    a = (a ^ c) * 0x100000001b3ull;
+    b = (b ^ (c + 0x5bull)) * 0x100000001b3ull;
+  }
+  return NodeId{U128{mix64(a), mix64(b ^ a)}};
+}
+
+}  // namespace mspastry

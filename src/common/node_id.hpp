@@ -1,0 +1,150 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mspastry {
+
+/// An unsigned 128-bit integer. Used for Pastry identifiers and for exact
+/// arithmetic on the identifier ring (distances, midpoints). Only the
+/// operations the overlay needs are provided.
+struct U128 {
+  std::uint64_t hi{0};
+  std::uint64_t lo{0};
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t h, std::uint64_t l) : hi(h), lo(l) {}
+
+  friend constexpr auto operator<=>(const U128&, const U128&) = default;
+
+  /// Addition modulo 2^128 (the identifier space is a ring).
+  friend constexpr U128 operator+(U128 a, U128 b) {
+    U128 r;
+    r.lo = a.lo + b.lo;
+    r.hi = a.hi + b.hi + (r.lo < a.lo ? 1 : 0);
+    return r;
+  }
+
+  /// Subtraction modulo 2^128.
+  friend constexpr U128 operator-(U128 a, U128 b) {
+    U128 r;
+    r.lo = a.lo - b.lo;
+    r.hi = a.hi - b.hi - (a.lo < b.lo ? 1 : 0);
+    return r;
+  }
+
+  /// Logical right shift by 0..127 bits.
+  friend constexpr U128 operator>>(U128 a, int s) {
+    if (s == 0) return a;
+    if (s >= 64) return U128{0, a.hi >> (s - 64)};
+    return U128{a.hi >> s, (a.lo >> s) | (a.hi << (64 - s))};
+  }
+
+  /// Logical left shift by 0..127 bits.
+  friend constexpr U128 operator<<(U128 a, int s) {
+    if (s == 0) return a;
+    if (s >= 64) return U128{a.lo << (s - 64), 0};
+    return U128{(a.hi << s) | (a.lo >> (64 - s)), a.lo << s};
+  }
+
+  /// Value as a double; exact only for small values, used for statistics
+  /// such as estimating overlay size from identifier density.
+  constexpr double to_double() const {
+    return static_cast<double>(hi) * 18446744073709551616.0 +
+           static_cast<double>(lo);
+  }
+};
+
+inline constexpr U128 kU128Max{UINT64_MAX, UINT64_MAX};
+
+/// A Pastry identifier: a 128-bit unsigned integer interpreted as a point on
+/// the identifier ring (arithmetic modulo 2^128). Both node identifiers and
+/// object keys live in this space; a key is owned by the active node whose
+/// identifier is numerically closest to it modulo 2^128 (the key's "root").
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  explicit constexpr NodeId(U128 v) : value_(v) {}
+  constexpr NodeId(std::uint64_t hi, std::uint64_t lo) : value_(hi, lo) {}
+
+  constexpr U128 value() const { return value_; }
+
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+
+  /// Clockwise (increasing-identifier) distance from this id to `other`,
+  /// i.e. (other - this) mod 2^128.
+  constexpr U128 clockwise_distance_to(NodeId other) const {
+    return other.value_ - value_;
+  }
+
+  /// Distance on the ring: the minimum of the clockwise and
+  /// counter-clockwise distances. This is the metric that defines a key's
+  /// root node.
+  constexpr U128 ring_distance_to(NodeId other) const {
+    const U128 cw = other.value_ - value_;
+    const U128 ccw = value_ - other.value_;
+    return cw < ccw ? cw : ccw;
+  }
+
+  /// True if this id is numerically closer to `k` (on the ring) than
+  /// `other` is. Ties broken toward the clockwise side so that every key
+  /// has exactly one root.
+  constexpr bool closer_to(NodeId k, NodeId other) const {
+    const U128 a = ring_distance_to(k);
+    const U128 b = other.ring_distance_to(k);
+    if (a != b) return a < b;
+    // Tie: prefer the node counter-clockwise of the key (k - id smallest).
+    return k.value_ - value_ < k.value_ - other.value_;
+  }
+
+  /// Number of identifier digits when digits have `bits` bits each
+  /// (Pastry's parameter b). For b that does not divide 128 the last digit
+  /// holds the remaining low-order bits.
+  static constexpr int digit_count(int bits) { return (128 + bits - 1) / bits; }
+
+  /// The i-th digit (from the most significant end) in base 2^bits.
+  constexpr unsigned digit(int i, int bits) const {
+    const int high = 128 - i * bits;           // exclusive high bit position
+    const int low = high - bits < 0 ? 0 : high - bits;
+    const U128 shifted = value_ >> low;
+    const unsigned mask = (1u << (high - low)) - 1u;
+    return static_cast<unsigned>(shifted.lo) & mask;
+  }
+
+  /// Length of the shared digit prefix of this id and `other` in base
+  /// 2^bits. Equal ids share all digit_count(bits) digits.
+  constexpr int shared_prefix_length(NodeId other, int bits) const {
+    const int n = digit_count(bits);
+    for (int i = 0; i < n; ++i) {
+      if (digit(i, bits) != other.digit(i, bits)) return i;
+    }
+    return n;
+  }
+
+  /// Hex string, 32 nibbles, most significant first.
+  std::string to_string() const;
+
+  /// Parse a hex string produced by to_string(); also accepts shorter
+  /// strings (implicitly left-padded with zeros).
+  static NodeId from_string(const std::string& hex);
+
+  /// Deterministically derive an id by hashing arbitrary bytes (stand-in
+  /// for SHA-1 key generation in applications like Squirrel).
+  static NodeId hash_of(const std::string& bytes);
+
+ private:
+  U128 value_{};
+};
+
+}  // namespace mspastry
+
+template <>
+struct std::hash<mspastry::NodeId> {
+  std::size_t operator()(const mspastry::NodeId& id) const noexcept {
+    const auto v = id.value();
+    return std::hash<std::uint64_t>{}(v.hi * 0x9e3779b97f4a7c15ull ^ v.lo);
+  }
+};

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/node_id.hpp"
+
+namespace mspastry {
+
+/// Deterministic random source for the whole simulation. A thin wrapper
+/// around std::mt19937_64 with the distributions the overlay and the
+/// workload generators need. One instance is threaded through the
+/// simulation so that a (seed, configuration) pair fully determines a run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal deviate.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal with the given location/scale parameters of the underlying
+  /// normal. Used by the churn generators for heavy-tailed session times.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// A fresh identifier drawn uniformly at random from the 128-bit space.
+  NodeId node_id() { return NodeId{U128{engine_(), engine_()}}; }
+
+  /// Derive an independent child generator; used to give subsystems their
+  /// own streams so adding draws in one subsystem does not perturb others.
+  Rng fork() { return Rng(engine_() ^ 0x6a09e667f3bcc909ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mspastry

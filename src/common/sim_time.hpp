@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mspastry {
+
+/// Simulated time. All protocol and simulator timestamps are integral
+/// microseconds so that event ordering is exact and runs are reproducible.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of absolute times.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+
+/// A sentinel meaning "never" / "not scheduled".
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+constexpr SimDuration microseconds(std::int64_t us) noexcept { return us; }
+constexpr SimDuration milliseconds(std::int64_t ms) noexcept { return ms * 1000; }
+constexpr SimDuration seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * 1e6);
+}
+constexpr SimDuration minutes(double m) noexcept { return seconds(m * 60.0); }
+constexpr SimDuration hours(double h) noexcept { return seconds(h * 3600.0); }
+constexpr SimDuration days(double d) noexcept { return hours(d * 24.0); }
+
+/// Convert a simulated duration to floating-point seconds (for statistics).
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Convert floating-point seconds to a simulated duration.
+constexpr SimDuration from_seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * 1e6);
+}
+
+}  // namespace mspastry

@@ -1,0 +1,18 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace mspastry {
+
+std::string format_series(const std::string& header,
+                          const std::vector<std::pair<double, double>>& xy) {
+  std::string out = header + "\n";
+  char buf[64];
+  for (const auto& [x, y] : xy) {
+    std::snprintf(buf, sizeof buf, "%.6g\t%.6g\n", x, y);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mspastry

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace mspastry {
+
+/// Incrementally computed mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = HUGE_VAL;
+  double max_ = -HUGE_VAL;
+};
+
+/// Collects samples and answers quantile / CDF queries. Keeps all samples;
+/// suitable for the volumes a simulation run produces (joins, lookups).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// q in [0,1]; nearest-rank quantile.
+  double quantile(double q) {
+    if (samples_.empty()) return 0.0;
+    sort();
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  double median() { return quantile(0.5); }
+
+  /// Fraction of samples <= x.
+  double cdf(double x) {
+    if (samples_.empty()) return 0.0;
+    sort();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+  /// Evenly spaced CDF points (x, F(x)) for plotting, `points` of them.
+  std::vector<std::pair<double, double>> cdf_points(int points) {
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || points <= 0) return out;
+    sort();
+    const double lo = samples_.front();
+    const double hi = samples_.back();
+    for (int i = 0; i <= points; ++i) {
+      const double x = lo + (hi - lo) * i / points;
+      out.emplace_back(x, cdf(x));
+    }
+    return out;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// A time series binned into fixed windows of simulated time: each add()
+/// accumulates into the window containing its timestamp. Used for the
+/// paper's windowed metrics (control traffic, failure rates, RDP over
+/// time).
+class WindowedSeries {
+ public:
+  explicit WindowedSeries(SimDuration window) : window_(window) {}
+
+  void add(SimTime t, double value) {
+    auto& bin = bins_[index_of(t)];
+    bin.sum += value;
+    bin.count += 1;
+  }
+
+  void increment(SimTime t) { add(t, 1.0); }
+
+  SimDuration window() const { return window_; }
+
+  struct Point {
+    SimTime start;   ///< window start time
+    double sum;      ///< sum of values added in the window
+    double count;    ///< number of add() calls in the window
+    double mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+
+  /// All windows with at least one sample, in time order.
+  std::vector<Point> points() const {
+    std::vector<Point> out;
+    out.reserve(bins_.size());
+    for (const auto& [idx, bin] : bins_) {
+      out.push_back(Point{idx * window_, bin.sum, bin.count});
+    }
+    return out;
+  }
+
+ private:
+  struct Bin {
+    double sum = 0.0;
+    double count = 0.0;
+  };
+
+  SimTime index_of(SimTime t) const { return t / window_; }
+
+  SimDuration window_;
+  std::map<SimTime, Bin> bins_;  // ordered so points() is chronological
+};
+
+/// Writes series as tab-separated text, one row per point, for plotting.
+/// Returns the formatted table; callers print or save it.
+std::string format_series(const std::string& header,
+                          const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace mspastry

@@ -1,0 +1,75 @@
+#include "net/corpnet.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace mspastry::net {
+
+CorpNetTopology::CorpNetTopology(const CorpNetParams& p) : graph_(p.routers) {
+  assert(p.routers >= p.campuses && p.campuses >= 1);
+  Rng rng(p.seed);
+
+  // Split routers across campuses: the first two campuses are large HQ
+  // sites holding ~60% of the routers; the rest are regional offices.
+  std::vector<int> campus_first(p.campuses + 1, 0);
+  const int hq = p.campuses >= 2 ? static_cast<int>(p.routers * 0.3) : p.routers;
+  int assigned = 0;
+  for (int c = 0; c < p.campuses; ++c) {
+    campus_first[c] = assigned;
+    int size;
+    if (c < 2 && p.campuses >= 2) {
+      size = hq;
+    } else {
+      const int remaining_campuses = p.campuses - c;
+      size = (p.routers - assigned) / remaining_campuses;
+    }
+    assigned += size;
+  }
+  campus_first[p.campuses] = p.routers;
+
+  auto intra_delay = [&] {
+    return from_seconds(rng.uniform(p.intra_campus_delay_ms_min,
+                                    p.intra_campus_delay_ms_max) /
+                        1000.0);
+  };
+  auto backbone_delay = [&] {
+    return from_seconds(
+        rng.uniform(p.backbone_delay_ms_min, p.backbone_delay_ms_max) /
+        1000.0);
+  };
+
+  // Weight = delay (ms), so shortest-weight == shortest-delay and delays
+  // stay symmetric under Dijkstra tie-breaking.
+  auto link = [&](int a, int b, SimDuration delay) {
+    graph_.add_link(a, b, to_seconds(delay) * 1000.0, delay);
+  };
+
+  // Dense-ish campus LANs: ring + chords.
+  for (int c = 0; c < p.campuses; ++c) {
+    const int first = campus_first[c];
+    const int n = campus_first[c + 1] - first;
+    for (int i = 0; i + 1 < n; ++i) {
+      link(first + i, first + i + 1, intra_delay());
+    }
+    if (n > 2) link(first + n - 1, first, intra_delay());
+    for (int i = 0; i < n / 2; ++i) {
+      const int x = first + static_cast<int>(rng.uniform_index(n));
+      const int y = first + static_cast<int>(rng.uniform_index(n));
+      if (x == y) continue;
+      link(x, y, intra_delay());
+    }
+  }
+
+  // Backbone: every campus links to both HQ campuses (hub-and-spoke with
+  // two hubs), plus an HQ-to-HQ trunk.
+  auto gateway = [&](int c) { return campus_first[c]; };
+  if (p.campuses >= 2) {
+    link(gateway(0), gateway(1), backbone_delay());
+    for (int c = 2; c < p.campuses; ++c) {
+      link(gateway(c), gateway(0), backbone_delay());
+      link(gateway(c), gateway(1), backbone_delay());
+    }
+  }
+}
+
+}  // namespace mspastry::net

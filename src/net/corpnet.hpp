@@ -1,0 +1,43 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/routed_graph.hpp"
+#include "net/topology.hpp"
+
+namespace mspastry::net {
+
+/// Parameters for the CorpNet-like topology. The paper's CorpNet has 298
+/// routers measured from the world-wide Microsoft corporate network with
+/// minimum RTT as the proximity metric. The measurement data is not
+/// available, so we synthesise a corporate WAN with the same router count:
+/// a small number of campuses (two large — Redmond- and Cambridge-like —
+/// plus regional offices), dense low-delay links within a campus, and a
+/// small high-delay inter-campus backbone. This preserves what matters to
+/// the overlay: a sharply bimodal delay distribution (sub-millisecond
+/// on-campus, tens of milliseconds across the backbone) over few routers.
+struct CorpNetParams {
+  int routers = 298;
+  int campuses = 6;
+  double intra_campus_delay_ms_min = 0.2;
+  double intra_campus_delay_ms_max = 2.0;
+  double backbone_delay_ms_min = 15.0;
+  double backbone_delay_ms_max = 80.0;
+  std::uint64_t seed = 44;
+};
+
+/// CorpNet-like corporate WAN topology.
+class CorpNetTopology final : public Topology {
+ public:
+  explicit CorpNetTopology(const CorpNetParams& params);
+
+  int router_count() const override { return graph_.router_count(); }
+  SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
+  std::string name() const override { return "CorpNet"; }
+
+  const RoutedGraph& graph() const { return graph_; }
+
+ private:
+  RoutedGraph graph_;
+};
+
+}  // namespace mspastry::net

@@ -1,0 +1,72 @@
+#include "net/hier_as.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace mspastry::net {
+
+HierASTopology::HierASTopology(const HierASParams& p)
+    : graph_(p.autonomous_systems * p.routers_per_as),
+      as_count_(p.autonomous_systems) {
+  assert(p.autonomous_systems >= 2 && p.routers_per_as >= 1);
+  Rng rng(p.seed);
+  const SimDuration hop = from_seconds(p.per_hop_delay_ms / 1000.0);
+
+  // Policy weights: an inter-AS hop costs vastly more than any intra-AS
+  // path can, so Dijkstra minimises the AS-level path first — the
+  // "hierarchical routing as in the Internet" behaviour of the paper's
+  // Mercator setup.
+  constexpr double kIntraWeight = 1.0;
+  const double inter_weight =
+      kIntraWeight * p.routers_per_as * p.routers_per_as + 1.0;
+
+  // 1. Intra-AS router graphs: ring + chords (connected, diameter O(sqrt)).
+  for (int a = 0; a < p.autonomous_systems; ++a) {
+    const int first = a * p.routers_per_as;
+    const int n = p.routers_per_as;
+    for (int i = 0; i + 1 < n; ++i) {
+      graph_.add_link(first + i, first + i + 1, kIntraWeight, hop);
+    }
+    if (n > 2) graph_.add_link(first + n - 1, first, kIntraWeight, hop);
+    for (int i = 0; i < n / 3; ++i) {
+      const int x = first + static_cast<int>(rng.uniform_index(n));
+      const int y = first + static_cast<int>(rng.uniform_index(n));
+      if (x == y) continue;
+      graph_.add_link(x, y, kIntraWeight, hop);
+    }
+  }
+
+  // 2. AS-level graph via preferential attachment (heavy-tailed degrees,
+  //    like the real AS graph). Each new AS links to `attachment_links`
+  //    existing ASes chosen proportionally to current degree. AS x's
+  //    border router for a given link is chosen at random, giving several
+  //    distinct borders per AS as in reality.
+  std::vector<int> degree(p.autonomous_systems, 0);
+  std::vector<int> endpoints;  // one entry per link endpoint, for PA draws
+  auto border = [&](int as) {
+    return as * p.routers_per_as +
+           static_cast<int>(rng.uniform_index(p.routers_per_as));
+  };
+  auto link_as = [&](int a, int b) {
+    graph_.add_link(border(a), border(b), inter_weight, hop);
+    ++degree[a];
+    ++degree[b];
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  };
+  link_as(0, 1);
+  for (int a = 2; a < p.autonomous_systems; ++a) {
+    const int m = std::min(p.attachment_links, a);
+    for (int i = 0; i < m; ++i) {
+      // Draw an existing AS proportional to degree; retry on self-link.
+      int target;
+      do {
+        target = endpoints[rng.uniform_index(endpoints.size())];
+      } while (target == a);
+      link_as(a, target);
+    }
+  }
+}
+
+}  // namespace mspastry::net

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/routed_graph.hpp"
+#include "net/topology.hpp"
+
+namespace mspastry::net {
+
+/// Parameters for the Mercator-like hierarchical autonomous-system
+/// topology. The paper's Mercator map has 102,639 routers in 2,662 AS with
+/// hierarchical (Internet-like) routing and uses the number of IP hops as
+/// the proximity metric. Real Mercator data is not available here, so we
+/// synthesise an AS-level graph with a heavy-tailed degree distribution
+/// (preferential attachment) and random intra-AS router graphs; routing
+/// minimises AS hops first and router hops second, which approximates
+/// hierarchical BGP-style routing. The defaults are scaled down ~13x (200
+/// AS, ~38 routers each) so simulations stay laptop-sized; the structure —
+/// a clustered, weak-triangle-inequality hop metric — is what the overlay
+/// reacts to, and that is preserved.
+struct HierASParams {
+  int autonomous_systems = 200;
+  int routers_per_as = 38;
+  int attachment_links = 2;   ///< preferential-attachment parameter m
+  double per_hop_delay_ms = 1.0;  ///< one IP hop == 1 ms of delay
+  std::uint64_t seed = 43;
+};
+
+/// Mercator-like topology. The proximity metric is the IP hop count,
+/// expressed as delay at per_hop_delay_ms per hop so the rest of the
+/// system can treat all topologies uniformly. End nodes attach directly to
+/// randomly chosen routers (no extra LAN link), as in the paper.
+class HierASTopology final : public Topology {
+ public:
+  explicit HierASTopology(const HierASParams& params);
+
+  int router_count() const override { return graph_.router_count(); }
+  SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
+  std::string name() const override { return "Mercator"; }
+
+  /// IP hop count between two routers (the paper's proximity metric).
+  int hops(int a, int b) const { return graph_.hops(a, b); }
+
+  int as_count() const { return as_count_; }
+  const RoutedGraph& graph() const { return graph_; }
+
+ private:
+  RoutedGraph graph_;
+  int as_count_;
+};
+
+}  // namespace mspastry::net

@@ -1,0 +1,89 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace mspastry::net {
+
+Network::Network(Simulator& sim, std::shared_ptr<const Topology> topology,
+                 NetworkConfig config, std::uint64_t seed)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      config_(config),
+      rng_(seed) {
+  assert(topology_ != nullptr);
+  for (int r = 0; r < topology_->router_count(); ++r) {
+    if (topology_->attachable(r)) attachable_routers_.push_back(r);
+  }
+  assert(!attachable_routers_.empty());
+}
+
+Address Network::attach(int router) {
+  assert(router >= 0 && router < topology_->router_count());
+  endpoints_.push_back(Endpoint{router, nullptr});
+  return static_cast<Address>(endpoints_.size() - 1);
+}
+
+Address Network::attach_random(Rng& rng) {
+  const auto idx = rng.uniform_index(attachable_routers_.size());
+  return attach(attachable_routers_[idx]);
+}
+
+void Network::bind(Address a, Handler handler) {
+  assert(a >= 0 && a < static_cast<Address>(endpoints_.size()));
+  endpoints_[a].handler = std::move(handler);
+}
+
+void Network::unbind(Address a) {
+  assert(a >= 0 && a < static_cast<Address>(endpoints_.size()));
+  endpoints_[a].handler = nullptr;
+}
+
+bool Network::bound(Address a) const {
+  return a >= 0 && a < static_cast<Address>(endpoints_.size()) &&
+         static_cast<bool>(endpoints_[a].handler);
+}
+
+SimDuration Network::delay(Address a, Address b) const {
+  assert(a >= 0 && a < static_cast<Address>(endpoints_.size()));
+  assert(b >= 0 && b < static_cast<Address>(endpoints_.size()));
+  if (a == b) return 0;
+  return topology_->delay(endpoints_[a].router, endpoints_[b].router) +
+         2 * config_.lan_delay;
+}
+
+void Network::partition(const std::vector<Address>& group) {
+  auto inside = std::make_shared<std::unordered_set<Address>>(group.begin(),
+                                                              group.end());
+  filter_ = [inside](Address a, Address b) {
+    return inside->count(a) == inside->count(b);  // same side only
+  };
+}
+
+void Network::send(Address from, Address to, PacketPtr packet) {
+  assert(packet != nullptr);
+  ++sent_;
+  if (filter_ && !filter_(from, to)) {
+    ++lost_;
+    return;
+  }
+  if (rng_.chance(config_.loss_rate)) {
+    ++lost_;
+    return;
+  }
+  SimDuration d = delay(from, to);
+  if (config_.jitter_fraction > 0.0) {
+    const double f = rng_.uniform(1.0 - config_.jitter_fraction,
+                                  1.0 + config_.jitter_fraction);
+    d = static_cast<SimDuration>(static_cast<double>(d) * f);
+  }
+  if (d < 1) d = 1;  // even loopback takes one microsecond
+  sim_.schedule_after(d, [this, from, to, p = std::move(packet)] {
+    Endpoint& ep = endpoints_[to];
+    if (!ep.handler) return;  // endpoint is gone: packet is lost
+    ++delivered_;
+    ep.handler(from, p);
+  });
+}
+
+}  // namespace mspastry::net

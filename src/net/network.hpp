@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mspastry::net {
+
+/// Base class for anything carried by the network. Overlay message types
+/// derive from this; the network itself never inspects payloads.
+struct Packet {
+  virtual ~Packet() = default;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// A network endpoint. Each overlay-node *session* gets a fresh address
+/// when it is created, which models the fact that a machine that fails and
+/// later rejoins is, to the protocol, a brand-new endpoint.
+using Address = std::int32_t;
+inline constexpr Address kNullAddress = -1;
+
+struct NetworkConfig {
+  /// Uniform probability that any packet is silently dropped in transit
+  /// (the paper's "network message loss rate", varied 0–5% in Figure 6).
+  double loss_rate = 0.0;
+
+  /// Access-link delay added at each end (the paper attaches end nodes to
+  /// GATech/CorpNet routers through a 1 ms LAN link; Mercator attaches
+  /// directly, i.e. 0).
+  SimDuration lan_delay = milliseconds(1);
+
+  /// Multiplicative uniform jitter applied per packet: the delivery delay
+  /// is scaled by a factor drawn from [1-j, 1+j]. Zero by default (the
+  /// paper's simulator does not model congestion); used by the Fig-8
+  /// "deployment-like" perturbed runs.
+  double jitter_fraction = 0.0;
+};
+
+/// The packet-level network model: computes delays from a Topology,
+/// applies uniform loss, and delivers packets to bound handlers through
+/// the discrete-event simulator. It does not model congestion (neither
+/// does the paper's simulator).
+class Network {
+ public:
+  /// Called on packet delivery: (source address, packet).
+  using Handler = std::function<void(Address, const PacketPtr&)>;
+
+  Network(Simulator& sim, std::shared_ptr<const Topology> topology,
+          NetworkConfig config, std::uint64_t seed);
+
+  /// Create an endpoint attached to a specific router.
+  Address attach(int router);
+
+  /// Create an endpoint attached to a random attachable router.
+  Address attach_random(Rng& rng);
+
+  /// Install the packet handler for an endpoint. Replaces any previous
+  /// handler.
+  void bind(Address a, Handler handler);
+
+  /// Remove an endpoint's handler; packets in flight to it are lost on
+  /// arrival. This is how node failures manifest to the rest of the world.
+  void unbind(Address a);
+
+  bool bound(Address a) const;
+
+  /// One-way delay between two endpoints (router path + both LAN links).
+  /// This is ground truth used by the oracle to compute RDP; the protocol
+  /// itself only ever learns delays by measuring probes.
+  SimDuration delay(Address a, Address b) const;
+
+  /// Round-trip delay: 2 * delay(). The overlay's proximity metric.
+  SimDuration rtt(Address a, Address b) const { return 2 * delay(a, b); }
+
+  /// Send a packet; delivery (or loss) is scheduled on the simulator.
+  void send(Address from, Address to, PacketPtr packet);
+
+  /// Install a reachability filter for fault injection: packets where
+  /// `allow(from, to)` is false are silently dropped (both directions must
+  /// be filtered by the caller if symmetry is wanted). Pass nullptr to
+  /// clear. Used to model network partitions.
+  using LinkFilter = std::function<bool(Address, Address)>;
+  void set_link_filter(LinkFilter allow) { filter_ = std::move(allow); }
+
+  /// Convenience: bidirectionally partition the endpoints in `group` from
+  /// everyone else. Clears any previous filter. Heal with heal().
+  void partition(const std::vector<Address>& group);
+  void heal() { filter_ = nullptr; }
+
+  const Topology& topology() const { return *topology_; }
+  int router_of(Address a) const { return endpoints_[a].router; }
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t packets_lost() const { return lost_; }
+  std::uint64_t packets_delivered() const { return delivered_; }
+
+ private:
+  struct Endpoint {
+    int router = -1;
+    Handler handler;  // empty == unbound
+  };
+
+  Simulator& sim_;
+  std::shared_ptr<const Topology> topology_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<int> attachable_routers_;
+  LinkFilter filter_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace mspastry::net

@@ -1,0 +1,71 @@
+#include "net/routed_graph.hpp"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace mspastry::net {
+
+void RoutedGraph::add_link(int a, int b, double weight, SimDuration delay) {
+  assert(a >= 0 && a < router_count());
+  assert(b >= 0 && b < router_count());
+  assert(a != b && weight > 0 && delay > 0);
+  adjacency_[a].push_back(Edge{b, weight, delay});
+  adjacency_[b].push_back(Edge{a, weight, delay});
+  links_ += 2;
+  cache_.clear();  // paths may change; generators build before querying
+}
+
+const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
+  const auto it = cache_.find(src);
+  if (it != cache_.end()) return it->second;
+
+  const int n = router_count();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  Row row;
+  row.delay.assign(n, kTimeNever);
+  row.hops.assign(n, -1);
+
+  using Item = std::pair<double, int>;  // (policy weight, router)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[src] = 0.0;
+  row.delay[src] = 0;
+  row.hops[src] = 0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const Edge& e : adjacency_[u]) {
+      const double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        row.delay[e.to] = row.delay[u] + e.delay;
+        row.hops[e.to] = row.hops[u] + 1;
+        pq.emplace(nd, e.to);
+      }
+    }
+  }
+  return cache_.emplace(src, std::move(row)).first->second;
+}
+
+SimDuration RoutedGraph::delay(int a, int b) const {
+  if (a == b) return 0;
+  return row_from(a).delay[b];
+}
+
+int RoutedGraph::hops(int a, int b) const {
+  if (a == b) return 0;
+  return row_from(a).hops[b];
+}
+
+bool RoutedGraph::connected() const {
+  if (router_count() == 0) return true;
+  const Row& row = row_from(0);
+  for (int i = 0; i < router_count(); ++i) {
+    if (row.delay[i] == kTimeNever) return false;
+  }
+  return true;
+}
+
+}  // namespace mspastry::net

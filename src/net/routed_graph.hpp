@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace mspastry::net {
+
+/// An undirected weighted router graph with shortest-path routing.
+///
+/// Each link carries two values: a routing-policy *weight* (what Dijkstra
+/// minimises — this is how GT-ITM-style policy routing is approximated) and
+/// a *delay* (what the chosen path accumulates — what the simulator
+/// charges a packet). Separating the two lets a topology prefer, say,
+/// transit links without pretending they are fast.
+///
+/// Shortest-path trees are computed lazily per source router and cached;
+/// overlay simulations only ever query delays from the few hundred to few
+/// thousand routers that have end nodes attached, so caching rows is far
+/// cheaper than an all-pairs matrix.
+class RoutedGraph {
+ public:
+  explicit RoutedGraph(int routers) : adjacency_(routers) {}
+
+  int router_count() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Add an undirected link. Both weight and delay must be positive.
+  void add_link(int a, int b, double weight, SimDuration delay);
+
+  /// One-way delay along the policy-shortest path from a to b.
+  /// Unreachable pairs return kTimeNever (topology generators are expected
+  /// to produce connected graphs; tests assert reachability).
+  SimDuration delay(int a, int b) const;
+
+  /// Number of hops along the policy-shortest path from a to b.
+  int hops(int a, int b) const;
+
+  std::size_t link_count() const { return links_ / 2; }
+
+  /// True if every router can reach router 0 (hence, by symmetry of the
+  /// undirected graph, the graph is connected).
+  bool connected() const;
+
+ private:
+  struct Edge {
+    int to;
+    double weight;
+    SimDuration delay;
+  };
+
+  struct Row {
+    std::vector<SimDuration> delay;  // accumulated delay to each router
+    std::vector<int> hops;           // hop count to each router
+  };
+
+  const Row& row_from(int src) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t links_ = 0;
+  mutable std::unordered_map<int, Row> cache_;
+};
+
+}  // namespace mspastry::net

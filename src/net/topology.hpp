@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "common/sim_time.hpp"
+
+namespace mspastry::net {
+
+/// A router-level topology: the simulator's model of the underlying
+/// Internet. It answers one question: the one-way delay between two
+/// routers. The overlay's proximity metric is the round-trip delay derived
+/// from this (the paper uses RTT for GATech/CorpNet and IP hop count for
+/// Mercator; our Mercator-like topology expresses hops as a nominal per-hop
+/// delay, so one interface serves all three).
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of routers; valid router indices are [0, router_count()).
+  virtual int router_count() const = 0;
+
+  /// One-way network delay between two routers. Must be symmetric and zero
+  /// for a == b. Implementations cache shortest-path computations.
+  virtual SimDuration delay(int a, int b) const = 0;
+
+  /// Human-readable topology name (used in reports).
+  virtual std::string name() const = 0;
+
+  /// Routers suitable for attaching end nodes (e.g. only stub routers in a
+  /// transit-stub topology). Default: any router.
+  virtual bool attachable(int router) const {
+    (void)router;
+    return true;
+  }
+};
+
+}  // namespace mspastry::net

@@ -1,0 +1,111 @@
+#include "net/transit_stub.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <vector>
+
+namespace mspastry::net {
+
+namespace {
+
+int total_routers(const TransitStubParams& p) {
+  const int transit = p.transit_domains * p.routers_per_transit_domain;
+  return transit + transit * p.stub_domains_per_transit_router *
+                       p.routers_per_stub_domain;
+}
+
+SimDuration draw_delay(Rng& rng, double lo_ms, double hi_ms) {
+  return from_seconds(rng.uniform(lo_ms, hi_ms) / 1000.0);
+}
+
+/// Weight links by their delay (in ms): shortest-weight routing is then
+/// shortest-delay routing, which keeps delays symmetric (equal-weight
+/// paths with different delays would otherwise be tie-broken differently
+/// per direction). The hierarchical structure itself — stubs reachable
+/// only through their transit router — already enforces policy routing.
+double weight_of(SimDuration delay) { return to_seconds(delay) * 1000.0; }
+
+void add_weighted_link(RoutedGraph& g, int a, int b, SimDuration delay) {
+  g.add_link(a, b, weight_of(delay), delay);
+}
+
+/// Connect routers [first, first+n) as a ring plus `extra` random chords,
+/// which yields a connected domain with some path diversity.
+void connect_domain(RoutedGraph& g, Rng& rng, int first, int n, int extra,
+                    double lo_ms, double hi_ms) {
+  if (n == 1) return;
+  for (int i = 0; i < n; ++i) {
+    const int a = first + i;
+    const int b = first + (i + 1) % n;
+    if (n == 2 && i == 1) break;  // avoid duplicating the single link
+    add_weighted_link(g, a, b, draw_delay(rng, lo_ms, hi_ms));
+  }
+  for (int i = 0; i < extra; ++i) {
+    const int a = first + static_cast<int>(rng.uniform_index(n));
+    const int b = first + static_cast<int>(rng.uniform_index(n));
+    if (a == b || std::abs(a - b) == 1 || std::abs(a - b) == n - 1) continue;
+    add_weighted_link(g, a, b, draw_delay(rng, lo_ms, hi_ms));
+  }
+}
+
+}  // namespace
+
+TransitStubTopology::TransitStubTopology(const TransitStubParams& p)
+    : graph_(total_routers(p)),
+      first_stub_router_(p.transit_domains * p.routers_per_transit_domain) {
+  assert(p.transit_domains >= 1 && p.routers_per_transit_domain >= 1);
+  assert(p.stub_domains_per_transit_router >= 1 &&
+         p.routers_per_stub_domain >= 1);
+  Rng rng(p.seed);
+
+  const int rpt = p.routers_per_transit_domain;
+
+  // 1. Intra-transit-domain meshes.
+  for (int d = 0; d < p.transit_domains; ++d) {
+    connect_domain(graph_, rng, d * rpt, rpt, rpt / 2,
+                   p.intra_transit_delay_ms_min, p.intra_transit_delay_ms_max);
+  }
+
+  // 2. Inter-transit-domain links: ring over domains plus random chords, so
+  //    the transit core is connected with redundancy (as GT-ITM produces).
+  auto transit_router_in = [&](int domain) {
+    return domain * rpt + static_cast<int>(rng.uniform_index(rpt));
+  };
+  for (int d = 0; d < p.transit_domains; ++d) {
+    const int e = (d + 1) % p.transit_domains;
+    if (p.transit_domains == 1) break;
+    if (p.transit_domains == 2 && d == 1) break;
+    add_weighted_link(graph_, transit_router_in(d), transit_router_in(e),
+                      draw_delay(rng, p.inter_transit_delay_ms_min,
+                                 p.inter_transit_delay_ms_max));
+  }
+  for (int i = 0; i < p.transit_domains / 2; ++i) {
+    const int d = static_cast<int>(rng.uniform_index(p.transit_domains));
+    const int e = static_cast<int>(rng.uniform_index(p.transit_domains));
+    if (d == e) continue;
+    add_weighted_link(graph_, transit_router_in(d), transit_router_in(e),
+                      draw_delay(rng, p.inter_transit_delay_ms_min,
+                                 p.inter_transit_delay_ms_max));
+  }
+
+  // 3. Stub domains: each transit router sponsors
+  //    stub_domains_per_transit_router stub domains; a stub domain is a
+  //    small connected graph whose gateway router links up to the sponsor.
+  int next = first_stub_router_;
+  const int transit_routers = first_stub_router_;
+  for (int tr = 0; tr < transit_routers; ++tr) {
+    for (int s = 0; s < p.stub_domains_per_transit_router; ++s) {
+      const int first = next;
+      next += p.routers_per_stub_domain;
+      connect_domain(graph_, rng, first, p.routers_per_stub_domain,
+                     p.routers_per_stub_domain / 3,
+                     p.intra_stub_delay_ms_min, p.intra_stub_delay_ms_max);
+      add_weighted_link(graph_, tr, first,
+                        draw_delay(rng, p.transit_stub_delay_ms_min,
+                                   p.transit_stub_delay_ms_max));
+    }
+  }
+  assert(next == graph_.router_count());
+}
+
+}  // namespace mspastry::net

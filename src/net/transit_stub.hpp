@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/routed_graph.hpp"
+#include "net/topology.hpp"
+
+namespace mspastry::net {
+
+/// Parameters for the transit-stub generator. The defaults reproduce the
+/// structure of the paper's GATech topology (generated with the Georgia
+/// Tech topology generator): 10 transit domains with an average of 5
+/// routers each, 10 stub domains attached per transit router, 10 routers
+/// per stub domain — 5050 routers in total.
+struct TransitStubParams {
+  int transit_domains = 10;
+  int routers_per_transit_domain = 5;
+  int stub_domains_per_transit_router = 10;
+  int routers_per_stub_domain = 10;
+
+  // Link delays (one-way). GT-ITM derives delays from embedding geometry;
+  // we draw them from ranges representative of WAN/MAN/LAN links.
+  double inter_transit_delay_ms_min = 20.0;
+  double inter_transit_delay_ms_max = 60.0;
+  double intra_transit_delay_ms_min = 4.0;
+  double intra_transit_delay_ms_max = 20.0;
+  double transit_stub_delay_ms_min = 2.0;
+  double transit_stub_delay_ms_max = 10.0;
+  double intra_stub_delay_ms_min = 0.5;
+  double intra_stub_delay_ms_max = 3.0;
+
+  std::uint64_t seed = 42;
+
+  /// A smaller topology with the same shape, for fast test/bench runs.
+  static TransitStubParams scaled(int transit_domains, int stubs_per_router,
+                                  int routers_per_stub) {
+    TransitStubParams p;
+    p.transit_domains = transit_domains;
+    p.stub_domains_per_transit_router = stubs_per_router;
+    p.routers_per_stub_domain = routers_per_stub;
+    return p;
+  }
+};
+
+/// GATech-like transit-stub topology. End nodes attach to stub routers
+/// only (via a 1 ms LAN link added by the Network layer, as in the paper).
+class TransitStubTopology final : public Topology {
+ public:
+  explicit TransitStubTopology(const TransitStubParams& params);
+
+  int router_count() const override { return graph_.router_count(); }
+  SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
+  std::string name() const override { return "GATech"; }
+  bool attachable(int router) const override {
+    return router >= first_stub_router_;
+  }
+
+  int transit_router_count() const { return first_stub_router_; }
+  const RoutedGraph& graph() const { return graph_; }
+
+ private:
+  RoutedGraph graph_;
+  int first_stub_router_;
+};
+
+}  // namespace mspastry::net

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "overlay/metrics.hpp"
+#include "overlay/oracle.hpp"
+#include "pastry/node.hpp"
+#include "sim/simulator.hpp"
+#include "trace/churn_trace.hpp"
+
+namespace mspastry::overlay {
+
+struct DriverConfig {
+  pastry::Config pastry;
+
+  /// Lookup workload: each active node generates lookups at this rate
+  /// (Poisson), destination keys uniform over the id space. The paper's
+  /// base configuration uses 0.01 lookups/s/node.
+  double lookup_rate_per_node = 0.01;
+  bool lookups_want_ack = true;
+
+  /// Metrics windows (10 min for Gnutella/OverNet in the paper, 1 h for
+  /// Microsoft) and warmup excluded from aggregates.
+  SimDuration metrics_window = minutes(10);
+  SimDuration warmup = minutes(20);
+
+  /// Lookups issued within this long of the end of the run are not
+  /// counted as lost (they may legitimately still be in flight).
+  SimDuration loss_grace = seconds(60);
+
+  std::uint64_t seed = 7;
+};
+
+/// Binds everything together: the simulator, the network model, the churn
+/// trace, the lookup workload, the oracle, and the metrics. This is the
+/// "experiment harness" equivalent of the paper's simulator setup
+/// (Section 5.1).
+class OverlayDriver {
+ public:
+  OverlayDriver(std::shared_ptr<const net::Topology> topology,
+                net::NetworkConfig net_config, DriverConfig config);
+  ~OverlayDriver();
+
+  OverlayDriver(const OverlayDriver&) = delete;
+  OverlayDriver& operator=(const OverlayDriver&) = delete;
+
+  /// Run a full churn trace with the configured lookup workload, then
+  /// finalize metrics. Runs `extra` of simulated time beyond the last
+  /// trace event so in-flight traffic settles.
+  void run_trace(const trace::ChurnTrace& trace,
+                 SimDuration extra = seconds(30));
+
+  // --- Manual control (tests, examples, applications) ---------------------
+
+  /// Create a node and start its join (or bootstrap it if the overlay is
+  /// empty). Returns its address.
+  net::Address add_node();
+
+  /// Crash a node: silently drops all its state and traffic.
+  void kill_node(net::Address a);
+
+  /// Gracefully depart: the node notifies its routing-state members (so
+  /// they drop it without failure-detection delay), then is torn down.
+  void leave_node(net::Address a);
+
+  /// Issue one lookup from `from` (must exist). Returns the lookup id.
+  std::uint64_t issue_lookup(net::Address from, NodeId key,
+                             std::uint64_t payload = 0,
+                             net::PacketPtr app_data = nullptr);
+
+  void run_until(SimTime t) { sim_.run_until(t); }
+  void run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
+
+  /// Start the Poisson lookup workload (run_trace does this itself).
+  void start_workload();
+
+  /// Finalize metrics (run_trace does this itself).
+  void finish();
+
+  // --- Introspection -------------------------------------------------------
+
+  Simulator& sim() { return sim_; }
+  net::Network& network() { return net_; }
+  Oracle& oracle() { return oracle_; }
+  Metrics& metrics() { return metrics_; }
+  pastry::Counters& counters() { return counters_; }
+  Rng& rng() { return rng_; }
+
+  pastry::PastryNode* node(net::Address a);
+  std::size_t live_node_count() const { return nodes_.size(); }
+  std::vector<net::Address> live_addresses() const;
+
+  /// Application hooks: called at the root on lookup delivery, on each
+  /// forwarding hop (return true to consume, as in the common-API
+  /// forward() upcall), and for non-overlay packets addressed to a node.
+  std::function<void(net::Address self, const pastry::LookupMsg&)>
+      on_app_deliver;
+  std::function<bool(net::Address self, const pastry::LookupMsg&,
+                     const pastry::NodeDescriptor& next)>
+      on_app_forward;
+  std::function<void(net::Address self, net::Address from,
+                     const net::PacketPtr&)>
+      on_app_packet;
+
+  /// Send a non-overlay (application) packet; counted as app traffic.
+  void send_app_packet(net::Address from, net::Address to,
+                       net::PacketPtr packet);
+
+ private:
+  class NodeEnv;  // Env implementation per node
+
+  struct LiveNode {
+    std::unique_ptr<NodeEnv> env;  // must outlive node (node's dtor uses it)
+    std::unique_ptr<pastry::PastryNode> node;
+    SimTime join_started = 0;
+  };
+
+  void deliver_packet(net::Address to, net::Address from,
+                      const net::PacketPtr& packet);
+  void handle_delivery(net::Address self, const pastry::LookupMsg& m);
+  void handle_activated(net::Address self);
+  void schedule_next_workload_lookup();
+
+  Simulator sim_;
+  std::shared_ptr<const net::Topology> topology_;
+  net::Network net_;
+  DriverConfig cfg_;
+  Rng rng_;
+  pastry::Counters counters_;
+  Oracle oracle_;
+  Metrics metrics_;
+
+  std::unordered_map<net::Address, LiveNode> nodes_;
+  std::uint64_t next_lookup_id_ = 1;
+  bool workload_running_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace mspastry::overlay

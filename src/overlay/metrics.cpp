@@ -1,0 +1,162 @@
+#include "overlay/metrics.hpp"
+
+#include <cassert>
+
+namespace mspastry::overlay {
+
+void Metrics::on_message(SimTime t, pastry::MsgType type) {
+  const auto cls = pastry::traffic_class(type);
+  const SimTime wi = t / window_;
+  total_windows_[wi] += 1.0;
+  class_windows_[wi][static_cast<std::size_t>(cls)] += 1.0;
+  if (post_warmup(t)) {
+    ++all_total_;
+    ++class_totals_[static_cast<std::size_t>(cls)];
+    if (pastry::is_control(type)) ++control_total_;
+  }
+}
+
+void Metrics::on_app_message(SimTime t) {
+  total_windows_[t / window_] += 1.0;
+  if (post_warmup(t)) ++all_total_;
+}
+
+void Metrics::on_unclassified_control(SimTime t) {
+  total_windows_[t / window_] += 1.0;
+  if (post_warmup(t)) {
+    ++all_total_;
+    ++control_total_;
+  }
+}
+
+void Metrics::on_lookup_issued(std::uint64_t id, SimTime t, net::Address src,
+                               NodeId key) {
+  outstanding_.emplace(id, LookupRecord{t, src, key});
+  if (post_warmup(t)) ++issued_;
+}
+
+void Metrics::on_lookup_delivered(std::uint64_t id, SimTime t, bool correct,
+                                  SimDuration net_delay) {
+  const auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;  // duplicate delivery: first wins
+  const LookupRecord rec = it->second;
+  outstanding_.erase(it);
+  const bool counted = post_warmup(rec.issued_at);
+  if (!correct) {
+    if (counted) ++incorrect_;
+    return;
+  }
+  if (counted) ++correct_;
+  if (net_delay > 0) {
+    const double rdp = static_cast<double>(t - rec.issued_at) /
+                       static_cast<double>(net_delay);
+    if (counted) {
+      rdp_.add(rdp);
+      rdp_samples_.add(rdp);
+      delay_.add(to_seconds(t - rec.issued_at));
+    }
+    rdp_series_.add(t, rdp);
+  }
+}
+
+void Metrics::on_join_started(SimTime t) {
+  if (post_warmup(t)) ++joins_started_;
+}
+
+void Metrics::on_join_completed(SimTime t, SimDuration latency) {
+  if (post_warmup(t)) {
+    ++joins_completed_;
+    join_latency_.add(to_seconds(latency));
+  }
+}
+
+void Metrics::finalize(SimTime end, SimDuration grace) {
+  finalized_at_ = end;
+  const SimTime cutoff = end - grace;
+  for (const auto& [id, rec] : outstanding_) {
+    (void)id;
+    if (rec.issued_at <= cutoff && post_warmup(rec.issued_at)) ++lost_;
+  }
+}
+
+double Metrics::post_warmup_node_seconds(SimTime end) const {
+  double total = 0.0;
+  for (const auto& [wi, ns] : node_seconds_.windows(end)) {
+    if (wi * window_ >= warmup_) total += ns;
+  }
+  return total;
+}
+
+double Metrics::control_traffic_rate() const {
+  const double ns = post_warmup_node_seconds(
+      finalized_at_ == kTimeNever ? 0 : finalized_at_);
+  return ns > 0 ? static_cast<double>(control_total_) / ns : 0.0;
+}
+
+double Metrics::total_traffic_rate() const {
+  const double ns = post_warmup_node_seconds(
+      finalized_at_ == kTimeNever ? 0 : finalized_at_);
+  return ns > 0 ? static_cast<double>(all_total_) / ns : 0.0;
+}
+
+double Metrics::control_traffic_rate(pastry::TrafficClass c) const {
+  const double ns = post_warmup_node_seconds(
+      finalized_at_ == kTimeNever ? 0 : finalized_at_);
+  return ns > 0 ? static_cast<double>(
+                      class_totals_[static_cast<std::size_t>(c)]) /
+                      ns
+                : 0.0;
+}
+
+std::vector<Metrics::SeriesPoint> Metrics::control_traffic_series(
+    SimTime end) {
+  std::vector<SeriesPoint> out;
+  const auto& ns = node_seconds_.windows(end);
+  for (const auto& [wi, arr] : class_windows_) {
+    const auto nit = ns.find(wi);
+    if (nit == ns.end() || nit->second <= 0) continue;
+    double control = 0.0;
+    for (std::size_t c = 0; c < arr.size(); ++c) {
+      if (static_cast<pastry::TrafficClass>(c) !=
+          pastry::TrafficClass::kLookups) {
+        control += arr[c];
+      }
+    }
+    out.push_back({to_seconds(wi * window_), control / nit->second});
+  }
+  return out;
+}
+
+std::vector<Metrics::SeriesPoint> Metrics::control_traffic_series(
+    pastry::TrafficClass c, SimTime end) {
+  std::vector<SeriesPoint> out;
+  const auto& ns = node_seconds_.windows(end);
+  for (const auto& [wi, arr] : class_windows_) {
+    const auto nit = ns.find(wi);
+    if (nit == ns.end() || nit->second <= 0) continue;
+    out.push_back({to_seconds(wi * window_),
+                   arr[static_cast<std::size_t>(c)] / nit->second});
+  }
+  return out;
+}
+
+std::vector<Metrics::SeriesPoint> Metrics::total_traffic_series(SimTime end) {
+  std::vector<SeriesPoint> out;
+  const auto& ns = node_seconds_.windows(end);
+  for (const auto& [wi, total] : total_windows_) {
+    const auto nit = ns.find(wi);
+    if (nit == ns.end() || nit->second <= 0) continue;
+    out.push_back({to_seconds(wi * window_), total / nit->second});
+  }
+  return out;
+}
+
+std::vector<Metrics::SeriesPoint> Metrics::rdp_series() const {
+  std::vector<SeriesPoint> out;
+  for (const auto& p : rdp_series_.points()) {
+    out.push_back({to_seconds(p.start), p.mean()});
+  }
+  return out;
+}
+
+}  // namespace mspastry::overlay

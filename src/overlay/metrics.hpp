@@ -1,0 +1,178 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+#include "pastry/message.hpp"
+
+namespace mspastry::overlay {
+
+/// Integrates "live node-seconds" into fixed windows, for per-node-per-
+/// second rates (the denominator of the paper's control-traffic and
+/// failure-rate metrics).
+class NodeSecondsAccumulator {
+ public:
+  explicit NodeSecondsAccumulator(SimDuration window) : window_(window) {}
+
+  void change(SimTime now, int delta) {
+    settle(now);
+    count_ += delta;
+  }
+
+  /// Node-seconds accumulated in each window up to the given time.
+  const std::map<SimTime, double>& windows(SimTime upto) {
+    settle(upto);
+    return bins_;
+  }
+
+  int current_count() const { return count_; }
+
+ private:
+  void settle(SimTime now) {
+    while (last_ < now) {
+      const SimTime wi = last_ / window_;
+      const SimTime wend = (wi + 1) * window_;
+      const SimTime seg = std::min(wend, now) - last_;
+      bins_[wi] += static_cast<double>(count_) * to_seconds(seg);
+      last_ += seg;
+    }
+  }
+
+  SimDuration window_;
+  SimTime last_ = 0;
+  int count_ = 0;
+  std::map<SimTime, double> bins_;
+};
+
+/// The paper's evaluation metrics (Section 5.2): incorrect-delivery rate,
+/// lookup loss rate, RDP, and control traffic (msgs/s/node, by type), plus
+/// join latency. Windowed series feed the time plots (Figures 4, 8);
+/// aggregates feed the tables and the parameter sweeps.
+class Metrics {
+ public:
+  Metrics(SimDuration window, SimDuration warmup)
+      : window_(window),
+        warmup_(warmup),
+        node_seconds_(window),
+        rdp_series_(window) {}
+
+  // --- Feeding (called by the driver) -----------------------------------
+
+  void on_message(SimTime t, pastry::MsgType type);
+  void on_app_message(SimTime t);  ///< application traffic outside lookups
+  /// Control message from an overlay without the MSPastry message
+  /// taxonomy (e.g. the Chord baseline): counted in the control totals
+  /// but not in any per-class series.
+  void on_unclassified_control(SimTime t);
+  void on_lookup_issued(std::uint64_t id, SimTime t, net::Address src,
+                        NodeId key);
+  /// `net_delay` is the direct network delay source->deliverer (for RDP);
+  /// pass 0 when source == deliverer.
+  void on_lookup_delivered(std::uint64_t id, SimTime t, bool correct,
+                           SimDuration net_delay);
+  void on_join_started(SimTime t);
+  void on_join_completed(SimTime t, SimDuration latency);
+  void population_change(SimTime t, int delta) {
+    node_seconds_.change(t, delta);
+  }
+
+  /// Close the books: lookups issued before `end - grace` and never
+  /// delivered are counted lost.
+  void finalize(SimTime end, SimDuration grace);
+
+  // --- Aggregates (post-warmup) -------------------------------------------
+
+  std::uint64_t lookups_issued() const { return issued_; }
+  std::uint64_t lookups_delivered_correct() const { return correct_; }
+  std::uint64_t lookups_delivered_incorrect() const { return incorrect_; }
+  std::uint64_t lookups_lost() const { return lost_; }
+
+  double loss_rate() const {
+    return issued_ ? static_cast<double>(lost_) / issued_ : 0.0;
+  }
+  double incorrect_delivery_rate() const {
+    return issued_ ? static_cast<double>(incorrect_) / issued_ : 0.0;
+  }
+  double mean_rdp() const { return rdp_.mean(); }
+  const RunningStats& rdp_stats() const { return rdp_; }
+  const RunningStats& hop_delay_stats() const { return delay_; }
+  /// Per-lookup RDP samples (for quantiles; the mean is sensitive to the
+  /// heavy tail that churn produces).
+  SampleSet& rdp_samples() { return rdp_samples_; }
+
+  /// Control messages per second per node over the post-warmup run.
+  double control_traffic_rate() const;
+  /// Total messages (control + lookups + app) per second per node.
+  double total_traffic_rate() const;
+  /// Control traffic of one class, msgs/s/node.
+  double control_traffic_rate(pastry::TrafficClass c) const;
+
+  SampleSet& join_latency_samples() { return join_latency_; }
+  std::uint64_t joins_started() const { return joins_started_; }
+  std::uint64_t joins_completed() const { return joins_completed_; }
+
+  // --- Windowed series (for the time plots) --------------------------------
+
+  struct SeriesPoint {
+    double t_seconds;
+    double value;
+  };
+
+  /// Control messages per second per node, per window.
+  std::vector<SeriesPoint> control_traffic_series(SimTime end);
+  /// Same but for one traffic class.
+  std::vector<SeriesPoint> control_traffic_series(pastry::TrafficClass c,
+                                                  SimTime end);
+  /// Total traffic (all messages) per second per node, per window.
+  std::vector<SeriesPoint> total_traffic_series(SimTime end);
+  /// Mean RDP per window.
+  std::vector<SeriesPoint> rdp_series() const;
+
+ private:
+  struct LookupRecord {
+    SimTime issued_at;
+    net::Address src;
+    NodeId key;
+  };
+
+  bool post_warmup(SimTime t) const { return t >= warmup_; }
+
+  SimDuration window_;
+  SimDuration warmup_;
+
+  // Mutable: reading the windows settles the integral up to "now".
+  mutable NodeSecondsAccumulator node_seconds_;
+
+  // Message counts: per-window per-class, and post-warmup totals.
+  std::map<SimTime, std::array<double, pastry::kTrafficClassCount>>
+      class_windows_;
+  std::map<SimTime, double> total_windows_;
+  std::array<std::uint64_t, pastry::kTrafficClassCount> class_totals_{};
+  std::uint64_t control_total_ = 0;
+  std::uint64_t all_total_ = 0;
+  double post_warmup_node_seconds(SimTime end) const;
+
+  std::unordered_map<std::uint64_t, LookupRecord> outstanding_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t correct_ = 0;
+  std::uint64_t incorrect_ = 0;
+  std::uint64_t lost_ = 0;
+  RunningStats rdp_;
+  RunningStats delay_;
+  SampleSet rdp_samples_;
+  WindowedSeries rdp_series_;
+
+  SampleSet join_latency_;
+  std::uint64_t joins_started_ = 0;
+  std::uint64_t joins_completed_ = 0;
+
+  SimTime finalized_at_ = kTimeNever;
+};
+
+}  // namespace mspastry::overlay

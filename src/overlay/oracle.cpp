@@ -1,0 +1,29 @@
+#include "overlay/oracle.hpp"
+
+namespace mspastry::overlay {
+
+std::optional<net::Address> Oracle::root_of(NodeId key) const {
+  if (active_.empty()) return std::nullopt;
+  // Candidates: the id at or after the key, and the one before (with
+  // wraparound); the ring-closest of the two is the root.
+  auto after = active_.lower_bound(key);
+  if (after == active_.end()) after = active_.begin();
+  auto before = after == active_.begin() ? std::prev(active_.end())
+                                         : std::prev(after);
+  const NodeId a = after->first;
+  const NodeId b = before->first;
+  if (a == b) return after->second;
+  return a.closer_to(key, b) ? after->second : before->second;
+}
+
+std::optional<std::pair<NodeId, net::Address>> Oracle::random_active(
+    Rng& rng) const {
+  if (active_.empty()) return std::nullopt;
+  // std::map has no random access; advance from a random lower_bound.
+  const NodeId probe = rng.node_id();
+  auto it = active_.lower_bound(probe);
+  if (it == active_.end()) it = active_.begin();
+  return std::make_pair(it->first, it->second);
+}
+
+}  // namespace mspastry::overlay

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/node_id.hpp"
+#include "net/network.hpp"
+
+namespace mspastry::overlay {
+
+/// Global ground truth, used only by the simulation harness (never by the
+/// protocol): which nodes are currently active, and hence which node is
+/// the *current root* of any key. Deliveries are checked against this to
+/// measure the incorrect-delivery rate, and failure-detector verdicts are
+/// checked against it to count false positives.
+class Oracle {
+ public:
+  /// A node completed the join protocol (Figure 2's activei = true).
+  void node_activated(NodeId id, net::Address addr) {
+    active_.emplace(id, addr);
+  }
+
+  /// A node left or crashed (active or not).
+  void node_failed(NodeId id) { active_.erase(id); }
+
+  bool is_active(NodeId id) const { return active_.count(id) > 0; }
+  std::size_t active_count() const { return active_.size(); }
+
+  /// The current root of `key`: the active node whose id is numerically
+  /// closest modulo 2^128, with the same tie-break the protocol uses.
+  std::optional<net::Address> root_of(NodeId key) const;
+
+  /// A uniformly random active node (for bootstraps and workloads).
+  std::optional<std::pair<NodeId, net::Address>> random_active(
+      Rng& rng) const;
+
+ private:
+  std::map<NodeId, net::Address> active_;  // ordered by id
+};
+
+}  // namespace mspastry::overlay

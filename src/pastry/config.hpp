@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+
+namespace mspastry::pastry {
+
+/// All MSPastry protocol knobs. Defaults are the paper's base
+/// configuration (Section 5.1): b=4, l=32, Tls=30 s, To=3 s, two probe
+/// retries, per-hop acks, routing-table probing self-tuned to a 5% raw
+/// loss rate, probe suppression, and symmetric distance probes.
+///
+/// The boolean switches exist so the ablation experiments in Section 5.3
+/// (active probing vs per-hop acks, self-tuning targets, suppression) can
+/// turn individual techniques off.
+struct Config {
+  /// Identifier digits have b bits; the routing table has 2^b columns.
+  int b = 4;
+
+  /// Leaf set size: l/2 nodes on each side of the local id.
+  int l = 32;
+
+  /// Leaf-set heartbeat period (one heartbeat to the left neighbour).
+  SimDuration t_ls = seconds(30);
+
+  /// Probe timeout To; the paper picks the TCP SYN timeout, 3 s.
+  SimDuration t_o = seconds(3);
+
+  /// Probes are retried this many times before a node is marked faulty.
+  int max_probe_retries = 2;
+
+  // --- Reliable routing -----------------------------------------------
+
+  /// Per-hop acknowledgements with rerouting on timeout.
+  bool per_hop_acks = true;
+
+  /// Same-destination retransmits before an unresponsive next hop is
+  /// excluded and the message rerouted. One retransmit absorbs a single
+  /// lost ack cheaply; after that the node is treated as suspect.
+  int ack_retransmits = 1;
+
+  /// When true (the paper's default, Section 3.2), an ack timeout
+  /// excludes the destination from routing even at the final hop — in a
+  /// loss-free network a missed ack implies the root is dead, so this is
+  /// both fast and consistent; with link losses it admits a small
+  /// probability of misdelivery. When false, a node never delivers
+  /// locally past a closer leaf-set member that is merely excluded: it
+  /// keeps retransmitting with exponential backoff until the concurrent
+  /// probe either revives the node or marks it faulty (consistency over
+  /// latency).
+  bool exclude_root_on_ack_timeout = true;
+
+  /// Give up on a message after this many same-destination retransmits
+  /// (the probe resolves the node's fate long before this; only relevant
+  /// with exclude_root_on_ack_timeout = false).
+  int max_same_dest_retransmits = 20;
+
+  /// Aggressive retransmission: RTO = srtt + rto_var_factor * rttvar,
+  /// clamped to [rto_min, rto_max]. No TCP-style 1 s floor because Pastry
+  /// can fail over to an alternative next hop.
+  SimDuration rto_min = milliseconds(30);
+  SimDuration rto_max = seconds(3);
+  double rto_var_factor = 4.0;
+  /// RTO used for a destination with no RTT sample yet.
+  SimDuration rto_initial = seconds(1);
+
+  /// Safety bound on overlay route length (loops cannot normally occur;
+  /// this caps pathological routing under heavy churn).
+  int max_route_hops = 64;
+
+  // --- Active failure detection ---------------------------------------
+
+  /// Liveness-probe the routing table at all. Off reproduces the
+  /// "per-hop acks only" ablation.
+  bool active_rt_probing = true;
+
+  /// Self-tune the routing-table probe period Trt from the target raw
+  /// loss rate; when false, t_rt_fixed is used.
+  bool self_tuning = true;
+
+  /// Target raw loss rate Lr for the self-tuner (paper default 5%).
+  double target_raw_loss = 0.05;
+
+  SimDuration t_rt_fixed = seconds(30);
+
+  /// Lower bound (retries+1)*To = 9 s, per the paper; upper bound keeps
+  /// probing alive in near-static systems.
+  SimDuration t_rt_min = seconds(9);
+  SimDuration t_rt_max = hours(2);
+
+  /// How many past failures the failure-rate estimator remembers (K).
+  int failure_history = 16;
+
+  /// Entries in the failed set expire after this long: a session address
+  /// never returns in the crash model, so the set is only consulted to
+  /// avoid re-probing recent corpses; expiring entries bounds memory and
+  /// lets nodes wrongly condemned during a network partition be
+  /// re-learned once connectivity returns.
+  SimDuration failed_entry_ttl = minutes(10);
+
+  /// Suppress probes/heartbeats when any message was exchanged recently.
+  bool suppression = true;
+
+  // --- Proximity neighbour selection ------------------------------------
+
+  /// PNS on/off. Off fills routing-table slots first-come-first-served.
+  bool pns = true;
+
+  /// Distance probes per measurement; the median is used (default 3
+  /// spaced 1 s apart, per Section 4.2).
+  int distance_probe_count = 3;
+  SimDuration distance_probe_spacing = seconds(1);
+
+  /// Symmetric distance probing: report measured RTTs back so the peer
+  /// need not probe again.
+  bool symmetric_probes = true;
+
+  /// Periodic routing-table maintenance period (20 min in the paper).
+  SimDuration rt_maintenance_period = minutes(20);
+
+  /// Do not re-measure the distance to a candidate more often than this:
+  /// gossip keeps re-offering nearby nodes that never win a slot, and
+  /// re-probing them every maintenance round is wasted traffic.
+  SimDuration distance_measurement_ttl = minutes(40);
+
+  // --- Join -------------------------------------------------------------
+
+  /// Nearest-neighbour seed discovery: max hill-climbing iterations and
+  /// candidates probed per iteration (single probe each, per Section 4.2).
+  int nn_max_iterations = 8;
+  int nn_sample = 12;
+
+  /// Timeout for the single-sample nearest-neighbour probes. Shorter than
+  /// To: a dead candidate only delays the join, never triggers a faulty
+  /// verdict, and Section 4.2 trades probe accuracy for join latency here.
+  SimDuration nn_probe_timeout = seconds(1);
+
+  /// If a join has not completed in this long, restart it with a fresh
+  /// bootstrap (covers lost JOIN-REPLY and dead seeds).
+  SimDuration join_retry = seconds(60);
+
+  int routing_table_rows() const { return (128 + b - 1) / b; }
+  int routing_table_cols() const { return 1 << b; }
+  SimDuration probe_detect_time() const {
+    // Worst-case time from failure to detection via probing: one period
+    // plus (retries+1) timeouts. Used by the self-tuner.
+    return (max_probe_retries + 1) * t_o;
+  }
+};
+
+}  // namespace mspastry::pastry

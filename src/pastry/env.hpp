@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "pastry/message.hpp"
+#include "pastry/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace mspastry::pastry {
+
+struct LookupMsg;
+
+/// Everything a PastryNode needs from the outside world: a clock, timers,
+/// a way to send messages, randomness, and upcall hooks. The overlay
+/// driver implements this on top of the simulator and network; tests can
+/// implement it directly to drive a node step by step.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual SimTime now() const = 0;
+
+  /// Schedule a callback after `delay`. Callbacks scheduled by a node must
+  /// never fire after the node is destroyed; implementations guard this.
+  virtual TimerId schedule(SimDuration delay, std::function<void()> fn) = 0;
+  virtual void cancel(TimerId id) = 0;
+
+  /// Transmit a message to a network address. The implementation stamps
+  /// nothing: the node fills in sender/hints before calling.
+  virtual void send(net::Address to, MessagePtr msg) = 0;
+
+  virtual Rng& rng() = 0;
+
+  /// A fresh bootstrap node for (re)starting a join. May be empty if the
+  /// node is supposed to be the first in the overlay.
+  virtual std::optional<NodeDescriptor> bootstrap_candidate() = 0;
+
+  // --- Upcalls ----------------------------------------------------------
+
+  /// A lookup reached this node as the root and the node is active: the
+  /// application-level delivery of Figure 2.
+  virtual void on_deliver(const LookupMsg& m) = 0;
+
+  /// A lookup is about to be forwarded to `next` (the forward() upcall of
+  /// the structured-overlay common API). Return true to consume the
+  /// message here instead of forwarding — application-level multicast
+  /// (Scribe) uses this to splice reverse-path trees.
+  virtual bool on_forward(const LookupMsg& m, const NodeDescriptor& next) {
+    (void)m;
+    (void)next;
+    return false;
+  }
+
+  /// The node completed the join protocol and became active.
+  virtual void on_activated() {}
+
+  /// The node's failure detector marked `victim` faulty (used by the
+  /// oracle to count false positives).
+  virtual void on_marked_faulty(net::Address victim) { (void)victim; }
+};
+
+}  // namespace mspastry::pastry

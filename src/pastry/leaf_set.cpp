@@ -1,0 +1,110 @@
+#include "pastry/leaf_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mspastry::pastry {
+
+LeafSet::LeafSet(NodeId self, int l) : self_(self), l_(l) {
+  assert(l >= 2 && l % 2 == 0);
+}
+
+bool LeafSet::add(const NodeDescriptor& d) {
+  assert(d.valid());
+  if (d.id == self_) return false;
+  const U128 key = cw_from_self(d.id);
+  // Find insertion point in clockwise order.
+  const auto pos = std::lower_bound(
+      members_.begin(), members_.end(), key,
+      [this](const NodeDescriptor& m, const U128& k) {
+        return cw_from_self(m.id) < k;
+      });
+  if (pos != members_.end() && pos->id == d.id) {
+    if (pos->addr == d.addr) return false;  // already known
+    pos->addr = d.addr;  // same id re-announced from a new endpoint
+    return true;
+  }
+  members_.insert(pos, d);
+  // Trim members that fall outside both side windows: with the vector
+  // sorted by clockwise distance, the right window is the first l/2
+  // entries and the left window the last l/2, so the middle is evictable.
+  bool inserted_survives = true;
+  while (size() > l_) {
+    const int evict = capacity_per_side();
+    if (members_[static_cast<std::size_t>(evict)].id == d.id) {
+      inserted_survives = false;
+    }
+    members_.erase(members_.begin() + evict);
+  }
+  return inserted_survives;
+}
+
+bool LeafSet::remove(net::Address a) {
+  const auto it = std::find_if(
+      members_.begin(), members_.end(),
+      [a](const NodeDescriptor& m) { return m.addr == a; });
+  if (it == members_.end()) return false;
+  members_.erase(it);
+  return true;
+}
+
+bool LeafSet::contains(net::Address a) const {
+  return find(a).has_value();
+}
+
+std::optional<NodeDescriptor> LeafSet::find(net::Address a) const {
+  const auto it = std::find_if(
+      members_.begin(), members_.end(),
+      [a](const NodeDescriptor& m) { return m.addr == a; });
+  if (it == members_.end()) return std::nullopt;
+  return *it;
+}
+
+int LeafSet::left_count() const {
+  return std::min(capacity_per_side(), size());
+}
+
+int LeafSet::right_count() const {
+  return std::min(capacity_per_side(), size());
+}
+
+std::optional<NodeDescriptor> LeafSet::right_neighbour() const {
+  if (members_.empty()) return std::nullopt;
+  return members_.front();
+}
+
+std::optional<NodeDescriptor> LeafSet::left_neighbour() const {
+  if (members_.empty()) return std::nullopt;
+  return members_.back();
+}
+
+std::optional<NodeDescriptor> LeafSet::rightmost() const {
+  if (members_.empty()) return std::nullopt;
+  return members_[static_cast<std::size_t>(right_count() - 1)];
+}
+
+std::optional<NodeDescriptor> LeafSet::leftmost() const {
+  if (members_.empty()) return std::nullopt;
+  return members_[static_cast<std::size_t>(size() - left_count())];
+}
+
+bool LeafSet::covers(NodeId k) const {
+  if (size() < l_) return true;  // wrapped or still converging; see header
+  const NodeId lm = leftmost()->id;
+  const NodeId rm = rightmost()->id;
+  return lm.clockwise_distance_to(k) <= lm.clockwise_distance_to(rm);
+}
+
+std::optional<NodeDescriptor> LeafSet::closest(NodeId k) const {
+  std::optional<NodeDescriptor> best;
+  NodeId best_id = self_;
+  for (const NodeDescriptor& m : members_) {
+    if (m.id.closer_to(k, best_id)) {
+      best = m;
+      best_id = m.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace mspastry::pastry

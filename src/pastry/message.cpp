@@ -1,0 +1,75 @@
+#include "pastry/message.hpp"
+
+namespace mspastry::pastry {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kJoinRequest: return "JOIN-REQUEST";
+    case MsgType::kJoinReply: return "JOIN-REPLY";
+    case MsgType::kLsProbe: return "LS-PROBE";
+    case MsgType::kLsProbeReply: return "LS-PROBE-REPLY";
+    case MsgType::kHeartbeat: return "HEARTBEAT";
+    case MsgType::kRtProbe: return "RT-PROBE";
+    case MsgType::kRtProbeReply: return "RT-PROBE-REPLY";
+    case MsgType::kDistanceProbe: return "DISTANCE-PROBE";
+    case MsgType::kDistanceProbeReply: return "DISTANCE-PROBE-REPLY";
+    case MsgType::kDistanceReport: return "DISTANCE-REPORT";
+    case MsgType::kRtRowRequest: return "RT-ROW-REQUEST";
+    case MsgType::kRtRowReply: return "RT-ROW-REPLY";
+    case MsgType::kRtRowAnnounce: return "RT-ROW-ANNOUNCE";
+    case MsgType::kRtEntryRequest: return "RT-ENTRY-REQUEST";
+    case MsgType::kRtEntryReply: return "RT-ENTRY-REPLY";
+    case MsgType::kNnRequest: return "NN-REQUEST";
+    case MsgType::kNnReply: return "NN-REPLY";
+    case MsgType::kLookup: return "LOOKUP";
+    case MsgType::kAck: return "ACK";
+    case MsgType::kLeave: return "LEAVE";
+  }
+  return "?";
+}
+
+TrafficClass traffic_class(MsgType t) {
+  switch (t) {
+    case MsgType::kDistanceProbe:
+    case MsgType::kDistanceProbeReply:
+    case MsgType::kDistanceReport:
+      return TrafficClass::kDistanceProbes;
+    case MsgType::kLsProbe:
+    case MsgType::kLsProbeReply:
+    case MsgType::kHeartbeat:
+    case MsgType::kLeave:
+      return TrafficClass::kLeafSetTraffic;
+    case MsgType::kRtProbe:
+    case MsgType::kRtProbeReply:
+    case MsgType::kRtRowRequest:
+    case MsgType::kRtRowReply:
+    case MsgType::kRtEntryRequest:
+    case MsgType::kRtEntryReply:
+      return TrafficClass::kRtProbes;
+    case MsgType::kAck:
+      return TrafficClass::kAcksRetransmits;
+    case MsgType::kJoinRequest:
+    case MsgType::kJoinReply:
+    case MsgType::kRtRowAnnounce:
+    case MsgType::kNnRequest:
+    case MsgType::kNnReply:
+      return TrafficClass::kJoin;
+    case MsgType::kLookup:
+      return TrafficClass::kLookups;
+  }
+  return TrafficClass::kLookups;
+}
+
+const char* traffic_class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kDistanceProbes: return "DistanceProbes";
+    case TrafficClass::kLeafSetTraffic: return "LeafsetHeartbeats/Probes";
+    case TrafficClass::kRtProbes: return "RTProbes";
+    case TrafficClass::kAcksRetransmits: return "Acks+Retransmits";
+    case TrafficClass::kJoin: return "Join";
+    case TrafficClass::kLookups: return "Lookups";
+  }
+  return "?";
+}
+
+}  // namespace mspastry::pastry

@@ -1,0 +1,349 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pastry/config.hpp"
+#include "pastry/env.hpp"
+#include "pastry/leaf_set.hpp"
+#include "pastry/message.hpp"
+#include "pastry/routing_table.hpp"
+#include "pastry/rtt_estimator.hpp"
+#include "pastry/self_tuning.hpp"
+#include "pastry/types.hpp"
+
+namespace mspastry::pastry {
+
+/// One MSPastry overlay node: Figure 2's consistent-routing state machine
+/// plus the dependability and performance machinery of Sections 3.2–4.2
+/// (per-hop acks with aggressive retransmission, structured heartbeats,
+/// self-tuned routing-table probing, PNS with constrained gossiping,
+/// suppression, symmetric distance probes).
+///
+/// A node is created per *session*. It talks to the world exclusively
+/// through Env; the same class runs under the simulator and in the example
+/// applications.
+class PastryNode {
+ public:
+  PastryNode(const Config& cfg, NodeDescriptor self, Env& env,
+             Counters& counters);
+  ~PastryNode();
+
+  PastryNode(const PastryNode&) = delete;
+  PastryNode& operator=(const PastryNode&) = delete;
+
+  /// Become the first node of a new overlay: active immediately.
+  void bootstrap();
+
+  /// Join an existing overlay via a bootstrap node (any active node). Runs
+  /// nearest-neighbour seed discovery, then the Figure-2 join protocol.
+  void join(NodeDescriptor bootstrap);
+
+  /// Gracefully depart (extension; the paper injects only crashes):
+  /// notify every routing-state member so they drop this node without
+  /// waiting for failure detection. The caller still tears the node down
+  /// afterwards; the notice is fire-and-forget.
+  void leave();
+
+  /// Network ingress: called for every packet addressed to this node.
+  void handle(net::Address from, const MessagePtr& msg);
+
+  /// Application-level lookup primitive: route a message to the root of
+  /// `key`. `lookup_id`, `payload` and `app_data` are opaque to the
+  /// overlay.
+  void lookup(NodeId key, std::uint64_t lookup_id, std::uint64_t payload = 0,
+              bool wants_ack = true, net::PacketPtr app_data = nullptr);
+
+  // --- Introspection (tests, oracle, applications) ----------------------
+
+  bool active() const { return active_; }
+  const NodeDescriptor& descriptor() const { return self_; }
+  const LeafSet& leaf_set() const { return leaf_; }
+  const RoutingTable& routing_table() const { return rt_; }
+  const Config& config() const { return cfg_; }
+
+  /// The routing-table probe period currently in force (median of
+  /// gossiped estimates), in seconds.
+  double current_trt_seconds() const { return trt_current_s_; }
+
+  /// This node's own local self-tuning estimate, in seconds.
+  double local_trt_seconds() const { return trt_local_s_; }
+
+  /// Number of unique nodes in the routing state (leaf set + table).
+  std::size_t routing_state_size() const;
+
+  /// Overlay-size estimate from leaf-set identifier density (Section 4.1).
+  double estimate_overlay_size() const;
+
+  /// True if this node believes it is the current root of `key` (i.e. a
+  /// lookup for the key would be delivered locally). Applications use
+  /// this for replica placement and repair decisions.
+  bool believes_root_of(NodeId key) const;
+
+  /// Failure-rate estimate mu (failures/node/second).
+  double estimate_failure_rate() const;
+
+  /// Snapshot of internal state for debugging and tests.
+  struct DebugState {
+    bool active = false;
+    bool joining = false;
+    std::uint64_t join_epoch = 0;
+    int leaf_size = 0;
+    std::size_t rt_entries = 0;
+    std::size_t ls_probes_outstanding = 0;
+    std::size_t rt_probes_outstanding = 0;
+    std::size_t pending_acks = 0;
+    std::size_t buffered_messages = 0;
+    std::size_t failed_set_size = 0;
+    std::size_t excluded_size = 0;
+    int nn_outstanding = 0;
+    bool small_ring_converged = false;
+    int repair_stalls = 0;
+  };
+  DebugState debug_state() const;
+
+ private:
+  // --- Message sending ---------------------------------------------------
+  /// Stamp the common header (sender, trt hint), track last-sent time, and
+  /// hand to the environment.
+  void send(net::Address to, const std::shared_ptr<Message>& m);
+
+  // --- Routing core (Figure 2: routei) ------------------------------------
+  struct ExclusionSet;  // see node_core.cpp
+
+  /// Route a message: forward to the next hop or invoke receive_root.
+  /// `excluded` holds per-message exclusions accumulated by ack timeouts.
+  void route(const std::shared_ptr<RoutedMessage>& m,
+             const std::vector<net::Address>& excluded);
+
+  /// Figure 2's next-hop choice; returns invalid descriptor when the
+  /// message has reached its destination locally.
+  NodeDescriptor next_hop(NodeId key,
+                          const std::vector<net::Address>& excluded,
+                          bool* used_rt_fallback, int* empty_row,
+                          int* empty_col) const;
+
+  bool is_excluded(net::Address a,
+                   const std::vector<net::Address>& excluded) const;
+
+  void receive_root(const std::shared_ptr<RoutedMessage>& m);
+  void deliver_lookup(const LookupMsg& m);
+  void buffer_message(const std::shared_ptr<RoutedMessage>& m);
+  void flush_buffered();
+
+  // --- Per-hop acks (Section 3.2) -----------------------------------------
+  void forward(const std::shared_ptr<RoutedMessage>& m,
+               const NodeDescriptor& next,
+               std::vector<net::Address> excluded);
+  void on_ack(net::Address from, std::uint64_t hop_seq);
+  void on_ack_timeout(std::uint64_t hop_seq);
+  SimDuration rto_for(net::Address a) const;
+
+  // --- Consistency: leaf-set probing (Figure 2) ----------------------------
+  /// Send a leaf-set probe. `announce_on_timeout` marks first-hand
+  /// failure detection: if the probe sequence times out, the failure is
+  /// announced to the whole leaf set. Probes that merely confirm someone
+  /// else's announcement (or vet candidates) must not re-announce, or a
+  /// single death echoes through O(l^2) probe waves.
+  void probe(const NodeDescriptor& j, bool announce_on_timeout = false);
+  void handle_ls_probe(const LsProbeMsg& m, bool is_reply);
+  void on_ls_probe_timeout(net::Address j);
+  void done_probing(net::Address j);
+  /// True while any leaf-set probe is still within its first timeout.
+  /// Activation waits for these (an alive candidate answers its first
+  /// probe unless the network lost it) but not for retries: those target
+  /// nodes that are almost certainly dead, and dead candidates cannot
+  /// make the leaf set inconsistent.
+  bool has_blocking_ls_probes() const;
+  void try_complete();
+  void repair_leaf_set();
+  std::uint64_t leaf_membership_hash() const;
+  /// True when the leaf set should be treated as complete: both sides full
+  /// or the repair process has converged on a small ring.
+  bool leaf_complete() const;
+  void activate();
+
+  /// Would d enter the leaf set if added? (Capacity or range check.)
+  bool leaf_would_admit(const NodeDescriptor& d) const;
+
+  /// Close nodes to `target` from this node's routing state, for leaf-set
+  /// probe replies (generalized repair, Section 3.1).
+  std::vector<NodeDescriptor> close_nodes_for(NodeId target) const;
+
+  // --- Failure detection (Section 4.1) -------------------------------------
+  void heartbeat_tick();
+  void watch_tick();
+  void rt_scan_tick();
+  void send_rt_probe(const NodeDescriptor& j);
+  void on_rt_probe_timeout(net::Address j);
+  void retune();
+
+  // --- PNS / distance probing (Section 4.2) ---------------------------------
+  enum class ProbePurpose : std::uint8_t {
+    kRtCandidate,  ///< measure then consider for the routing table
+    kNearestNeighbour,
+  };
+  std::uint64_t start_distance_session(const NodeDescriptor& target,
+                                       ProbePurpose purpose, int probes);
+  void distance_session_step(std::uint64_t session_id);
+  void finish_distance_session(std::uint64_t session_id);
+  void on_distance_reply(net::Address from, std::uint64_t seq);
+  void on_distance_measured(const NodeDescriptor& target, SimDuration rtt,
+                            ProbePurpose purpose);
+  void consider_for_rt(const NodeDescriptor& d, SimDuration rtt,
+                       bool report_symmetric);
+  void rt_maintenance_tick();
+  void announce_rows();
+
+  // --- Join / nearest neighbour (Sections 2, 4.2) ---------------------------
+  void start_join(const NodeDescriptor& bootstrap);
+  void nn_request(const NodeDescriptor& target);
+  void handle_nn_reply(const NnReplyMsg& m);
+  void nn_measurement_done();
+  void send_join_request();
+  void handle_join_reply(const JoinReplyMsg& m);
+  void on_join_retry();
+
+  // --- Bookkeeping -----------------------------------------------------------
+  /// A message was heard directly from `d`: refresh liveness, clear
+  /// false-positive state, let the routing table learn the descriptor.
+  void heard_from(const NodeDescriptor& d);
+  void mark_faulty(const NodeDescriptor& j, bool announce);
+  /// Checks membership in the failed set, lazily expiring old entries.
+  bool in_failed(net::Address a) const;
+  void cancel_timer(TimerId& t);
+
+  // --- State -------------------------------------------------------------
+  Config cfg_;
+  NodeDescriptor self_;
+  Env& env_;
+  Counters& counters_;
+
+  LeafSet leaf_;
+  RoutingTable rt_;
+  bool active_ = false;
+
+  /// Nodes believed faulty (Figure 2's failedi), keyed by address, with
+  /// the time the verdict was reached (entries expire after
+  /// Config::failed_entry_ttl).
+  struct FailedEntry {
+    NodeDescriptor node;
+    SimTime since = 0;
+  };
+  std::unordered_map<net::Address, FailedEntry> failed_;
+
+  /// Outstanding leaf-set probes (Figure 2's probingi). sent_at feeds the
+  /// RTT estimator on first-attempt replies (Karn's rule: retried probes
+  /// give ambiguous samples and are not used).
+  struct LsProbeState {
+    NodeDescriptor target;
+    int retries = 0;
+    bool announce_on_timeout = false;
+    SimTime sent_at = 0;
+    TimerId timer = kInvalidTimer;
+  };
+  std::unordered_map<net::Address, LsProbeState> ls_probing_;
+
+  /// Outstanding routing-table liveness probes.
+  struct RtProbeState {
+    NodeDescriptor target;
+    int retries = 0;
+    SimTime sent_at = 0;
+    TimerId timer = kInvalidTimer;
+  };
+  std::unordered_map<net::Address, RtProbeState> rt_probing_;
+
+  /// Nodes temporarily excluded from routing after a missed per-hop ack;
+  /// cleared when any message is heard from them or they are marked
+  /// faulty.
+  std::unordered_set<net::Address> excluded_;
+
+  /// In-flight forwarded messages awaiting per-hop acks.
+  struct PendingAck {
+    std::shared_ptr<RoutedMessage> msg;
+    net::Address dest = net::kNullAddress;
+    std::vector<net::Address> excluded;
+    SimTime sent_at = 0;
+    int same_dest_retries = 0;
+    TimerId timer = kInvalidTimer;
+  };
+  std::unordered_map<std::uint64_t, PendingAck> pending_acks_;
+  std::uint64_t next_hop_seq_ = 1;
+
+  /// Per-destination RTT estimators (for RTO and as PNS seed data).
+  std::unordered_map<net::Address, RttEstimator> rtt_;
+
+  /// Liveness bookkeeping for suppression and the right-neighbour watch.
+  std::unordered_map<net::Address, SimTime> last_heard_;
+  std::unordered_map<net::Address, SimTime> last_sent_;
+
+  /// Suppression evidence: like last_heard_, but excluding replies to our
+  /// own probes — a probe's reply must not suppress the next probe, or
+  /// the effective probing period silently doubles.
+  std::unordered_map<net::Address, SimTime> suppress_heard_;
+
+  /// When each routing-table entry was last due a liveness probe.
+  std::unordered_map<net::Address, SimTime> last_probe_due_;
+
+  /// Buffered routed messages (node inactive, or leaf set mid-repair).
+  std::vector<std::shared_ptr<RoutedMessage>> buffered_;
+
+  /// Self-tuning state.
+  FailureRateEstimator fail_est_;
+  std::unordered_map<net::Address, double> trt_hints_;
+  double trt_local_s_;
+  double trt_current_s_;
+
+  /// Addresses whose distance was measured recently (TTL-limited), so
+  /// periodic gossip does not endlessly re-probe candidates that never
+  /// win a slot.
+  std::unordered_map<net::Address, SimTime> measured_at_;
+
+  /// Distance-probe sessions.
+  struct DistanceSession {
+    NodeDescriptor target;
+    ProbePurpose purpose = ProbePurpose::kRtCandidate;
+    int want = 0;
+    int sent = 0;
+    std::vector<SimDuration> samples;
+    TimerId timer = kInvalidTimer;
+  };
+  std::unordered_map<std::uint64_t, DistanceSession> dist_sessions_;
+  struct OutstandingProbe {
+    std::uint64_t session = 0;
+    SimTime sent_at = 0;
+  };
+  std::unordered_map<std::uint64_t, OutstandingProbe> dist_probes_;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t next_probe_seq_ = 1;
+
+  /// Join / nearest-neighbour state.
+  bool joining_ = false;
+  std::uint64_t join_epoch_ = 0;
+  bool join_reply_seen_ = false;  ///< dedup: one JOIN-REPLY per epoch
+  SimTime join_started_ = 0;
+  NodeDescriptor nn_current_;
+  SimDuration nn_current_rtt_ = kTimeNever;
+  int nn_iteration_ = 0;
+  int nn_outstanding_ = 0;
+  NodeDescriptor nn_best_;
+  SimDuration nn_best_rtt_ = kTimeNever;
+  std::unordered_set<net::Address> nn_visited_;
+  TimerId join_retry_timer_ = kInvalidTimer;
+
+  /// Leaf-set repair convergence detection (small rings).
+  std::uint64_t last_membership_hash_ = 0;
+  int repair_stalls_ = 0;
+  bool small_ring_converged_ = false;
+
+  /// Periodic timers.
+  TimerId heartbeat_timer_ = kInvalidTimer;
+  TimerId watch_timer_ = kInvalidTimer;
+  TimerId rt_scan_timer_ = kInvalidTimer;
+  TimerId maintenance_timer_ = kInvalidTimer;
+};
+
+}  // namespace mspastry::pastry

@@ -1,0 +1,118 @@
+#include "pastry/routing_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mspastry::pastry {
+
+RoutingTable::RoutingTable(NodeId self, int b) : self_(self), b_(b) {
+  assert(b >= 1 && b <= 8);
+  grid_.assign(static_cast<std::size_t>(NodeId::digit_count(b)),
+               std::vector<std::optional<Entry>>(
+                   static_cast<std::size_t>(1 << b)));
+}
+
+const RoutingTable::Entry* RoutingTable::get(int row, int col) const {
+  if (row < 0 || row >= rows() || col < 0 || col >= cols()) return nullptr;
+  const auto& s = grid_[static_cast<std::size_t>(row)]
+                       [static_cast<std::size_t>(col)];
+  return s ? &*s : nullptr;
+}
+
+std::pair<int, int> RoutingTable::slot_of(NodeId id) const {
+  const int r = self_.shared_prefix_length(id, b_);
+  if (r >= rows()) return {-1, -1};  // identical id
+  return {r, static_cast<int>(id.digit(r, b_))};
+}
+
+bool RoutingTable::add(const NodeDescriptor& d) {
+  assert(d.valid());
+  const auto [r, c] = slot_of(d.id);
+  if (r < 0) return false;
+  auto& s = slot(r, c);
+  if (s) return false;
+  if (contains(d.addr)) return false;  // already present in another slot
+  s = Entry{d, kTimeNever};
+  index_[d.addr] = {r, c};
+  return true;
+}
+
+bool RoutingTable::add_with_rtt(const NodeDescriptor& d, SimDuration rtt,
+                                bool pns) {
+  assert(d.valid());
+  const auto [r, c] = slot_of(d.id);
+  if (r < 0) return false;
+  auto& s = slot(r, c);
+  if (s && s->node.addr == d.addr) {
+    s->rtt = rtt;  // refresh measurement of the incumbent
+    return true;
+  }
+  if (contains(d.addr)) return false;  // present in a different slot
+  if (!s) {
+    s = Entry{d, rtt};
+    index_[d.addr] = {r, c};
+    return true;
+  }
+  // Occupied by a different node: PNS replacement if strictly closer or
+  // the incumbent was never measured.
+  if (pns && (s->rtt == kTimeNever || rtt < s->rtt)) {
+    index_.erase(s->node.addr);
+    s = Entry{d, rtt};
+    index_[d.addr] = {r, c};
+    return true;
+  }
+  return false;
+}
+
+void RoutingTable::update_rtt(net::Address a, SimDuration rtt) {
+  const auto it = index_.find(a);
+  if (it == index_.end()) return;
+  slot(it->second.first, it->second.second)->rtt = rtt;
+}
+
+bool RoutingTable::remove(net::Address a) {
+  const auto it = index_.find(a);
+  if (it == index_.end()) return false;
+  slot(it->second.first, it->second.second).reset();
+  index_.erase(it);
+  return true;
+}
+
+const RoutingTable::Entry* RoutingTable::find(net::Address a) const {
+  const auto it = index_.find(a);
+  if (it == index_.end()) return nullptr;
+  const auto& s = grid_[static_cast<std::size_t>(it->second.first)]
+                       [static_cast<std::size_t>(it->second.second)];
+  return s ? &*s : nullptr;
+}
+
+std::vector<NodeDescriptor> RoutingTable::row_entries(int row) const {
+  std::vector<NodeDescriptor> out;
+  if (row < 0 || row >= rows()) return out;
+  for (const auto& s : grid_[static_cast<std::size_t>(row)]) {
+    if (s) out.push_back(s->node);
+  }
+  return out;
+}
+
+int RoutingTable::deepest_row() const {
+  int deepest = -1;
+  for (const auto& [addr, rc] : index_) {
+    (void)addr;
+    deepest = std::max(deepest, rc.first);
+  }
+  return deepest;
+}
+
+void RoutingTable::for_each(
+    const std::function<void(int, int, const Entry&)>& f) const {
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      const auto& s = grid_[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(c)];
+      if (s) f(r, c, *s);
+    }
+  }
+}
+
+}  // namespace mspastry::pastry

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/sim_time.hpp"
+#include "pastry/types.hpp"
+
+namespace mspastry::pastry {
+
+/// The routing-table slot (row, col) that `candidate` occupies in a table
+/// owned by `owner`: row = shared prefix length, col = candidate's next
+/// digit. Returns row == -1 when the ids are identical.
+inline std::pair<int, int> slot_for(NodeId owner, NodeId candidate, int b) {
+  const int r = owner.shared_prefix_length(candidate, b);
+  if (r >= NodeId::digit_count(b)) return {-1, -1};
+  return {r, static_cast<int>(candidate.digit(r, b))};
+}
+
+/// A Pastry routing table: 128/b rows by 2^b columns. The entry at (r, c)
+/// is a node whose identifier shares the first r digits with the local
+/// identifier and has digit r equal to c. Each entry remembers the
+/// measured round-trip delay to the node (kTimeNever if not yet measured)
+/// so proximity neighbour selection can compare candidates.
+///
+/// As with LeafSet, this is pure state: insertion policy (PNS, the
+/// heard-directly rule) is enforced by PastryNode.
+class RoutingTable {
+ public:
+  RoutingTable(NodeId self, int b);
+
+  struct Entry {
+    NodeDescriptor node;
+    SimDuration rtt = kTimeNever;  ///< measured RTT; kTimeNever = unknown
+  };
+
+  int rows() const { return static_cast<int>(grid_.size()); }
+  int cols() const { return 1 << b_; }
+  NodeId self() const { return self_; }
+
+  /// Entry at (row, col), or nullptr if empty. The column matching the
+  /// local id's digit in each row is always empty (it denotes the local
+  /// node itself).
+  const Entry* get(int row, int col) const;
+
+  /// The slot a given id belongs in: (shared-prefix row, next digit).
+  /// Returns row == -1 for the local id itself.
+  std::pair<int, int> slot_of(NodeId id) const;
+
+  /// Fill the slot for `d` if it is empty. Never replaces. Returns true
+  /// if inserted. Used for join-time seeding and passive repair, where no
+  /// distance measurement is available yet.
+  bool add(const NodeDescriptor& d);
+
+  /// Insert with a measured RTT. If the slot is occupied: replace when
+  /// `pns` and the new node is closer (or the incumbent has no
+  /// measurement), else keep the incumbent. Refreshing the RTT of the
+  /// incumbent itself always succeeds. Returns true if the table changed.
+  bool add_with_rtt(const NodeDescriptor& d, SimDuration rtt, bool pns);
+
+  /// Update the measured RTT of an existing entry (no-op otherwise).
+  void update_rtt(net::Address a, SimDuration rtt);
+
+  bool remove(net::Address a);
+  bool contains(net::Address a) const { return index_.count(a) > 0; }
+
+  /// Entry holding address `a`, or nullptr.
+  const Entry* find(net::Address a) const;
+
+  /// All non-empty entries of one row.
+  std::vector<NodeDescriptor> row_entries(int row) const;
+
+  /// Deepest row with at least one entry; -1 if the table is empty.
+  int deepest_row() const;
+
+  std::size_t entry_count() const { return index_.size(); }
+
+  /// Visit every entry: f(row, col, entry).
+  void for_each(
+      const std::function<void(int, int, const Entry&)>& f) const;
+
+ private:
+  std::optional<Entry>& slot(int row, int col) {
+    return grid_[static_cast<std::size_t>(row)]
+                [static_cast<std::size_t>(col)];
+  }
+
+  NodeId self_;
+  int b_;
+  std::vector<std::vector<std::optional<Entry>>> grid_;
+  std::unordered_map<net::Address, std::pair<int, int>> index_;
+};
+
+}  // namespace mspastry::pastry

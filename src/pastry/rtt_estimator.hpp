@@ -1,0 +1,48 @@
+#pragma once
+
+#include <algorithm>
+
+#include "common/sim_time.hpp"
+#include "pastry/config.hpp"
+
+namespace mspastry::pastry {
+
+/// Per-destination round-trip estimator in the style of TCP [Karn &
+/// Partridge / Jacobson]: smoothed RTT plus mean deviation. MSPastry sets
+/// retransmission timeouts more aggressively than TCP (no 1-second floor)
+/// because a missed per-hop ack is recovered by rerouting to an
+/// alternative neighbour, not by a congestion-safe resend to the same one.
+class RttEstimator {
+ public:
+  /// Feed one RTT sample.
+  void sample(SimDuration rtt) {
+    if (!seeded_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      seeded_ = true;
+      return;
+    }
+    const SimDuration err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ += (err - rttvar_) / 4;    // beta = 1/4
+    srtt_ += (rtt - srtt_) / 8;        // alpha = 1/8
+  }
+
+  bool seeded() const { return seeded_; }
+  SimDuration srtt() const { return srtt_; }
+
+  /// Retransmission timeout under the given configuration.
+  SimDuration rto(const Config& cfg) const {
+    if (!seeded_) return cfg.rto_initial;
+    const auto raw = srtt_ + static_cast<SimDuration>(
+                                 cfg.rto_var_factor *
+                                 static_cast<double>(rttvar_));
+    return std::clamp(raw, cfg.rto_min, cfg.rto_max);
+  }
+
+ private:
+  bool seeded_ = false;
+  SimDuration srtt_ = 0;
+  SimDuration rttvar_ = 0;
+};
+
+}  // namespace mspastry::pastry

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/node_id.hpp"
+#include "net/network.hpp"
+
+namespace mspastry::pastry {
+
+/// Identity plus location of an overlay node: everything another node
+/// needs to talk to it. Fresh per session (a rejoining machine gets a new
+/// id and a new address).
+struct NodeDescriptor {
+  NodeId id;
+  net::Address addr = net::kNullAddress;
+
+  bool valid() const { return addr != net::kNullAddress; }
+  friend bool operator==(const NodeDescriptor& a, const NodeDescriptor& b) {
+    return a.addr == b.addr && a.id == b.id;
+  }
+};
+
+/// Aggregated event counters, shared by all nodes of a simulation and read
+/// by benches (probe-suppression rates, reroute counts, etc.).
+struct Counters {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_suppressed = 0;
+  std::uint64_t rt_probes_sent = 0;
+  std::uint64_t rt_probes_suppressed = 0;
+  /// Periodic-scan probes only (excludes SUSPECT probes triggered by ack
+  /// timeouts); the denominator for the paper's suppression claim.
+  std::uint64_t rt_probes_periodic = 0;
+  std::uint64_t ls_probes_sent = 0;
+  // Breakdown of leaf-set probe *initiations* by trigger (diagnostics).
+  std::uint64_t ls_probes_join = 0;       ///< probing join-reply candidates
+  std::uint64_t ls_probes_candidate = 0;  ///< new candidate from a probe
+  std::uint64_t ls_probes_candidate_active = 0;  ///< ...sent by active nodes
+  std::uint64_t ls_probes_confirm = 0;    ///< confirming an announced death
+  std::uint64_t ls_probes_announce = 0;   ///< announcing a detected death
+  std::uint64_t ls_probes_repair = 0;     ///< extending a short leaf set
+  std::uint64_t ls_probes_suspect = 0;    ///< heartbeat watch / ack timeout
+  std::uint64_t distance_probes_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t ack_timeouts = 0;      ///< per-hop ack timeouts (reroutes)
+  std::uint64_t nodes_marked_faulty = 0;
+  std::uint64_t false_positives = 0;   ///< filled in by the driver/oracle
+  std::uint64_t lookups_forwarded = 0; ///< lookup transmissions (hops)
+  std::uint64_t lookups_dropped_no_route = 0;
+  std::uint64_t joins_started = 0;
+  std::uint64_t joins_completed = 0;
+};
+
+}  // namespace mspastry::pastry

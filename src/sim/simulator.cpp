@@ -1,0 +1,65 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace mspastry {
+
+TimerId Simulator::schedule_at(SimTime t, Callback fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  const TimerId id = next_id_++;
+  heap_.push(Entry{t < now_ ? now_ : t, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(TimerId id) {
+  if (id == kInvalidTimer) return;
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already fired or never existed
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+void Simulator::prune() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+void Simulator::execute_top() {
+  const Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.t;
+  auto it = callbacks_.find(e.id);
+  assert(it != callbacks_.end());
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++executed_;
+  fn();
+}
+
+bool Simulator::step() {
+  prune();
+  if (heap_.empty()) return false;
+  execute_top();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  for (;;) {
+    prune();
+    if (heap_.empty() || heap_.top().t > t) break;
+    execute_top();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace mspastry

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace mspastry {
+
+/// Handle to a scheduled event; used to cancel timers. Value 0 is invalid.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// A single-threaded discrete-event simulator: a clock plus a priority
+/// queue of callbacks. Events scheduled for the same instant fire in
+/// scheduling order (FIFO), which makes runs deterministic.
+///
+/// This is the substrate everything else runs on: the network model
+/// schedules message deliveries, the overlay nodes schedule protocol
+/// timers, and the churn driver schedules joins and failures.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now). Returns a handle
+  /// that can be passed to cancel().
+  TimerId schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` to run `d` after the current time (d >= 0).
+  TimerId schedule_after(SimDuration d, Callback fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid handle
+  /// is a no-op, so callers need not track firing precisely.
+  void cancel(TimerId id);
+
+  /// Execute the next pending event, if any. Returns false when the queue
+  /// is empty.
+  bool step();
+
+  /// Run events until the queue is empty or the next event is after `t`;
+  /// the clock is left at min(t, time of last executed event). Events at
+  /// exactly `t` are executed.
+  void run_until(SimTime t);
+
+  /// Run until the event queue drains completely.
+  void run_to_completion();
+
+  /// Number of events executed so far (for progress reporting and tests).
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Number of events currently pending (cancelled-but-unpopped events are
+  /// not counted).
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    SimTime t;
+    TimerId id;  // also the FIFO tiebreaker: ids increase monotonically
+    bool operator>(const Entry& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  // Pops and runs one event; precondition: heap not empty after pruning.
+  void execute_top();
+
+  // Drop cancelled entries sitting at the top of the heap.
+  void prune();
+
+  SimTime now_ = kTimeZero;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace mspastry

@@ -1,0 +1,170 @@
+#include "trace/churn_generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mspastry::trace {
+
+namespace {
+
+/// Arrival-rate modulation at time t: diurnal sinusoid (lowest around
+/// 04:00) times a weekend damping factor. Mirrors the daily and weekly
+/// patterns visible in the paper's Figure 3.
+double modulation(SimTime t, double amplitude, double weekend_factor) {
+  const double day_fraction =
+      std::fmod(to_seconds(t), 86400.0) / 86400.0;  // 0 at midnight
+  // Peak at ~16:00, trough at ~04:00.
+  const double diurnal =
+      1.0 + amplitude * std::sin(2.0 * M_PI * (day_fraction - 0.4166));
+  const int day_index = static_cast<int>(to_seconds(t) / 86400.0);
+  const bool weekend = day_index % 7 >= 5;
+  return diurnal * (weekend ? weekend_factor : 1.0);
+}
+
+struct LogNormalSession {
+  double mu;
+  double sigma;
+
+  static LogNormalSession from_mean_median(double mean, double median) {
+    assert(mean >= median && median > 0);
+    LogNormalSession s;
+    s.mu = std::log(median);
+    s.sigma = std::sqrt(std::max(0.0, 2.0 * std::log(mean / median)));
+    return s;
+  }
+
+  double draw(Rng& rng) const {
+    return std::max(1.0, rng.lognormal(mu, sigma));
+  }
+};
+
+}  // namespace
+
+ChurnTrace generate_synthetic(const SyntheticChurnParams& p) {
+  assert(p.target_population > 0 && p.duration > 0);
+  Rng rng(p.seed);
+  const auto session =
+      LogNormalSession::from_mean_median(p.mean_session_seconds,
+                                         p.median_session_seconds);
+  std::vector<ChurnEvent> events;
+  std::int32_t next_node = 0;
+
+  auto add_session = [&](SimTime join_at, double length_seconds) {
+    const std::int32_t node = next_node++;
+    events.push_back({join_at, node, ChurnEventType::kJoin});
+    const SimTime fail_at = join_at + from_seconds(length_seconds);
+    if (fail_at <= p.duration) {
+      events.push_back({fail_at, node, ChurnEventType::kFail});
+    }
+  };
+
+  // Initial population, staggered over the first minutes so the overlay's
+  // join protocol is not hit by a thundering herd at t=0.
+  const int initial =
+      static_cast<int>(p.target_population * p.initial_fraction);
+  for (int i = 0; i < initial; ++i) {
+    const SimTime at = from_seconds(rng.uniform(0.0, 300.0));
+    add_session(at, session.draw(rng));
+  }
+
+  // Ongoing arrivals: non-homogeneous Poisson by thinning. The base rate
+  // keeps the population in steady state: lambda0 = N / E[session].
+  const double lambda0 =
+      static_cast<double>(p.target_population) / p.mean_session_seconds;
+  const double weekend_max = std::max(1.0, p.weekend_factor);
+  const double lambda_max = lambda0 * (1.0 + p.diurnal_amplitude) * weekend_max;
+  SimTime t = from_seconds(300.0);
+  while (true) {
+    t += from_seconds(rng.exponential(1.0 / lambda_max));
+    if (t > p.duration) break;
+    const double accept =
+        modulation(t, p.diurnal_amplitude, p.weekend_factor) *
+        lambda0 / lambda_max;
+    if (!rng.chance(accept)) continue;
+    add_session(t, session.draw(rng));
+  }
+
+  return ChurnTrace(std::move(events), p.name);
+}
+
+SyntheticChurnParams gnutella_params(double node_scale, double time_scale,
+                                     std::uint64_t seed) {
+  SyntheticChurnParams p;
+  p.duration = static_cast<SimDuration>(hours(60) * time_scale);
+  p.mean_session_seconds = 2.3 * 3600.0;
+  p.median_session_seconds = 1.0 * 3600.0;
+  p.target_population = std::max(8, static_cast<int>(2000 * node_scale));
+  p.diurnal_amplitude = 0.35;
+  p.weekend_factor = 0.85;
+  p.seed = seed;
+  p.name = "Gnutella";
+  return p;
+}
+
+SyntheticChurnParams overnet_params(double node_scale, double time_scale,
+                                    std::uint64_t seed) {
+  SyntheticChurnParams p;
+  p.duration = static_cast<SimDuration>(days(7) * time_scale);
+  p.mean_session_seconds = 134.0 * 60.0;
+  p.median_session_seconds = 79.0 * 60.0;
+  p.target_population = std::max(8, static_cast<int>(455 * node_scale));
+  p.diurnal_amplitude = 0.40;
+  p.weekend_factor = 0.80;
+  p.seed = seed;
+  p.name = "OverNet";
+  return p;
+}
+
+SyntheticChurnParams microsoft_params(double node_scale, double time_scale,
+                                      std::uint64_t seed) {
+  SyntheticChurnParams p;
+  p.duration = static_cast<SimDuration>(days(37) * time_scale);
+  p.mean_session_seconds = 37.7 * 3600.0;
+  p.median_session_seconds = 30.0 * 3600.0;
+  p.target_population = std::max(8, static_cast<int>(15000 * node_scale));
+  p.diurnal_amplitude = 0.30;
+  p.weekend_factor = 0.55;
+  p.seed = seed;
+  p.name = "Microsoft";
+  return p;
+}
+
+ChurnTrace generate_poisson(SimDuration duration, double mean_session_seconds,
+                            int target_population, std::uint64_t seed,
+                            std::string name) {
+  assert(target_population > 0 && mean_session_seconds > 0);
+  Rng rng(seed);
+  std::vector<ChurnEvent> events;
+  std::int32_t next_node = 0;
+
+  auto add_session = [&](SimTime join_at, double length_seconds) {
+    const std::int32_t node = next_node++;
+    events.push_back({join_at, node, ChurnEventType::kJoin});
+    const SimTime fail_at =
+        join_at + from_seconds(std::max(1.0, length_seconds));
+    if (fail_at <= duration) {
+      events.push_back({fail_at, node, ChurnEventType::kFail});
+    }
+  };
+
+  // Exponential sessions are memoryless, so drawing full session lengths
+  // for the initial population gives an exact stationary start.
+  for (int i = 0; i < target_population; ++i) {
+    const SimTime at = from_seconds(rng.uniform(0.0, 300.0));
+    add_session(at, rng.exponential(mean_session_seconds));
+  }
+  const double lambda =
+      static_cast<double>(target_population) / mean_session_seconds;
+  SimTime t = from_seconds(300.0);
+  while (true) {
+    t += from_seconds(rng.exponential(1.0 / lambda));
+    if (t > duration) break;
+    add_session(t, rng.exponential(mean_session_seconds));
+  }
+  return ChurnTrace(std::move(events), std::move(name));
+}
+
+}  // namespace mspastry::trace

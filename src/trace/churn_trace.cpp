@@ -1,0 +1,132 @@
+#include "trace/churn_trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mspastry::trace {
+
+ChurnTrace::ChurnTrace(std::vector<ChurnEvent> events, std::string name)
+    : events_(std::move(events)), name_(std::move(name)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.time < b.time;
+                   });
+  // Validate: each session joins exactly once, fails at most once, and the
+  // failure comes after the join.
+  std::unordered_map<std::int32_t, int> state;  // 0=unseen 1=joined 2=failed
+  for (const ChurnEvent& e : events_) {
+    auto& s = state[e.node];
+    if (e.type == ChurnEventType::kJoin) {
+      if (s != 0) throw std::invalid_argument("duplicate join for session");
+      s = 1;
+      ++session_count_;
+    } else {
+      if (s != 1) throw std::invalid_argument("failure without live session");
+      s = 2;
+    }
+  }
+}
+
+ChurnTrace::SessionStats ChurnTrace::session_stats() const {
+  std::unordered_map<std::int32_t, SimTime> join_time;
+  SampleSet lengths;
+  for (const ChurnEvent& e : events_) {
+    if (e.type == ChurnEventType::kJoin) {
+      join_time[e.node] = e.time;
+    } else {
+      lengths.add(to_seconds(e.time - join_time.at(e.node)));
+    }
+  }
+  SessionStats s;
+  s.completed_sessions = lengths.count();
+  s.mean_seconds = lengths.mean();
+  SampleSet copy = lengths;
+  s.median_seconds = copy.median();
+  return s;
+}
+
+ChurnTrace::PopulationStats ChurnTrace::population_stats() const {
+  PopulationStats p;
+  if (events_.empty()) return p;
+  int active = 0;
+  double integral = 0.0;  // node-seconds
+  SimTime prev = events_.front().time;
+  p.min_active = INT32_MAX;
+  for (const ChurnEvent& e : events_) {
+    integral += static_cast<double>(active) * to_seconds(e.time - prev);
+    prev = e.time;
+    active += e.type == ChurnEventType::kJoin ? 1 : -1;
+    p.min_active = std::min(p.min_active, active);
+    p.max_active = std::max(p.max_active, active);
+  }
+  const double span = to_seconds(duration() - events_.front().time);
+  p.mean_active = span > 0 ? integral / span : active;
+  return p;
+}
+
+std::vector<std::pair<double, double>> ChurnTrace::failure_rate_series(
+    SimDuration window) const {
+  // For each window: failures / (mean active nodes in window * window s).
+  std::map<SimTime, double> failures;      // window index -> count
+  std::map<SimTime, double> node_seconds;  // window index -> integral
+  int active = 0;
+  SimTime prev = 0;
+  auto accumulate_active = [&](SimTime upto) {
+    // Spread `active` node-time across windows between prev and upto.
+    while (prev < upto) {
+      const SimTime wi = prev / window;
+      const SimTime wend = (wi + 1) * window;
+      const SimTime seg = std::min(wend, upto) - prev;
+      node_seconds[wi] += static_cast<double>(active) * to_seconds(seg);
+      prev += seg;
+    }
+  };
+  for (const ChurnEvent& e : events_) {
+    accumulate_active(e.time);
+    if (e.type == ChurnEventType::kFail) {
+      failures[e.time / window] += 1.0;
+    }
+    active += e.type == ChurnEventType::kJoin ? 1 : -1;
+  }
+  std::vector<std::pair<double, double>> out;
+  for (const auto& [wi, ns] : node_seconds) {
+    if (ns <= 0) continue;
+    const double f = failures.count(wi) ? failures.at(wi) : 0.0;
+    out.emplace_back(to_seconds(wi * window), f / ns);
+  }
+  return out;
+}
+
+void ChurnTrace::save(std::ostream& out) const {
+  for (const ChurnEvent& e : events_) {
+    out << (e.type == ChurnEventType::kJoin ? 'J' : 'F') << ' ' << e.time
+        << ' ' << e.node << '\n';
+  }
+}
+
+ChurnTrace ChurnTrace::load(std::istream& in, std::string name) {
+  std::vector<ChurnEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag;
+    ChurnEvent e;
+    if (!(ls >> tag >> e.time >> e.node)) {
+      throw std::invalid_argument("ChurnTrace::load: bad line: " + line);
+    }
+    if (tag != 'J' && tag != 'F') {
+      throw std::invalid_argument("ChurnTrace::load: bad tag: " + line);
+    }
+    e.type = tag == 'J' ? ChurnEventType::kJoin : ChurnEventType::kFail;
+    events.push_back(e);
+  }
+  return ChurnTrace(std::move(events), std::move(name));
+}
+
+}  // namespace mspastry::trace

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/stats.hpp"
+
+namespace mspastry::trace {
+
+enum class ChurnEventType : std::uint8_t { kJoin, kFail };
+
+/// One churn event. `node` identifies a *session*: a machine that leaves
+/// and later returns appears as a new session (matching how the paper's
+/// traces were fed to the simulator — a re-joining node picks a fresh
+/// nodeId and endpoint).
+struct ChurnEvent {
+  SimTime time = 0;
+  std::int32_t node = 0;
+  ChurnEventType type = ChurnEventType::kJoin;
+};
+
+/// A time-ordered sequence of node arrivals and failures that drives fault
+/// injection. Every session has exactly one kJoin, optionally followed by
+/// one kFail; sessions still alive at the end of the trace simply never
+/// fail.
+class ChurnTrace {
+ public:
+  ChurnTrace() = default;
+
+  /// Build from events; sorts by time and validates the join/fail pairing.
+  /// Throws std::invalid_argument on malformed input.
+  explicit ChurnTrace(std::vector<ChurnEvent> events, std::string name = "");
+
+  const std::vector<ChurnEvent>& events() const { return events_; }
+  const std::string& name() const { return name_; }
+
+  /// Time of the last event.
+  SimTime duration() const {
+    return events_.empty() ? 0 : events_.back().time;
+  }
+
+  /// Number of distinct sessions.
+  int session_count() const { return session_count_; }
+
+  struct SessionStats {
+    double mean_seconds = 0.0;
+    double median_seconds = 0.0;
+    std::size_t completed_sessions = 0;  // sessions with a recorded failure
+  };
+
+  /// Statistics over completed sessions (join..fail). Open sessions are
+  /// excluded, as in the measurement studies the paper cites.
+  SessionStats session_stats() const;
+
+  struct PopulationStats {
+    int min_active = 0;
+    int max_active = 0;
+    double mean_active = 0.0;
+  };
+
+  /// Active-population extrema over the trace (sampled at every event).
+  PopulationStats population_stats() const;
+
+  /// Figure 3's metric: node failures per active node per second, averaged
+  /// over fixed windows. Each point is (window start, failure rate).
+  std::vector<std::pair<double, double>> failure_rate_series(
+      SimDuration window) const;
+
+  /// Serialise as text: one event per line, "J <time_us> <node>" or
+  /// "F <time_us> <node>".
+  void save(std::ostream& out) const;
+  static ChurnTrace load(std::istream& in, std::string name = "");
+
+ private:
+  std::vector<ChurnEvent> events_;
+  std::string name_;
+  int session_count_ = 0;
+};
+
+}  // namespace mspastry::trace

@@ -1,0 +1,81 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mspastry {
+namespace {
+
+/// Capture logger output through a tmpfile sink.
+struct SinkCapture {
+  std::FILE* f = std::tmpfile();
+  SinkCapture() { Logger::set_sink(f); }
+  ~SinkCapture() {
+    Logger::set_sink(nullptr);
+    Logger::set_level(LogLevel::kOff);
+    std::fclose(f);
+  }
+  std::string contents() {
+    std::fflush(f);
+    std::rewind(f);
+    std::string out;
+    char buf[512];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      out.append(buf, n);
+    }
+    return out;
+  }
+};
+
+TEST(Log, OffByDefaultSuppressesEverything) {
+  SinkCapture cap;
+  Logger::set_level(LogLevel::kOff);
+  LOG_ERROR(seconds(1), "test", "should not appear %d", 1);
+  LOG_DEBUG(seconds(1), "test", "nor this");
+  EXPECT_TRUE(cap.contents().empty());
+}
+
+TEST(Log, LevelsFilterCorrectly) {
+  SinkCapture cap;
+  Logger::set_level(LogLevel::kWarn);
+  LOG_ERROR(seconds(1), "test", "E");
+  LOG_WARN(seconds(2), "test", "W");
+  LOG_INFO(seconds(3), "test", "I");
+  LOG_DEBUG(seconds(4), "test", "D");
+  const std::string out = cap.contents();
+  EXPECT_NE(out.find("E"), std::string::npos);
+  EXPECT_NE(out.find("W"), std::string::npos);
+  EXPECT_EQ(out.find(" I\n"), std::string::npos);
+  EXPECT_EQ(out.find(" D\n"), std::string::npos);
+}
+
+TEST(Log, StampsSimulatedTimeAndComponent) {
+  SinkCapture cap;
+  Logger::set_level(LogLevel::kInfo);
+  LOG_INFO(seconds(12.5), "driver", "node %d up", 7);
+  const std::string out = cap.contents();
+  EXPECT_NE(out.find("12.500s"), std::string::npos);
+  EXPECT_NE(out.find("driver"), std::string::npos);
+  EXPECT_NE(out.find("node 7 up"), std::string::npos);
+}
+
+TEST(Log, ParseNames) {
+  EXPECT_EQ(Logger::parse("error"), LogLevel::kError);
+  EXPECT_EQ(Logger::parse("warn"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::parse("info"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::parse("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::parse("bogus"), LogLevel::kOff);
+  EXPECT_EQ(Logger::parse(nullptr), LogLevel::kOff);
+}
+
+TEST(Log, NameRoundTrip) {
+  EXPECT_STREQ(Logger::name_of(LogLevel::kWarn), "warn");
+  EXPECT_EQ(Logger::parse(Logger::name_of(LogLevel::kDebug)),
+            LogLevel::kDebug);
+}
+
+}  // namespace
+}  // namespace mspastry

@@ -1,0 +1,153 @@
+#include "overlay/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mspastry::overlay {
+namespace {
+
+using pastry::MsgType;
+using pastry::TrafficClass;
+
+TEST(NodeSecondsAccumulator, IntegratesAcrossWindows) {
+  NodeSecondsAccumulator acc(seconds(10));
+  acc.change(0, 2);              // 2 nodes from t=0
+  acc.change(seconds(15), 1);    // 3 nodes from t=15
+  const auto& w = acc.windows(seconds(30));
+  // Window 0 (0-10): 2 nodes * 10 s = 20.
+  EXPECT_DOUBLE_EQ(w.at(0), 20.0);
+  // Window 1 (10-20): 2*5 + 3*5 = 25.
+  EXPECT_DOUBLE_EQ(w.at(1), 25.0);
+  // Window 2 (20-30): 3*10 = 30.
+  EXPECT_DOUBLE_EQ(w.at(2), 30.0);
+  EXPECT_EQ(acc.current_count(), 3);
+}
+
+TEST(NodeSecondsAccumulator, HandlesDeparture) {
+  NodeSecondsAccumulator acc(seconds(10));
+  acc.change(0, 5);
+  acc.change(seconds(10), -5);
+  const auto& w = acc.windows(seconds(20));
+  EXPECT_DOUBLE_EQ(w.at(0), 50.0);
+  EXPECT_DOUBLE_EQ(w.at(1), 0.0);
+}
+
+Metrics make_metrics() { return Metrics(seconds(10), /*warmup=*/seconds(20)); }
+
+TEST(Metrics, LookupBookkeeping) {
+  Metrics m = make_metrics();
+  m.population_change(0, 2);
+  // Pre-warmup lookup is excluded from aggregates.
+  m.on_lookup_issued(1, seconds(5), 0, NodeId{0, 1});
+  m.on_lookup_delivered(1, seconds(6), true, milliseconds(10));
+  EXPECT_EQ(m.lookups_issued(), 0u);
+  // Post-warmup lookups count.
+  m.on_lookup_issued(2, seconds(30), 0, NodeId{0, 2});
+  m.on_lookup_delivered(2, seconds(31), true, milliseconds(10));
+  m.on_lookup_issued(3, seconds(32), 0, NodeId{0, 3});
+  m.on_lookup_delivered(3, seconds(33), false, 0);
+  m.on_lookup_issued(4, seconds(34), 0, NodeId{0, 4});  // never delivered
+  m.finalize(seconds(200), seconds(10));
+  EXPECT_EQ(m.lookups_issued(), 3u);
+  EXPECT_EQ(m.lookups_delivered_correct(), 1u);
+  EXPECT_EQ(m.lookups_delivered_incorrect(), 1u);
+  EXPECT_EQ(m.lookups_lost(), 1u);
+  EXPECT_NEAR(m.loss_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.incorrect_delivery_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, RdpComputedFromDelayRatio) {
+  Metrics m = make_metrics();
+  m.population_change(0, 1);
+  m.on_lookup_issued(1, seconds(30), 0, NodeId{0, 1});
+  // Delivered 100 ms later over a 50 ms direct path: RDP = 2.
+  m.on_lookup_delivered(1, seconds(30) + milliseconds(100), true,
+                        milliseconds(50));
+  EXPECT_DOUBLE_EQ(m.mean_rdp(), 2.0);
+}
+
+TEST(Metrics, DuplicateDeliveryIgnored) {
+  Metrics m = make_metrics();
+  m.on_lookup_issued(1, seconds(30), 0, NodeId{0, 1});
+  m.on_lookup_delivered(1, seconds(31), true, milliseconds(10));
+  m.on_lookup_delivered(1, seconds(32), false, 0);  // dup: ignored
+  EXPECT_EQ(m.lookups_delivered_correct(), 1u);
+  EXPECT_EQ(m.lookups_delivered_incorrect(), 0u);
+}
+
+TEST(Metrics, LossGraceExcludesInFlight) {
+  Metrics m = make_metrics();
+  m.on_lookup_issued(1, seconds(95), 0, NodeId{0, 1});  // within grace
+  m.on_lookup_issued(2, seconds(50), 0, NodeId{0, 2});  // lost for real
+  m.finalize(seconds(100), seconds(10));
+  EXPECT_EQ(m.lookups_lost(), 1u);
+}
+
+TEST(Metrics, ControlTrafficRatePerNodeSecond) {
+  Metrics m = make_metrics();
+  m.population_change(0, 4);  // 4 nodes throughout
+  // 40 heartbeats + 10 lookups post-warmup over [20, 120] = 400 node-s.
+  for (int i = 0; i < 40; ++i) m.on_message(seconds(30), MsgType::kHeartbeat);
+  for (int i = 0; i < 10; ++i) m.on_message(seconds(40), MsgType::kLookup);
+  m.finalize(seconds(120), 0);
+  EXPECT_NEAR(m.control_traffic_rate(), 40.0 / 400.0, 1e-9);
+  EXPECT_NEAR(m.total_traffic_rate(), 50.0 / 400.0, 1e-9);
+  EXPECT_NEAR(m.control_traffic_rate(TrafficClass::kLeafSetTraffic),
+              40.0 / 400.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.control_traffic_rate(TrafficClass::kRtProbes), 0.0);
+}
+
+TEST(Metrics, SeriesPerWindow) {
+  Metrics m = make_metrics();
+  m.population_change(0, 2);
+  m.on_message(seconds(5), MsgType::kHeartbeat);
+  m.on_message(seconds(15), MsgType::kHeartbeat);
+  m.on_message(seconds(15), MsgType::kRtProbe);
+  auto series = m.control_traffic_series(seconds(20));
+  ASSERT_EQ(series.size(), 2u);
+  // Window 0: 1 msg / (2 nodes * 10 s).
+  EXPECT_DOUBLE_EQ(series[0].value, 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(series[1].value, 2.0 / 20.0);
+  auto rt_series =
+      m.control_traffic_series(TrafficClass::kRtProbes, seconds(20));
+  ASSERT_EQ(rt_series.size(), 2u);
+  EXPECT_DOUBLE_EQ(rt_series[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(rt_series[1].value, 1.0 / 20.0);
+}
+
+TEST(Metrics, AppMessagesCountTowardTotalOnly) {
+  Metrics m = make_metrics();
+  m.population_change(0, 1);
+  m.on_app_message(seconds(30));
+  m.on_app_message(seconds(31));
+  m.finalize(seconds(120), 0);
+  EXPECT_DOUBLE_EQ(m.control_traffic_rate(), 0.0);
+  EXPECT_GT(m.total_traffic_rate(), 0.0);
+}
+
+TEST(Metrics, JoinLatencyTracking) {
+  Metrics m = make_metrics();
+  m.on_join_started(seconds(30));
+  m.on_join_completed(seconds(42), seconds(12));
+  EXPECT_EQ(m.joins_started(), 1u);
+  EXPECT_EQ(m.joins_completed(), 1u);
+  EXPECT_DOUBLE_EQ(m.join_latency_samples().mean(), 12.0);
+}
+
+TEST(TrafficClassification, MatchesPaperBreakdown) {
+  using pastry::traffic_class;
+  EXPECT_EQ(traffic_class(MsgType::kDistanceProbe),
+            TrafficClass::kDistanceProbes);
+  EXPECT_EQ(traffic_class(MsgType::kHeartbeat),
+            TrafficClass::kLeafSetTraffic);
+  EXPECT_EQ(traffic_class(MsgType::kLsProbe), TrafficClass::kLeafSetTraffic);
+  EXPECT_EQ(traffic_class(MsgType::kRtProbe), TrafficClass::kRtProbes);
+  EXPECT_EQ(traffic_class(MsgType::kAck), TrafficClass::kAcksRetransmits);
+  EXPECT_EQ(traffic_class(MsgType::kJoinRequest), TrafficClass::kJoin);
+  EXPECT_EQ(traffic_class(MsgType::kNnRequest), TrafficClass::kJoin);
+  EXPECT_EQ(traffic_class(MsgType::kLookup), TrafficClass::kLookups);
+  EXPECT_TRUE(pastry::is_control(MsgType::kAck));
+  EXPECT_FALSE(pastry::is_control(MsgType::kLookup));
+}
+
+}  // namespace
+}  // namespace mspastry::overlay

@@ -1,0 +1,177 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/corpnet.hpp"
+#include "net/transit_stub.hpp"
+
+namespace mspastry::net {
+namespace {
+
+struct TestPacket final : Packet {
+  explicit TestPacket(int v) : value(v) {}
+  int value;
+};
+
+struct Fixture {
+  Simulator sim;
+  std::shared_ptr<Topology> topo =
+      std::make_shared<TransitStubTopology>(TransitStubParams::scaled(2, 2, 3));
+  Rng rng{99};
+
+  Network make(NetworkConfig cfg = {}) { return Network(sim, topo, cfg, 5); }
+};
+
+TEST(Network, DeliversWithTopologyDelay) {
+  Fixture f;
+  Network net = f.make();
+  const Address a = net.attach_random(f.rng);
+  const Address b = net.attach_random(f.rng);
+  int got = 0;
+  SimTime at = -1;
+  net.bind(b, [&](Address from, const PacketPtr& p) {
+    EXPECT_EQ(from, a);
+    got = static_cast<const TestPacket&>(*p).value;
+    at = f.sim.now();
+  });
+  net.send(a, b, std::make_shared<TestPacket>(42));
+  f.sim.run_to_completion();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(at, net.delay(a, b));
+}
+
+TEST(Network, DelayIncludesLanLinks) {
+  Fixture f;
+  NetworkConfig cfg;
+  cfg.lan_delay = milliseconds(1);
+  Network net = f.make(cfg);
+  const Address a = net.attach(net.topology().router_count() - 1);
+  const Address b = net.attach(net.topology().router_count() - 2);
+  EXPECT_EQ(net.delay(a, b),
+            f.topo->delay(net.router_of(a), net.router_of(b)) +
+                2 * milliseconds(1));
+  EXPECT_EQ(net.rtt(a, b), 2 * net.delay(a, b));
+}
+
+TEST(Network, SelfDelayZeroButDeliveryTakesATick) {
+  Fixture f;
+  Network net = f.make();
+  const Address a = net.attach_random(f.rng);
+  EXPECT_EQ(net.delay(a, a), 0);
+  bool got = false;
+  net.bind(a, [&](Address, const PacketPtr&) { got = true; });
+  net.send(a, a, std::make_shared<TestPacket>(1));
+  EXPECT_FALSE(got);  // not synchronous
+  f.sim.run_to_completion();
+  EXPECT_TRUE(got);
+}
+
+TEST(Network, UnboundEndpointLosesPackets) {
+  Fixture f;
+  Network net = f.make();
+  const Address a = net.attach_random(f.rng);
+  const Address b = net.attach_random(f.rng);
+  int got = 0;
+  net.bind(b, [&](Address, const PacketPtr&) { ++got; });
+  net.send(a, b, std::make_shared<TestPacket>(1));
+  f.sim.run_to_completion();
+  EXPECT_EQ(got, 1);
+  // Unbind (node failure): in-flight and future packets are lost.
+  net.send(a, b, std::make_shared<TestPacket>(2));
+  net.unbind(b);
+  net.send(a, b, std::make_shared<TestPacket>(3));
+  f.sim.run_to_completion();
+  EXPECT_EQ(got, 1);
+  EXPECT_FALSE(net.bound(b));
+}
+
+TEST(Network, UniformLossRateStatistics) {
+  Fixture f;
+  NetworkConfig cfg;
+  cfg.loss_rate = 0.20;
+  Network net = f.make(cfg);
+  const Address a = net.attach_random(f.rng);
+  const Address b = net.attach_random(f.rng);
+  int got = 0;
+  net.bind(b, [&](Address, const PacketPtr&) { ++got; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) net.send(a, b, std::make_shared<TestPacket>(i));
+  f.sim.run_to_completion();
+  EXPECT_NEAR(static_cast<double>(got) / n, 0.80, 0.03);
+  EXPECT_EQ(net.packets_sent(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(net.packets_lost() + net.packets_delivered(),
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Network, ZeroLossDeliversEverything) {
+  Fixture f;
+  Network net = f.make();
+  const Address a = net.attach_random(f.rng);
+  const Address b = net.attach_random(f.rng);
+  int got = 0;
+  net.bind(b, [&](Address, const PacketPtr&) { ++got; });
+  for (int i = 0; i < 1000; ++i) {
+    net.send(a, b, std::make_shared<TestPacket>(i));
+  }
+  f.sim.run_to_completion();
+  EXPECT_EQ(got, 1000);
+}
+
+TEST(Network, JitterBoundsDeliveryTime) {
+  Fixture f;
+  NetworkConfig cfg;
+  cfg.jitter_fraction = 0.2;
+  Network net = f.make(cfg);
+  const Address a = net.attach_random(f.rng);
+  const Address b = net.attach_random(f.rng);
+  const SimDuration nominal = net.delay(a, b);
+  std::vector<SimTime> arrivals;
+  net.bind(b, [&](Address, const PacketPtr&) {
+    arrivals.push_back(f.sim.now());
+  });
+  SimTime base = f.sim.now();
+  for (int i = 0; i < 200; ++i) {
+    net.send(a, b, std::make_shared<TestPacket>(i));
+  }
+  f.sim.run_to_completion();
+  ASSERT_EQ(arrivals.size(), 200u);
+  bool varied = false;
+  for (const SimTime t : arrivals) {
+    const SimDuration d = t - base;
+    EXPECT_GE(d, static_cast<SimDuration>(nominal * 0.79));
+    EXPECT_LE(d, static_cast<SimDuration>(nominal * 1.21));
+    if (d != nominal) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Network, AttachRandomUsesOnlyAttachableRouters) {
+  Fixture f;
+  Network net = f.make();
+  const auto& ts = static_cast<const TransitStubTopology&>(*f.topo);
+  for (int i = 0; i < 100; ++i) {
+    const Address a = net.attach_random(f.rng);
+    EXPECT_GE(net.router_of(a), ts.transit_router_count());
+  }
+}
+
+TEST(Network, OrderingPreservedBetweenSamePair) {
+  // Without jitter, packets between the same pair arrive in send order.
+  Fixture f;
+  Network net = f.make();
+  const Address a = net.attach_random(f.rng);
+  const Address b = net.attach_random(f.rng);
+  std::vector<int> order;
+  net.bind(b, [&](Address, const PacketPtr& p) {
+    order.push_back(static_cast<const TestPacket&>(*p).value);
+  });
+  for (int i = 0; i < 50; ++i) net.send(a, b, std::make_shared<TestPacket>(i));
+  f.sim.run_to_completion();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace mspastry::net

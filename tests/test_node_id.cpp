@@ -1,0 +1,215 @@
+#include "common/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mspastry {
+namespace {
+
+TEST(U128, AdditionCarries) {
+  const U128 a{0, UINT64_MAX};
+  const U128 b{0, 1};
+  const U128 s = a + b;
+  EXPECT_EQ(s.hi, 1u);
+  EXPECT_EQ(s.lo, 0u);
+}
+
+TEST(U128, SubtractionBorrows) {
+  const U128 a{1, 0};
+  const U128 b{0, 1};
+  const U128 d = a - b;
+  EXPECT_EQ(d.hi, 0u);
+  EXPECT_EQ(d.lo, UINT64_MAX);
+}
+
+TEST(U128, WrapsModulo2To128) {
+  const U128 max = kU128Max;
+  const U128 one{0, 1};
+  EXPECT_EQ(max + one, (U128{0, 0}));
+  EXPECT_EQ(U128{} - one, max);
+}
+
+TEST(U128, ShiftRight) {
+  const U128 v{0x8000000000000000ull, 0};
+  EXPECT_EQ(v >> 127, (U128{0, 1}));
+  EXPECT_EQ(v >> 64, (U128{0, 0x8000000000000000ull}));
+  EXPECT_EQ(v >> 0, v);
+  const U128 mixed{0x1, 0x8000000000000000ull};
+  EXPECT_EQ(mixed >> 1, (U128{0, 0xc000000000000000ull}));
+}
+
+TEST(U128, ShiftLeft) {
+  const U128 one{0, 1};
+  EXPECT_EQ(one << 127, (U128{0x8000000000000000ull, 0}));
+  EXPECT_EQ(one << 64, (U128{1, 0}));
+  EXPECT_EQ(one << 0, one);
+}
+
+TEST(U128, Ordering) {
+  EXPECT_LT((U128{0, 5}), (U128{1, 0}));
+  EXPECT_LT((U128{3, 10}), (U128{3, 11}));
+  EXPECT_EQ((U128{2, 2}), (U128{2, 2}));
+}
+
+TEST(U128, ToDoubleMagnitude) {
+  EXPECT_DOUBLE_EQ((U128{0, 1000}).to_double(), 1000.0);
+  // 2^64 as hi=1.
+  EXPECT_DOUBLE_EQ((U128{1, 0}).to_double(), 18446744073709551616.0);
+}
+
+TEST(NodeId, StringRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const NodeId id = rng.node_id();
+    EXPECT_EQ(NodeId::from_string(id.to_string()), id);
+  }
+}
+
+TEST(NodeId, FromStringShortPadsLeft) {
+  EXPECT_EQ(NodeId::from_string("ff"), (NodeId{0, 0xff}));
+  EXPECT_EQ(NodeId::from_string("0"), (NodeId{0, 0}));
+}
+
+TEST(NodeId, FromStringRejectsBadInput) {
+  EXPECT_THROW(NodeId::from_string(""), std::invalid_argument);
+  EXPECT_THROW(NodeId::from_string(std::string(33, 'a')),
+               std::invalid_argument);
+  EXPECT_THROW(NodeId::from_string("xyz"), std::invalid_argument);
+}
+
+TEST(NodeId, HashOfIsDeterministicAndSpreads) {
+  EXPECT_EQ(NodeId::hash_of("foo"), NodeId::hash_of("foo"));
+  EXPECT_NE(NodeId::hash_of("foo"), NodeId::hash_of("bar"));
+  EXPECT_NE(NodeId::hash_of("foo"), NodeId::hash_of("foo "));
+}
+
+TEST(NodeId, ClockwiseDistance) {
+  const NodeId a{0, 10};
+  const NodeId b{0, 25};
+  EXPECT_EQ(a.clockwise_distance_to(b), (U128{0, 15}));
+  // Wrap-around: from b back to a goes almost all the way around.
+  EXPECT_EQ(b.clockwise_distance_to(a), (U128{} - U128{0, 15}));
+}
+
+TEST(NodeId, RingDistanceIsSymmetricMin) {
+  const NodeId a{0, 10};
+  const NodeId b{0, 25};
+  EXPECT_EQ(a.ring_distance_to(b), (U128{0, 15}));
+  EXPECT_EQ(b.ring_distance_to(a), (U128{0, 15}));
+  // Antipodal-ish pair wraps.
+  const NodeId top{0x8000000000000000ull, 0};
+  const NodeId zero{0, 0};
+  EXPECT_EQ(top.ring_distance_to(zero), (U128{0x8000000000000000ull, 0}));
+}
+
+TEST(NodeId, CloserToBreaksTiesDeterministically) {
+  // a and b are equidistant from k; exactly one must win.
+  const NodeId k{0, 100};
+  const NodeId a{0, 90};
+  const NodeId b{0, 110};
+  EXPECT_EQ(a.ring_distance_to(k), b.ring_distance_to(k));
+  EXPECT_NE(a.closer_to(k, b), b.closer_to(k, a));
+}
+
+TEST(NodeId, CloserToPrefersSmallerDistance) {
+  const NodeId k{0, 100};
+  const NodeId near{0, 99};
+  const NodeId far{0, 200};
+  EXPECT_TRUE(near.closer_to(k, far));
+  EXPECT_FALSE(far.closer_to(k, near));
+}
+
+// --- Digit extraction across all b values (property sweep) -----------------
+
+class DigitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitTest, DigitCountCoversAllBits) {
+  const int b = GetParam();
+  const int n = NodeId::digit_count(b);
+  EXPECT_GE(n * b, 128);
+  EXPECT_LT((n - 1) * b, 128);
+}
+
+TEST_P(DigitTest, DigitsReconstructTopBits) {
+  const int b = GetParam();
+  Rng rng(42 + b);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId id = rng.node_id();
+    // Reassemble the id from its digits and compare.
+    U128 acc{};
+    const int n = NodeId::digit_count(b);
+    for (int i = 0; i < n; ++i) {
+      const int high = 128 - i * b;
+      const int low = high - b < 0 ? 0 : high - b;
+      acc = acc + (U128{0, id.digit(i, b)} << low);
+    }
+    EXPECT_EQ(acc, id.value()) << "b=" << b;
+  }
+}
+
+TEST_P(DigitTest, DigitsAreInRange) {
+  const int b = GetParam();
+  Rng rng(7 + b);
+  const NodeId id = rng.node_id();
+  for (int i = 0; i < NodeId::digit_count(b); ++i) {
+    EXPECT_LT(id.digit(i, b), 1u << b);
+  }
+}
+
+TEST_P(DigitTest, SharedPrefixIsConsistentWithDigits) {
+  const int b = GetParam();
+  Rng rng(13 + b);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId x = rng.node_id();
+    const NodeId y = rng.node_id();
+    const int p = x.shared_prefix_length(y, b);
+    for (int i = 0; i < p; ++i) EXPECT_EQ(x.digit(i, b), y.digit(i, b));
+    if (p < NodeId::digit_count(b)) {
+      EXPECT_NE(x.digit(p, b), y.digit(p, b));
+    }
+  }
+}
+
+TEST_P(DigitTest, SharedPrefixOfSelfIsFull) {
+  const int b = GetParam();
+  Rng rng(99);
+  const NodeId id = rng.node_id();
+  EXPECT_EQ(id.shared_prefix_length(id, b), NodeId::digit_count(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllB, DigitTest, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+// --- Ring-distance properties (randomized) ---------------------------------
+
+TEST(NodeIdProperty, RingDistanceTriangleInequalityOnRing) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = rng.node_id();
+    const NodeId b = rng.node_id();
+    const NodeId c = rng.node_id();
+    const U128 ab = a.ring_distance_to(b);
+    const U128 bc = b.ring_distance_to(c);
+    const U128 ac = a.ring_distance_to(c);
+    const U128 sum = ab + bc;
+    // Each distance is <= 2^127, so the sum overflows 2^128 only when both
+    // are maximal; treat an overflowed sum as "at least 2^128" (>= ac).
+    const bool overflowed = sum < ab;
+    EXPECT_TRUE(overflowed || ac <= sum);
+  }
+}
+
+TEST(NodeIdProperty, ClockwisePlusCounterClockwiseIsFullRing) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = rng.node_id();
+    const NodeId b = rng.node_id();
+    if (a == b) continue;
+    const U128 cw = a.clockwise_distance_to(b);
+    const U128 ccw = b.clockwise_distance_to(a);
+    EXPECT_EQ(cw + ccw, U128{});  // sums to 2^128 == 0 (mod 2^128)
+  }
+}
+
+}  // namespace
+}  // namespace mspastry

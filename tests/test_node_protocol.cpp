@@ -1,0 +1,506 @@
+// Fine-grained protocol tests driving a single PastryNode through a
+// scripted environment: the Figure-2 rules, probe retry sequences,
+// suppression evidence, exclusion semantics, and buffering, pinned down
+// message by message.
+
+#include <gtest/gtest.h>
+
+#include "mock_env.hpp"
+
+namespace mspastry {
+namespace {
+
+using pastry::Config;
+using pastry::LsProbeMsg;
+using pastry::MsgType;
+using pastry::NodeDescriptor;
+using testing::nd;
+using testing::NodeHarness;
+
+const NodeDescriptor kSelf = nd(1000, 0);
+
+// --- Bootstrap & basic state ------------------------------------------------
+
+TEST(NodeProtocol, BootstrapActivatesImmediately) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  EXPECT_TRUE(h.node->active());
+  EXPECT_EQ(h.env.activations(), 1);
+  EXPECT_EQ(h.counters.joins_completed, 1u);
+}
+
+TEST(NodeProtocol, SingletonDeliversOwnLookups) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.node->lookup(NodeId{0, 5}, /*lookup_id=*/42);
+  EXPECT_EQ(h.env.delivered(), std::vector<std::uint64_t>{42});
+}
+
+TEST(NodeProtocol, InactiveNodeBuffersLookups) {
+  NodeHarness h(kSelf);
+  h.node->lookup(NodeId{0, 5}, 42);
+  EXPECT_TRUE(h.env.delivered().empty());
+  EXPECT_EQ(h.node->debug_state().buffered_messages, 1u);
+  h.node->bootstrap();  // activation flushes the buffer
+  EXPECT_EQ(h.env.delivered(), std::vector<std::uint64_t>{42});
+}
+
+// --- LS probe handling (Figure 2) --------------------------------------------
+
+TEST(NodeProtocol, LsProbeInsertsSenderAndIsAnswered) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.env.drain();
+  h.receive_ls_probe(nd(1010, 1));
+  EXPECT_TRUE(h.node->leaf_set().contains(1));
+  const auto replies =
+      h.env.outgoing<LsProbeMsg>(MsgType::kLsProbeReply);
+  ASSERT_EQ(replies.size(), 1u);
+  // The reply carries our leaf set (now containing the sender).
+  ASSERT_EQ(replies[0]->leaf.size(), 1u);
+  EXPECT_EQ(replies[0]->leaf[0].addr, 1);
+}
+
+TEST(NodeProtocol, LsProbeReplyDoesNotTriggerAnotherReply) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.env.drain();
+  h.receive_ls_probe(nd(1010, 1), {}, {}, /*reply=*/true);
+  EXPECT_EQ(h.env.count_outgoing(MsgType::kLsProbeReply), 0);
+  EXPECT_TRUE(h.node->leaf_set().contains(1));
+}
+
+TEST(NodeProtocol, CandidatesFromProbeAreProbedNotInserted) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.env.drain();
+  // Probe from node 1 advertising node 2: node 2 must be probed before
+  // inclusion, never inserted directly (we have not heard from it).
+  h.receive_ls_probe(nd(1010, 1), {nd(1020, 2)});
+  EXPECT_FALSE(h.node->leaf_set().contains(2));
+  int probes_to_2 = 0;
+  for (const auto& s : h.env.drain()) {
+    if (s.to == 2 && s.msg->type == MsgType::kLsProbe) ++probes_to_2;
+  }
+  EXPECT_EQ(probes_to_2, 1);
+}
+
+TEST(NodeProtocol, ProbedCandidateJoinsLeafSetOnReply) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1010, 1), {nd(1020, 2)});
+  h.env.drain();
+  h.receive_ls_probe(nd(1020, 2), {}, {}, /*reply=*/true);
+  EXPECT_TRUE(h.node->leaf_set().contains(2));
+}
+
+TEST(NodeProtocol, FailedSetMemberIsRemovedAndConfirmProbed) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  // Learn node 2 directly first.
+  h.receive_ls_probe(nd(1020, 2));
+  ASSERT_TRUE(h.node->leaf_set().contains(2));
+  h.env.drain();
+  // Node 1 announces node 2 failed: we must drop it from the leaf set and
+  // probe it to confirm (false-positive recovery).
+  h.receive_ls_probe(nd(1010, 1), {}, {nd(1020, 2)});
+  EXPECT_FALSE(h.node->leaf_set().contains(2));
+  int confirm = 0;
+  for (const auto& s : h.env.drain()) {
+    if (s.to == 2 && s.msg->type == MsgType::kLsProbe) ++confirm;
+  }
+  EXPECT_EQ(confirm, 1);
+}
+
+TEST(NodeProtocol, FalsePositiveRecoversWhenNodeAnswers) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1020, 2));
+  h.receive_ls_probe(nd(1010, 1), {}, {nd(1020, 2)});
+  EXPECT_FALSE(h.node->leaf_set().contains(2));
+  // Node 2 answers the confirm probe: it is alive and returns.
+  h.receive_ls_probe(nd(1020, 2), {}, {}, /*reply=*/true);
+  EXPECT_TRUE(h.node->leaf_set().contains(2));
+  EXPECT_EQ(h.node->debug_state().failed_set_size, 0u);
+}
+
+TEST(NodeProtocol, UnconfirmedFailureIsMarkedFaultyAfterRetries) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1020, 2));
+  h.env.drain();
+  h.receive_ls_probe(nd(1010, 1), {}, {nd(1020, 2)});
+  // Confirm probe + max_probe_retries retries, spaced To apart, then the
+  // node is marked faulty.
+  const Config cfg;
+  h.env.run_for((cfg.max_probe_retries + 1) * cfg.t_o + seconds(1));
+  EXPECT_EQ(h.env.marked_faulty(), std::vector<net::Address>{2});
+  EXPECT_EQ(h.node->debug_state().failed_set_size, 1u);
+  // All three transmissions happened.
+  int probes_to_2 = 0;
+  for (const auto& s : h.env.drain()) {
+    if (s.to == 2 && s.msg->type == MsgType::kLsProbe) ++probes_to_2;
+  }
+  EXPECT_EQ(probes_to_2, 1 + cfg.max_probe_retries);
+}
+
+TEST(NodeProtocol, FailedNodesAreNotProbedAgain) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1020, 2));
+  h.receive_ls_probe(nd(1010, 1), {}, {nd(1020, 2)});
+  const Config cfg;
+  h.env.run_for((cfg.max_probe_retries + 1) * cfg.t_o + seconds(1));
+  h.env.drain();
+  // Another announcement of the same failure: already in failed set, no
+  // further probes to 2.
+  h.receive_ls_probe(nd(1010, 1), {nd(1020, 2)}, {nd(1020, 2)});
+  for (const auto& s : h.env.drain()) {
+    EXPECT_NE(s.to, 2);
+  }
+}
+
+// --- Heartbeats and the right-neighbour watch --------------------------------
+
+TEST(NodeProtocol, HeartbeatGoesToLeftNeighbourOnly) {
+  Config cfg;
+  NodeHarness h(kSelf, cfg);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1010, 1));  // right neighbour (successor)
+  h.receive_ls_probe(nd(990, 2));   // left neighbour (predecessor)
+  h.env.drain();
+  // Two full periods: the first tick may be suppressed by the probe
+  // replies we just sent.
+  h.env.run_for(2 * cfg.t_ls + seconds(2));
+  int to_left = 0;
+  int to_right = 0;
+  for (const auto& s : h.env.drain()) {
+    if (s.msg->type != MsgType::kHeartbeat) continue;
+    to_left += s.to == 2;
+    to_right += s.to == 1;
+  }
+  EXPECT_GE(to_left, 1);
+  EXPECT_EQ(to_right, 0);
+}
+
+TEST(NodeProtocol, HeartbeatSuppressedByRecentTraffic) {
+  Config cfg;
+  NodeHarness h(kSelf, cfg);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(990, 2));  // left neighbour
+  // Keep the link warm: a probe FROM them every 10 s makes us reply,
+  // which counts as recent send and suppresses our heartbeat.
+  for (int i = 0; i < 12; ++i) {
+    h.env.run_for(seconds(10));
+    h.receive_ls_probe(nd(990, 2));
+  }
+  int heartbeats = 0;
+  for (const auto& s : h.env.drain()) {
+    heartbeats += s.msg->type == MsgType::kHeartbeat;
+  }
+  EXPECT_EQ(heartbeats, 0);
+  EXPECT_GT(h.counters.heartbeats_suppressed, 0u);
+}
+
+TEST(NodeProtocol, SilentRightNeighbourGetsSuspected) {
+  Config cfg;
+  NodeHarness h(kSelf, cfg);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1010, 1));  // right neighbour
+  h.env.drain();
+  // Silence for Tls + To + slack: the watch must probe it; with no reply
+  // it is eventually marked faulty.
+  h.env.run_for(cfg.t_ls + cfg.t_o + cfg.t_ls + seconds(1));
+  EXPECT_GT(h.counters.ls_probes_suspect, 0u);
+  h.env.run_for((cfg.max_probe_retries + 1) * cfg.t_o + seconds(1));
+  EXPECT_FALSE(h.node->leaf_set().contains(1));
+}
+
+TEST(NodeProtocol, ChattyRightNeighbourIsNotSuspected) {
+  Config cfg;
+  NodeHarness h(kSelf, cfg);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1010, 1));
+  for (int i = 0; i < 10; ++i) {
+    h.env.run_for(seconds(20));
+    auto hb = std::make_shared<pastry::HeartbeatMsg>();
+    h.receive(nd(1010, 1), std::move(hb));
+  }
+  EXPECT_EQ(h.counters.ls_probes_suspect, 0u);
+  EXPECT_TRUE(h.node->leaf_set().contains(1));
+}
+
+// --- Lookup routing, acks, exclusion -----------------------------------------
+
+TEST(NodeProtocol, ReceivedLookupIsAcked) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.env.drain();
+  auto m = std::make_shared<pastry::LookupMsg>();
+  m->key = NodeId{0, 999};
+  m->lookup_id = 7;
+  m->hop_seq = 1234;
+  m->wants_ack = true;
+  m->source = nd(500, 9);
+  h.receive(nd(500, 9), std::move(m));
+  const auto acks = h.env.outgoing<pastry::AckMsg>(MsgType::kAck);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0]->hop_seq, 1234u);
+  EXPECT_EQ(h.env.delivered(), std::vector<std::uint64_t>{7});
+}
+
+TEST(NodeProtocol, NoAckWhenLookupOptsOut) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.env.drain();
+  auto m = std::make_shared<pastry::LookupMsg>();
+  m->key = NodeId{0, 999};
+  m->lookup_id = 7;
+  m->wants_ack = false;
+  m->source = nd(500, 9);
+  h.receive(nd(500, 9), std::move(m));
+  EXPECT_EQ(h.env.count_outgoing(MsgType::kAck), 0);
+  EXPECT_EQ(h.env.delivered(), std::vector<std::uint64_t>{7});
+}
+
+TEST(NodeProtocol, ForwardedLookupAwaitsAckThenSettles) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(2000, 1));
+  h.env.drain();
+  h.node->lookup(NodeId{0, 2001}, 7);  // closest is node 1
+  auto sent = h.env.drain();
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].to, 1);
+  EXPECT_EQ(h.node->debug_state().pending_acks, 1u);
+  auto ack = std::make_shared<pastry::AckMsg>();
+  ack->hop_seq =
+      static_cast<const pastry::LookupMsg&>(*sent[0].msg).hop_seq;
+  h.receive(nd(2000, 1), std::move(ack));
+  EXPECT_EQ(h.node->debug_state().pending_acks, 0u);
+}
+
+TEST(NodeProtocol, AckTimeoutRetransmitsOnceThenExcludes) {
+  Config cfg;  // defaults: 1 retransmit, exclude-root on
+  NodeHarness h(kSelf, cfg);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(2000, 1));
+  h.env.drain();
+  h.node->lookup(NodeId{0, 2001}, 7);
+  // First transmission + one retransmit to the same destination.
+  h.env.run_for(seconds(8));
+  int lookups_to_1 = 0;
+  for (const auto& s : h.env.drain()) {
+    lookups_to_1 += s.to == 1 && s.msg->type == MsgType::kLookup;
+  }
+  EXPECT_EQ(lookups_to_1, 2);
+  EXPECT_GE(h.counters.ack_timeouts, 2u);
+  // After exclusion the local node is the closest live candidate: the
+  // lookup is delivered here, and the dead node ends up marked faulty.
+  EXPECT_EQ(h.env.delivered(), std::vector<std::uint64_t>{7});
+  h.env.run_for(seconds(12));
+  EXPECT_FALSE(h.node->leaf_set().contains(1));
+}
+
+TEST(NodeProtocol, ConsistencyModeRetransmitsUntilProbeSettles) {
+  Config cfg;
+  cfg.exclude_root_on_ack_timeout = false;  // consistency over latency
+  NodeHarness h(kSelf, cfg);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(2000, 1));
+  h.env.drain();
+  h.node->lookup(NodeId{0, 2001}, 7);
+  h.env.run_for(seconds(2));
+  // Not delivered locally while the closer node is merely excluded.
+  EXPECT_TRUE(h.env.delivered().empty());
+  // Once the probe sequence marks it faulty, the lookup lands here.
+  h.env.run_for(seconds(30));
+  EXPECT_EQ(h.env.delivered(), std::vector<std::uint64_t>{7});
+}
+
+TEST(NodeProtocol, HearingFromExcludedNodeLiftsExclusion) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(2000, 1));
+  h.env.drain();
+  h.node->lookup(NodeId{0, 2001}, 7);
+  h.env.run_for(seconds(8));  // timeout + retransmit + exclusion
+  EXPECT_GT(h.node->debug_state().excluded_size, 0u);
+  h.receive_ls_probe(nd(2000, 1), {}, {}, /*reply=*/true);
+  EXPECT_EQ(h.node->debug_state().excluded_size, 0u);
+}
+
+// --- Routing-table liveness probing + suppression ------------------------------
+
+TEST(NodeProtocol, RtProbeIsAnswered) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.env.drain();
+  h.receive(nd(77, 5), std::make_shared<pastry::RtProbeMsg>(false));
+  EXPECT_EQ(h.env.count_outgoing(MsgType::kRtProbeReply), 1);
+}
+
+TEST(NodeProtocol, DistanceProbeEchoesSequence) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.env.drain();
+  auto p = std::make_shared<pastry::DistanceProbeMsg>(false);
+  p->seq = 555;
+  h.receive(nd(77, 5), std::move(p));
+  const auto replies =
+      h.env.outgoing<pastry::DistanceProbeMsg>(MsgType::kDistanceProbeReply);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0]->seq, 555u);
+}
+
+TEST(NodeProtocol, DistanceReportSeedsRoutingTable) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  // A peer measured its RTT to us and reports it (symmetric probing): we
+  // adopt it into the routing table with that distance.
+  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  rep->rtt = milliseconds(12);
+  const NodeDescriptor peer{NodeId{0x5000000000000000ull, 0}, 5};
+  h.receive(peer, std::move(rep));
+  EXPECT_TRUE(h.node->routing_table().contains(5));
+  const auto* e = h.node->routing_table().find(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->rtt, milliseconds(12));
+}
+
+TEST(NodeProtocol, RtRowRequestReturnsRow) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  rep->rtt = milliseconds(5);
+  const NodeDescriptor peer{NodeId{0x5000000000000000ull, 0}, 5};
+  h.receive(peer, std::move(rep));
+  h.env.drain();
+  auto req = std::make_shared<pastry::RtRowRequestMsg>();
+  const auto [row, col] =
+      h.node->routing_table().slot_of(peer.id);
+  (void)col;
+  req->row = row;
+  h.receive(nd(77, 9), std::move(req));
+  const auto replies =
+      h.env.outgoing<pastry::RtRowReplyMsg>(MsgType::kRtRowReply);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0]->row, row);
+  ASSERT_EQ(replies[0]->entries.size(), 1u);
+  EXPECT_EQ(replies[0]->entries[0].addr, 5);
+}
+
+// --- Join protocol ------------------------------------------------------------
+
+TEST(NodeProtocol, JoinStartsWithNearestNeighbourProbe) {
+  NodeHarness h(kSelf);
+  h.node->join(nd(5000, 3));
+  EXPECT_FALSE(h.node->active());
+  // First action: a single distance probe to the bootstrap.
+  EXPECT_EQ(h.env.count_outgoing(MsgType::kDistanceProbe), 1);
+  EXPECT_EQ(h.counters.joins_started, 1u);
+}
+
+TEST(NodeProtocol, StaleJoinReplyIgnored) {
+  NodeHarness h(kSelf);
+  h.node->join(nd(5000, 3));
+  auto reply = std::make_shared<pastry::JoinReplyMsg>();
+  reply->join_epoch = 999;  // wrong epoch
+  reply->leaf_set = {nd(900, 4)};
+  h.receive(nd(5000, 3), std::move(reply));
+  // No probes to the advertised leaf member.
+  for (const auto& s : h.env.drain()) {
+    EXPECT_NE(s.to, 4);
+  }
+}
+
+TEST(NodeProtocol, JoinRequestRoutedThroughNodeGainsRows) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  // Give the node one routing-table entry to contribute; it also probes
+  // us into its leaf set (an empty leaf set with a non-empty table would
+  // otherwise trigger the mass-failure delivery guard).
+  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  rep->rtt = milliseconds(5);
+  const NodeDescriptor entry{NodeId{0x7000000000000000ull, 0}, 5};
+  h.receive(entry, std::move(rep));
+  h.receive_ls_probe(entry);
+  h.env.drain();
+  // A join request for a joiner whose id shares no prefix with us: we
+  // contribute row 0 and, being the only node, answer as the root.
+  auto jr = std::make_shared<pastry::JoinRequestMsg>();
+  const NodeDescriptor joiner{NodeId{0x3000000000000000ull, 0}, 8};
+  jr->key = joiner.id;
+  jr->joiner = joiner;
+  jr->join_epoch = 1;
+  jr->wants_ack = false;
+  h.receive(nd(5000, 3), std::move(jr));
+  const auto replies =
+      h.env.outgoing<pastry::JoinReplyMsg>(MsgType::kJoinReply);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_FALSE(replies[0]->rows.empty());
+  EXPECT_EQ(replies[0]->rows[0].first, 0);
+  ASSERT_EQ(replies[0]->rows[0].second.size(), 1u);
+  EXPECT_EQ(replies[0]->rows[0].second[0].addr, 5);
+}
+
+TEST(NodeProtocol, InactiveRootBuffersJoinRequestUntilActive) {
+  NodeHarness h(kSelf);
+  // Not bootstrapped: we are not active.
+  auto jr = std::make_shared<pastry::JoinRequestMsg>();
+  const NodeDescriptor joiner{NodeId{0x3000000000000000ull, 0}, 8};
+  jr->key = joiner.id;
+  jr->joiner = joiner;
+  jr->join_epoch = 1;
+  jr->wants_ack = false;
+  h.receive(nd(5000, 3), std::move(jr));
+  EXPECT_EQ(h.env.count_outgoing(MsgType::kJoinReply), 0);
+  EXPECT_GE(h.node->debug_state().buffered_messages, 1u);
+  h.node->bootstrap();
+  EXPECT_EQ(h.env.count_outgoing(MsgType::kJoinReply), 1);
+}
+
+// --- Self-tuning plumbing -------------------------------------------------------
+
+TEST(NodeProtocol, TrtHintsArePiggybackedOnMessages) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1010, 1));
+  bool found = false;
+  for (const auto& s : h.env.drain()) {
+    if (s.msg->trt_hint_s > 0.0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NodeProtocol, SelfTuningOffSendsNoHints) {
+  Config cfg;
+  cfg.self_tuning = false;
+  NodeHarness h(kSelf, cfg);
+  h.node->bootstrap();
+  h.receive_ls_probe(nd(1010, 1));
+  for (const auto& s : h.env.drain()) {
+    EXPECT_EQ(s.msg->trt_hint_s, 0.0);
+  }
+}
+
+TEST(NodeProtocol, MedianOfGossipedTrtHints) {
+  NodeHarness h(kSelf);
+  h.node->bootstrap();
+  // Three leaf members gossiping hints 100 s, 200 s, 900 s: the median
+  // ends up between the clamps and near 200 s once retune runs.
+  const double hints[] = {100.0, 200.0, 900.0};
+  for (int i = 0; i < 3; ++i) {
+    auto m = std::make_shared<LsProbeMsg>(false);
+    m->trt_hint_s = hints[i];
+    m->sender = nd(1010 + static_cast<std::uint64_t>(i), i + 1);
+    h.node->handle(i + 1, m);
+  }
+  h.env.run_for(minutes(2));  // let a scan tick retune
+  // Own estimate is t_rt_max-ish (no observed failures) so the median of
+  // {own, 100, 200, 900} is one of the middle values.
+  EXPECT_GE(h.node->current_trt_seconds(), 200.0);
+}
+
+}  // namespace
+}  // namespace mspastry

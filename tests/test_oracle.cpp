@@ -1,0 +1,107 @@
+#include "overlay/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mspastry::overlay {
+namespace {
+
+TEST(Oracle, EmptyHasNoRoot) {
+  Oracle o;
+  EXPECT_FALSE(o.root_of(NodeId{1, 2}));
+  EXPECT_EQ(o.active_count(), 0u);
+  Rng rng(1);
+  EXPECT_FALSE(o.random_active(rng));
+}
+
+TEST(Oracle, SingleNodeOwnsEverything) {
+  Oracle o;
+  o.node_activated(NodeId{0, 500}, 7);
+  EXPECT_EQ(*o.root_of(NodeId{0, 0}), 7);
+  EXPECT_EQ(*o.root_of(NodeId{UINT64_MAX, UINT64_MAX}), 7);
+  EXPECT_TRUE(o.is_active(NodeId{0, 500}));
+}
+
+TEST(Oracle, PicksNumericallyClosest) {
+  Oracle o;
+  o.node_activated(NodeId{0, 100}, 1);
+  o.node_activated(NodeId{0, 200}, 2);
+  EXPECT_EQ(*o.root_of(NodeId{0, 120}), 1);
+  EXPECT_EQ(*o.root_of(NodeId{0, 180}), 2);
+  EXPECT_EQ(*o.root_of(NodeId{0, 100}), 1);
+}
+
+TEST(Oracle, WrapsAroundRing) {
+  Oracle o;
+  o.node_activated(NodeId{0, 10}, 1);
+  o.node_activated(NodeId{UINT64_MAX, UINT64_MAX - 5}, 2);
+  // A key just below the top of the ring is closer to node 2; a key at 3
+  // is closer to node 1; a key right at the very top wraps to node 1? No:
+  // distance from top to node1 is ~16, to node2 is 6: node 2 wins.
+  EXPECT_EQ(*o.root_of(NodeId{UINT64_MAX, UINT64_MAX}), 2);
+  EXPECT_EQ(*o.root_of(NodeId{0, 3}), 1);
+}
+
+TEST(Oracle, FailureRemovesNode) {
+  Oracle o;
+  o.node_activated(NodeId{0, 100}, 1);
+  o.node_activated(NodeId{0, 200}, 2);
+  o.node_failed(NodeId{0, 100});
+  EXPECT_EQ(*o.root_of(NodeId{0, 100}), 2);
+  EXPECT_FALSE(o.is_active(NodeId{0, 100}));
+  EXPECT_EQ(o.active_count(), 1u);
+}
+
+TEST(Oracle, RootMatchesBruteForce) {
+  Rng rng(55);
+  Oracle o;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId id = rng.node_id();
+    ids.push_back(id);
+    o.node_activated(id, i);
+  }
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId key = rng.node_id();
+    NodeId best = ids[0];
+    for (const NodeId& id : ids) {
+      if (id.closer_to(key, best)) best = id;
+    }
+    const auto got = o.root_of(key);
+    ASSERT_TRUE(got);
+    // Map the winning id back to its index/address.
+    std::size_t idx = 0;
+    while (ids[idx] != best) ++idx;
+    EXPECT_EQ(*got, static_cast<net::Address>(idx)) << "trial " << trial;
+  }
+}
+
+TEST(Oracle, RandomActiveReturnsActiveNodes) {
+  Rng rng(56);
+  Oracle o;
+  for (int i = 0; i < 20; ++i) o.node_activated(rng.node_id(), i);
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = o.random_active(rng);
+    ASSERT_TRUE(pick);
+    EXPECT_TRUE(o.is_active(pick->first));
+    EXPECT_GE(pick->second, 0);
+    EXPECT_LT(pick->second, 20);
+  }
+}
+
+TEST(Oracle, RandomActiveCoversAllNodesEventually) {
+  Rng rng(57);
+  Oracle o;
+  for (int i = 0; i < 8; ++i) o.node_activated(rng.node_id(), i);
+  std::vector<bool> seen(8, false);
+  for (int i = 0; i < 2000; ++i) {
+    seen[static_cast<std::size_t>(o.random_active(rng)->second)] = true;
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(seen[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace mspastry::overlay

@@ -1,0 +1,220 @@
+#include "pastry/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mspastry::pastry {
+namespace {
+
+// Build an id sharing `prefix` leading hex digits with `base` and then a
+// chosen next digit (b = 4).
+NodeId with_prefix(NodeId base, int prefix, unsigned next_digit) {
+  std::string s = base.to_string();
+  // Change digit at position `prefix` to next_digit; randomise nothing
+  // else (deterministic tests).
+  const char hex[] = "0123456789abcdef";
+  if (s[static_cast<std::size_t>(prefix)] == hex[next_digit]) {
+    // ensure the digit differs from base where required by the caller
+  }
+  s[static_cast<std::size_t>(prefix)] = hex[next_digit];
+  return NodeId::from_string(s);
+}
+
+const NodeId kSelf = NodeId::from_string("5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a");
+
+TEST(RoutingTable, Dimensions) {
+  RoutingTable rt(kSelf, 4);
+  EXPECT_EQ(rt.rows(), 32);
+  EXPECT_EQ(rt.cols(), 16);
+  RoutingTable rt1(kSelf, 1);
+  EXPECT_EQ(rt1.rows(), 128);
+  EXPECT_EQ(rt1.cols(), 2);
+  RoutingTable rt5(kSelf, 5);
+  EXPECT_EQ(rt5.rows(), 26);  // ceil(128/5)
+  EXPECT_EQ(rt5.cols(), 32);
+}
+
+TEST(RoutingTable, SlotOfComputesPrefixAndDigit) {
+  RoutingTable rt(kSelf, 4);
+  // Shares 0 digits: first digit of self is 5; candidate starts with 7.
+  const NodeId c0 = with_prefix(kSelf, 0, 7);
+  EXPECT_EQ(rt.slot_of(c0), (std::pair<int, int>{0, 7}));
+  // Shares 3 digits, then digit 0xc.
+  const NodeId c3 = with_prefix(kSelf, 3, 0xc);
+  EXPECT_EQ(rt.slot_of(c3), (std::pair<int, int>{3, 0xc}));
+  // Identical id.
+  EXPECT_EQ(rt.slot_of(kSelf).first, -1);
+}
+
+TEST(RoutingTable, AddFillsEmptySlotOnly) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 0, 7), 1};
+  const NodeDescriptor b{with_prefix(kSelf, 0, 7), 2};
+  EXPECT_TRUE(rt.add(a));
+  EXPECT_FALSE(rt.add(b));  // slot taken; plain add never replaces
+  EXPECT_EQ(rt.get(0, 7)->node.addr, 1);
+  EXPECT_EQ(rt.entry_count(), 1u);
+}
+
+TEST(RoutingTable, AddWithRttPnsReplacesOnCloser) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor far{with_prefix(kSelf, 0, 7), 1};
+  const NodeDescriptor near{with_prefix(kSelf, 0, 7), 2};
+  EXPECT_TRUE(rt.add_with_rtt(far, milliseconds(80), true));
+  EXPECT_FALSE(rt.add_with_rtt(near, milliseconds(90), true));  // slower
+  EXPECT_EQ(rt.get(0, 7)->node.addr, 1);
+  EXPECT_TRUE(rt.add_with_rtt(near, milliseconds(20), true));  // faster
+  EXPECT_EQ(rt.get(0, 7)->node.addr, 2);
+  EXPECT_EQ(rt.get(0, 7)->rtt, milliseconds(20));
+  EXPECT_FALSE(rt.contains(1));
+}
+
+TEST(RoutingTable, AddWithRttNoPnsKeepsIncumbent) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 0, 7), 1};
+  const NodeDescriptor b{with_prefix(kSelf, 0, 7), 2};
+  rt.add_with_rtt(a, milliseconds(80), false);
+  EXPECT_FALSE(rt.add_with_rtt(b, milliseconds(20), false));
+  EXPECT_EQ(rt.get(0, 7)->node.addr, 1);
+}
+
+TEST(RoutingTable, AddWithRttReplacesUnmeasuredIncumbent) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 0, 7), 1};
+  const NodeDescriptor b{with_prefix(kSelf, 0, 7), 2};
+  rt.add(a);  // no measurement
+  EXPECT_TRUE(rt.add_with_rtt(b, milliseconds(50), true));
+  EXPECT_EQ(rt.get(0, 7)->node.addr, 2);
+}
+
+TEST(RoutingTable, RefreshOwnRtt) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 0, 7), 1};
+  rt.add_with_rtt(a, milliseconds(80), true);
+  EXPECT_TRUE(rt.add_with_rtt(a, milliseconds(95), true));
+  EXPECT_EQ(rt.get(0, 7)->rtt, milliseconds(95));
+}
+
+TEST(RoutingTable, UpdateRtt) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 0, 7), 1};
+  rt.add(a);
+  rt.update_rtt(1, milliseconds(33));
+  EXPECT_EQ(rt.get(0, 7)->rtt, milliseconds(33));
+  rt.update_rtt(99, milliseconds(1));  // unknown address: no-op
+}
+
+TEST(RoutingTable, RemoveClearsSlotAndIndex) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 0, 7), 1};
+  rt.add(a);
+  EXPECT_TRUE(rt.remove(1));
+  EXPECT_FALSE(rt.remove(1));
+  EXPECT_EQ(rt.get(0, 7), nullptr);
+  EXPECT_FALSE(rt.contains(1));
+  EXPECT_EQ(rt.entry_count(), 0u);
+}
+
+TEST(RoutingTable, FindByAddress) {
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 2, 1), 5};
+  rt.add_with_rtt(a, milliseconds(12), true);
+  const auto* e = rt.find(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->node.id, a.id);
+  EXPECT_EQ(rt.find(6), nullptr);
+}
+
+TEST(RoutingTable, RowEntries) {
+  RoutingTable rt(kSelf, 4);
+  rt.add({with_prefix(kSelf, 1, 0), 1});
+  rt.add({with_prefix(kSelf, 1, 2), 2});
+  rt.add({with_prefix(kSelf, 0, 9), 3});
+  EXPECT_EQ(rt.row_entries(1).size(), 2u);
+  EXPECT_EQ(rt.row_entries(0).size(), 1u);
+  EXPECT_TRUE(rt.row_entries(5).empty());
+  EXPECT_TRUE(rt.row_entries(-1).empty());
+  EXPECT_TRUE(rt.row_entries(999).empty());
+}
+
+TEST(RoutingTable, DeepestRow) {
+  RoutingTable rt(kSelf, 4);
+  EXPECT_EQ(rt.deepest_row(), -1);
+  rt.add({with_prefix(kSelf, 0, 9), 1});
+  EXPECT_EQ(rt.deepest_row(), 0);
+  rt.add({with_prefix(kSelf, 7, 0), 2});
+  EXPECT_EQ(rt.deepest_row(), 7);
+}
+
+TEST(RoutingTable, ForEachVisitsAll) {
+  RoutingTable rt(kSelf, 4);
+  rt.add({with_prefix(kSelf, 0, 1), 1});
+  rt.add({with_prefix(kSelf, 1, 3), 2});
+  rt.add({with_prefix(kSelf, 2, 0xf), 3});
+  int count = 0;
+  rt.for_each([&](int r, int c, const RoutingTable::Entry& e) {
+    ++count;
+    EXPECT_EQ(rt.get(r, c)->node.addr, e.node.addr);
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(RoutingTable, RejectsSecondSlotForSameAddress) {
+  // A node whose id would fit one slot must not be duplicated elsewhere
+  // under the same address.
+  RoutingTable rt(kSelf, 4);
+  const NodeDescriptor a{with_prefix(kSelf, 0, 7), 1};
+  rt.add(a);
+  const NodeDescriptor same_addr{with_prefix(kSelf, 1, 3), 1};
+  EXPECT_FALSE(rt.add(same_addr));
+  EXPECT_FALSE(rt.add_with_rtt(same_addr, milliseconds(1), true));
+  EXPECT_EQ(rt.entry_count(), 1u);
+}
+
+TEST(RoutingTable, GetOutOfRangeIsNull) {
+  RoutingTable rt(kSelf, 4);
+  EXPECT_EQ(rt.get(-1, 0), nullptr);
+  EXPECT_EQ(rt.get(0, -1), nullptr);
+  EXPECT_EQ(rt.get(32, 0), nullptr);
+  EXPECT_EQ(rt.get(0, 16), nullptr);
+}
+
+// Property: every inserted node lands in the slot slot_for computes, and
+// entries always share the row's prefix with self. Parameterized over b.
+class RoutingTablePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingTablePropertyTest, EntriesMatchTheirSlots) {
+  const int b = GetParam();
+  Rng rng(100 + b);
+  const NodeId self = rng.node_id();
+  RoutingTable rt(self, b);
+  for (int i = 0; i < 300; ++i) {
+    const NodeDescriptor d{rng.node_id(), i};
+    rt.add(d);
+  }
+  rt.for_each([&](int r, int c, const RoutingTable::Entry& e) {
+    EXPECT_EQ(self.shared_prefix_length(e.node.id, b), r);
+    EXPECT_EQ(static_cast<int>(e.node.id.digit(r, b)), c);
+    const auto [rr, cc] = slot_for(self, e.node.id, b);
+    EXPECT_EQ(rr, r);
+    EXPECT_EQ(cc, c);
+  });
+}
+
+TEST_P(RoutingTablePropertyTest, SelfColumnStaysEmpty) {
+  const int b = GetParam();
+  Rng rng(200 + b);
+  const NodeId self = rng.node_id();
+  RoutingTable rt(self, b);
+  for (int i = 0; i < 300; ++i) rt.add({rng.node_id(), i});
+  for (int r = 0; r < rt.rows(); ++r) {
+    EXPECT_EQ(rt.get(r, static_cast<int>(self.digit(r, b))), nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllB, RoutingTablePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mspastry::pastry

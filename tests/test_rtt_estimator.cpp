@@ -1,0 +1,69 @@
+#include "pastry/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mspastry::pastry {
+namespace {
+
+Config cfg() { return Config{}; }
+
+TEST(RttEstimator, UnseededUsesInitialRto) {
+  RttEstimator e;
+  EXPECT_FALSE(e.seeded());
+  EXPECT_EQ(e.rto(cfg()), cfg().rto_initial);
+}
+
+TEST(RttEstimator, FirstSampleSeeds) {
+  RttEstimator e;
+  e.sample(milliseconds(40));
+  EXPECT_TRUE(e.seeded());
+  EXPECT_EQ(e.srtt(), milliseconds(40));
+  // RTO = srtt + 4 * rttvar = 40 + 4*20 = 120 ms.
+  EXPECT_EQ(e.rto(cfg()), milliseconds(120));
+}
+
+TEST(RttEstimator, ConvergesToStableRtt) {
+  RttEstimator e;
+  for (int i = 0; i < 100; ++i) e.sample(milliseconds(50));
+  EXPECT_NEAR(static_cast<double>(e.srtt()),
+              static_cast<double>(milliseconds(50)), 1000.0);
+  // Variance decays toward zero; RTO approaches srtt and hits the floor.
+  EXPECT_LE(e.rto(cfg()), milliseconds(60));
+  EXPECT_GE(e.rto(cfg()), cfg().rto_min);
+}
+
+TEST(RttEstimator, RtoFloorIsAggressiveNotTcp) {
+  // The floor is 30 ms (not TCP's 1 s): rapid failover to alternatives.
+  RttEstimator e;
+  for (int i = 0; i < 200; ++i) e.sample(milliseconds(2));
+  EXPECT_EQ(e.rto(cfg()), cfg().rto_min);
+  EXPECT_LT(cfg().rto_min, seconds(1));
+}
+
+TEST(RttEstimator, RtoCappedAtMax) {
+  RttEstimator e;
+  e.sample(seconds(10));
+  EXPECT_EQ(e.rto(cfg()), cfg().rto_max);
+}
+
+TEST(RttEstimator, VarianceTracksJitter) {
+  RttEstimator smooth;
+  RttEstimator jittery;
+  for (int i = 0; i < 50; ++i) {
+    smooth.sample(milliseconds(50));
+    jittery.sample(i % 2 == 0 ? milliseconds(20) : milliseconds(80));
+  }
+  EXPECT_GT(jittery.rto(cfg()), smooth.rto(cfg()));
+}
+
+TEST(RttEstimator, AdaptsToRttIncrease) {
+  RttEstimator e;
+  for (int i = 0; i < 50; ++i) e.sample(milliseconds(20));
+  const SimDuration before = e.rto(cfg());
+  for (int i = 0; i < 50; ++i) e.sample(milliseconds(200));
+  EXPECT_GT(e.rto(cfg()), before);
+  EXPECT_GT(e.srtt(), milliseconds(150));
+}
+
+}  // namespace
+}  // namespace mspastry::pastry

@@ -1,0 +1,195 @@
+#include "pastry/self_tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mspastry::pastry {
+namespace {
+
+// --- Pf(T, mu): per-hop fault probability ----------------------------------
+
+TEST(PFault, ZeroAtZero) {
+  EXPECT_DOUBLE_EQ(selftune::p_fault(0.0, 0.001), 0.0);
+  EXPECT_DOUBLE_EQ(selftune::p_fault(10.0, 0.0), 0.0);
+}
+
+TEST(PFault, MatchesClosedForm) {
+  // Pf = 1 - (1 - e^-x)/x at a few points.
+  const double mu = 1e-3;
+  for (double T : {1.0, 10.0, 100.0, 1000.0}) {
+    const double x = T * mu;
+    const double expected = 1.0 - (1.0 - std::exp(-x)) / x;
+    EXPECT_NEAR(selftune::p_fault(T, mu), expected, 1e-12);
+  }
+}
+
+TEST(PFault, SmallArgumentSeries) {
+  // For tiny T*mu the linearization x/2 must be used (no cancellation).
+  const double p = selftune::p_fault(1e-4, 1e-7);
+  EXPECT_NEAR(p, 1e-4 * 1e-7 / 2.0, 1e-15);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(PFault, MonotoneInTAndMu) {
+  double prev = 0.0;
+  for (double T = 1.0; T < 10000.0; T *= 2.0) {
+    const double p = selftune::p_fault(T, 1e-4);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  prev = 0.0;
+  for (double mu = 1e-6; mu < 1e-1; mu *= 10.0) {
+    const double p = selftune::p_fault(100.0, mu);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PFault, ApproachesOneForHugeWindows) {
+  EXPECT_GT(selftune::p_fault(1e7, 1e-2), 0.99);
+  EXPECT_LE(selftune::p_fault(1e9, 1.0), 1.0);
+}
+
+// --- Expected hops -----------------------------------------------------------
+
+TEST(ExpectedHops, PaperFormula) {
+  // h = (2^b - 1)/2^b * log_{2^b} N.
+  EXPECT_NEAR(selftune::expected_hops(65536.0, 4), 15.0 / 16.0 * 4.0, 1e-9);
+  EXPECT_NEAR(selftune::expected_hops(1024.0, 1), 0.5 * 10.0, 1e-9);
+}
+
+TEST(ExpectedHops, AtLeastOne) {
+  EXPECT_DOUBLE_EQ(selftune::expected_hops(1.0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(selftune::expected_hops(2.0, 4), 1.0);  // formula < 1
+}
+
+TEST(ExpectedHops, GrowsWithNShrinksWithB) {
+  EXPECT_LT(selftune::expected_hops(1000.0, 4),
+            selftune::expected_hops(100000.0, 4));
+  EXPECT_GT(selftune::expected_hops(100000.0, 1),
+            selftune::expected_hops(100000.0, 4));
+}
+
+// --- tune_trt -----------------------------------------------------------------
+
+Config base_config() {
+  Config cfg;
+  cfg.target_raw_loss = 0.05;
+  return cfg;
+}
+
+TEST(TuneTrt, NoFailuresMeansMaxPeriod) {
+  const Config cfg = base_config();
+  EXPECT_DOUBLE_EQ(selftune::tune_trt(cfg, 0.0, 10000.0),
+                   to_seconds(cfg.t_rt_max));
+}
+
+TEST(TuneTrt, HigherFailureRateProbesFaster) {
+  const Config cfg = base_config();
+  const double slow = selftune::tune_trt(cfg, 1e-5, 10000.0);
+  const double fast = selftune::tune_trt(cfg, 1e-3, 10000.0);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(TuneTrt, TighterTargetProbesFaster) {
+  Config loose = base_config();
+  loose.target_raw_loss = 0.05;
+  Config tight = base_config();
+  tight.target_raw_loss = 0.01;
+  const double mu = 1.0 / (30.0 * 60.0);  // 30-minute sessions
+  EXPECT_LT(selftune::tune_trt(tight, mu, 10000.0),
+            selftune::tune_trt(loose, mu, 10000.0));
+}
+
+TEST(TuneTrt, ClampedToBounds) {
+  const Config cfg = base_config();
+  // Absurdly high failure rate: clamp at the floor (retries+1)*To = 9 s.
+  EXPECT_DOUBLE_EQ(selftune::tune_trt(cfg, 1.0, 10000.0),
+                   to_seconds(cfg.t_rt_min));
+  // Minuscule failure rate: cap at the ceiling.
+  EXPECT_DOUBLE_EQ(selftune::tune_trt(cfg, 1e-12, 10000.0),
+                   to_seconds(cfg.t_rt_max));
+}
+
+TEST(TuneTrt, SolutionAchievesTargetRawLoss) {
+  // Reconstruct Lr from the solved Trt and check it hits the target
+  // (when the solution is interior, not clamped).
+  const Config cfg = base_config();
+  const double mu = 1.0 / 3600.0;  // 1-hour sessions
+  const double n = 10000.0;
+  const double trt = selftune::tune_trt(cfg, mu, n);
+  ASSERT_GT(trt, to_seconds(cfg.t_rt_min));
+  ASSERT_LT(trt, to_seconds(cfg.t_rt_max));
+  const double detect = to_seconds(cfg.probe_detect_time());
+  const double h = selftune::expected_hops(n, cfg.b);
+  const double lr =
+      1.0 - (1.0 - selftune::p_fault(to_seconds(cfg.t_ls) + detect, mu)) *
+                std::pow(1.0 - selftune::p_fault(trt + detect, mu), h - 1.0);
+  EXPECT_NEAR(lr, cfg.target_raw_loss, 1e-6);
+}
+
+TEST(TuneTrt, LargerOverlayProbesFaster) {
+  // More hops -> tighter per-hop budget -> shorter period.
+  const Config cfg = base_config();
+  const double mu = 1.0 / 3600.0;
+  EXPECT_LT(selftune::tune_trt(cfg, mu, 100000.0),
+            selftune::tune_trt(cfg, mu, 100.0));
+}
+
+// --- FailureRateEstimator -----------------------------------------------------
+
+TEST(FailureRateEstimator, EmptyIsZero) {
+  FailureRateEstimator est(16);
+  EXPECT_DOUBLE_EQ(est.estimate(seconds(100), 50), 0.0);
+}
+
+TEST(FailureRateEstimator, ZeroStateSizeIsZero) {
+  FailureRateEstimator est(16);
+  est.record_failure(seconds(1));
+  EXPECT_DOUBLE_EQ(est.estimate(seconds(100), 0), 0.0);
+}
+
+TEST(FailureRateEstimator, SteadyFailuresRecoverRate) {
+  // M = 100 nodes failing at mu = 1e-3 /node/s -> one observed failure
+  // every 10 s. Feed exactly that and expect mu back.
+  FailureRateEstimator est(16);
+  const std::size_t m = 100;
+  SimTime t = 0;
+  for (int i = 0; i < 16; ++i) {
+    t += seconds(10);
+    est.record_failure(t);
+  }
+  const double mu = est.estimate(t, m);
+  EXPECT_NEAR(mu, 1e-3, 2e-4);
+}
+
+TEST(FailureRateEstimator, PartialHistoryCountsNowAsFailure) {
+  // With k < K observations the estimate pretends one more failure occurs
+  // now; with a long quiet period the estimate therefore decays.
+  FailureRateEstimator est(16);
+  est.record_join(0);
+  est.record_failure(seconds(10));
+  const double early = est.estimate(seconds(20), 100);
+  const double late = est.estimate(seconds(10000), 100);
+  EXPECT_GT(early, late);
+  EXPECT_GT(late, 0.0);
+}
+
+TEST(FailureRateEstimator, HistoryIsBounded) {
+  FailureRateEstimator est(4);
+  for (int i = 1; i <= 100; ++i) est.record_failure(seconds(i));
+  EXPECT_EQ(est.observed_failures(), 4u);
+}
+
+TEST(FailureRateEstimator, JoinSeedsHistory) {
+  FailureRateEstimator est(16);
+  est.record_join(seconds(5));
+  EXPECT_EQ(est.observed_failures(), 1u);
+  // Estimate works immediately after joining (paper: a node inserts its
+  // join time into the history).
+  EXPECT_GE(est.estimate(seconds(50), 10), 0.0);
+}
+
+}  // namespace
+}  // namespace mspastry::pastry

@@ -1,0 +1,158 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mspastry {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.executed_events(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(seconds(2), [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(seconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringCallbacks) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(seconds(7), [&] { seen = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, seconds(7));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(seconds(2), [&] {
+    sim.schedule_after(seconds(3), [&] { seen = sim.now(); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, seconds(5));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const TimerId id = sim.schedule_at(seconds(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run_to_completion();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int runs = 0;
+  const TimerId id = sim.schedule_at(seconds(1), [&] { ++runs; });
+  sim.run_to_completion();
+  sim.cancel(id);  // must not crash or affect anything
+  sim.cancel(kInvalidTimer);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, CancelFromWithinCallback) {
+  Simulator sim;
+  bool second_ran = false;
+  TimerId second = kInvalidTimer;
+  second = sim.schedule_at(seconds(2), [&] { second_ran = true; });
+  sim.schedule_at(seconds(1), [&] { sim.cancel(second); });
+  sim.run_to_completion();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule_at(seconds(1), [&] { ++runs; });
+  sim.schedule_at(seconds(10), [&] { ++runs; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.now(), seconds(5));
+  sim.run_until(seconds(20));
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(sim.now(), seconds(20));
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(seconds(5), [&] { ran = true; });
+  sim.run_until(seconds(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(seconds(1), chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.executed_events(), 100u);
+  EXPECT_EQ(sim.now(), seconds(99));
+}
+
+TEST(Simulator, PendingEventsCount) {
+  Simulator sim;
+  const TimerId a = sim.schedule_at(seconds(1), [] {});
+  sim.schedule_at(seconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime t = (i * 7919) % 100000;  // pseudo-shuffled times
+    sim.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run_to_completion();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.executed_events(), 10000u);
+}
+
+TEST(SimTime, ConversionHelpers) {
+  EXPECT_EQ(seconds(1.5), 1500000);
+  EXPECT_EQ(milliseconds(2), 2000);
+  EXPECT_EQ(minutes(1), seconds(60));
+  EXPECT_EQ(hours(1), minutes(60));
+  EXPECT_EQ(days(1), hours(24));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_EQ(from_seconds(3.0), seconds(3));
+}
+
+}  // namespace
+}  // namespace mspastry

@@ -1,0 +1,171 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mspastry {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesNaiveOnRandomData) {
+  Rng rng(5);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double sum = 0;
+  for (double x : xs) sum += x;
+  const double mean = sum / xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleSet, QuantilesOnKnownData) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(SampleSet, CdfIsMonotoneAndBounded) {
+  SampleSet s;
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) s.add(rng.uniform(0.0, 10.0));
+  double prev = 0.0;
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    const double f = s.cdf(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(s.cdf(11.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf(-1.0), 0.0);
+}
+
+TEST(SampleSet, CdfPointsCoverRange) {
+  SampleSet s;
+  for (int i = 0; i < 10; ++i) s.add(i);
+  const auto pts = s.cdf_points(10);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_DOUBLE_EQ(pts.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 9.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(SampleSet, MeanOfEmptyIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(WindowedSeries, BinsByWindow) {
+  WindowedSeries w(seconds(10));
+  w.add(seconds(1), 1.0);
+  w.add(seconds(9), 3.0);
+  w.add(seconds(11), 5.0);
+  w.add(seconds(25), 7.0);
+  const auto pts = w.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].start, 0);
+  EXPECT_DOUBLE_EQ(pts[0].sum, 4.0);
+  EXPECT_DOUBLE_EQ(pts[0].count, 2.0);
+  EXPECT_DOUBLE_EQ(pts[0].mean(), 2.0);
+  EXPECT_EQ(pts[1].start, seconds(10));
+  EXPECT_DOUBLE_EQ(pts[1].sum, 5.0);
+  EXPECT_EQ(pts[2].start, seconds(20));
+}
+
+TEST(WindowedSeries, PointsAreChronological) {
+  WindowedSeries w(seconds(1));
+  w.add(seconds(5), 1);
+  w.add(seconds(2), 1);
+  w.add(seconds(8), 1);
+  const auto pts = w.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i - 1].start, pts[i].start);
+  }
+}
+
+TEST(FormatSeries, TabSeparatedRows) {
+  const auto out = format_series("x\ty", {{1.0, 2.0}, {3.0, 4.5}});
+  EXPECT_EQ(out, "x\ty\n1\t2\n3\t4.5\n");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng a(13);
+  Rng b = a.fork();
+  // The fork consumed one draw; a and b should now differ.
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace mspastry

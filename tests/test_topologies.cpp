@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/corpnet.hpp"
+#include "net/hier_as.hpp"
+#include "net/routed_graph.hpp"
+#include "net/transit_stub.hpp"
+
+namespace mspastry::net {
+namespace {
+
+// --- RoutedGraph -----------------------------------------------------------
+
+TEST(RoutedGraph, ShortestPathByWeightNotDelay) {
+  // Two routes 0->2: direct (weight 10, delay 1ms) and via 1 (weight 2,
+  // delay 100ms total). Policy weight must win; the delay charged is the
+  // one of the chosen (heavier-delay) path.
+  RoutedGraph g(3);
+  g.add_link(0, 2, 10.0, milliseconds(1));
+  g.add_link(0, 1, 1.0, milliseconds(50));
+  g.add_link(1, 2, 1.0, milliseconds(50));
+  EXPECT_EQ(g.delay(0, 2), milliseconds(100));
+  EXPECT_EQ(g.hops(0, 2), 2);
+}
+
+TEST(RoutedGraph, SelfDelayIsZero) {
+  RoutedGraph g(2);
+  g.add_link(0, 1, 1.0, milliseconds(5));
+  EXPECT_EQ(g.delay(0, 0), 0);
+  EXPECT_EQ(g.hops(1, 1), 0);
+}
+
+TEST(RoutedGraph, SymmetricDelays) {
+  RoutedGraph g(4);
+  g.add_link(0, 1, 1.0, milliseconds(3));
+  g.add_link(1, 2, 2.0, milliseconds(7));
+  g.add_link(2, 3, 1.0, milliseconds(11));
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(g.delay(a, b), g.delay(b, a)) << a << "," << b;
+    }
+  }
+}
+
+TEST(RoutedGraph, DisconnectedReturnsNever) {
+  RoutedGraph g(3);
+  g.add_link(0, 1, 1.0, milliseconds(1));
+  EXPECT_EQ(g.delay(0, 2), kTimeNever);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(RoutedGraph, ConnectedDetection) {
+  RoutedGraph g(3);
+  g.add_link(0, 1, 1.0, milliseconds(1));
+  g.add_link(1, 2, 1.0, milliseconds(1));
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(RoutedGraph, ParallelLinksPickCheapest) {
+  RoutedGraph g(2);
+  g.add_link(0, 1, 5.0, milliseconds(50));
+  g.add_link(0, 1, 1.0, milliseconds(10));
+  EXPECT_EQ(g.delay(0, 1), milliseconds(10));
+}
+
+// --- Shared topology properties, parameterized over the three families ----
+
+enum class Family { kTransitStub, kHierAS, kCorpNet };
+
+std::shared_ptr<Topology> make_topology(Family f) {
+  switch (f) {
+    case Family::kTransitStub:
+      return std::make_shared<TransitStubTopology>(
+          TransitStubParams::scaled(4, 3, 4));
+    case Family::kHierAS: {
+      HierASParams p;
+      p.autonomous_systems = 20;
+      p.routers_per_as = 8;
+      return std::make_shared<HierASTopology>(p);
+    }
+    case Family::kCorpNet:
+      return std::make_shared<CorpNetTopology>(CorpNetParams{});
+  }
+  return nullptr;
+}
+
+class TopologyTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(TopologyTest, AllPairsReachableAndSymmetric) {
+  auto topo = make_topology(GetParam());
+  const int n = topo->router_count();
+  ASSERT_GT(n, 0);
+  // Spot check a grid of pairs (full n^2 would be slow for nothing).
+  for (int a = 0; a < n; a += n / 17 + 1) {
+    for (int b = 0; b < n; b += n / 13 + 1) {
+      const SimDuration d = topo->delay(a, b);
+      EXPECT_NE(d, kTimeNever) << topo->name();
+      EXPECT_EQ(d, topo->delay(b, a));
+      if (a == b) {
+        EXPECT_EQ(d, 0);
+      } else {
+        EXPECT_GT(d, 0);
+      }
+    }
+  }
+}
+
+TEST_P(TopologyTest, HasAttachableRouters) {
+  auto topo = make_topology(GetParam());
+  int attachable = 0;
+  for (int r = 0; r < topo->router_count(); ++r) {
+    if (topo->attachable(r)) ++attachable;
+  }
+  EXPECT_GT(attachable, 0);
+}
+
+TEST_P(TopologyTest, DeterministicForSameSeed) {
+  auto t1 = make_topology(GetParam());
+  auto t2 = make_topology(GetParam());
+  for (int a = 0; a < t1->router_count(); a += 37) {
+    for (int b = 0; b < t1->router_count(); b += 41) {
+      EXPECT_EQ(t1->delay(a, b), t2->delay(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, TopologyTest,
+                         ::testing::Values(Family::kTransitStub,
+                                           Family::kHierAS,
+                                           Family::kCorpNet));
+
+// --- Family-specific structure ----------------------------------------------
+
+TEST(TransitStub, PaperScaleRouterCount) {
+  // Default parameters reproduce the paper's GATech structure: 5050
+  // routers, 50 of them transit.
+  const TransitStubParams p;
+  EXPECT_EQ(p.transit_domains * p.routers_per_transit_domain, 50);
+  TransitStubTopology topo(p);
+  EXPECT_EQ(topo.router_count(), 5050);
+  EXPECT_EQ(topo.transit_router_count(), 50);
+}
+
+TEST(TransitStub, OnlyStubRoutersAttachable) {
+  TransitStubTopology topo(TransitStubParams::scaled(3, 2, 5));
+  for (int r = 0; r < topo.transit_router_count(); ++r) {
+    EXPECT_FALSE(topo.attachable(r));
+  }
+  for (int r = topo.transit_router_count(); r < topo.router_count(); ++r) {
+    EXPECT_TRUE(topo.attachable(r));
+  }
+}
+
+TEST(TransitStub, GraphIsConnected) {
+  TransitStubTopology topo(TransitStubParams::scaled(3, 2, 5));
+  EXPECT_TRUE(topo.graph().connected());
+}
+
+TEST(TransitStub, StubToStubCrossesTransit) {
+  // Delay between stubs under different transit domains must be at least
+  // one inter-transit link's worth.
+  TransitStubParams p = TransitStubParams::scaled(4, 2, 4);
+  TransitStubTopology topo(p);
+  const int stubs_per_domain = p.routers_per_transit_domain *
+                               p.stub_domains_per_transit_router *
+                               p.routers_per_stub_domain;
+  const int a = topo.transit_router_count();            // domain 0 stub
+  const int b = topo.transit_router_count() + 2 * stubs_per_domain;
+  ASSERT_LT(b, topo.router_count());
+  EXPECT_GE(topo.delay(a, b), from_seconds(p.inter_transit_delay_ms_min /
+                                           1000.0));
+}
+
+TEST(HierAS, HopCountMetric) {
+  HierASParams p;
+  p.autonomous_systems = 10;
+  p.routers_per_as = 5;
+  p.per_hop_delay_ms = 1.0;
+  HierASTopology topo(p);
+  EXPECT_TRUE(topo.graph().connected());
+  // Delay is hops * 1 ms exactly.
+  for (int a = 0; a < topo.router_count(); a += 7) {
+    for (int b = 0; b < topo.router_count(); b += 11) {
+      EXPECT_EQ(topo.delay(a, b),
+                topo.hops(a, b) * milliseconds(1));
+    }
+  }
+}
+
+TEST(HierAS, InterAsPathsMinimiseAsHops) {
+  // Routers in the same AS must be reachable without paying the huge
+  // inter-AS policy weight: their hop count stays below the AS size bound.
+  HierASParams p;
+  p.autonomous_systems = 12;
+  p.routers_per_as = 10;
+  HierASTopology topo(p);
+  for (int as = 0; as < 3; ++as) {
+    const int base = as * p.routers_per_as;
+    for (int i = 1; i < p.routers_per_as; ++i) {
+      EXPECT_LT(topo.hops(base, base + i), p.routers_per_as);
+    }
+  }
+}
+
+TEST(CorpNet, PaperRouterCount) {
+  CorpNetTopology topo(CorpNetParams{});
+  EXPECT_EQ(topo.router_count(), 298);
+  EXPECT_TRUE(topo.graph().connected());
+}
+
+TEST(CorpNet, BimodalDelays) {
+  // Within the first campus delays are sub-~10ms; across campuses they
+  // include a backbone hop (>= backbone_delay_ms_min).
+  CorpNetParams p;
+  CorpNetTopology topo(p);
+  const SimDuration intra = topo.delay(1, 2);
+  EXPECT_LT(intra, milliseconds(30));
+  const SimDuration cross = topo.delay(1, topo.router_count() - 1);
+  EXPECT_GE(cross, from_seconds(p.backbone_delay_ms_min / 1000.0));
+}
+
+}  // namespace
+}  // namespace mspastry::net

@@ -1,0 +1,249 @@
+// mspastry_sim — command-line experiment runner.
+//
+// Runs an MSPastry overlay simulation with a chosen topology, churn trace
+// and protocol configuration, and prints the paper's evaluation metrics
+// (and optionally the windowed time series) as text.
+//
+// Examples:
+//   mspastry_sim --topology gatech --trace gnutella --node-scale 0.1
+//   mspastry_sim --topology corpnet --trace poisson --session-min 30
+//                --population 300 --duration-min 90 --loss 0.05
+//   mspastry_sim --trace-file churn.txt --no-acks --series rdp
+//   mspastry_sim --save-trace churn.txt --trace overnet   (generate only)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "net/corpnet.hpp"
+#include "net/hier_as.hpp"
+#include "net/transit_stub.hpp"
+#include "overlay/driver.hpp"
+#include "trace/churn_generators.hpp"
+
+using namespace mspastry;
+
+namespace {
+
+struct Options {
+  std::string topology = "gatech";  // gatech | mercator | corpnet
+  std::string trace = "gnutella";   // gnutella | overnet | microsoft | poisson
+  std::string trace_file;           // load events instead of generating
+  std::string save_trace;           // write the generated trace and exit
+  double node_scale = 0.1;
+  double time_scale = 0.05;
+  double session_min = 60.0;  // poisson only
+  int population = 300;       // poisson only
+  double duration_min = 90.0; // poisson only
+  double loss = 0.0;
+  double lookup_rate = 0.01;
+  std::uint64_t seed = 7;
+  std::string series;  // "", "rdp", "control", "all"
+  bool no_acks = false;
+  bool no_probing = false;
+  bool no_selftuning = false;
+  bool no_suppression = false;
+  bool no_pns = false;
+  int b = 4;
+  int l = 32;
+  double target_lr = 0.05;
+};
+
+void usage() {
+  std::puts(
+      "mspastry_sim [options]\n"
+      "  --topology gatech|mercator|corpnet   underlying network\n"
+      "  --trace gnutella|overnet|microsoft|poisson\n"
+      "  --trace-file FILE      load churn events (J/F lines) from FILE\n"
+      "  --save-trace FILE      generate the trace, save it, and exit\n"
+      "  --node-scale X         population scale vs the paper (default 0.1)\n"
+      "  --time-scale X         duration scale vs the paper (default 0.05)\n"
+      "  --session-min M        poisson: mean session minutes (default 60)\n"
+      "  --population N         poisson: steady-state nodes (default 300)\n"
+      "  --duration-min M       poisson: trace length (default 90)\n"
+      "  --loss P               network loss probability (default 0)\n"
+      "  --lookup-rate R        lookups/s/node (default 0.01)\n"
+      "  --seed S               RNG seed (default 7)\n"
+      "  --b N --l N            Pastry parameters (default 4, 32)\n"
+      "  --target-lr X          self-tuning raw-loss target (default 0.05)\n"
+      "  --no-acks --no-probing --no-selftuning --no-suppression --no-pns\n"
+      "  --series rdp|control|all   also print windowed time series\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") return false;
+    else if (a == "--topology") { if (!(v = need(i))) return false; o.topology = v; }
+    else if (a == "--trace") { if (!(v = need(i))) return false; o.trace = v; }
+    else if (a == "--trace-file") { if (!(v = need(i))) return false; o.trace_file = v; }
+    else if (a == "--save-trace") { if (!(v = need(i))) return false; o.save_trace = v; }
+    else if (a == "--node-scale") { if (!(v = need(i))) return false; o.node_scale = std::atof(v); }
+    else if (a == "--time-scale") { if (!(v = need(i))) return false; o.time_scale = std::atof(v); }
+    else if (a == "--session-min") { if (!(v = need(i))) return false; o.session_min = std::atof(v); }
+    else if (a == "--population") { if (!(v = need(i))) return false; o.population = std::atoi(v); }
+    else if (a == "--duration-min") { if (!(v = need(i))) return false; o.duration_min = std::atof(v); }
+    else if (a == "--loss") { if (!(v = need(i))) return false; o.loss = std::atof(v); }
+    else if (a == "--lookup-rate") { if (!(v = need(i))) return false; o.lookup_rate = std::atof(v); }
+    else if (a == "--seed") { if (!(v = need(i))) return false; o.seed = std::strtoull(v, nullptr, 10); }
+    else if (a == "--b") { if (!(v = need(i))) return false; o.b = std::atoi(v); }
+    else if (a == "--l") { if (!(v = need(i))) return false; o.l = std::atoi(v); }
+    else if (a == "--target-lr") { if (!(v = need(i))) return false; o.target_lr = std::atof(v); }
+    else if (a == "--series") { if (!(v = need(i))) return false; o.series = v; }
+    else if (a == "--no-acks") o.no_acks = true;
+    else if (a == "--no-probing") o.no_probing = true;
+    else if (a == "--no-selftuning") o.no_selftuning = true;
+    else if (a == "--no-suppression") o.no_suppression = true;
+    else if (a == "--no-pns") o.no_pns = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<net::Topology> make_topology(const Options& o) {
+  if (o.topology == "gatech") {
+    return std::make_shared<net::TransitStubTopology>(
+        net::TransitStubParams::scaled(6, 4, 5));
+  }
+  if (o.topology == "mercator") {
+    net::HierASParams p;
+    p.autonomous_systems = 80;
+    p.routers_per_as = 15;
+    return std::make_shared<net::HierASTopology>(p);
+  }
+  if (o.topology == "corpnet") {
+    return std::make_shared<net::CorpNetTopology>(net::CorpNetParams{});
+  }
+  return nullptr;
+}
+
+trace::ChurnTrace make_trace(const Options& o) {
+  if (!o.trace_file.empty()) {
+    std::ifstream in(o.trace_file);
+    if (!in) throw std::runtime_error("cannot open " + o.trace_file);
+    return trace::ChurnTrace::load(in, o.trace_file);
+  }
+  if (o.trace == "gnutella") {
+    return trace::generate_synthetic(
+        trace::gnutella_params(o.node_scale, o.time_scale, o.seed + 1));
+  }
+  if (o.trace == "overnet") {
+    return trace::generate_synthetic(
+        trace::overnet_params(o.node_scale * 4, o.time_scale, o.seed + 1));
+  }
+  if (o.trace == "microsoft") {
+    return trace::generate_synthetic(
+        trace::microsoft_params(o.node_scale / 5, o.time_scale, o.seed + 1));
+  }
+  if (o.trace == "poisson") {
+    return trace::generate_poisson(minutes(o.duration_min),
+                                   o.session_min * 60.0, o.population,
+                                   o.seed + 1);
+  }
+  throw std::runtime_error("unknown trace: " + o.trace);
+}
+
+void print_series(const char* name,
+                  const std::vector<overlay::Metrics::SeriesPoint>& s) {
+  std::printf("# series: %s (seconds\tvalue)\n", name);
+  for (const auto& p : s) std::printf("%.6g\t%.6g\n", p.t_seconds, p.value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+
+  trace::ChurnTrace churn = make_trace(o);
+  const auto pop = churn.population_stats();
+  std::printf("trace: %s, %d sessions, active %d..%d, %.2f h\n",
+              churn.name().c_str(), churn.session_count(), pop.min_active,
+              pop.max_active, to_seconds(churn.duration()) / 3600.0);
+  if (!o.save_trace.empty()) {
+    std::ofstream out(o.save_trace);
+    churn.save(out);
+    std::printf("trace written to %s\n", o.save_trace.c_str());
+    return 0;
+  }
+
+  auto topology = make_topology(o);
+  if (!topology) {
+    std::fprintf(stderr, "unknown topology: %s\n", o.topology.c_str());
+    return 2;
+  }
+  std::printf("topology: %s (%d routers), loss %.1f%%\n",
+              topology->name().c_str(), topology->router_count(),
+              o.loss * 100);
+
+  net::NetworkConfig ncfg;
+  ncfg.loss_rate = o.loss;
+  ncfg.lan_delay = o.topology == "mercator" ? 0 : milliseconds(1);
+
+  overlay::DriverConfig dcfg;
+  dcfg.lookup_rate_per_node = o.lookup_rate;
+  dcfg.seed = o.seed;
+  dcfg.warmup = std::min<SimDuration>(churn.duration() / 5, hours(1));
+  dcfg.pastry.b = o.b;
+  dcfg.pastry.l = o.l;
+  dcfg.pastry.per_hop_acks = !o.no_acks;
+  dcfg.pastry.active_rt_probing = !o.no_probing;
+  dcfg.pastry.self_tuning = !o.no_selftuning;
+  dcfg.pastry.suppression = !o.no_suppression;
+  dcfg.pastry.pns = !o.no_pns;
+  dcfg.pastry.target_raw_loss = o.target_lr;
+
+  overlay::OverlayDriver driver(topology, ncfg, dcfg);
+  driver.run_trace(churn);
+
+  auto& m = driver.metrics();
+  const auto& c = driver.counters();
+  std::printf("\nresults (post-warmup)\n");
+  std::printf("  lookups issued            %llu\n",
+              (unsigned long long)m.lookups_issued());
+  std::printf("  delivered correctly       %llu\n",
+              (unsigned long long)m.lookups_delivered_correct());
+  std::printf("  incorrect delivery rate   %.3g\n",
+              m.incorrect_delivery_rate());
+  std::printf("  lookup loss rate          %.3g\n", m.loss_rate());
+  std::printf("  RDP mean / median         %.2f / %.2f\n", m.mean_rdp(),
+              m.rdp_samples().quantile(0.5));
+  std::printf("  control traffic           %.3f msgs/s/node\n",
+              m.control_traffic_rate());
+  std::printf("  join latency p50 / p95    %.1f / %.1f s\n",
+              m.join_latency_samples().quantile(0.5),
+              m.join_latency_samples().quantile(0.95));
+  std::printf("  false positives           %llu\n",
+              (unsigned long long)c.false_positives);
+  std::printf("  probes suppressed         %llu of %llu periodic\n",
+              (unsigned long long)c.rt_probes_suppressed,
+              (unsigned long long)(c.rt_probes_suppressed +
+                                   c.rt_probes_periodic));
+  std::printf("  simulator events          %llu\n",
+              (unsigned long long)driver.sim().executed_events());
+
+  if (o.series == "rdp" || o.series == "all") {
+    print_series("RDP", m.rdp_series());
+  }
+  if (o.series == "control" || o.series == "all") {
+    print_series("control traffic (msgs/s/node)",
+                 m.control_traffic_series(churn.duration()));
+  }
+  return 0;
+}

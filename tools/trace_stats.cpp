@@ -1,0 +1,126 @@
+// trace_stats — analyse a churn trace file (or a generated preset):
+// session statistics, population band, and the Figure-3 failure-rate
+// series as tab-separated text.
+//
+//   trace_stats churn.txt
+//   trace_stats --preset gnutella --node-scale 0.1 --time-scale 0.05
+//   trace_stats churn.txt --window-min 30
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "trace/churn_generators.hpp"
+#include "trace/churn_trace.hpp"
+
+using namespace mspastry;
+
+namespace {
+
+void usage() {
+  std::puts(
+      "trace_stats [FILE | --preset gnutella|overnet|microsoft]\n"
+      "  --node-scale X   preset population scale (default 0.1)\n"
+      "  --time-scale X   preset duration scale (default 0.05)\n"
+      "  --seed S         preset RNG seed (default 1)\n"
+      "  --window-min M   failure-rate window (default 10)\n"
+      "  --no-series      statistics only\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string preset;
+  double node_scale = 0.1;
+  double time_scale = 0.05;
+  std::uint64_t seed = 1;
+  double window_min = 10.0;
+  bool series = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (a == "--preset") {
+      const char* v = need();
+      if (!v) return 2;
+      preset = v;
+    } else if (a == "--node-scale") {
+      const char* v = need();
+      if (!v) return 2;
+      node_scale = std::atof(v);
+    } else if (a == "--time-scale") {
+      const char* v = need();
+      if (!v) return 2;
+      time_scale = std::atof(v);
+    } else if (a == "--seed") {
+      const char* v = need();
+      if (!v) return 2;
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--window-min") {
+      const char* v = need();
+      if (!v) return 2;
+      window_min = std::atof(v);
+    } else if (a == "--no-series") {
+      series = false;
+    } else if (!a.empty() && a[0] != '-') {
+      file = a;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  trace::ChurnTrace t;
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    t = trace::ChurnTrace::load(in, file);
+  } else if (preset == "gnutella") {
+    t = trace::generate_synthetic(
+        trace::gnutella_params(node_scale, time_scale, seed));
+  } else if (preset == "overnet") {
+    t = trace::generate_synthetic(
+        trace::overnet_params(node_scale * 4, time_scale, seed));
+  } else if (preset == "microsoft") {
+    t = trace::generate_synthetic(
+        trace::microsoft_params(node_scale / 5, time_scale, seed));
+  } else {
+    usage();
+    return 2;
+  }
+
+  const auto stats = t.session_stats();
+  const auto pop = t.population_stats();
+  std::printf("trace            %s\n", t.name().c_str());
+  std::printf("duration         %.2f h\n", to_seconds(t.duration()) / 3600);
+  std::printf("sessions         %d (%zu completed)\n", t.session_count(),
+              stats.completed_sessions);
+  std::printf("session mean     %.1f min\n", stats.mean_seconds / 60);
+  std::printf("session median   %.1f min\n", stats.median_seconds / 60);
+  std::printf("active nodes     %d..%d (mean %.0f)\n", pop.min_active,
+              pop.max_active, pop.mean_active);
+  if (stats.mean_seconds > 0) {
+    std::printf("failure rate     %.3g /node/s (1/mean-session)\n",
+                1.0 / stats.mean_seconds);
+  }
+  if (series) {
+    std::printf("\n# failure rate series (hours\t/node/s), %g-minute windows\n",
+                window_min);
+    for (const auto& [ts, rate] :
+         t.failure_rate_series(minutes(window_min))) {
+      std::printf("%.4g\t%.4g\n", ts / 3600.0, rate);
+    }
+  }
+  return 0;
+}
