@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_session_times.dir/fig5_session_times.cpp.o"
+  "CMakeFiles/fig5_session_times.dir/fig5_session_times.cpp.o.d"
+  "fig5_session_times"
+  "fig5_session_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_session_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

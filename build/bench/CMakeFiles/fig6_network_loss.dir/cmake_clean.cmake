@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_network_loss.dir/fig6_network_loss.cpp.o"
+  "CMakeFiles/fig6_network_loss.dir/fig6_network_loss.cpp.o.d"
+  "fig6_network_loss"
+  "fig6_network_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_network_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

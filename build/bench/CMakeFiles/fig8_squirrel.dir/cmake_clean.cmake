@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_squirrel.dir/fig8_squirrel.cpp.o"
+  "CMakeFiles/fig8_squirrel.dir/fig8_squirrel.cpp.o.d"
+  "fig8_squirrel"
+  "fig8_squirrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_squirrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_baseline.dir/tab_baseline.cpp.o"
+  "CMakeFiles/tab_baseline.dir/tab_baseline.cpp.o.d"
+  "tab_baseline"
+  "tab_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

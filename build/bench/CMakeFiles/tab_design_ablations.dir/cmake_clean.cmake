@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_design_ablations.dir/tab_design_ablations.cpp.o"
+  "CMakeFiles/tab_design_ablations.dir/tab_design_ablations.cpp.o.d"
+  "tab_design_ablations"
+  "tab_design_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_design_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

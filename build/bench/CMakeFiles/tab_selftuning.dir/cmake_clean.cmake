@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_selftuning.dir/tab_selftuning.cpp.o"
+  "CMakeFiles/tab_selftuning.dir/tab_selftuning.cpp.o.d"
+  "tab_selftuning"
+  "tab_selftuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_selftuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_suppression.dir/tab_suppression.cpp.o"
+  "CMakeFiles/tab_suppression.dir/tab_suppression.cpp.o.d"
+  "tab_suppression"
+  "tab_suppression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_suppression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

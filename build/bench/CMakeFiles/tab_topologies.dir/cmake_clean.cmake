@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_topologies.dir/tab_topologies.cpp.o"
+  "CMakeFiles/tab_topologies.dir/tab_topologies.cpp.o.d"
+  "tab_topologies"
+  "tab_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_observatory.dir/churn_observatory.cpp.o"
+  "CMakeFiles/churn_observatory.dir/churn_observatory.cpp.o.d"
+  "churn_observatory"
+  "churn_observatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_observatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

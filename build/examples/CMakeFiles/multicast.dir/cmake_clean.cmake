@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast.dir/multicast.cpp.o"
+  "CMakeFiles/multicast.dir/multicast.cpp.o.d"
+  "multicast"
+  "multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_apps.dir/kv_store.cpp.o"
+  "CMakeFiles/mspastry_apps.dir/kv_store.cpp.o.d"
+  "CMakeFiles/mspastry_apps.dir/multicast.cpp.o"
+  "CMakeFiles/mspastry_apps.dir/multicast.cpp.o.d"
+  "CMakeFiles/mspastry_apps.dir/reliable_lookup.cpp.o"
+  "CMakeFiles/mspastry_apps.dir/reliable_lookup.cpp.o.d"
+  "CMakeFiles/mspastry_apps.dir/web_cache.cpp.o"
+  "CMakeFiles/mspastry_apps.dir/web_cache.cpp.o.d"
+  "libmspastry_apps.a"
+  "libmspastry_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_chord.dir/chord_driver.cpp.o"
+  "CMakeFiles/mspastry_chord.dir/chord_driver.cpp.o.d"
+  "CMakeFiles/mspastry_chord.dir/chord_node.cpp.o"
+  "CMakeFiles/mspastry_chord.dir/chord_node.cpp.o.d"
+  "libmspastry_chord.a"
+  "libmspastry_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

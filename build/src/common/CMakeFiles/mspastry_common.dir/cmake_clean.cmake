@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_common.dir/node_id.cpp.o"
+  "CMakeFiles/mspastry_common.dir/node_id.cpp.o.d"
+  "CMakeFiles/mspastry_common.dir/stats.cpp.o"
+  "CMakeFiles/mspastry_common.dir/stats.cpp.o.d"
+  "libmspastry_common.a"
+  "libmspastry_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/corpnet.cpp" "src/net/CMakeFiles/mspastry_net.dir/corpnet.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/corpnet.cpp.o.d"
+  "/root/repo/src/net/hier_as.cpp" "src/net/CMakeFiles/mspastry_net.dir/hier_as.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/hier_as.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/mspastry_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/routed_graph.cpp" "src/net/CMakeFiles/mspastry_net.dir/routed_graph.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/routed_graph.cpp.o.d"
+  "/root/repo/src/net/transit_stub.cpp" "src/net/CMakeFiles/mspastry_net.dir/transit_stub.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/transit_stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mspastry_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mspastry_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

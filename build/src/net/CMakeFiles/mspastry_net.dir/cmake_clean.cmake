@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_net.dir/corpnet.cpp.o"
+  "CMakeFiles/mspastry_net.dir/corpnet.cpp.o.d"
+  "CMakeFiles/mspastry_net.dir/hier_as.cpp.o"
+  "CMakeFiles/mspastry_net.dir/hier_as.cpp.o.d"
+  "CMakeFiles/mspastry_net.dir/network.cpp.o"
+  "CMakeFiles/mspastry_net.dir/network.cpp.o.d"
+  "CMakeFiles/mspastry_net.dir/routed_graph.cpp.o"
+  "CMakeFiles/mspastry_net.dir/routed_graph.cpp.o.d"
+  "CMakeFiles/mspastry_net.dir/transit_stub.cpp.o"
+  "CMakeFiles/mspastry_net.dir/transit_stub.cpp.o.d"
+  "libmspastry_net.a"
+  "libmspastry_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_overlay.dir/driver.cpp.o"
+  "CMakeFiles/mspastry_overlay.dir/driver.cpp.o.d"
+  "CMakeFiles/mspastry_overlay.dir/metrics.cpp.o"
+  "CMakeFiles/mspastry_overlay.dir/metrics.cpp.o.d"
+  "CMakeFiles/mspastry_overlay.dir/oracle.cpp.o"
+  "CMakeFiles/mspastry_overlay.dir/oracle.cpp.o.d"
+  "libmspastry_overlay.a"
+  "libmspastry_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pastry/leaf_set.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/leaf_set.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/leaf_set.cpp.o.d"
+  "/root/repo/src/pastry/message.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/message.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/message.cpp.o.d"
+  "/root/repo/src/pastry/node_consistency.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/node_consistency.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/node_consistency.cpp.o.d"
+  "/root/repo/src/pastry/node_core.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/node_core.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/node_core.cpp.o.d"
+  "/root/repo/src/pastry/node_join.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/node_join.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/node_join.cpp.o.d"
+  "/root/repo/src/pastry/node_maintenance.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/node_maintenance.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/node_maintenance.cpp.o.d"
+  "/root/repo/src/pastry/routing_table.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/routing_table.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/routing_table.cpp.o.d"
+  "/root/repo/src/pastry/self_tuning.cpp" "src/pastry/CMakeFiles/mspastry_core.dir/self_tuning.cpp.o" "gcc" "src/pastry/CMakeFiles/mspastry_core.dir/self_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mspastry_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mspastry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mspastry_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

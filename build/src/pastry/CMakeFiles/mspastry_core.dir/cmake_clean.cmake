@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_core.dir/leaf_set.cpp.o"
+  "CMakeFiles/mspastry_core.dir/leaf_set.cpp.o.d"
+  "CMakeFiles/mspastry_core.dir/message.cpp.o"
+  "CMakeFiles/mspastry_core.dir/message.cpp.o.d"
+  "CMakeFiles/mspastry_core.dir/node_consistency.cpp.o"
+  "CMakeFiles/mspastry_core.dir/node_consistency.cpp.o.d"
+  "CMakeFiles/mspastry_core.dir/node_core.cpp.o"
+  "CMakeFiles/mspastry_core.dir/node_core.cpp.o.d"
+  "CMakeFiles/mspastry_core.dir/node_join.cpp.o"
+  "CMakeFiles/mspastry_core.dir/node_join.cpp.o.d"
+  "CMakeFiles/mspastry_core.dir/node_maintenance.cpp.o"
+  "CMakeFiles/mspastry_core.dir/node_maintenance.cpp.o.d"
+  "CMakeFiles/mspastry_core.dir/routing_table.cpp.o"
+  "CMakeFiles/mspastry_core.dir/routing_table.cpp.o.d"
+  "CMakeFiles/mspastry_core.dir/self_tuning.cpp.o"
+  "CMakeFiles/mspastry_core.dir/self_tuning.cpp.o.d"
+  "libmspastry_core.a"
+  "libmspastry_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

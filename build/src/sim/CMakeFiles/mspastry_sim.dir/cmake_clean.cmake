@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mspastry_sim.dir/simulator.cpp.o.d"
+  "libmspastry_sim.a"
+  "libmspastry_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_trace.dir/churn_generators.cpp.o"
+  "CMakeFiles/mspastry_trace.dir/churn_generators.cpp.o.d"
+  "CMakeFiles/mspastry_trace.dir/churn_trace.cpp.o"
+  "CMakeFiles/mspastry_trace.dir/churn_trace.cpp.o.d"
+  "libmspastry_trace.a"
+  "libmspastry_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmspastry_trace.a"
+)

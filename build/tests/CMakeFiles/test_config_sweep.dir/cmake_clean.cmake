@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_sweep.dir/test_config_sweep.cpp.o"
+  "CMakeFiles/test_config_sweep.dir/test_config_sweep.cpp.o.d"
+  "test_config_sweep"
+  "test_config_sweep.pdb"
+  "test_config_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependability.dir/test_dependability.cpp.o"
+  "CMakeFiles/test_dependability.dir/test_dependability.cpp.o.d"
+  "test_dependability"
+  "test_dependability.pdb"
+  "test_dependability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

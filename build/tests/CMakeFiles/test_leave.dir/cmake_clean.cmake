@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leave.dir/test_leave.cpp.o"
+  "CMakeFiles/test_leave.dir/test_leave.cpp.o.d"
+  "test_leave"
+  "test_leave.pdb"
+  "test_leave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

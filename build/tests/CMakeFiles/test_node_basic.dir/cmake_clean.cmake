@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_basic.dir/test_node_basic.cpp.o"
+  "CMakeFiles/test_node_basic.dir/test_node_basic.cpp.o.d"
+  "test_node_basic"
+  "test_node_basic.pdb"
+  "test_node_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

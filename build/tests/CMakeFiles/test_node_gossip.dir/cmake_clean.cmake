@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_gossip.dir/test_node_gossip.cpp.o"
+  "CMakeFiles/test_node_gossip.dir/test_node_gossip.cpp.o.d"
+  "test_node_gossip"
+  "test_node_gossip.pdb"
+  "test_node_gossip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliable_lookup.dir/test_reliable_lookup.cpp.o"
+  "CMakeFiles/test_reliable_lookup.dir/test_reliable_lookup.cpp.o.d"
+  "test_reliable_lookup"
+  "test_reliable_lookup.pdb"
+  "test_reliable_lookup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliable_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

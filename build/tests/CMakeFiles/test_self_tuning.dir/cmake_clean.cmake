@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_tuning.dir/test_self_tuning.cpp.o"
+  "CMakeFiles/test_self_tuning.dir/test_self_tuning.cpp.o.d"
+  "test_self_tuning"
+  "test_self_tuning.pdb"
+  "test_self_tuning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

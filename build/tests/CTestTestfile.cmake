@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_node_id[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")
+include("/root/repo/build/tests/test_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_traces[1]_include.cmake")
+include("/root/repo/build/tests/test_leaf_set[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_table[1]_include.cmake")
+include("/root/repo/build/tests/test_self_tuning[1]_include.cmake")
+include("/root/repo/build/tests/test_rtt_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_node_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_node_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_node_gossip[1]_include.cmake")
+include("/root/repo/build/tests/test_reliable_lookup[1]_include.cmake")
+include("/root/repo/build/tests/test_config_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_leave[1]_include.cmake")
+include("/root/repo/build/tests/test_convergence[1]_include.cmake")
+include("/root/repo/build/tests/test_chord[1]_include.cmake")
+include("/root/repo/build/tests/test_chord_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_dependability[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_web_workload[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_sim_cli.dir/mspastry_sim.cpp.o"
+  "CMakeFiles/mspastry_sim_cli.dir/mspastry_sim.cpp.o.d"
+  "mspastry-sim"
+  "mspastry-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mspastry_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
