@@ -253,11 +253,12 @@ bench/CMakeFiles/micro_structures.dir/micro_structures.cpp.o: \
  /root/repo/src/apps/../pastry/leaf_set.hpp /usr/include/c++/12/optional \
  /root/repo/src/apps/../pastry/types.hpp \
  /root/repo/src/apps/../net/network.hpp \
+ /root/repo/src/apps/../net/fault_plan.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/apps/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/apps/../pastry/routing_table.hpp \
  /root/repo/src/apps/../pastry/self_tuning.hpp \
  /root/repo/src/apps/../pastry/config.hpp

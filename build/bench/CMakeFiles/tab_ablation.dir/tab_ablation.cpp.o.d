@@ -246,11 +246,12 @@ bench/CMakeFiles/tab_ablation.dir/tab_ablation.cpp.o: \
  /root/repo/src/apps/../net/transit_stub.hpp \
  /root/repo/src/apps/../overlay/driver.hpp \
  /root/repo/src/apps/../net/network.hpp \
+ /root/repo/src/apps/../net/fault_plan.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/apps/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/apps/../overlay/metrics.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

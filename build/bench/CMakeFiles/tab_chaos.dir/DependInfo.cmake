@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_chaos.cpp" "bench/CMakeFiles/tab_chaos.dir/tab_chaos.cpp.o" "gcc" "bench/CMakeFiles/tab_chaos.dir/tab_chaos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mspastry_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/mspastry_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/mspastry_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/pastry/CMakeFiles/mspastry_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mspastry_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mspastry_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mspastry_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mspastry_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_chaos.dir/tab_chaos.cpp.o"
+  "CMakeFiles/tab_chaos.dir/tab_chaos.cpp.o.d"
+  "tab_chaos"
+  "tab_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -244,6 +244,7 @@ src/apps/CMakeFiles/mspastry_apps.dir/multicast.cpp.o: \
  /root/repo/src/apps/../common/node_id.hpp \
  /root/repo/src/apps/../net/network.hpp \
  /root/repo/src/apps/../common/sim_time.hpp \
+ /root/repo/src/apps/../net/fault_plan.hpp \
  /root/repo/src/apps/../net/topology.hpp \
  /root/repo/src/apps/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/corpnet.cpp" "src/net/CMakeFiles/mspastry_net.dir/corpnet.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/corpnet.cpp.o.d"
+  "/root/repo/src/net/fault_plan.cpp" "src/net/CMakeFiles/mspastry_net.dir/fault_plan.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/fault_plan.cpp.o.d"
   "/root/repo/src/net/hier_as.cpp" "src/net/CMakeFiles/mspastry_net.dir/hier_as.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/hier_as.cpp.o.d"
   "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/mspastry_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/network.cpp.o.d"
   "/root/repo/src/net/routed_graph.cpp" "src/net/CMakeFiles/mspastry_net.dir/routed_graph.cpp.o" "gcc" "src/net/CMakeFiles/mspastry_net.dir/routed_graph.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mspastry_net.dir/corpnet.cpp.o"
   "CMakeFiles/mspastry_net.dir/corpnet.cpp.o.d"
+  "CMakeFiles/mspastry_net.dir/fault_plan.cpp.o"
+  "CMakeFiles/mspastry_net.dir/fault_plan.cpp.o.d"
   "CMakeFiles/mspastry_net.dir/hier_as.cpp.o"
   "CMakeFiles/mspastry_net.dir/hier_as.cpp.o.d"
   "CMakeFiles/mspastry_net.dir/network.cpp.o"

@@ -239,10 +239,11 @@ src/net/CMakeFiles/mspastry_net.dir/network.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/net/../common/node_id.hpp \
  /root/repo/src/net/../common/sim_time.hpp \
+ /root/repo/src/net/../net/fault_plan.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/net/../net/topology.hpp \
  /root/repo/src/net/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/cassert \
- /usr/include/assert.h
+ /usr/include/c++/12/cassert /usr/include/assert.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/chaos.cpp" "src/overlay/CMakeFiles/mspastry_overlay.dir/chaos.cpp.o" "gcc" "src/overlay/CMakeFiles/mspastry_overlay.dir/chaos.cpp.o.d"
   "/root/repo/src/overlay/driver.cpp" "src/overlay/CMakeFiles/mspastry_overlay.dir/driver.cpp.o" "gcc" "src/overlay/CMakeFiles/mspastry_overlay.dir/driver.cpp.o.d"
   "/root/repo/src/overlay/metrics.cpp" "src/overlay/CMakeFiles/mspastry_overlay.dir/metrics.cpp.o" "gcc" "src/overlay/CMakeFiles/mspastry_overlay.dir/metrics.cpp.o.d"
   "/root/repo/src/overlay/oracle.cpp" "src/overlay/CMakeFiles/mspastry_overlay.dir/oracle.cpp.o" "gcc" "src/overlay/CMakeFiles/mspastry_overlay.dir/oracle.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/mspastry_overlay.dir/chaos.cpp.o"
+  "CMakeFiles/mspastry_overlay.dir/chaos.cpp.o.d"
   "CMakeFiles/mspastry_overlay.dir/driver.cpp.o"
   "CMakeFiles/mspastry_overlay.dir/driver.cpp.o.d"
   "CMakeFiles/mspastry_overlay.dir/metrics.cpp.o"

@@ -241,12 +241,13 @@ src/overlay/CMakeFiles/mspastry_overlay.dir/driver.cpp.o: \
  /root/repo/src/overlay/../common/node_id.hpp \
  /root/repo/src/overlay/../net/network.hpp \
  /root/repo/src/overlay/../common/sim_time.hpp \
+ /root/repo/src/overlay/../net/fault_plan.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/overlay/../net/topology.hpp \
  /root/repo/src/overlay/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/overlay/../overlay/metrics.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \

@@ -248,11 +248,12 @@ src/overlay/CMakeFiles/mspastry_overlay.dir/metrics.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/overlay/../net/fault_plan.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/overlay/../net/topology.hpp \
  /root/repo/src/overlay/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/overlay/../pastry/types.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h

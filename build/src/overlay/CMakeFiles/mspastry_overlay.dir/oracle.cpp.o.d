@@ -243,9 +243,10 @@ src/overlay/CMakeFiles/mspastry_overlay.dir/oracle.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/overlay/../common/sim_time.hpp \
+ /root/repo/src/overlay/../net/fault_plan.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/overlay/../net/topology.hpp \
  /root/repo/src/overlay/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h

@@ -248,6 +248,7 @@ src/pastry/CMakeFiles/mspastry_core.dir/node_consistency.cpp.o: \
  /root/repo/src/pastry/../common/node_id.hpp \
  /root/repo/src/pastry/../pastry/message.hpp \
  /root/repo/src/pastry/../net/network.hpp \
+ /root/repo/src/pastry/../net/fault_plan.hpp \
  /root/repo/src/pastry/../net/topology.hpp \
  /root/repo/src/pastry/../sim/simulator.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \

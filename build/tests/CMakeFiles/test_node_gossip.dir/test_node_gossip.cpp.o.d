@@ -328,10 +328,12 @@ tests/CMakeFiles/test_node_gossip.dir/test_node_gossip.cpp.o: \
  /root/repo/src/apps/../common/sim_time.hpp \
  /root/repo/src/apps/../pastry/message.hpp \
  /root/repo/src/apps/../net/network.hpp \
+ /root/repo/src/apps/../net/fault_plan.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/apps/../net/topology.hpp \
  /root/repo/src/apps/../sim/simulator.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/apps/../pastry/types.hpp \
  /root/repo/src/apps/../pastry/node.hpp \
  /root/repo/src/apps/../pastry/config.hpp \

@@ -11,6 +11,7 @@ include("/root/repo/build/tests/test_log[1]_include.cmake")
 include("/root/repo/build/tests/test_topologies[1]_include.cmake")
 include("/root/repo/build/tests/test_network[1]_include.cmake")
 include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")
 include("/root/repo/build/tests/test_traces[1]_include.cmake")
 include("/root/repo/build/tests/test_leaf_set[1]_include.cmake")
 include("/root/repo/build/tests/test_routing_table[1]_include.cmake")

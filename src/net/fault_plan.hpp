@@ -1,0 +1,175 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace mspastry::net {
+
+/// Endpoint address (same alias as in network.hpp; redeclared here so the
+/// fault layer does not depend on the network header).
+using Address = std::int32_t;
+
+/// The kinds of faults the injection engine can produce. Partitions and
+/// flaps drop packets; delay spikes and reordering perturb delivery times;
+/// duplication injects extra copies; a stall freezes an endpoint (gray
+/// failure: the process stops, the endpoint stays bound).
+enum class FaultKind : std::uint8_t {
+  kLoss = 0,
+  kPartition,
+  kFlap,
+  kDelaySpike,
+  kDuplicate,
+  kReorder,
+  kStall,
+};
+inline constexpr std::size_t kFaultKindCount = 7;
+
+const char* fault_kind_name(FaultKind k);
+
+/// Selects the (from, to) pairs a rule applies to. A closed set of forms
+/// (rather than an arbitrary predicate) keeps schedules printable and
+/// byte-for-byte reproducible.
+class LinkMatcher {
+ public:
+  /// Every packet.
+  static LinkMatcher all();
+
+  /// Packets from `src` to `dst` only (one direction). An empty set acts
+  /// as a wildcard, so one_way({a}, {}) matches everything a sends.
+  static LinkMatcher one_way(std::vector<Address> src,
+                             std::vector<Address> dst);
+
+  /// Packets crossing the boundary of `group`, in both directions (the
+  /// classic bidirectional partition cut).
+  static LinkMatcher cross(std::vector<Address> group);
+
+  /// Packets to or from any endpoint in `eps` (all of a node's links).
+  static LinkMatcher endpoint(std::vector<Address> eps);
+
+  bool matches(Address from, Address to) const;
+  std::string describe() const;
+
+ private:
+  enum class Kind : std::uint8_t { kAll, kOneWay, kCross, kEndpoint };
+  Kind kind_ = Kind::kAll;
+  std::unordered_set<Address> a_;  // src / group / endpoints
+  std::unordered_set<Address> b_;  // dst (one_way only)
+};
+
+/// One timed fault rule: a kind, a link selector, an activity window
+/// [start, end), the kind-specific parameters, and a seed for the rule's
+/// private RNG stream (0 = derive from the plan seed and rule id, so
+/// adding draws in one rule never perturbs another).
+struct FaultRule {
+  FaultKind kind = FaultKind::kLoss;
+  LinkMatcher where;
+  SimTime start = kTimeZero;
+  SimTime end = kTimeNever;
+  double probability = 1.0;      ///< loss / duplicate / reorder
+  SimDuration extra_delay = 0;   ///< delay spike; max extra for reorder
+  SimDuration dup_offset = 0;    ///< spacing of injected duplicate copies
+  SimDuration period = 0;        ///< flap period
+  double duty_up = 0.5;          ///< fraction of a flap period the link is up
+  std::uint64_t seed = 0;
+  std::string label;
+
+  static FaultRule loss(LinkMatcher where, double p, SimTime start = kTimeZero,
+                        SimTime end = kTimeNever);
+  static FaultRule partition(LinkMatcher where, SimTime start = kTimeZero,
+                             SimTime end = kTimeNever);
+  static FaultRule flap(LinkMatcher where, SimDuration period, double duty_up,
+                        SimTime start = kTimeZero, SimTime end = kTimeNever);
+  static FaultRule delay_spike(LinkMatcher where, SimDuration extra,
+                               SimTime start = kTimeZero,
+                               SimTime end = kTimeNever);
+  static FaultRule duplicate(LinkMatcher where, double p, SimDuration offset,
+                             SimTime start = kTimeZero,
+                             SimTime end = kTimeNever);
+  static FaultRule reorder(LinkMatcher where, double p, SimDuration max_extra,
+                           SimTime start = kTimeZero,
+                           SimTime end = kTimeNever);
+  static FaultRule stall(std::vector<Address> endpoints, SimTime start,
+                         SimTime end);
+
+  std::string describe() const;
+};
+
+/// What the plan decided for one packet.
+struct FaultAction {
+  bool drop = false;
+  FaultKind drop_kind = FaultKind::kLoss;
+  SimDuration extra_delay = 0;  ///< delay spikes + reorder jitter, summed
+  int extra_copies = 0;         ///< injected duplicates
+  SimDuration dup_offset = 0;   ///< spacing between the injected copies
+};
+
+/// A composable stack of timed fault rules, consulted by the network for
+/// every packet. Rules are evaluated in insertion order; the first rule
+/// that drops a packet wins. All time dependence is phase-based (a rule is
+/// a pure function of the clock and its private RNG stream), so schedules
+/// are deterministic and rules can be added or removed at any time without
+/// rescheduling anything.
+class FaultPlan {
+ public:
+  using RuleId = std::uint64_t;
+  static constexpr RuleId kNoRule = 0;
+
+  explicit FaultPlan(std::uint64_t seed = 0x7a0517) : base_seed_(seed) {}
+
+  /// Reseed the derivation base for subsequently added rules (rules
+  /// already installed keep their streams).
+  void reseed(std::uint64_t seed) { base_seed_ = seed; }
+
+  RuleId add(FaultRule rule);
+  bool remove(RuleId id);
+  void clear() { rules_.clear(); }
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::size_t active_rule_count(SimTime now) const;
+
+  /// Consult the stack for one packet; updates injection counters.
+  FaultAction apply(SimTime now, Address from, Address to);
+
+  /// Gray failure: is endpoint `a` frozen at `now`?
+  bool stalled(SimTime now, Address a) const {
+    return stall_release(now, a) > now;
+  }
+
+  /// Earliest time at or after `now` when `a` is not stalled (== now when
+  /// it is not stalled; handles overlapping stall windows).
+  SimTime stall_release(SimTime now, Address a) const;
+
+  /// The network reports each packet it defers because of a stall.
+  void note_stall_deferred() {
+    ++injected_[static_cast<std::size_t>(FaultKind::kStall)];
+  }
+
+  std::uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t total_injected() const;
+
+  /// Deterministic textual dump of every installed rule, for reproducible
+  /// run logs ("the fault schedule").
+  std::string describe() const;
+
+ private:
+  struct Slot {
+    RuleId id;
+    FaultRule rule;
+    Rng rng;
+  };
+
+  std::uint64_t base_seed_;
+  RuleId next_id_ = 1;
+  std::vector<Slot> rules_;
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+};
+
+}  // namespace mspastry::net

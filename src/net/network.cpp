@@ -10,7 +10,8 @@ Network::Network(Simulator& sim, std::shared_ptr<const Topology> topology,
     : sim_(sim),
       topology_(std::move(topology)),
       config_(config),
-      rng_(seed) {
+      rng_(seed),
+      faults_(seed ^ 0xfa017c0deull) {
   assert(topology_ != nullptr);
   for (int r = 0; r < topology_->router_count(); ++r) {
     if (topology_->attachable(r)) attachable_routers_.push_back(r);
@@ -53,11 +54,16 @@ SimDuration Network::delay(Address a, Address b) const {
 }
 
 void Network::partition(const std::vector<Address>& group) {
-  auto inside = std::make_shared<std::unordered_set<Address>>(group.begin(),
-                                                              group.end());
-  filter_ = [inside](Address a, Address b) {
-    return inside->count(a) == inside->count(b);  // same side only
-  };
+  heal();
+  partition_rule_ =
+      faults_.add(FaultRule::partition(LinkMatcher::cross(group), sim_.now()));
+}
+
+void Network::heal() {
+  if (partition_rule_ != FaultPlan::kNoRule) {
+    faults_.remove(partition_rule_);
+    partition_rule_ = FaultPlan::kNoRule;
+  }
 }
 
 void Network::send(Address from, Address to, PacketPtr packet) {
@@ -67,6 +73,21 @@ void Network::send(Address from, Address to, PacketPtr packet) {
     ++lost_;
     return;
   }
+  const SimTime now = sim_.now();
+  // A stalled sender's packets leave the machine only when it resumes
+  // (the process is frozen; the timers that produced them fire late).
+  const SimTime depart = faults_.stall_release(now, from);
+  if (depart > now) {
+    faults_.note_stall_deferred();
+    notify_injection(FaultKind::kStall);
+  }
+  FaultAction act = faults_.apply(now, from, to);
+  if (act.drop) {
+    ++lost_;
+    notify_injection(act.drop_kind);
+    return;
+  }
+  if (act.extra_delay > 0) notify_injection(FaultKind::kDelaySpike);
   if (rng_.chance(config_.loss_rate)) {
     ++lost_;
     return;
@@ -77,13 +98,47 @@ void Network::send(Address from, Address to, PacketPtr packet) {
                                   1.0 + config_.jitter_fraction);
     d = static_cast<SimDuration>(static_cast<double>(d) * f);
   }
+  d += act.extra_delay;
   if (d < 1) d = 1;  // even loopback takes one microsecond
-  sim_.schedule_after(d, [this, from, to, p = std::move(packet)] {
-    Endpoint& ep = endpoints_[to];
-    if (!ep.handler) return;  // endpoint is gone: packet is lost
-    ++delivered_;
-    ep.handler(from, p);
+  schedule_delivery((depart - now) + d, from, to, packet);
+  for (int i = 0; i < act.extra_copies; ++i) {
+    // An injected copy occupies the wire like a real transmission, which
+    // keeps the packet-accounting identity exact.
+    ++sent_;
+    notify_injection(FaultKind::kDuplicate);
+    schedule_delivery(
+        (depart - now) + d + (i + 1) * std::max<SimDuration>(1, act.dup_offset),
+        from, to, packet);
+  }
+}
+
+void Network::schedule_delivery(SimDuration after, Address from, Address to,
+                                PacketPtr packet) {
+  ++in_flight_;
+  sim_.schedule_after(after, [this, from, to, p = std::move(packet)] {
+    deliver(from, to, p);
   });
+}
+
+void Network::deliver(Address from, Address to, const PacketPtr& packet) {
+  // A stalled receiver's packets sit in its socket buffer until the
+  // process resumes (gray failure: the endpoint never unbinds).
+  const SimTime release = faults_.stall_release(sim_.now(), to);
+  if (release > sim_.now()) {
+    faults_.note_stall_deferred();
+    notify_injection(FaultKind::kStall);
+    sim_.schedule_at(release,
+                     [this, from, to, p = packet] { deliver(from, to, p); });
+    return;
+  }
+  --in_flight_;
+  Endpoint& ep = endpoints_[to];
+  if (!ep.handler) {
+    ++dropped_unbound_;  // endpoint is gone: packet is lost on arrival
+    return;
+  }
+  ++delivered_;
+  ep.handler(from, packet);
 }
 
 }  // namespace mspastry::net

@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
+#include "net/fault_plan.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
@@ -85,14 +86,30 @@ class Network {
   /// Install a reachability filter for fault injection: packets where
   /// `allow(from, to)` is false are silently dropped (both directions must
   /// be filtered by the caller if symmetry is wanted). Pass nullptr to
-  /// clear. Used to model network partitions.
+  /// clear. Arbitrary predicates belong here; describable, timed faults
+  /// belong on the fault plan below.
   using LinkFilter = std::function<bool(Address, Address)>;
   void set_link_filter(LinkFilter allow) { filter_ = std::move(allow); }
 
-  /// Convenience: bidirectionally partition the endpoints in `group` from
-  /// everyone else. Clears any previous filter. Heal with heal().
+  /// The composable fault-rule stack consulted for every packet. Scenario
+  /// harnesses install timed rules (partitions, flaps, delay spikes,
+  /// duplication, reordering, stalls) directly on it.
+  FaultPlan& faults() { return faults_; }
+  const FaultPlan& faults() const { return faults_; }
+
+  /// Convenience wrapper over the fault plan: bidirectionally partition
+  /// the endpoints in `group` from everyone else. Installs one partition
+  /// rule; any caller-installed link filter and any other fault rules are
+  /// left untouched. Heal with heal(), which removes only this rule.
   void partition(const std::vector<Address>& group);
-  void heal() { filter_ = nullptr; }
+  void heal();
+
+  /// Observer invoked once per injected fault event (drop, delay, copy,
+  /// stall deferral); the overlay driver wires this to its metrics.
+  using InjectionObserver = std::function<void(FaultKind)>;
+  void set_injection_observer(InjectionObserver o) {
+    injection_observer_ = std::move(o);
+  }
 
   const Topology& topology() const { return *topology_; }
   int router_of(Address a) const { return endpoints_[a].router; }
@@ -100,12 +117,24 @@ class Network {
   std::uint64_t packets_sent() const { return sent_; }
   std::uint64_t packets_lost() const { return lost_; }
   std::uint64_t packets_delivered() const { return delivered_; }
+  /// Packets that arrived at an endpoint with no bound handler (the
+  /// receiver died or never bound). Together with the above:
+  /// sent == lost + delivered + dropped_unbound + in_flight, always.
+  std::uint64_t packets_dropped_unbound() const { return dropped_unbound_; }
+  std::uint64_t packets_in_flight() const { return in_flight_; }
 
  private:
   struct Endpoint {
     int router = -1;
     Handler handler;  // empty == unbound
   };
+
+  void schedule_delivery(SimDuration after, Address from, Address to,
+                         PacketPtr packet);
+  void deliver(Address from, Address to, const PacketPtr& packet);
+  void notify_injection(FaultKind k) {
+    if (injection_observer_) injection_observer_(k);
+  }
 
   Simulator& sim_;
   std::shared_ptr<const Topology> topology_;
@@ -114,9 +143,14 @@ class Network {
   std::vector<Endpoint> endpoints_;
   std::vector<int> attachable_routers_;
   LinkFilter filter_;
+  FaultPlan faults_;
+  FaultPlan::RuleId partition_rule_ = FaultPlan::kNoRule;
+  InjectionObserver injection_observer_;
   std::uint64_t sent_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_unbound_ = 0;
+  std::uint64_t in_flight_ = 0;
 };
 
 }  // namespace mspastry::net

@@ -1,0 +1,466 @@
+#include "overlay/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace mspastry::overlay {
+
+namespace {
+
+constexpr int kFaultPhase = 1;
+constexpr int kHealPhase = 2;
+// Victim-targeted probes during a gray stall: the oracle still counts the
+// stalled (alive) node as root, but peers correctly deliver its keys next
+// door — diagnostic signal, excluded from the SLO rates.
+constexpr int kDiagPhase = 3;
+
+enum class Scenario {
+  kAsymPartition,
+  kFlap,
+  kDelaySpike,
+  kDupReorder,
+  kGrayStall,
+  kCombined,
+  kRandom,
+};
+
+Scenario parse_scenario(const std::string& name) {
+  if (name == "asym-partition") return Scenario::kAsymPartition;
+  if (name == "flap") return Scenario::kFlap;
+  if (name == "delay-spike") return Scenario::kDelaySpike;
+  if (name == "dup-reorder") return Scenario::kDupReorder;
+  if (name == "gray-stall") return Scenario::kGrayStall;
+  if (name == "combined") return Scenario::kCombined;
+  if (name == "random") return Scenario::kRandom;
+  throw std::runtime_error("unknown chaos scenario: " + name);
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, const std::string& name) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ChaosHarness::ChaosHarness(std::shared_ptr<const net::Topology> topology,
+                           ChaosConfig config)
+    : topology_(std::move(topology)), cfg_(config) {}
+
+ChaosHarness::~ChaosHarness() = default;
+
+const std::vector<std::string>& ChaosHarness::scenarios() {
+  static const std::vector<std::string> kNames = {
+      "asym-partition", "flap",       "delay-spike",
+      "dup-reorder",    "gray-stall", "combined"};
+  return kNames;
+}
+
+void ChaosHarness::build_overlay(std::uint64_t seed) {
+  DriverConfig dcfg;
+  dcfg.pastry = cfg_.pastry;
+  dcfg.lookup_rate_per_node = cfg_.bg_lookup_rate;
+  dcfg.warmup = 0;
+  dcfg.seed = seed;
+  driver_ = std::make_unique<OverlayDriver>(topology_, net::NetworkConfig{},
+                                            dcfg);
+  probes_.clear();
+  driver_->on_app_deliver = [this](net::Address self,
+                                   const pastry::LookupMsg& m) {
+    const auto it = probes_.find(m.lookup_id);
+    if (it == probes_.end() || it->second.delivered) return;
+    it->second.delivered = true;
+    const auto root = driver_->oracle().root_of(m.key);
+    it->second.correct = root && *root == self;
+  };
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    driver_->add_node();
+    driver_->run_for(seconds(2));
+  }
+  driver_->run_for(cfg_.settle);
+  driver_->start_workload();
+}
+
+void ChaosHarness::issue_probe(int phase, const NodeId* key) {
+  const auto src = driver_->oracle().random_active(driver_->rng());
+  if (!src || driver_->node(src->second) == nullptr) return;
+  const NodeId k = key != nullptr ? *key : driver_->rng().node_id();
+  const std::uint64_t id = driver_->issue_lookup(src->second, k);
+  probes_.emplace(id, ProbeOutcome{phase, k, false, false});
+}
+
+void ChaosHarness::probe_until(SimTime until, int phase, const NodeId* key) {
+  while (driver_->sim().now() + cfg_.probe_interval <= until) {
+    issue_probe(phase, key);
+    driver_->run_for(cfg_.probe_interval);
+  }
+  if (driver_->sim().now() < until) {
+    driver_->run_until(until);
+  }
+}
+
+bool ChaosHarness::ring_consistent() const {
+  std::size_t active_nodes = 0;
+  for (const net::Address a : driver_->live_addresses()) {
+    const auto* n = driver_->node(a);
+    if (n == nullptr || !n->active()) continue;
+    ++active_nodes;
+    const auto succ = driver_->oracle().successor_of(n->descriptor().id);
+    const auto right = n->leaf_set().right_neighbour();
+    if (!succ) {
+      if (right) return false;
+      continue;
+    }
+    if (!right || right->addr != succ->second) return false;
+  }
+  return active_nodes >= 2;
+}
+
+double ChaosHarness::measure_reconvergence(SimTime heal_at,
+                                           SimDuration budget) {
+  const std::size_t expected = static_cast<std::size_t>(cfg_.nodes);
+  SimTime converged_at = kTimeNever;
+  // Sample the invariant once a second; coarser chunks drive the clock.
+  PeriodicTask poll(driver_->sim(), seconds(1), [this, expected,
+                                                &converged_at] {
+    if (converged_at != kTimeNever) return;
+    if (driver_->oracle().active_count() >= expected && ring_consistent()) {
+      converged_at = driver_->sim().now();
+    }
+  });
+  const SimTime deadline = heal_at + budget;
+  while (driver_->sim().now() < deadline && converged_at == kTimeNever) {
+    driver_->run_for(seconds(5));
+  }
+  poll.stop();
+  if (converged_at == kTimeNever) return -1.0;
+  return to_seconds(converged_at - heal_at);
+}
+
+std::vector<net::FaultRule> ChaosHarness::make_schedule(
+    const std::string& scenario, SimTime t0, SimTime t1, net::Address victim,
+    std::vector<net::Address>* minority, Rng& rng) {
+  using net::FaultRule;
+  using net::LinkMatcher;
+  std::vector<FaultRule> rules;
+  auto addrs = driver_->live_addresses();
+  std::sort(addrs.begin(), addrs.end());
+
+  switch (parse_scenario(scenario)) {
+    case Scenario::kAsymPartition: {
+      // One-way cut: the minority can hear the majority but nothing the
+      // minority sends crosses back (adversarial asymmetric link failure).
+      const std::size_t m = std::max<std::size_t>(2, addrs.size() / 4);
+      minority->assign(addrs.begin(), addrs.begin() + m);
+      std::vector<net::Address> rest(addrs.begin() + m, addrs.end());
+      auto r = FaultRule::partition(LinkMatcher::one_way(*minority, rest), t0,
+                                    t1);
+      r.seed = rng.next_u64();
+      r.label = "one-way minority->majority cut";
+      rules.push_back(std::move(r));
+      break;
+    }
+    case Scenario::kFlap: {
+      auto r = FaultRule::flap(LinkMatcher::endpoint({victim}), seconds(10),
+                               0.5, t0, t1);
+      r.seed = rng.next_u64();
+      r.label = "victim links up/down every 5 s";
+      rules.push_back(std::move(r));
+      break;
+    }
+    case Scenario::kDelaySpike: {
+      auto r = FaultRule::delay_spike(LinkMatcher::all(), milliseconds(400),
+                                      t0, t1);
+      r.seed = rng.next_u64();
+      r.label = "global +400 ms delay spike";
+      rules.push_back(std::move(r));
+      break;
+    }
+    case Scenario::kDupReorder: {
+      auto d = FaultRule::duplicate(LinkMatcher::all(), 0.15,
+                                    milliseconds(20), t0, t1);
+      d.seed = rng.next_u64();
+      d.label = "15% duplication";
+      rules.push_back(std::move(d));
+      auto r = FaultRule::reorder(LinkMatcher::all(), 0.25, milliseconds(150),
+                                  t0, t1);
+      r.seed = rng.next_u64();
+      r.label = "25% reordering, up to +150 ms";
+      rules.push_back(std::move(r));
+      break;
+    }
+    case Scenario::kGrayStall: {
+      auto r = FaultRule::stall({victim}, t0, t0 + cfg_.stall_window);
+      r.seed = rng.next_u64();
+      r.label = "gray failure: victim frozen, endpoint stays bound";
+      rules.push_back(std::move(r));
+      break;
+    }
+    case Scenario::kCombined: {
+      auto l = FaultRule::loss(LinkMatcher::all(), 0.05, t0, t1);
+      l.seed = rng.next_u64();
+      l.label = "5% loss";
+      rules.push_back(std::move(l));
+      auto d = FaultRule::delay_spike(LinkMatcher::all(), milliseconds(200),
+                                      t0, t1);
+      d.seed = rng.next_u64();
+      d.label = "global +200 ms";
+      rules.push_back(std::move(d));
+      const net::Address victim2 =
+          addrs[addrs.size() / 2] == victim ? addrs.back()
+                                            : addrs[addrs.size() / 2];
+      auto f = FaultRule::flap(LinkMatcher::endpoint({victim2}), seconds(8),
+                               0.5, t0, t1);
+      f.seed = rng.next_u64();
+      f.label = "second victim flapping";
+      rules.push_back(std::move(f));
+      auto s = FaultRule::stall({victim}, t0 + seconds(10),
+                                t0 + seconds(10) + cfg_.stall_window);
+      s.seed = rng.next_u64();
+      s.label = "first victim gray-stalled";
+      rules.push_back(std::move(s));
+      break;
+    }
+    case Scenario::kRandom: {
+      // Seeded random schedule over the non-partition kinds (partitions
+      // need operational recovery, which would make "random" flaky).
+      const int n = 2 + static_cast<int>(rng.uniform_index(4));
+      for (int i = 0; i < n; ++i) {
+        const SimTime start =
+            t0 + static_cast<SimTime>(rng.uniform_index(
+                     static_cast<std::uint64_t>((t1 - t0) / 2)));
+        const SimTime end = std::min<SimTime>(
+            t1, start + (t1 - t0) / 4 +
+                    static_cast<SimTime>(rng.uniform_index(
+                        static_cast<std::uint64_t>((t1 - t0) / 4))));
+        const net::Address target =
+            addrs[rng.uniform_index(addrs.size())];
+        const LinkMatcher where = rng.chance(0.5)
+                                      ? LinkMatcher::all()
+                                      : LinkMatcher::endpoint({target});
+        FaultRule r;
+        switch (rng.uniform_index(6)) {
+          case 0:
+            r = FaultRule::loss(where, rng.uniform(0.05, 0.3), start, end);
+            break;
+          case 1:
+            r = FaultRule::flap(where,
+                                seconds(4 + rng.uniform(0.0, 12.0)),
+                                rng.uniform(0.3, 0.7), start, end);
+            break;
+          case 2:
+            r = FaultRule::delay_spike(
+                where,
+                milliseconds(
+                    50 + static_cast<std::int64_t>(rng.uniform_index(350))),
+                start, end);
+            break;
+          case 3:
+            r = FaultRule::duplicate(where, rng.uniform(0.05, 0.2),
+                                     milliseconds(10), start, end);
+            break;
+          case 4:
+            r = FaultRule::reorder(
+                where, rng.uniform(0.1, 0.3),
+                milliseconds(
+                    50 + static_cast<std::int64_t>(rng.uniform_index(200))),
+                start, end);
+            break;
+          default:
+            r = FaultRule::stall(
+                {target}, start,
+                std::min<SimTime>(end, start + cfg_.stall_window));
+            break;
+        }
+        r.seed = rng.next_u64();
+        r.label = "random rule " + std::to_string(i);
+        rules.push_back(std::move(r));
+      }
+      break;
+    }
+  }
+  return rules;
+}
+
+ChaosResult ChaosHarness::run(const std::string& scenario) {
+  const Scenario kind = parse_scenario(scenario);
+  ChaosResult res;
+  res.scenario = scenario;
+  res.seed = cfg_.seed;
+
+  build_overlay(mix_seed(cfg_.seed, scenario));
+  Rng schedule_rng(mix_seed(cfg_.seed, scenario + "/schedule"));
+
+  net::Network& net = driver_->network();
+  const SimTime t0 = driver_->sim().now();
+  const SimTime t1 =
+      kind == Scenario::kGrayStall ? t0 + cfg_.stall_window
+                                   : t0 + cfg_.fault_window;
+
+  net::Address victim = net::kNullAddress;
+  NodeId victim_key;
+  if (kind == Scenario::kFlap || kind == Scenario::kGrayStall ||
+      kind == Scenario::kCombined) {
+    const auto pick = driver_->oracle().random_active(schedule_rng);
+    victim = pick->second;
+    victim_key = pick->first;
+  }
+
+  std::vector<net::Address> minority;
+  for (auto& rule :
+       make_schedule(scenario, t0, t1, victim, &minority, schedule_rng)) {
+    net.faults().add(std::move(rule));
+  }
+  res.fault_schedule = net.faults().describe();
+  LOG_INFO(t0, "chaos", "scenario %s schedule:\n%s", scenario.c_str(),
+           res.fault_schedule.c_str());
+
+  // --- Fault window: probe lookups flow while the faults are active ------
+  const bool gray = kind == Scenario::kGrayStall;
+  if (gray) {
+    // Alternate victim-targeted and uniform lookups, and inspect the
+    // peers' verdicts just before the stall releases.
+    const SimTime check_at = t1 - milliseconds(500);
+    int i = 0;
+    while (driver_->sim().now() + cfg_.probe_interval <= check_at) {
+      const bool at_victim = (i++ % 2 == 0);
+      issue_probe(at_victim ? kDiagPhase : kFaultPhase,
+                  at_victim ? &victim_key : nullptr);
+      driver_->run_for(cfg_.probe_interval);
+    }
+    driver_->run_until(check_at);
+    for (const net::Address a : driver_->live_addresses()) {
+      if (a == victim) continue;
+      const auto* n = driver_->node(a);
+      if (n->currently_excludes(victim)) res.stall_rerouted = true;
+      if (n->considers_failed(victim)) res.stall_condemned = true;
+    }
+    driver_->run_until(t1);
+  } else {
+    probe_until(t1, kFaultPhase, nullptr);
+  }
+
+  // --- Heal: rule windows expire at t1. Asymmetric partitions condemn
+  // both sides, so the minority rejoins through the bootstrap service
+  // (the operational recovery path DESIGN.md documents).
+  const SimTime heal_at = driver_->sim().now();
+  if (kind == Scenario::kAsymPartition) {
+    for (const net::Address a : minority) driver_->kill_node(a);
+    for (std::size_t i = 0; i < minority.size(); ++i) {
+      driver_->add_node();
+      driver_->run_for(seconds(5));
+    }
+  }
+
+  res.reconverge_seconds =
+      measure_reconvergence(heal_at, cfg_.slo.max_reconverge);
+  driver_->run_for(cfg_.heal_grace);
+
+  // --- Post-heal probes: strict correctness expected ---------------------
+  if (gray) {
+    // The stalled node must serve its own keys again.
+    for (int i = 0; i < 3; ++i) {
+      issue_probe(kHealPhase, &victim_key);
+      driver_->run_for(cfg_.probe_interval);
+    }
+  }
+  for (int i = 0; i < cfg_.heal_probes; ++i) {
+    issue_probe(kHealPhase, nullptr);
+    driver_->run_for(cfg_.probe_interval);
+  }
+  driver_->run_for(seconds(30));  // let stragglers land
+
+  if (gray && driver_->node(victim) != nullptr) {
+    // Recovered = a post-heal lookup for the victim's key reached it.
+    for (const auto& [id, p] : probes_) {
+      (void)id;
+      if (p.phase == kHealPhase && p.key == victim_key && p.delivered &&
+          p.correct) {
+        res.stall_recovered = true;
+      }
+    }
+  }
+
+  // --- Collect and judge --------------------------------------------------
+  for (std::size_t k = 0; k < net::kFaultKindCount; ++k) {
+    res.injected[k] = net.faults().injected(static_cast<net::FaultKind>(k));
+  }
+  for (const auto& [id, p] : probes_) {
+    (void)id;
+    if (p.phase == kFaultPhase) {
+      ++res.fault_issued;
+      if (p.delivered) ++res.fault_delivered;
+      if (p.delivered && !p.correct) ++res.fault_incorrect;
+    } else if (p.phase == kHealPhase) {
+      ++res.heal_issued;
+      if (p.delivered) ++res.heal_delivered;
+      if (p.delivered && !p.correct) ++res.heal_incorrect;
+    }
+  }
+  res.false_positives = driver_->counters().false_positives;
+  res.accounting_ok =
+      net.packets_sent() == net.packets_lost() + net.packets_delivered() +
+                                net.packets_dropped_unbound() +
+                                net.packets_in_flight();
+
+  char buf[160];
+  const ChaosSlo& slo = cfg_.slo;
+  if (res.fault_incorrect_rate() > slo.max_fault_incorrect_rate) {
+    std::snprintf(buf, sizeof(buf),
+                  "incorrect-delivery rate %.3f during faults exceeds %.3f",
+                  res.fault_incorrect_rate(), slo.max_fault_incorrect_rate);
+    res.violations.push_back(buf);
+  }
+  if (res.fault_loss_rate() > slo.max_fault_loss_rate) {
+    std::snprintf(buf, sizeof(buf),
+                  "lookup-loss rate %.3f during faults exceeds %.3f",
+                  res.fault_loss_rate(), slo.max_fault_loss_rate);
+    res.violations.push_back(buf);
+  }
+  if (res.reconverge_seconds < 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "no ring reconvergence within %.0f s of heal",
+                  to_seconds(slo.max_reconverge));
+    res.violations.push_back(buf);
+  }
+  if (res.heal_incorrect_rate() > slo.max_heal_incorrect_rate) {
+    std::snprintf(buf, sizeof(buf),
+                  "incorrect-delivery rate %.3f after heal exceeds %.3f",
+                  res.heal_incorrect_rate(), slo.max_heal_incorrect_rate);
+    res.violations.push_back(buf);
+  }
+  if (res.heal_loss_rate() > slo.max_heal_loss_rate) {
+    std::snprintf(buf, sizeof(buf),
+                  "lookup-loss rate %.3f after heal exceeds %.3f",
+                  res.heal_loss_rate(), slo.max_heal_loss_rate);
+    res.violations.push_back(buf);
+  }
+  if (gray) {
+    if (!res.stall_rerouted) {
+      res.violations.push_back(
+          "stalled node was never rerouted around (RTO path inert)");
+    }
+    if (res.stall_condemned) {
+      res.violations.push_back(
+          "stalled node was condemned to a failed set before recovering");
+    }
+    if (!res.stall_recovered) {
+      res.violations.push_back(
+          "stalled node did not serve its keys after recovering");
+    }
+  }
+  if (!res.accounting_ok) {
+    res.violations.push_back(
+        "packet accounting identity violated "
+        "(sent != lost+delivered+unbound+in-flight)");
+  }
+  return res;
+}
+
+}  // namespace mspastry::overlay

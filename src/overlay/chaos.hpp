@@ -1,0 +1,157 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fault_plan.hpp"
+#include "net/topology.hpp"
+#include "overlay/driver.hpp"
+
+namespace mspastry::overlay {
+
+/// Dependability service-level objectives checked by the chaos oracle.
+/// The during-fault bounds are deliberately loose (the point of a fault
+/// window is degradation); the post-heal bounds are strict: the paper's
+/// consistency claim is that the overlay returns to correct routing.
+struct ChaosSlo {
+  double max_fault_incorrect_rate = 0.25;
+  double max_fault_loss_rate = 0.50;
+  double max_heal_incorrect_rate = 0.0;
+  /// Post-heal probes are few (heal_probes), so this must leave headroom
+  /// above the ~3% residual loss a reconverging overlay shows.
+  double max_heal_loss_rate = 0.10;
+  SimDuration max_reconverge = minutes(8);
+};
+
+struct ChaosConfig {
+  int nodes = 40;
+  std::uint64_t seed = 7;
+
+  /// Background Poisson lookup workload (drives suppression and RTO
+  /// estimators the way real traffic would).
+  double bg_lookup_rate = 0.02;
+
+  /// Harness-tracked probe lookups: one every probe_interval, outcomes
+  /// checked against the oracle per phase.
+  SimDuration probe_interval = seconds(2);
+
+  SimDuration settle = minutes(3);       ///< ring build-out before faults
+  SimDuration fault_window = seconds(60);
+  SimDuration stall_window = seconds(8); ///< gray failure: < condemnation time
+  SimDuration heal_grace = seconds(30);  ///< wait after reconvergence
+  int heal_probes = 30;
+
+  pastry::Config pastry{};
+  ChaosSlo slo{};
+};
+
+/// Everything one scenario run produced, plus the oracle's verdicts.
+struct ChaosResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  /// Injection counters by fault kind, from the network's fault plan.
+  std::array<std::uint64_t, net::kFaultKindCount> injected{};
+
+  // Probe lookups issued while faults were active.
+  std::uint64_t fault_issued = 0;
+  std::uint64_t fault_delivered = 0;
+  std::uint64_t fault_incorrect = 0;
+
+  // Probe lookups issued after heal + reconvergence.
+  std::uint64_t heal_issued = 0;
+  std::uint64_t heal_delivered = 0;
+  std::uint64_t heal_incorrect = 0;
+
+  /// Seconds from heal to ring reconvergence (leaf sets consistent with
+  /// the oracle's active set); negative if it never happened in budget.
+  double reconverge_seconds = -1.0;
+
+  // Gray-failure scenario verdicts.
+  bool stall_rerouted = false;   ///< a peer excluded the stalled node
+  bool stall_condemned = false;  ///< a peer put it in its failed set
+  bool stall_recovered = false;  ///< it served its keys again afterwards
+
+  std::uint64_t false_positives = 0;  ///< live nodes condemned, whole run
+  bool accounting_ok = false;  ///< sent == lost+delivered+unbound+in-flight
+
+  /// Deterministic dump of the installed fault rules (byte-for-byte
+  /// reproducible from the seed).
+  std::string fault_schedule;
+
+  /// Invariant violations; empty means every oracle check passed.
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+
+  double fault_loss_rate() const {
+    return fault_issued == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(fault_delivered) /
+                           static_cast<double>(fault_issued);
+  }
+  double fault_incorrect_rate() const {
+    return fault_issued == 0 ? 0.0
+                             : static_cast<double>(fault_incorrect) /
+                                   static_cast<double>(fault_issued);
+  }
+  double heal_loss_rate() const {
+    return heal_issued == 0 ? 0.0
+                            : 1.0 - static_cast<double>(heal_delivered) /
+                                        static_cast<double>(heal_issued);
+  }
+  double heal_incorrect_rate() const {
+    return heal_issued == 0 ? 0.0
+                            : static_cast<double>(heal_incorrect) /
+                                  static_cast<double>(heal_issued);
+  }
+};
+
+/// Runs named (or seeded-random) fault scenarios against a live overlay
+/// and checks oracle invariants: bounded incorrect delivery and lookup
+/// loss during the fault, and recovery SLOs after heal — reconvergence of
+/// the leaf-set ring against the oracle's ground truth and near-perfect
+/// lookups afterwards. Each run builds a fresh overlay on the shared
+/// topology, so scenarios are independent and reproducible from the seed.
+class ChaosHarness {
+ public:
+  ChaosHarness(std::shared_ptr<const net::Topology> topology,
+               ChaosConfig config);
+  ~ChaosHarness();
+
+  /// The named scenarios, in bench/report order: asym-partition, flap,
+  /// delay-spike, dup-reorder, gray-stall, combined.
+  static const std::vector<std::string>& scenarios();
+
+  /// Run one named scenario ("random" runs a seeded random schedule).
+  ChaosResult run(const std::string& scenario);
+
+ private:
+  struct ProbeOutcome {
+    int phase = 0;
+    NodeId key;
+    bool delivered = false;
+    bool correct = false;
+  };
+
+  void build_overlay(std::uint64_t seed);
+  void issue_probe(int phase, const NodeId* key);
+  void probe_until(SimTime until, int phase, const NodeId* key);
+  bool ring_consistent() const;
+  double measure_reconvergence(SimTime heal_at, SimDuration budget);
+
+  std::vector<net::FaultRule> make_schedule(const std::string& scenario,
+                                            SimTime t0, SimTime t1,
+                                            net::Address victim,
+                                            std::vector<net::Address>* minority,
+                                            Rng& rng);
+
+  std::shared_ptr<const net::Topology> topology_;
+  ChaosConfig cfg_;
+  std::unique_ptr<OverlayDriver> driver_;
+  std::unordered_map<std::uint64_t, ProbeOutcome> probes_;
+};
+
+}  // namespace mspastry::overlay

@@ -73,7 +73,10 @@ OverlayDriver::OverlayDriver(std::shared_ptr<const net::Topology> topology,
       net_(sim_, topology_, net_config, config.seed ^ 0x9e3779b9ull),
       cfg_(config),
       rng_(config.seed),
-      metrics_(config.metrics_window, config.warmup) {}
+      metrics_(config.metrics_window, config.warmup) {
+  net_.set_injection_observer(
+      [this](net::FaultKind k) { metrics_.on_fault_injected(k); });
+}
 
 OverlayDriver::~OverlayDriver() {
   // Stop callbacks into nodes before members are torn down.

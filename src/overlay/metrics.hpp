@@ -81,6 +81,11 @@ class Metrics {
   void population_change(SimTime t, int delta) {
     node_seconds_.change(t, delta);
   }
+  /// One fault event injected by the network's fault plan (wired up by
+  /// the driver through Network::set_injection_observer).
+  void on_fault_injected(net::FaultKind k) {
+    ++fault_injections_[static_cast<std::size_t>(k)];
+  }
 
   /// Close the books: lookups issued before `end - grace` and never
   /// delivered are counted lost.
@@ -116,6 +121,15 @@ class Metrics {
   SampleSet& join_latency_samples() { return join_latency_; }
   std::uint64_t joins_started() const { return joins_started_; }
   std::uint64_t joins_completed() const { return joins_completed_; }
+
+  std::uint64_t fault_injections(net::FaultKind k) const {
+    return fault_injections_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t total_fault_injections() const {
+    std::uint64_t t = 0;
+    for (const auto v : fault_injections_) t += v;
+    return t;
+  }
 
   // --- Windowed series (for the time plots) --------------------------------
 
@@ -171,6 +185,7 @@ class Metrics {
   SampleSet join_latency_;
   std::uint64_t joins_started_ = 0;
   std::uint64_t joins_completed_ = 0;
+  std::array<std::uint64_t, net::kFaultKindCount> fault_injections_{};
 
   SimTime finalized_at_ = kTimeNever;
 };

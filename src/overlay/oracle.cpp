@@ -16,6 +16,18 @@ std::optional<net::Address> Oracle::root_of(NodeId key) const {
   return a.closer_to(key, b) ? after->second : before->second;
 }
 
+std::optional<std::pair<NodeId, net::Address>> Oracle::successor_of(
+    NodeId id) const {
+  if (active_.size() < 2) return std::nullopt;
+  auto it = active_.upper_bound(id);
+  if (it == active_.end()) it = active_.begin();
+  if (it->first == id) {
+    ++it;
+    if (it == active_.end()) it = active_.begin();
+  }
+  return std::make_pair(it->first, it->second);
+}
+
 std::optional<std::pair<NodeId, net::Address>> Oracle::random_active(
     Rng& rng) const {
   if (active_.empty()) return std::nullopt;

@@ -34,6 +34,12 @@ class Oracle {
   std::optional<std::pair<NodeId, net::Address>> random_active(
       Rng& rng) const;
 
+  /// The active node immediately clockwise of `id` (its ring successor,
+  /// excluding `id` itself). Ground truth for leaf-set reconvergence
+  /// checks; nullopt with fewer than two active nodes.
+  std::optional<std::pair<NodeId, net::Address>> successor_of(
+      NodeId id) const;
+
  private:
   std::map<NodeId, net::Address> active_;  // ordered by id
 };

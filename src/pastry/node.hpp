@@ -86,6 +86,17 @@ class PastryNode {
   /// Failure-rate estimate mu (failures/node/second).
   double estimate_failure_rate() const;
 
+  /// True if `a` is in this node's failed set (Figure 2's failedi). The
+  /// chaos oracle uses this to distinguish rerouting around a slow node
+  /// from condemning it.
+  bool considers_failed(net::Address a) const { return in_failed(a); }
+
+  /// True while `a` is excluded from routing after a missed per-hop ack
+  /// (suspected but not yet condemned; cleared by any message heard).
+  bool currently_excludes(net::Address a) const {
+    return excluded_.count(a) > 0;
+  }
+
   /// Snapshot of internal state for debugging and tests.
   struct DebugState {
     bool active = false;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -82,6 +83,34 @@ class Simulator {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
   std::unordered_map<TimerId, Callback> callbacks_;
   std::unordered_set<TimerId> cancelled_;
+};
+
+/// A repeating timer built on the simulator: fires `fn` every `period`,
+/// first firing one period after construction, until stop() or
+/// destruction. Used for timed fault-rule supervision and the chaos
+/// harness's invariant polling.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, SimDuration period, Simulator::Callback fn);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+
+ private:
+  struct State {
+    Simulator& sim;
+    SimDuration period;
+    Simulator::Callback fn;
+    bool stopped = false;
+    TimerId timer = kInvalidTimer;
+  };
+
+  static void arm(const std::shared_ptr<State>& st);
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace mspastry

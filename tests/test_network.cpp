@@ -78,13 +78,19 @@ TEST(Network, UnboundEndpointLosesPackets) {
   net.send(a, b, std::make_shared<TestPacket>(1));
   f.sim.run_to_completion();
   EXPECT_EQ(got, 1);
-  // Unbind (node failure): in-flight and future packets are lost.
+  // Unbind (node failure): in-flight and future packets are lost — and
+  // counted, so the accounting identity still holds.
   net.send(a, b, std::make_shared<TestPacket>(2));
   net.unbind(b);
   net.send(a, b, std::make_shared<TestPacket>(3));
   f.sim.run_to_completion();
   EXPECT_EQ(got, 1);
   EXPECT_FALSE(net.bound(b));
+  EXPECT_EQ(net.packets_dropped_unbound(), 2u);
+  EXPECT_EQ(net.packets_sent(), net.packets_lost() +
+                                    net.packets_delivered() +
+                                    net.packets_dropped_unbound());
+  EXPECT_EQ(net.packets_in_flight(), 0u);
 }
 
 TEST(Network, UniformLossRateStatistics) {
@@ -101,8 +107,11 @@ TEST(Network, UniformLossRateStatistics) {
   f.sim.run_to_completion();
   EXPECT_NEAR(static_cast<double>(got) / n, 0.80, 0.03);
   EXPECT_EQ(net.packets_sent(), static_cast<std::uint64_t>(n));
-  EXPECT_EQ(net.packets_lost() + net.packets_delivered(),
+  EXPECT_EQ(net.packets_lost() + net.packets_delivered() +
+                net.packets_dropped_unbound() + net.packets_in_flight(),
             static_cast<std::uint64_t>(n));
+  EXPECT_EQ(net.packets_dropped_unbound(), 0u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
 }
 
 TEST(Network, ZeroLossDeliversEverything) {

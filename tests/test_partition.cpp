@@ -93,7 +93,8 @@ TEST(NetworkPartition, MinorityRejoinAfterHealRestoresConsistency) {
     f.driver->run_for(seconds(5));
   }
   f.driver->run_for(minutes(6));
-  // Full global ring consistency is restored.
+  // Full global ring consistency is restored: every node's successor
+  // pointer agrees with the oracle's ground-truth ring.
   int consistent = 0;
   int checked = 0;
   for (const auto a : f.driver->live_addresses()) {
@@ -102,10 +103,8 @@ TEST(NetworkPartition, MinorityRejoinAfterHealRestoresConsistency) {
     const auto right = n->leaf_set().right_neighbour();
     if (!right) continue;
     ++checked;
-    const auto* rn = f.driver->node(right->addr);
-    if (rn == nullptr) continue;
-    const auto back = rn->leaf_set().left_neighbour();
-    if (back && back->addr == a) ++consistent;
+    const auto succ = f.driver->oracle().successor_of(n->descriptor().id);
+    if (succ && right->addr == succ->second) ++consistent;
   }
   EXPECT_EQ(consistent, checked);
   EXPECT_GT(checked, 25);
@@ -119,6 +118,33 @@ TEST(NetworkPartition, MinorityRejoinAfterHealRestoresConsistency) {
   f.driver->finish();
   EXPECT_EQ(f.driver->metrics().lookups_delivered_incorrect(), 0u);
   EXPECT_EQ(f.driver->metrics().lookups_lost(), 0u);
+  // Packet accounting stayed exact through partition, kills, and rejoin.
+  const auto& net = f.driver->network();
+  EXPECT_EQ(net.packets_sent(),
+            net.packets_lost() + net.packets_delivered() +
+                net.packets_dropped_unbound() + net.packets_in_flight());
+}
+
+TEST(NetworkPartition, PartitionComposesWithInstalledFaultRules) {
+  // partition()/heal() ride the rule stack now: installing and healing a
+  // partition must not disturb other injected faults, and the partition
+  // drop is attributed to the partition rule's counter.
+  Fixture f(114, 10);
+  auto& net = f.driver->network();
+  net.faults().add(net::FaultRule::loss(net::LinkMatcher::all(), 0.01));
+  const auto addrs = f.driver->live_addresses();
+  std::vector<net::Address> side_a(addrs.begin(), addrs.begin() + 5);
+  net.partition(side_a);
+  EXPECT_EQ(net.faults().rule_count(), 2u);
+  const auto cut_before = net.faults().injected(net::FaultKind::kPartition);
+  f.driver->issue_lookup(side_a[0],
+                         f.driver->node(addrs[7])->descriptor().id);
+  f.driver->run_for(seconds(2));
+  EXPECT_GT(net.faults().injected(net::FaultKind::kPartition), cut_before);
+  net.heal();
+  EXPECT_EQ(net.faults().rule_count(), 1u);  // the loss rule survives
+  net.heal();                                // idempotent
+  EXPECT_EQ(net.faults().rule_count(), 1u);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "net/corpnet.hpp"
 #include "net/hier_as.hpp"
 #include "net/transit_stub.hpp"
+#include "overlay/chaos.hpp"
 #include "overlay/driver.hpp"
 #include "trace/churn_generators.hpp"
 
@@ -40,6 +41,8 @@ struct Options {
   double loss = 0.0;
   double lookup_rate = 0.01;
   std::uint64_t seed = 7;
+  std::string chaos;              // named scenario | "all"
+  std::uint64_t chaos_seed = 0;   // 0 = use --seed
   std::string series;  // "", "rdp", "control", "all"
   bool no_acks = false;
   bool no_probing = false;
@@ -65,7 +68,14 @@ void usage() {
       "  --duration-min M       poisson: trace length (default 90)\n"
       "  --loss P               network loss probability (default 0)\n"
       "  --lookup-rate R        lookups/s/node (default 0.01)\n"
-      "  --seed S               RNG seed (default 7)\n"
+      "  --seed S               RNG seed (default 7); feeds the network,\n"
+      "                         trace, and chaos streams, printed in the\n"
+      "                         run header for reproducibility\n"
+      "  --chaos SCENARIO       run a chaos scenario instead of a trace:\n"
+      "                         asym-partition|flap|delay-spike|dup-reorder|\n"
+      "                         gray-stall|combined|random|all\n"
+      "  --chaos-seed S         seed for the chaos fault schedule\n"
+      "                         (default: --seed)\n"
       "  --b N --l N            Pastry parameters (default 4, 32)\n"
       "  --target-lr X          self-tuning raw-loss target (default 0.05)\n"
       "  --no-acks --no-probing --no-selftuning --no-suppression --no-pns\n"
@@ -96,6 +106,10 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--loss") { if (!(v = need(i))) return false; o.loss = std::atof(v); }
     else if (a == "--lookup-rate") { if (!(v = need(i))) return false; o.lookup_rate = std::atof(v); }
     else if (a == "--seed") { if (!(v = need(i))) return false; o.seed = std::strtoull(v, nullptr, 10); }
+    else if (a == "--chaos") { if (!(v = need(i))) return false; o.chaos = v; }
+    else if (a.rfind("--chaos=", 0) == 0) o.chaos = a.substr(8);
+    else if (a == "--chaos-seed") { if (!(v = need(i))) return false; o.chaos_seed = std::strtoull(v, nullptr, 10); }
+    else if (a.rfind("--chaos-seed=", 0) == 0) o.chaos_seed = std::strtoull(a.c_str() + 13, nullptr, 10);
     else if (a == "--b") { if (!(v = need(i))) return false; o.b = std::atoi(v); }
     else if (a == "--l") { if (!(v = need(i))) return false; o.l = std::atoi(v); }
     else if (a == "--target-lr") { if (!(v = need(i))) return false; o.target_lr = std::atof(v); }
@@ -164,12 +178,74 @@ void print_series(const char* name,
 
 }  // namespace
 
+int run_chaos(const Options& o) {
+  auto topology = make_topology(o);
+  if (!topology) {
+    std::fprintf(stderr, "unknown topology: %s\n", o.topology.c_str());
+    return 2;
+  }
+  overlay::ChaosConfig cfg;
+  cfg.seed = o.chaos_seed != 0 ? o.chaos_seed : o.seed;
+  cfg.pastry.b = o.b;
+  cfg.pastry.l = o.l;
+  std::printf("chaos: scenario %s, seed %llu, topology %s\n",
+              o.chaos.c_str(), (unsigned long long)cfg.seed,
+              topology->name().c_str());
+  overlay::ChaosHarness harness(std::move(topology), cfg);
+  const auto names = o.chaos == "all"
+                         ? overlay::ChaosHarness::scenarios()
+                         : std::vector<std::string>{o.chaos};
+  bool all_ok = true;
+  for (const auto& name : names) {
+    overlay::ChaosResult r;
+    try {
+      r = harness.run(name);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s (known scenarios:", e.what());
+      for (const auto& s : overlay::ChaosHarness::scenarios()) {
+        std::fprintf(stderr, " %s", s.c_str());
+      }
+      std::fprintf(stderr, " random all)\n");
+      return 2;
+    }
+    std::printf("\n--- %s (seed %llu) ---\nfault schedule:\n%s",
+                r.scenario.c_str(), (unsigned long long)r.seed,
+                r.fault_schedule.c_str());
+    std::printf(
+        "during faults: %llu probes, loss %.3f, incorrect %.3f\n"
+        "after heal:    %llu probes, loss %.3f, incorrect %.3f\n",
+        (unsigned long long)r.fault_issued, r.fault_loss_rate(),
+        r.fault_incorrect_rate(), (unsigned long long)r.heal_issued,
+        r.heal_loss_rate(), r.heal_incorrect_rate());
+    if (r.reconverge_seconds < 0) {
+      std::printf("reconvergence: never\n");
+    } else {
+      std::printf("reconvergence: %.1f s after heal\n",
+                  r.reconverge_seconds);
+    }
+    if (r.scenario == "gray-stall") {
+      std::printf("gray failure: rerouted=%s condemned=%s recovered=%s\n",
+                  r.stall_rerouted ? "yes" : "no",
+                  r.stall_condemned ? "yes" : "no",
+                  r.stall_recovered ? "yes" : "no");
+    }
+    for (const auto& v : r.violations) {
+      std::printf("violation: %s\n", v.c_str());
+    }
+    std::printf("verdict: %s\n", r.ok() ? "ok" : "FAIL");
+    all_ok = all_ok && r.ok();
+  }
+  return all_ok ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   Options o;
   if (!parse(argc, argv, o)) {
     usage();
     return 2;
   }
+  std::printf("seed: %llu\n", (unsigned long long)o.seed);
+  if (!o.chaos.empty()) return run_chaos(o);
 
   trace::ChurnTrace churn = make_trace(o);
   const auto pop = churn.population_stats();
