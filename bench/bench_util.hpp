@@ -9,11 +9,20 @@
 // Scale: by default runs are scaled down so the full bench suite finishes
 // in minutes. Set REPRO_FULL=1 for paper-scale runs (hours).
 
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "net/corpnet.hpp"
 #include "net/hier_as.hpp"
@@ -33,6 +42,179 @@ inline double node_scale() { return full_scale() ? 1.0 : 0.1; }
 
 /// Trace-length scale factor relative to the paper.
 inline double time_scale() { return full_scale() ? 1.0 : 0.033; }
+
+// --- Timing, memory, and checksum helpers ----------------------------------
+
+/// Wall-clock stopwatch (starts on construction).
+class WallTimer {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Peak resident set size of this process, in bytes (0 if unavailable).
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// FNV-1a accumulation over fixed-width values; used for the determinism
+/// checksums recorded in BENCH_*.json (same seed + same code must give
+/// the same digest, across event-core rewrites).
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+inline std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_f64(std::uint64_t h, double v) {
+  // Hash the bit pattern; normalise -0.0 so it digests like 0.0.
+  if (v == 0.0) v = 0.0;
+  return hash_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+// --- Shared JSON emitter ----------------------------------------------------
+//
+// Every bench binary can append machine-readable rows next to its table
+// output: JsonEmitter writes BENCH_<bench>.json in the working directory
+// (an array of row objects under a tiny header). CI uploads these as the
+// per-PR perf trajectory; EXPERIMENTS.md explains how to compare runs.
+
+class JsonEmitter {
+ public:
+  class Row {
+   public:
+    Row& field(const char* key, const std::string& v) {
+      append_key(key);
+      body_ += '"';
+      for (const char c : v) {
+        if (c == '"' || c == '\\') {
+          body_ += '\\';
+          body_ += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          body_ += buf;
+        } else {
+          body_ += c;
+        }
+      }
+      body_ += '"';
+      return *this;
+    }
+    Row& field(const char* key, const char* v) {
+      return field(key, std::string(v));
+    }
+    Row& field(const char* key, double v) {
+      append_key(key);
+      if (std::isfinite(v)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        body_ += buf;
+      } else {
+        body_ += "null";
+      }
+      return *this;
+    }
+    Row& field(const char* key, std::uint64_t v) {
+      append_key(key);
+      body_ += std::to_string(v);
+      return *this;
+    }
+    Row& field(const char* key, std::int64_t v) {
+      append_key(key);
+      body_ += std::to_string(v);
+      return *this;
+    }
+    Row& field(const char* key, int v) {
+      return field(key, static_cast<std::int64_t>(v));
+    }
+    Row& field(const char* key, bool v) {
+      append_key(key);
+      body_ += v ? "true" : "false";
+      return *this;
+    }
+    /// Checksums are emitted as fixed-width hex strings so diffs of two
+    /// BENCH files line up visually.
+    Row& hex(const char* key, std::uint64_t v) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(v));
+      return field(key, buf);
+    }
+
+   private:
+    friend class JsonEmitter;
+    void append_key(const char* key) {
+      if (!body_.empty()) body_ += ", ";
+      body_ += '"';
+      body_ += key;
+      body_ += "\": ";
+    }
+    std::string body_;
+  };
+
+  explicit JsonEmitter(std::string bench) : bench_(std::move(bench)) {}
+  ~JsonEmitter() { write(); }
+
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  /// Start a new row; fields can be chained onto the returned reference
+  /// (stable until write()).
+  Row& row(const std::string& name) {
+    rows_.emplace_back();
+    rows_.back().field("name", name);
+    return rows_.back();
+  }
+
+  /// Write BENCH_<bench>.json; called automatically on destruction.
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"schema\": 1,\n  \"bench\": \"%s\",\n",
+                 bench_.c_str());
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {%s}%s\n", rows_[i].body_.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string bench_;
+  std::deque<Row> rows_;
+  bool written_ = false;
+};
 
 enum class TopologyKind { kGATech, kMercator, kCorpNet };
 
@@ -86,17 +268,51 @@ struct RunSummary {
   double join_latency_p50 = 0.0;
   double join_latency_p95 = 0.0;
   pastry::Counters counters;
+
+  // Performance accounting (filled by run_experiment).
+  double wall_seconds = 0.0;
+  std::uint64_t executed_events = 0;  ///< simulator events in the run
+  double events_per_sec = 0.0;        ///< executed_events / wall_seconds
+  std::uint64_t digest = 0;           ///< determinism checksum, see below
 };
 
-/// Run one trace-driven experiment and summarise.
-inline RunSummary run_experiment(TopologyKind kind,
-                                 const overlay::DriverConfig& dcfg,
-                                 const trace::ChurnTrace& trace,
-                                 double loss_rate = 0.0) {
-  overlay::OverlayDriver driver(make_topology(kind),
-                                make_net_config(kind, loss_rate), dcfg);
-  driver.run_trace(trace);
+/// Determinism checksum over everything the run *computed* (not how fast
+/// it computed it): executed-event count plus a digest of the headline
+/// metrics and protocol counters. Two builds of the same (seed, config)
+/// must produce identical digests — this is how event-core rewrites prove
+/// they preserved behaviour.
+inline std::uint64_t summary_digest(const RunSummary& s) {
+  std::uint64_t h = kFnvOffset;
+  h = hash_u64(h, s.executed_events);
+  h = hash_f64(h, s.rdp);
+  h = hash_f64(h, s.rdp_p50);
+  h = hash_f64(h, s.control_traffic);
+  h = hash_f64(h, s.loss_rate);
+  h = hash_f64(h, s.incorrect_rate);
+  h = hash_u64(h, s.lookups);
+  h = hash_f64(h, s.join_latency_p50);
+  h = hash_f64(h, s.join_latency_p95);
+  h = hash_u64(h, s.counters.heartbeats_sent);
+  h = hash_u64(h, s.counters.rt_probes_sent);
+  h = hash_u64(h, s.counters.ls_probes_sent);
+  h = hash_u64(h, s.counters.distance_probes_sent);
+  h = hash_u64(h, s.counters.acks_sent);
+  h = hash_u64(h, s.counters.ack_timeouts);
+  h = hash_u64(h, s.counters.lookups_forwarded);
+  h = hash_u64(h, s.counters.joins_completed);
+  h = hash_u64(h, s.counters.nodes_marked_faulty);
+  return h;
+}
+
+/// Summarise a driver that has already run (for benches that construct
+/// their own OverlayDriver, e.g. to attach apps or read series).
+inline RunSummary summarize(overlay::OverlayDriver& driver,
+                            double wall_seconds) {
   RunSummary s;
+  s.wall_seconds = wall_seconds;
+  s.executed_events = driver.sim().executed_events();
+  s.events_per_sec =
+      s.wall_seconds > 0 ? s.executed_events / s.wall_seconds : 0.0;
   auto& m = driver.metrics();
   s.rdp = m.mean_rdp();
   s.rdp_p50 = m.rdp_samples().quantile(0.5);
@@ -107,7 +323,39 @@ inline RunSummary run_experiment(TopologyKind kind,
   s.join_latency_p50 = m.join_latency_samples().quantile(0.5);
   s.join_latency_p95 = m.join_latency_samples().quantile(0.95);
   s.counters = driver.counters();
+  s.digest = summary_digest(s);
   return s;
+}
+
+/// Run one trace-driven experiment and summarise.
+inline RunSummary run_experiment(TopologyKind kind,
+                                 const overlay::DriverConfig& dcfg,
+                                 const trace::ChurnTrace& trace,
+                                 double loss_rate = 0.0) {
+  WallTimer timer;
+  overlay::OverlayDriver driver(make_topology(kind),
+                                make_net_config(kind, loss_rate), dcfg);
+  driver.run_trace(trace);
+  return summarize(driver, timer.seconds());
+}
+
+/// Append the standard row shape shared by all trace-driven benches:
+/// identification, wall-clock, throughput, checksum, headline metrics.
+inline JsonEmitter::Row& emit_summary_row(JsonEmitter& out,
+                                          const std::string& name,
+                                          const std::string& params,
+                                          const RunSummary& s) {
+  return out.row(name)
+      .field("params", params)
+      .field("wall_seconds", s.wall_seconds)
+      .field("executed_events", s.executed_events)
+      .field("events_per_sec", s.events_per_sec)
+      .hex("digest", s.digest)
+      .field("rdp", s.rdp)
+      .field("control_traffic", s.control_traffic)
+      .field("loss_rate", s.loss_rate)
+      .field("incorrect_rate", s.incorrect_rate)
+      .field("lookups", s.lookups);
 }
 
 /// Gnutella-like churn scaled for bench runs.

@@ -12,7 +12,7 @@ namespace {
 
 void one_trace(const trace::SyntheticChurnParams& params,
                SimDuration window, double paper_mean_session_s,
-               double paper_peak_rate) {
+               double paper_peak_rate, JsonEmitter& out) {
   const auto t = trace::generate_synthetic(params);
   const auto stats = t.session_stats();
   const auto pop = t.population_stats();
@@ -33,6 +33,16 @@ void one_trace(const trace::SyntheticChurnParams& params,
   print_compare("mean failure rate (/node/s)",
                 1.0 / paper_mean_session_s,
                 series.empty() ? 0.0 : sum / series.size());
+  out.row(t.name())
+      .field("sessions", t.session_count())
+      .field("min_active", pop.min_active)
+      .field("max_active", pop.max_active)
+      .field("mean_session_seconds", stats.mean_seconds)
+      .field("peak_failure_rate", peak)
+      .field("mean_failure_rate",
+             series.empty() ? 0.0 : sum / series.size())
+      .field("paper_mean_session_seconds", paper_mean_session_s)
+      .field("paper_peak_failure_rate", paper_peak_rate);
   std::printf("# series: %s failure rate (hours\t/node/s)\n",
               t.name().c_str());
   for (const auto& [ts, rate] : series) {
@@ -46,11 +56,13 @@ int main() {
   print_header("Figure 3: failure rates of the three churn traces");
   const double ns = node_scale();
   const double ts = full_scale() ? 1.0 : 0.2;
+  JsonEmitter out("fig3");
   // Paper peaks read off Figure 3: Gnutella/OverNet ~3e-4, Microsoft ~2e-5.
-  one_trace(trace::gnutella_params(ns, ts), minutes(10), 2.3 * 3600, 3.0e-4);
+  one_trace(trace::gnutella_params(ns, ts), minutes(10), 2.3 * 3600, 3.0e-4,
+            out);
   one_trace(trace::overnet_params(std::max(0.2, ns * 4), ts), minutes(10),
-            134 * 60.0, 3.0e-4);
+            134 * 60.0, 3.0e-4, out);
   one_trace(trace::microsoft_params(ns / 5, ts), hours(1), 37.7 * 3600,
-            2.0e-5);
+            2.0e-5, out);
   return 0;
 }

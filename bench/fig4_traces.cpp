@@ -17,12 +17,15 @@ struct TraceRun {
   double paper_ctrl;
 };
 
-void run_one(const TraceRun& tr, bool breakdown) {
+void run_one(const TraceRun& tr, bool breakdown, JsonEmitter& out) {
   overlay::DriverConfig dcfg = base_driver_config(200);
+  WallTimer timer;
   overlay::OverlayDriver driver(make_topology(TopologyKind::kGATech),
                                 make_net_config(TopologyKind::kGATech),
                                 dcfg);
   driver.run_trace(tr.trace);
+  emit_summary_row(out, tr.name, "topology=GATech",
+                   summarize(driver, timer.seconds()));
   auto& m = driver.metrics();
   std::printf("\n-- %s\n", tr.name.c_str());
   print_compare("mean RDP", tr.paper_rdp, m.mean_rdp());
@@ -76,9 +79,10 @@ int main() {
       {"Microsoft",
        trace::generate_synthetic(trace::microsoft_params(ns / 5, ts / 4)),
        1.6, 0.082});
+  JsonEmitter out("fig4");
   bool first = true;
   for (const auto& tr : runs) {
-    run_one(tr, first);
+    run_one(tr, first, out);
     first = false;
   }
   return 0;

@@ -10,6 +10,7 @@ using namespace mspastry::bench;
 
 int main() {
   print_header("Figure 5: Poisson traces with varying session times");
+  JsonEmitter out("fig5");
   const int population =
       full_scale() ? 10000 : 300;
   const SimDuration duration = full_scale() ? hours(10) : minutes(80);
@@ -28,10 +29,17 @@ int main() {
     dcfg.warmup = std::min<SimDuration>(duration / 4, minutes(20));
     const auto trace = trace::generate_poisson(
         duration, s_min * 60.0, population, 500 + i, "poisson");
+    WallTimer timer;
     overlay::OverlayDriver driver(make_topology(TopologyKind::kGATech),
                                   make_net_config(TopologyKind::kGATech),
                                   dcfg);
     driver.run_trace(trace);
+    const auto summary = summarize(driver, timer.seconds());
+    emit_summary_row(out, "session_sweep",
+                     "session_min=" + std::to_string(s_min), summary)
+        .field("session_min", s_min)
+        .field("join_latency_p50", summary.join_latency_p50)
+        .field("join_latency_p95", summary.join_latency_p95);
     auto& m = driver.metrics();
     std::printf("%.0f\t%.2f\t%.2f\t%.3f\t%.3f\t%.1f\t%.1f\t%.2g\t%.2g\n",
                 s_min, m.mean_rdp(), paper_rdp[i],

@@ -9,6 +9,7 @@ using namespace mspastry::bench;
 
 int main() {
   print_header("Figure 6: varying the network message loss rate");
+  JsonEmitter out("fig6");
 
   // Paper values read off Figure 6 (at 0% and 5%).
   std::printf(
@@ -19,6 +20,11 @@ int main() {
     const auto trace = bench_gnutella(42);
     const auto s = run_experiment(TopologyKind::kGATech, dcfg, trace,
                                   pct / 100.0);
+    emit_summary_row(out, "loss_sweep", "net_loss_pct=" + std::to_string(pct),
+                     s)
+        .field("net_loss_pct", pct)
+        .field("ack_timeouts", s.counters.ack_timeouts)
+        .field("false_positives", s.counters.false_positives);
     std::printf("%d\t%.2f\t%.3f\t%.3g\t%.3g\t%llu\t%llu\n", pct, s.rdp,
                 s.control_traffic, s.loss_rate, s.incorrect_rate,
                 (unsigned long long)s.counters.ack_timeouts,

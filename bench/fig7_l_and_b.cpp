@@ -9,6 +9,7 @@ using namespace mspastry::bench;
 
 int main() {
   print_header("Figure 7: varying l and b");
+  JsonEmitter out("fig7");
 
   std::printf("\n-- sweep l (b = 4)\nl\tctrl(msgs/s/node)\tRDP\tloss\n");
   double ctrl_l16 = 0;
@@ -18,6 +19,8 @@ int main() {
     dcfg.pastry.l = l;
     const auto s = run_experiment(TopologyKind::kGATech, dcfg,
                                   bench_gnutella(43));
+    emit_summary_row(out, "l_sweep", "l=" + std::to_string(l), s)
+        .field("l", l);
     if (l == 16) ctrl_l16 = s.control_traffic;
     if (l == 32) ctrl_l32 = s.control_traffic;
     std::printf("%d\t%.3f\t%.2f\t%.2g\n", l, s.control_traffic, s.rdp,
@@ -38,6 +41,8 @@ int main() {
     dcfg.pastry.b = b;
     const auto s = run_experiment(TopologyKind::kGATech, dcfg,
                                   bench_gnutella(44));
+    emit_summary_row(out, "b_sweep", "b=" + std::to_string(b), s)
+        .field("b", b);
     if (b == 1) {
       ctrl_b1 = s.control_traffic;
       rdp_b1 = s.rdp;

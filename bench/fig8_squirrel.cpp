@@ -27,7 +27,9 @@ constexpr int kMachines = 52;
 constexpr double kDays = 6.0;
 
 std::vector<overlay::Metrics::SeriesPoint> run_once(std::uint64_t seed,
-                                                    double jitter) {
+                                                    double jitter,
+                                                    JsonEmitter& out,
+                                                    const char* row_name) {
   // Corporate churn: most machines stay up, a few reboot.
   trace::SyntheticChurnParams churn;
   churn.duration = days(kDays);
@@ -63,8 +65,20 @@ std::vector<overlay::Metrics::SeriesPoint> run_once(std::uint64_t seed,
           pump();
         });
   };
+  WallTimer timer;
   pump();
   driver.run_trace(trace);
+  emit_summary_row(out, row_name,
+                   "seed=" + std::to_string(seed) +
+                       " jitter=" + std::to_string(jitter),
+                   summarize(driver, timer.seconds()))
+      .field("web_requests", cache.stats().requests)
+      .field("web_hit_rate",
+             cache.stats().requests
+                 ? static_cast<double>(cache.stats().hits) /
+                       cache.stats().requests
+                 : 0.0)
+      .field("web_mean_latency_ms", cache.latencies().mean() * 1000.0);
 
   std::printf("  run seed=%llu jitter=%.0f%%: requests=%llu hit-rate=%.2f "
               "mean-latency=%.0fms\n",
@@ -82,10 +96,11 @@ std::vector<overlay::Metrics::SeriesPoint> run_once(std::uint64_t seed,
 
 int main() {
   print_header("Figure 8: Squirrel deployment vs simulator (total traffic)");
+  JsonEmitter out("fig8");
   std::printf("\nsimulator run:\n");
-  const auto sim_series = run_once(2001, 0.0);
+  const auto sim_series = run_once(2001, 0.0, out, "simulator");
   std::printf("deployment-like replica (different seed, 10%% jitter):\n");
-  const auto dep_series = run_once(4243, 0.10);
+  const auto dep_series = run_once(4243, 0.10, out, "replica");
 
   std::printf("\n# series: total traffic per node (hours\tsim\treplica)\n");
   const std::size_t n = std::min(sim_series.size(), dep_series.size());
@@ -108,5 +123,9 @@ int main() {
       "msgs/s/node). measured: mean=%.3f max=%.3f msgs/s/node, "
       "max relative gap between runs=%.0f%%\n",
       sim_stats.mean(), sim_stats.max(), max_rel_gap * 100);
+  out.row("compare")
+      .field("traffic_mean", sim_stats.mean())
+      .field("traffic_max", sim_stats.max())
+      .field("max_relative_gap", max_rel_gap);
   return 0;
 }

@@ -1,0 +1,311 @@
+// Event-core performance baseline. Replays three representative
+// workloads and records events/sec, wall-clock, peak RSS, and a
+// determinism checksum in BENCH_core.json:
+//
+//   1. `micro`  — a raw schedule/cancel/fire microbenchmark run twice:
+//                 once on the production `Simulator` and once on
+//                 `LegacySimulator`, a frozen copy of the pre-rewrite core
+//                 (priority_queue + callbacks map + cancelled set). The
+//                 two must produce identical execution-order checksums;
+//                 their throughput ratio is the recorded speedup.
+//   2. `fig4`   — the Figure-4-style Gnutella churn replay (the workload
+//                 every paper table/figure is built from).
+//   3. `chaos`  — the combined fault-injection scenario from the chaos
+//                 harness (timer-cancel heavy: retries, probes, faults).
+//
+// The checksums let any later event-core change prove it preserved
+// observable behaviour: same executed-event counts, same metrics digest.
+//
+// Usage: perf_core [--smoke]   (--smoke: CI-sized run, a few seconds)
+//        REPRO_FULL=1 perf_core  for paper-scale replay
+
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench_util.hpp"
+#include "common/inplace_callback.hpp"
+#include "overlay/chaos.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+namespace {
+
+// --- Frozen pre-rewrite event core (PR 1 vintage) ---------------------------
+//
+// Kept verbatim so the microbench always measures new-vs-old on the same
+// machine, and so the checksum cross-check does not depend on a recorded
+// number from somebody else's hardware. Do not "improve" this class.
+class LegacySimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  TimerId schedule_at(SimTime t, Callback fn) {
+    const TimerId id = next_id_++;
+    heap_.push(Entry{t < now_ ? now_ : t, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  TimerId schedule_after(SimDuration d, Callback fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  void cancel(TimerId id) {
+    if (id == kInvalidTimer) return;
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) return;
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+  }
+
+  bool step() {
+    prune();
+    if (heap_.empty()) return false;
+    const Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.t;
+    auto it = callbacks_.find(e.id);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    TimerId id;
+    bool operator>(const Entry& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  void prune() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  SimTime now_ = kTimeZero;
+  TimerId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<TimerId, Callback> callbacks_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+// --- Raw schedule/cancel/fire microbench ------------------------------------
+
+struct MicroResult {
+  double wall_seconds = 0.0;
+  std::uint64_t executed = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancels = 0;
+  double events_per_sec = 0.0;  ///< executed / wall
+  double ops_per_sec = 0.0;     ///< (scheduled + cancels + executed) / wall
+  std::uint64_t order_digest = kFnvOffset;  ///< order-sensitive checksum
+};
+
+/// The workload models what the overlay actually does to the simulator:
+/// a deep steady-state queue (tens of thousands of outstanding timers),
+/// short per-hop ack timeouts mixed with long heartbeat periods, and
+/// about a third of all timers cancelled before they fire (acks arrive,
+/// probes get answered). Identical PRNG decisions on both cores, so the
+/// execution order checksum must match exactly.
+template <typename Sim>
+MicroResult run_micro(std::uint64_t target_executed, std::size_t prefill) {
+  Sim sim;
+  std::mt19937_64 prng(0x5eedc0de);
+  std::vector<TimerId> live;  // candidates for cancellation
+  live.reserve(prefill + 1024);
+  MicroResult out;
+
+  auto schedule_one = [&] {
+    const std::uint64_t r = prng();
+    // 1/8 long "heartbeat" timers (~30 s), the rest short "ack" timers
+    // spread over ~65 ms — two bands like the real protocol mix.
+    const SimDuration d = (r & 7u) == 0
+                              ? seconds(30) + static_cast<SimDuration>(r % 1000)
+                              : 1 + static_cast<SimDuration>(r & 0xffffu);
+    const std::uint64_t tag = r >> 3;
+    TimerId id = sim.schedule_after(
+        d, [&out, tag] { out.order_digest = hash_u64(out.order_digest, tag); });
+    ++out.scheduled;
+    if (r & 1u) live.push_back(id);  // half the timers may be cancelled later
+  };
+
+  for (std::size_t i = 0; i < prefill; ++i) schedule_one();
+
+  WallTimer timer;
+  while (sim.executed_events() < target_executed) {
+    for (int i = 0; i < 64; ++i) schedule_one();
+    for (int i = 0; i < 24 && !live.empty(); ++i) {
+      const std::size_t k = prng() % live.size();
+      sim.cancel(live[k]);
+      ++out.cancels;
+      live[k] = live.back();
+      live.pop_back();
+    }
+    for (int i = 0; i < 40; ++i) {
+      if (!sim.step()) break;
+    }
+  }
+  out.wall_seconds = timer.seconds();
+  out.executed = sim.executed_events();
+  out.events_per_sec =
+      out.wall_seconds > 0 ? out.executed / out.wall_seconds : 0.0;
+  out.ops_per_sec = out.wall_seconds > 0 ? (out.executed + out.scheduled +
+                                            out.cancels) /
+                                               out.wall_seconds
+                                         : 0.0;
+  return out;
+}
+
+void emit_micro_row(JsonEmitter& out, const char* name, const MicroResult& r,
+                    const std::string& params) {
+  out.row(name)
+      .field("params", params)
+      .field("wall_seconds", r.wall_seconds)
+      .field("executed_events", r.executed)
+      .field("scheduled", r.scheduled)
+      .field("cancels", r.cancels)
+      .field("events_per_sec", r.events_per_sec)
+      .field("ops_per_sec", r.ops_per_sec)
+      .hex("digest", r.order_digest);
+}
+
+std::uint64_t chaos_digest(const overlay::ChaosResult& r) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto v : r.injected) h = hash_u64(h, v);
+  h = hash_u64(h, r.fault_issued);
+  h = hash_u64(h, r.fault_delivered);
+  h = hash_u64(h, r.fault_incorrect);
+  h = hash_u64(h, r.heal_issued);
+  h = hash_u64(h, r.heal_delivered);
+  h = hash_u64(h, r.heal_incorrect);
+  h = hash_f64(h, r.reconverge_seconds);
+  h = hash_u64(h, r.false_positives);
+  for (const char c : r.fault_schedule) {
+    h = hash_u64(h, static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  print_header("Event-core performance baseline (perf_core)");
+  JsonEmitter out("core");
+
+  // --- 1. raw schedule/cancel microbench, new core vs frozen legacy core --
+  // Same queue depth in both modes (depth is what shapes the heap and
+  // cache behaviour); --smoke only trims how long we sustain it.
+  const std::uint64_t micro_events = smoke ? 800'000 : 4'000'000;
+  const std::size_t prefill = 50'000;
+  const std::string micro_params = "target_executed=" +
+                                   std::to_string(micro_events) +
+                                   " prefill=" + std::to_string(prefill);
+
+  std::printf("\n-- micro: schedule/cancel/fire (%s)\n", micro_params.c_str());
+  // Alternate the two cores and keep each one's best repetition: timing
+  // interference (shared CI hosts) is one-sided — it can only slow a
+  // run down — so best-of-N alternating is robust where a single pair of
+  // back-to-back runs is not. Checksums must agree across every rep.
+  const int reps = smoke ? 2 : 3;
+  MicroResult legacy, current;
+  for (int r = 0; r < reps; ++r) {
+    const MicroResult l = run_micro<LegacySimulator>(micro_events, prefill);
+    const MicroResult c = run_micro<Simulator>(micro_events, prefill);
+    if (r == 0 || l.events_per_sec > legacy.events_per_sec) legacy = l;
+    if (r == 0 || c.events_per_sec > current.events_per_sec) current = c;
+    if (l.order_digest != c.order_digest) {
+      std::fprintf(stderr, "FATAL: micro digest mismatch in rep %d\n", r);
+      return 1;
+    }
+  }
+  std::printf("  legacy : %10.0f events/s  %10.0f ops/s  %.3fs\n",
+              legacy.events_per_sec, legacy.ops_per_sec, legacy.wall_seconds);
+  std::printf("  current: %10.0f events/s  %10.0f ops/s  %.3fs\n",
+              current.events_per_sec, current.ops_per_sec,
+              current.wall_seconds);
+  const double speedup = legacy.events_per_sec > 0
+                             ? current.events_per_sec / legacy.events_per_sec
+                             : 0.0;
+  std::printf("  speedup: %.2fx   digests %s (%016llx)\n", speedup,
+              current.order_digest == legacy.order_digest ? "MATCH"
+                                                          : "MISMATCH",
+              (unsigned long long)current.order_digest);
+  emit_micro_row(out, "micro_current", current, micro_params);
+  emit_micro_row(out, "micro_legacy", legacy, micro_params);
+  out.row("micro_compare")
+      .field("speedup", speedup)
+      .field("digests_match", current.order_digest == legacy.order_digest);
+
+  // --- 2. fig4-style Gnutella churn replay --------------------------------
+  std::printf("\n-- fig4-style churn replay\n");
+  const double ts = smoke ? 0.01 : (full_scale() ? 1.0 : 0.05);
+  const double ns = smoke ? 0.05 : node_scale();
+  const auto trace =
+      trace::generate_synthetic(trace::gnutella_params(ns, ts));
+  const RunSummary fig4 =
+      run_experiment(TopologyKind::kGATech, base_driver_config(200), trace);
+  std::printf("  %llu events in %.3fs  (%.0f events/s)  digest %016llx\n",
+              (unsigned long long)fig4.executed_events, fig4.wall_seconds,
+              fig4.events_per_sec, (unsigned long long)fig4.digest);
+  emit_summary_row(out, "fig4_replay",
+                   "trace=gnutella node_scale=" + std::to_string(ns) +
+                       " time_scale=" + std::to_string(ts) + " seed=200",
+                   fig4);
+
+  // --- 3. chaos scenario replay (cancel-heavy) ----------------------------
+  std::printf("\n-- chaos combined scenario\n");
+  overlay::ChaosConfig ccfg;
+  ccfg.seed = 7;
+  ccfg.nodes = smoke ? 25 : 40;
+  WallTimer chaos_timer;
+  overlay::ChaosHarness harness(make_topology(TopologyKind::kGATech), ccfg);
+  const overlay::ChaosResult chaos = harness.run("combined");
+  const double chaos_wall = chaos_timer.seconds();
+  const std::uint64_t cdigest = chaos_digest(chaos);
+  std::printf("  %.3fs  ok=%d  digest %016llx\n", chaos_wall, chaos.ok(),
+              (unsigned long long)cdigest);
+  out.row("chaos_combined")
+      .field("params", "scenario=combined seed=7 nodes=" +
+                           std::to_string(ccfg.nodes))
+      .field("wall_seconds", chaos_wall)
+      .field("ok", chaos.ok())
+      .hex("digest", cdigest);
+
+  // --- environment / memory row -------------------------------------------
+  out.row("process")
+      .field("smoke", smoke)
+      .field("peak_rss_bytes", peak_rss_bytes())
+      .field("callback_heap_fallbacks", callback_heap_fallbacks());
+
+  out.write();
+  return 0;
+}

@@ -55,6 +55,15 @@ Row run_mspastry(const trace::ChurnTrace& trace, std::uint64_t seed) {
 int main() {
   print_header(
       "Section 3.1: best-effort baseline (Chord-style) vs MSPastry");
+  JsonEmitter out("tab_baseline");
+  const auto emit = [&out](const char* name, const std::string& params,
+                           const Row& r) {
+    out.row(name)
+        .field("params", params)
+        .field("incorrect_rate", r.incorrect)
+        .field("loss_rate", r.loss)
+        .field("control_traffic", r.control);
+  };
 
   const int population = full_scale() ? 1000 : 150;
   const SimDuration duration = full_scale() ? hours(6) : minutes(50);
@@ -67,6 +76,10 @@ int main() {
         1400 + static_cast<std::uint64_t>(session_min));
     const auto ms = run_mspastry(trace, 1500);
     const auto ch = run_chord(trace, seconds(15), 1501);
+    const std::string params =
+        "session_min=" + std::to_string(session_min);
+    emit("mspastry", params, ms);
+    emit("chord_15s", params, ch);
     std::printf("%.0f\t\tMSPastry\t\t%.3g\t\t%.3g\t\t%.3f\n", session_min,
                 ms.incorrect, ms.loss, ms.control);
     std::printf("%.0f\t\tChord-style (15s)\t%.3g\t\t%.3g\t\t%.3f\n",
@@ -81,10 +94,12 @@ int main() {
   for (const double s : {5.0, 15.0, 30.0, 60.0}) {
     const auto r = run_chord(trace, from_seconds(s),
                              1600 + static_cast<std::uint64_t>(s));
+    emit("chord_stabilize_sweep", "stabilize_s=" + std::to_string(s), r);
     std::printf("%.0f\t\t%.3g\t\t%.3g\t\t%.3f\n", s, r.incorrect, r.loss,
                 r.control);
   }
   const auto ms = run_mspastry(trace, 1601);
+  emit("mspastry", "session_min=30 (stabilize sweep reference)", ms);
   std::printf("MSPastry\t%.3g\t\t%.3g\t\t%.3f\n", ms.incorrect, ms.loss,
               ms.control);
   std::printf(

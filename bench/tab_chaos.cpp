@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
 
   print_header("Chaos suite: dependability under injected faults");
   std::printf("seed: %llu\n", (unsigned long long)seed);
+  JsonEmitter out("tab_chaos");
 
   overlay::ChaosConfig cfg;
   cfg.seed = seed;
@@ -81,6 +82,16 @@ int main(int argc, char** argv) {
     for (const auto& v : r.violations) {
       std::printf("  violation: %s\n", v.c_str());
     }
+    out.row(r.scenario)
+        .field("injected", injected)
+        .field("fault_loss_rate", r.fault_loss_rate())
+        .field("fault_incorrect_rate", r.fault_incorrect_rate())
+        .field("heal_loss_rate", r.heal_loss_rate())
+        .field("heal_incorrect_rate", r.heal_incorrect_rate())
+        .field("reconverge_seconds", r.reconverge_seconds)
+        .field("ok", r.ok())
+        .field("violations",
+               static_cast<std::uint64_t>(r.violations.size()));
     all_ok = all_ok && r.ok();
     results.push_back(std::move(r));
   }

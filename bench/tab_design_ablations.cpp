@@ -19,21 +19,19 @@ struct Result {
 };
 
 Result run_with(const overlay::DriverConfig& dcfg, double loss,
-                std::uint64_t trace_seed) {
+                std::uint64_t trace_seed, JsonEmitter& out,
+                const char* name, const char* params) {
+  WallTimer timer;
   overlay::OverlayDriver driver(make_topology(TopologyKind::kGATech),
                                 make_net_config(TopologyKind::kGATech, loss),
                                 dcfg);
   driver.run_trace(bench_gnutella(trace_seed));
   Result r;
-  auto& m = driver.metrics();
-  r.s.rdp = m.mean_rdp();
-  r.s.rdp_p50 = m.rdp_samples().quantile(0.5);
-  r.s.control_traffic = m.control_traffic_rate();
-  r.s.loss_rate = m.loss_rate();
-  r.s.incorrect_rate = m.incorrect_delivery_rate();
-  r.s.counters = driver.counters();
-  r.distance_rate =
-      m.control_traffic_rate(pastry::TrafficClass::kDistanceProbes);
+  r.s = summarize(driver, timer.seconds());
+  r.distance_rate = driver.metrics().control_traffic_rate(
+      pastry::TrafficClass::kDistanceProbes);
+  emit_summary_row(out, name, params, r.s)
+      .field("distance_rate", r.distance_rate);
   return r;
 }
 
@@ -41,14 +39,15 @@ Result run_with(const overlay::DriverConfig& dcfg, double loss,
 
 int main() {
   print_header("Design ablations (DESIGN.md index)");
+  JsonEmitter out("tab_design_ablations");
 
   // --- PNS ------------------------------------------------------------------
   {
     auto on = base_driver_config(1300);
     auto off = base_driver_config(1300);
     off.pastry.pns = false;
-    const auto with_pns = run_with(on, 0.0, 61);
-    const auto without = run_with(off, 0.0, 61);
+    const auto with_pns = run_with(on, 0.0, 61, out, "pns", "pns=on");
+    const auto without = run_with(off, 0.0, 61, out, "pns", "pns=off");
     std::printf("\n-- proximity neighbour selection\n");
     std::printf("pns\tRDP\tRDP_p50\tctrl\n");
     std::printf("on\t%.2f\t%.2f\t%.3f\n", with_pns.s.rdp, with_pns.s.rdp_p50,
@@ -65,8 +64,10 @@ int main() {
     auto fast = base_driver_config(1301);  // default: exclude root
     auto safe = base_driver_config(1301);
     safe.pastry.exclude_root_on_ack_timeout = false;
-    const auto r_fast = run_with(fast, 0.05, 62);
-    const auto r_safe = run_with(safe, 0.05, 62);
+    const auto r_fast = run_with(fast, 0.05, 62, out, "ack_timeout_policy",
+                                 "policy=exclude-root loss=0.05");
+    const auto r_safe = run_with(safe, 0.05, 62, out, "ack_timeout_policy",
+                                 "policy=retransmit loss=0.05");
     std::printf("\n-- last-hop ack timeout policy at 5%% network loss\n");
     std::printf("policy\t\tincorrect\tRDP\tloss\n");
     std::printf("exclude-root\t%.3g\t\t%.2f\t%.3g\n", r_fast.s.incorrect_rate,
@@ -82,8 +83,10 @@ int main() {
     auto on = base_driver_config(1302);
     auto off = base_driver_config(1302);
     off.pastry.symmetric_probes = false;
-    const auto sym = run_with(on, 0.0, 63);
-    const auto nosym = run_with(off, 0.0, 63);
+    const auto sym = run_with(on, 0.0, 63, out, "symmetric_probes",
+                              "symmetric=on");
+    const auto nosym = run_with(off, 0.0, 63, out, "symmetric_probes",
+                                "symmetric=off");
     std::printf("\n-- symmetric distance probing (Section 4.2)\n");
     std::printf("symmetric\tdistance msgs/s/node\ttotal ctrl\n");
     std::printf("on\t\t%.4f\t\t\t%.3f\n", sym.distance_rate,

@@ -27,9 +27,12 @@ RunSummary run_target(double target, std::uint64_t seed) {
 
 int main() {
   print_header("Section 5.3 table: self-tuned probing targets");
+  JsonEmitter out("tab_selftuning");
 
   const auto t5 = run_target(0.05, 1100);
   const auto t1 = run_target(0.01, 1101);
+  emit_summary_row(out, "target_5pct", "target_raw_loss=0.05", t5);
+  emit_summary_row(out, "target_1pct", "target_raw_loss=0.01", t1);
 
   std::printf("\ntarget_Lr\tmeasured_loss\tpaper\tctrl(msgs/s/node)\n");
   std::printf("5%%\t\t%.3g\t\t%.3g\t%.3f\n", t5.loss_rate, 0.053,

@@ -32,6 +32,7 @@ double suppressed_fraction(const RunSummary& s) {
 
 int main() {
   print_header("Section 5.3 table: probe suppression by lookup traffic");
+  JsonEmitter out("tab_suppression");
 
   std::printf(
       "\nlookups/s/node\tsuppressed_frac\tperiodic_sent\tsuppressed\tRDP\n");
@@ -42,6 +43,12 @@ int main() {
   for (const double rate : {0.01, 0.1, 1.0}) {
     const auto s = run_rate(rate, 1200 + static_cast<std::uint64_t>(
                                              rate * 100));
+    emit_summary_row(out, "suppression",
+                     "lookup_rate=" + std::to_string(rate), s)
+        .field("lookup_rate", rate)
+        .field("suppressed_frac", suppressed_fraction(s))
+        .field("rt_probes_periodic", s.counters.rt_probes_periodic)
+        .field("rt_probes_suppressed", s.counters.rt_probes_suppressed);
     if (rate == 0.01) quiet = s;
     if (rate == 1.0) chatty = s;
     std::printf("%.3g\t\t%.2f\t\t%llu\t\t%llu\t\t%.2f\n", rate,

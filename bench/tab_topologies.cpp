@@ -10,6 +10,7 @@ using namespace mspastry::bench;
 
 int main() {
   print_header("Section 5.3 table: network topologies");
+  JsonEmitter out("tab_topologies");
 
   struct Row {
     TopologyKind kind;
@@ -32,6 +33,10 @@ int main() {
   for (const Row& r : rows) {
     auto dcfg = base_driver_config(900);
     const auto s = run_experiment(r.kind, dcfg, bench_gnutella(45));
+    emit_summary_row(out, "topology", r.name, s)
+        .field("rdp_p50", s.rdp_p50)
+        .field("paper_rdp", r.paper_rdp)
+        .field("paper_ctrl", r.paper_ctrl);
     std::printf("%s\t%.2f\t%.2f\t%.2f\t%.3f\t%.3f\t%.2g\t%.2g\n", r.name,
                 s.rdp, s.rdp_p50, r.paper_rdp, s.control_traffic,
                 r.paper_ctrl, s.loss_rate, s.incorrect_rate);

@@ -20,12 +20,12 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "chord/chord_messages.hpp"
+#include "common/inplace_callback.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "sim/simulator.hpp"
@@ -51,7 +51,7 @@ class ChordEnv {
  public:
   virtual ~ChordEnv() = default;
   virtual SimTime now() const = 0;
-  virtual TimerId schedule(SimDuration delay, std::function<void()> fn) = 0;
+  virtual TimerId schedule(SimDuration delay, InplaceCallback fn) = 0;
   virtual void cancel(TimerId id) = 0;
   virtual void send(net::Address to,
                     std::shared_ptr<const ChordMessage> msg) = 0;

@@ -17,12 +17,12 @@ void RoutedGraph::add_link(int a, int b, double weight, SimDuration delay) {
 }
 
 const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
-  const auto it = cache_.find(src);
-  if (it != cache_.end()) return it->second;
-
   const int n = router_count();
+  if (cache_.empty()) cache_.resize(static_cast<std::size_t>(n));
+  Row& row = cache_[static_cast<std::size_t>(src)];
+  if (row.filled()) return row;
+
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  Row row;
   row.delay.assign(n, kTimeNever);
   row.hops.assign(n, -1);
 
@@ -46,7 +46,7 @@ const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
       }
     }
   }
-  return cache_.emplace(src, std::move(row)).first->second;
+  return row;
 }
 
 SimDuration RoutedGraph::delay(int a, int b) const {

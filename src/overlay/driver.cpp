@@ -21,11 +21,22 @@ class OverlayDriver::NodeEnv final : public pastry::Env {
 
   SimTime now() const override { return driver_.sim_.now(); }
 
-  TimerId schedule(SimDuration delay, std::function<void()> fn) override {
-    return driver_.sim_.schedule_after(
-        delay, [alive = alive_, fn = std::move(fn)] {
-          if (*alive) fn();
-        });
+  TimerId schedule(SimDuration delay, InplaceCallback fn) override {
+    // A named struct rather than a lambda so we can assert the guard
+    // wrapper never pushes the simulator callback onto the heap.
+    struct Guarded {
+      std::shared_ptr<bool> alive;
+      InplaceCallback fn;
+      void operator()() {
+        if (*alive) fn();
+      }
+    };
+    static_assert(
+        Simulator::Callback::fits_inline<Guarded>(),
+        "liveness-guarded node timers must stay allocation-free; grow "
+        "Simulator::kCallbackCapacity");
+    return driver_.sim_.schedule_after(delay,
+                                       Guarded{alive_, std::move(fn)});
   }
 
   void cancel(TimerId id) override { driver_.sim_.cancel(id); }

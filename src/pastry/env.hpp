@@ -1,8 +1,8 @@
 #pragma once
 
-#include <functional>
 #include <optional>
 
+#include "common/inplace_callback.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "pastry/message.hpp"
@@ -25,7 +25,9 @@ class Env {
 
   /// Schedule a callback after `delay`. Callbacks scheduled by a node must
   /// never fire after the node is destroyed; implementations guard this.
-  virtual TimerId schedule(SimDuration delay, std::function<void()> fn) = 0;
+  /// The callback type is allocation-free up to kEnvCallbackCapacity
+  /// bytes of captures; keep node timer lambdas small.
+  virtual TimerId schedule(SimDuration delay, InplaceCallback fn) = 0;
   virtual void cancel(TimerId id) = 0;
 
   /// Transmit a message to a network address. The implementation stamps

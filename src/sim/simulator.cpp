@@ -4,55 +4,113 @@
 
 namespace mspastry {
 
-TimerId Simulator::schedule_at(SimTime t, Callback fn) {
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t s = free_head_;
+    free_head_ = static_cast<std::uint32_t>(meta_[s]);
+    return s;
+  }
+  assert(slots_.size() < kNoFreeSlot && "timer arena exhausted");
+  slots_.emplace_back();
+  meta_.push_back(static_cast<std::uint64_t>(kNoFreeSlot));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  slots_[slot].reset();
+  // Bump the generation odd -> even (stale TimerIds and heap tombstones
+  // can never match again) and link the slot into the free list.
+  const std::uint64_t gen = (meta_[slot] >> 32) + 1;
+  meta_[slot] = (gen << 32) | free_head_;
+  free_head_ = slot;
+}
+
+TimerId Simulator::arm_slot(SimTime t, std::uint32_t slot) {
   assert(t >= now_ && "cannot schedule in the past");
-  const TimerId id = next_id_++;
-  heap_.push(Entry{t < now_ ? now_ : t, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  // Bump the generation even -> odd (armed).
+  const std::uint32_t gen = slot_gen(slot) + 1;
+  meta_[slot] = static_cast<std::uint64_t>(gen) << 32;
+  heap_push(HeapEntry{t < now_ ? now_ : t, next_seq_++, slot, gen});
+  ++live_;
+  return (static_cast<TimerId>(gen) << 32) | (slot + 1);
 }
 
 void Simulator::cancel(TimerId id) {
   if (id == kInvalidTimer) return;
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already fired or never existed
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;
+  if (slot_gen(slot) != gen) return;  // already fired or cancelled
+  release_slot(slot);  // heap entry becomes a tombstone, pruned lazily
+  --live_;
 }
 
-void Simulator::prune() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+void Simulator::heap_push(const HeapEntry& e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
 }
 
-void Simulator::execute_top() {
-  const Entry e = heap_.top();
-  heap_.pop();
+void Simulator::heap_pop_front() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void Simulator::execute_front() {
+  const HeapEntry e = heap_[0];
+  heap_pop_front();
   now_ = e.t;
-  auto it = callbacks_.find(e.id);
-  assert(it != callbacks_.end());
-  Callback fn = std::move(it->second);
-  callbacks_.erase(it);
+  // Move the callback out and free the slot *before* invoking: the
+  // callback may itself schedule (reusing this hot slot) or cancel.
+  Callback fn = std::move(slots_[e.slot]);
+  release_slot(e.slot);
+  --live_;
   ++executed_;
   fn();
 }
 
 bool Simulator::step() {
-  prune();
-  if (heap_.empty()) return false;
-  execute_top();
-  return true;
+  while (!heap_.empty()) {
+    if (!entry_live(heap_[0])) {  // tombstone of a cancelled event
+      heap_pop_front();
+      continue;
+    }
+    execute_front();
+    return true;
+  }
+  return false;
 }
 
 void Simulator::run_until(SimTime t) {
-  for (;;) {
-    prune();
-    if (heap_.empty() || heap_.top().t > t) break;
-    execute_top();
+  while (!heap_.empty()) {
+    if (!entry_live(heap_[0])) {
+      heap_pop_front();
+      continue;
+    }
+    if (heap_[0].t > t) break;
+    execute_front();
   }
   if (now_ < t) now_ = t;
 }

@@ -1,18 +1,23 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inplace_callback.hpp"
 #include "common/sim_time.hpp"
 
 namespace mspastry {
 
 /// Handle to a scheduled event; used to cancel timers. Value 0 is invalid.
+///
+/// Layout: (generation << 32) | (slot + 1). The low half names a slot in
+/// the simulator's timer arena; the high half is that slot's generation
+/// at scheduling time. A slot's generation is bumped every time it is
+/// released (fire or cancel), so a stale handle — kept around after its
+/// timer fired, or after the slot was recycled for a new timer — can
+/// never match, and cancel() on it is a safe no-op.
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
@@ -22,25 +27,60 @@ inline constexpr TimerId kInvalidTimer = 0;
 ///
 /// This is the substrate everything else runs on: the network model
 /// schedules message deliveries, the overlay nodes schedule protocol
-/// timers, and the churn driver schedules joins and failures.
+/// timers, and the churn driver schedules joins and failures. The
+/// paper's runs push millions of events through it, so the internals are
+/// built for throughput (see DESIGN.md "Event core"):
+///
+///  - callbacks live in a slab-allocated arena of fixed-size slots with
+///    free-list reuse — schedule/cancel/fire touch no hash table and,
+///    for callbacks that fit the inline buffer, no allocator;
+///  - cancel() is an O(1) generation check + tombstone: the heap entry
+///    is left in place and skipped (lazily) when it surfaces;
+///  - the ready queue is a 4-ary implicit min-heap keyed by (time, seq),
+///    which does ~half the levels of a binary heap on pop and keeps
+///    sifts within one or two cache lines.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capacity for callbacks stored by the simulator. Sized so the
+  /// drivers' liveness-guard wrapper (shared_ptr flag + a full
+  /// InplaceCallback, see OverlayDriver::NodeEnv) still fits without a
+  /// heap fallback.
+  static constexpr std::size_t kCallbackCapacity =
+      16 + sizeof(InplaceCallback);
+  using Callback = BasicInplaceCallback<kCallbackCapacity>;
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (>= now). Returns a handle
-  /// that can be passed to cancel().
-  TimerId schedule_at(SimTime t, Callback fn);
-
-  /// Schedule `fn` to run `d` after the current time (d >= 0).
-  TimerId schedule_after(SimDuration d, Callback fn) {
-    return schedule_at(now_ + d, std::move(fn));
+  /// that can be passed to cancel(). The templated overload constructs
+  /// the callable directly in its arena slot (no relocation); the
+  /// Callback overload serves callers that already hold a type-erased
+  /// callback (the Env::schedule guard path).
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  TimerId schedule_at(SimTime t, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].emplace(std::forward<F>(fn));
+    return arm_slot(t, slot);
   }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid handle
-  /// is a no-op, so callers need not track firing precisely.
+  TimerId schedule_at(SimTime t, Callback fn) {
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot] = std::move(fn);
+    return arm_slot(t, slot);
+  }
+
+  /// Schedule `fn` to run `d` after the current time (d >= 0).
+  template <typename F>
+  TimerId schedule_after(SimDuration d, F&& fn) {
+    return schedule_at(now_ + d, std::forward<F>(fn));
+  }
+
+  /// Cancel a pending event. O(1). Cancelling an already-fired, already-
+  /// cancelled, or invalid handle is a no-op, so callers need not track
+  /// firing precisely.
   void cancel(TimerId id);
 
   /// Execute the next pending event, if any. Returns false when the queue
@@ -58,31 +98,68 @@ class Simulator {
   /// Number of events executed so far (for progress reporting and tests).
   std::uint64_t executed_events() const { return executed_; }
 
-  /// Number of events currently pending (cancelled-but-unpopped events are
-  /// not counted).
-  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  /// Number of events currently pending. Exact: cancelled events leave
+  /// this count immediately even though their heap entries linger as
+  /// tombstones until they surface.
+  std::size_t pending_events() const { return live_; }
+
+  /// Introspection for perf accounting: arena high-water mark (slots) and
+  /// heap entries currently held (live events + unpruned tombstones).
+  std::size_t arena_slots() const { return slots_.size(); }
+  std::size_t heap_entries() const { return heap_.size(); }
 
  private:
-  struct Entry {
+  struct HeapEntry {
     SimTime t;
-    TimerId id;  // also the FIFO tiebreaker: ids increase monotonically
-    bool operator>(const Entry& o) const {
-      return t != o.t ? t > o.t : id > o.id;
-    }
+    std::uint64_t seq;  // FIFO tiebreaker: increases monotonically
+    std::uint32_t slot;
+    std::uint32_t gen;  // slot generation at scheduling time (odd)
   };
 
-  // Pops and runs one event; precondition: heap not empty after pruning.
-  void execute_top();
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
 
-  // Drop cancelled entries sitting at the top of the heap.
-  void prune();
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  /// Marks an acquired slot (callback already stored) as pending at `t`,
+  /// pushes its heap entry, and mints the generation-tagged handle.
+  TimerId arm_slot(SimTime t, std::uint32_t slot);
+
+  // Slot metadata is kept in a parallel flat array of 8-byte words —
+  // generation in the high half, free-list link in the low half — so the
+  // hot paths (tombstone checks on every pop, O(1) cancel) touch a dense
+  // array instead of the 100+-byte-stride callback arena. A slot's
+  // generation is odd while armed and even while free; both arming and
+  // releasing increment it, so handle/tombstone matches need no separate
+  // "armed" flag: matching an (odd) recorded generation implies armed.
+  std::uint32_t slot_gen(std::uint32_t slot) const {
+    return static_cast<std::uint32_t>(meta_[slot] >> 32);
+  }
+
+  /// True if the heap entry still refers to an armed timer (not a
+  /// cancelled tombstone, not a recycled slot).
+  bool entry_live(const HeapEntry& e) const {
+    return slot_gen(e.slot) == e.gen;
+  }
+
+  void heap_push(const HeapEntry& e);
+  void heap_pop_front();
+
+  // Pops and runs the event in heap_[0]; precondition: entry_live.
+  void execute_front();
 
   SimTime now_ = kTimeZero;
-  TimerId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_map<TimerId, Callback> callbacks_;
-  std::unordered_set<TimerId> cancelled_;
+  std::size_t live_ = 0;
+  std::vector<HeapEntry> heap_;     // 4-ary implicit min-heap on (t, seq)
+  std::vector<Callback> slots_;     // timer arena (cold: callbacks only)
+  std::vector<std::uint64_t> meta_; // parallel: generation | free link
+  std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 /// A repeating timer built on the simulator: fires `fn` every `period`,

@@ -29,7 +29,7 @@ class MockEnv final : public pastry::Env {
   // --- Env ----------------------------------------------------------------
   SimTime now() const override { return sim_.now(); }
 
-  TimerId schedule(SimDuration delay, std::function<void()> fn) override {
+  TimerId schedule(SimDuration delay, InplaceCallback fn) override {
     return sim_.schedule_after(delay, std::move(fn));
   }
 

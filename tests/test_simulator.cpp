@@ -128,6 +128,100 @@ TEST(Simulator, PendingEventsCount) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(Simulator, PendingEventsExactUnderTombstones) {
+  // Cancelled events leave tombstones in the heap until they surface, but
+  // pending_events() must drop immediately and stay exact throughout.
+  Simulator sim;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_at(seconds(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  for (int i = 0; i < 100; i += 2) sim.cancel(ids[static_cast<size_t>(i)]);
+  EXPECT_EQ(sim.pending_events(), 50u);
+  // Tombstones still sit in the heap; the count must not include them.
+  EXPECT_GT(sim.heap_entries(), sim.pending_events());
+  std::size_t fired = 0;
+  while (sim.step()) {
+    ++fired;
+    EXPECT_EQ(sim.pending_events(), 50u - fired);
+  }
+  EXPECT_EQ(fired, 50u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DoubleCancelIsNoop) {
+  Simulator sim;
+  bool a_ran = false, b_ran = false;
+  const TimerId a = sim.schedule_at(seconds(1), [&] { a_ran = true; });
+  const TimerId b = sim.schedule_at(seconds(2), [&] { b_ran = true; });
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(a);  // second cancel must not decrement the count again...
+  sim.cancel(a);  // ...nor a third
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_to_completion();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(Simulator, StaleHandleCannotCancelRecycledSlot) {
+  // After A fires or is cancelled, its arena slot is recycled for new
+  // timers. A's stale handle must never cancel the new occupant: the
+  // generation tag in the handle no longer matches the slot's.
+  Simulator sim;
+  const TimerId a = sim.schedule_at(seconds(1), [] {});
+  sim.cancel(a);  // slot freed, generation bumped
+  bool b_ran = false;
+  const TimerId b = sim.schedule_at(seconds(2), [&] { b_ran = true; });
+  EXPECT_NE(a, b);
+  sim.cancel(a);  // stale: same slot, older generation — must be a no-op
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_to_completion();
+  EXPECT_TRUE(b_ran);
+
+  // Same story when the slot is recycled via firing rather than cancel.
+  const TimerId c = sim.schedule_at(seconds(3), [] {});
+  sim.run_to_completion();  // c fires; its slot is free again
+  bool d_ran = false;
+  sim.schedule_at(seconds(4), [&] { d_ran = true; });
+  sim.cancel(c);  // stale handle from a fired timer
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_to_completion();
+  EXPECT_TRUE(d_ran);
+}
+
+TEST(Simulator, SlotReuseKeepsHandlesDistinct) {
+  // Hammer a single slot through many schedule/cancel cycles: every
+  // handle must be unique (generations never repeat for live handles).
+  Simulator sim;
+  TimerId prev = kInvalidTimer;
+  for (int i = 0; i < 1000; ++i) {
+    const TimerId id = sim.schedule_at(seconds(1), [] {});
+    EXPECT_NE(id, prev);
+    EXPECT_NE(id, kInvalidTimer);
+    prev = id;
+    sim.cancel(id);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // All that churn reused one arena slot.
+  EXPECT_EQ(sim.arena_slots(), 1u);
+}
+
+TEST(Simulator, CancelDuringCallbackOfSameInstant) {
+  // An event may cancel a later event scheduled for the same instant;
+  // the tombstone is already in the heap front region at that point.
+  Simulator sim;
+  bool second_ran = false;
+  TimerId second = kInvalidTimer;
+  sim.schedule_at(seconds(1), [&] { sim.cancel(second); });
+  second = sim.schedule_at(seconds(1), [&] { second_ran = true; });
+  sim.run_to_completion();
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   SimTime last = -1;
