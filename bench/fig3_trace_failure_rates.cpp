@@ -2,26 +2,37 @@
 // the Gnutella, OverNet and Microsoft traces, with the daily/weekly
 // patterns and the order-of-magnitude gap between open-Internet and
 // corporate environments.
+//
+// Supports `--jobs N`: the three traces are independent generations, so
+// they fan out across worker threads (sweep_runner.hpp); output is
+// byte-identical to the serial run.
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 
 using namespace mspastry;
 using namespace mspastry::bench;
 
 namespace {
 
-void one_trace(const trace::SyntheticChurnParams& params,
-               SimDuration window, double paper_mean_session_s,
-               double paper_peak_rate, JsonEmitter& out) {
-  const auto t = trace::generate_synthetic(params);
+struct TraceSpec {
+  trace::SyntheticChurnParams params;
+  SimDuration window;
+  double paper_mean_session_s;
+  double paper_peak_rate;
+};
+
+void one_trace(const TraceSpec& spec, TrialSink& sink) {
+  const auto t = trace::generate_synthetic(spec.params);
   const auto stats = t.session_stats();
   const auto pop = t.population_stats();
-  std::printf("\n-- %s: %d sessions, active [%d..%d]\n", t.name().c_str(),
+  sink.printf("\n-- %s: %d sessions, active [%d..%d]\n", t.name().c_str(),
               t.session_count(), pop.min_active, pop.max_active);
-  print_compare("mean session time (s, completed sessions)",
-                paper_mean_session_s, stats.mean_seconds);
+  sink.printf("  %-44s paper=%-10.4g measured=%-10.4g \n",
+              "mean session time (s, completed sessions)",
+              spec.paper_mean_session_s, stats.mean_seconds);
   // Peak failure rate over the trace (compare against the figure's axis).
-  const auto series = t.failure_rate_series(window);
+  const auto series = t.failure_rate_series(spec.window);
   double peak = 0.0;
   double sum = 0.0;
   for (const auto& [ts, rate] : series) {
@@ -29,40 +40,51 @@ void one_trace(const trace::SyntheticChurnParams& params,
     peak = std::max(peak, rate);
     sum += rate;
   }
-  print_compare("peak failure rate (/node/s)", paper_peak_rate, peak);
-  print_compare("mean failure rate (/node/s)",
-                1.0 / paper_mean_session_s,
-                series.empty() ? 0.0 : sum / series.size());
-  out.row(t.name())
-      .field("sessions", t.session_count())
-      .field("min_active", pop.min_active)
-      .field("max_active", pop.max_active)
-      .field("mean_session_seconds", stats.mean_seconds)
-      .field("peak_failure_rate", peak)
-      .field("mean_failure_rate",
-             series.empty() ? 0.0 : sum / series.size())
-      .field("paper_mean_session_seconds", paper_mean_session_s)
-      .field("paper_peak_failure_rate", paper_peak_rate);
-  std::printf("# series: %s failure rate (hours\t/node/s)\n",
+  const double mean_rate = series.empty() ? 0.0 : sum / series.size();
+  sink.printf("  %-44s paper=%-10.4g measured=%-10.4g \n",
+              "peak failure rate (/node/s)", spec.paper_peak_rate, peak);
+  sink.printf("  %-44s paper=%-10.4g measured=%-10.4g \n",
+              "mean failure rate (/node/s)", 1.0 / spec.paper_mean_session_s,
+              mean_rate);
+  const std::string name = t.name();
+  const int sessions = t.session_count();
+  const double mean_session = stats.mean_seconds;
+  const double paper_mean = spec.paper_mean_session_s;
+  const double paper_peak = spec.paper_peak_rate;
+  sink.emit([=, min_active = pop.min_active,
+             max_active = pop.max_active](JsonEmitter& out) {
+    out.row(name)
+        .field("sessions", sessions)
+        .field("min_active", min_active)
+        .field("max_active", max_active)
+        .field("mean_session_seconds", mean_session)
+        .field("peak_failure_rate", peak)
+        .field("mean_failure_rate", mean_rate)
+        .field("paper_mean_session_seconds", paper_mean)
+        .field("paper_peak_failure_rate", paper_peak);
+  });
+  sink.printf("# series: %s failure rate (hours\t/node/s)\n",
               t.name().c_str());
   for (const auto& [ts, rate] : series) {
-    std::printf("%.4g\t%.4g\n", ts / 3600.0, rate);
+    sink.printf("%.4g\t%.4g\n", ts / 3600.0, rate);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Figure 3: failure rates of the three churn traces");
   const double ns = node_scale();
   const double ts = full_scale() ? 1.0 : 0.2;
   JsonEmitter out("fig3");
   // Paper peaks read off Figure 3: Gnutella/OverNet ~3e-4, Microsoft ~2e-5.
-  one_trace(trace::gnutella_params(ns, ts), minutes(10), 2.3 * 3600, 3.0e-4,
-            out);
-  one_trace(trace::overnet_params(std::max(0.2, ns * 4), ts), minutes(10),
-            134 * 60.0, 3.0e-4, out);
-  one_trace(trace::microsoft_params(ns / 5, ts), hours(1), 37.7 * 3600,
-            2.0e-5, out);
+  const TraceSpec specs[] = {
+      {trace::gnutella_params(ns, ts), minutes(10), 2.3 * 3600, 3.0e-4},
+      {trace::overnet_params(std::max(0.2, ns * 4), ts), minutes(10),
+       134 * 60.0, 3.0e-4},
+      {trace::microsoft_params(ns / 5, ts), hours(1), 37.7 * 3600, 2.0e-5},
+  };
+  run_sweep(parse_jobs(argc, argv), std::size(specs), out,
+            [&](std::size_t i, TrialSink& sink) { one_trace(specs[i], sink); });
   return 0;
 }

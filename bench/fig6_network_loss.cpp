@@ -1,13 +1,18 @@
 // Figure 6: RDP, control traffic, lookup loss rate and incorrect-delivery
 // rate as the uniform network message loss rate varies from 0% to 5%,
 // with the Gnutella trace on GATech.
+//
+// Supports `--jobs N`: each loss point is an independent simulation,
+// fanned out across worker threads by sweep_runner.hpp; output is
+// byte-identical to the serial run.
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 
 using namespace mspastry;
 using namespace mspastry::bench;
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Figure 6: varying the network message loss rate");
   JsonEmitter out("fig6");
 
@@ -15,21 +20,25 @@ int main() {
   std::printf(
       "\nloss%%\tRDP\tctrl(msgs/s/node)\tlookup_loss\tincorrect\t"
       "ack_timeouts\tfalse_positives\n");
-  for (int pct = 0; pct <= 5; ++pct) {
-    auto dcfg = base_driver_config(600 + static_cast<std::uint64_t>(pct));
-    const auto trace = bench_gnutella(42);
-    const auto s = run_experiment(TopologyKind::kGATech, dcfg, trace,
-                                  pct / 100.0);
-    emit_summary_row(out, "loss_sweep", "net_loss_pct=" + std::to_string(pct),
-                     s)
-        .field("net_loss_pct", pct)
-        .field("ack_timeouts", s.counters.ack_timeouts)
-        .field("false_positives", s.counters.false_positives);
-    std::printf("%d\t%.2f\t%.3f\t%.3g\t%.3g\t%llu\t%llu\n", pct, s.rdp,
-                s.control_traffic, s.loss_rate, s.incorrect_rate,
-                (unsigned long long)s.counters.ack_timeouts,
-                (unsigned long long)s.counters.false_positives);
-  }
+  run_sweep(
+      parse_jobs(argc, argv), 6, out, [&](std::size_t i, TrialSink& sink) {
+        const int pct = static_cast<int>(i);
+        auto dcfg = base_driver_config(600 + static_cast<std::uint64_t>(pct));
+        const auto trace = bench_gnutella(42);
+        const auto s = run_experiment(TopologyKind::kGATech, dcfg, trace,
+                                      pct / 100.0);
+        sink.emit([s, pct](JsonEmitter& o) {
+          emit_summary_row(o, "loss_sweep",
+                           "net_loss_pct=" + std::to_string(pct), s)
+              .field("net_loss_pct", pct)
+              .field("ack_timeouts", s.counters.ack_timeouts)
+              .field("false_positives", s.counters.false_positives);
+        });
+        sink.printf("%d\t%.2f\t%.3f\t%.3g\t%.3g\t%llu\t%llu\n", pct, s.rdp,
+                    s.control_traffic, s.loss_rate, s.incorrect_rate,
+                    (unsigned long long)s.counters.ack_timeouts,
+                    (unsigned long long)s.counters.false_positives);
+      });
   std::printf(
       "\npaper: RDP ~1.8 -> ~2.1 from 0%% to 5%%; control traffic rises "
       "slightly (0.245 -> ~0.27); lookup loss 1.5e-5 -> 3.3e-5; incorrect "

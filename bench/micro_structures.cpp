@@ -1,15 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the core data structures and
 // hot paths: identifier arithmetic, leaf-set and routing-table updates,
-// next-hop selection, the self-tuning solver, and topology shortest-path
-// queries. Not from the paper; these bound the per-event simulation cost.
+// next-hop selection, the self-tuning solver, topology shortest-path
+// queries, and the message path (pooled allocation vs make_shared,
+// SmallVec vs std::vector payload fills). Not from the paper; these bound
+// the per-event simulation cost.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "common/small_vec.hpp"
 #include "net/transit_stub.hpp"
 #include "pastry/leaf_set.hpp"
+#include "pastry/message.hpp"
+#include "pastry/message_pool.hpp"
 #include "pastry/routing_table.hpp"
 #include "pastry/self_tuning.hpp"
 
@@ -141,6 +147,113 @@ void BM_TopologyDelayColdRow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopologyDelayColdRow)->Unit(benchmark::kMicrosecond);
+
+// --- Message path (PR-3): pooled allocation vs make_shared ------------------
+//
+// A shared_ptr mirror of HeartbeatMsg/LsProbeMsg, local to the bench, so
+// the comparison stays honest after the production types moved to the
+// pool. perf_core measures the full replay; these isolate allocation.
+
+struct SharedMsgBase {
+  virtual ~SharedMsgBase() = default;
+  NodeDescriptor sender;
+};
+
+struct SharedHeartbeat final : SharedMsgBase {};
+
+struct SharedLsProbe final : SharedMsgBase {
+  std::vector<NodeDescriptor> leaf;
+  std::vector<NodeDescriptor> failed;
+};
+
+void BM_MsgAllocHeartbeatSharedPtr(benchmark::State& state) {
+  for (auto _ : state) {
+    auto m = std::make_shared<SharedHeartbeat>();
+    benchmark::DoNotOptimize(m.get());
+  }
+}
+BENCHMARK(BM_MsgAllocHeartbeatSharedPtr);
+
+void BM_MsgAllocHeartbeatPooled(benchmark::State& state) {
+  MessagePool pool;
+  for (auto _ : state) {
+    auto m = make_msg<HeartbeatMsg>(pool);
+    benchmark::DoNotOptimize(m.get());
+  }
+}
+BENCHMARK(BM_MsgAllocHeartbeatPooled);
+
+void BM_MsgAllocLsProbeSharedPtr(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<NodeDescriptor> peers;
+  for (int i = 0; i < 32; ++i) peers.push_back({rng.node_id(), i});
+  for (auto _ : state) {
+    auto m = std::make_shared<SharedLsProbe>();
+    m->leaf.assign(peers.begin(), peers.end());
+    benchmark::DoNotOptimize(m.get());
+  }
+}
+BENCHMARK(BM_MsgAllocLsProbeSharedPtr);
+
+void BM_MsgAllocLsProbePooled(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<NodeDescriptor> peers;
+  for (int i = 0; i < 32; ++i) peers.push_back({rng.node_id(), i});
+  MessagePool pool;
+  for (auto _ : state) {
+    auto m = make_msg<LsProbeMsg>(pool, false);
+    m->leaf.assign(peers.begin(), peers.end());
+    benchmark::DoNotOptimize(m.get());
+  }
+}
+BENCHMARK(BM_MsgAllocLsProbePooled);
+
+void BM_MsgDispatchRefcount(benchmark::State& state) {
+  // The per-dispatch pointer traffic on the pooled path: one copy (the
+  // handler cast) and two moves, all non-atomic.
+  MessagePool pool;
+  auto m = make_msg<HeartbeatMsg>(pool);
+  MessagePtr slot(m);
+  for (auto _ : state) {
+    MessagePtr moved(std::move(slot));
+    MessagePtr cast(moved);
+    benchmark::DoNotOptimize(cast.get());
+    slot = std::move(moved);
+  }
+}
+BENCHMARK(BM_MsgDispatchRefcount);
+
+// --- SmallVec vs std::vector payload fills ----------------------------------
+
+void BM_PayloadFillStdVector(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<NodeDescriptor> peers;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    peers.push_back({rng.node_id(), static_cast<std::int32_t>(i)});
+  }
+  for (auto _ : state) {
+    std::vector<NodeDescriptor> v;  // fresh each time: heap alloc + copy
+    v.assign(peers.begin(), peers.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_PayloadFillStdVector)->Arg(8)->Arg(32);
+
+void BM_PayloadFillSmallVec(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<NodeDescriptor> peers;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    peers.push_back({rng.node_id(), static_cast<std::int32_t>(i)});
+  }
+  for (auto _ : state) {
+    LeafVec v;  // inline capacity 32: fill is a bulk copy, no heap
+    v.assign(peers.begin(), peers.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_PayloadFillSmallVec)->Arg(8)->Arg(32);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
-// Event-core performance baseline. Replays three representative
+// Event-core performance baseline. Replays four representative
 // workloads and records events/sec, wall-clock, peak RSS, and a
-// determinism checksum in BENCH_core.json:
+// determinism checksum in BENCH_core.json (plus BENCH_msgpath.json for
+// the message-path replay):
 //
 //   1. `micro`  — a raw schedule/cancel/fire microbenchmark run twice:
 //                 once on the production `Simulator` and once on
@@ -12,6 +13,11 @@
 //                 every paper table/figure is built from).
 //   3. `chaos`  — the combined fault-injection scenario from the chaos
 //                 harness (timer-cancel heavy: retries, probes, faults).
+//   4. `msgpath`— a Figure-4-mix message allocate/send/dispatch replay
+//                 run twice: once on the pooled intrusive-refcount path
+//                 and once on a frozen copy of the pre-PR-3 shared_ptr +
+//                 std::vector message layer. Content digests must match;
+//                 the pooled run must not touch the heap after warmup.
 //
 // The checksums let any later event-core change prove it preserved
 // observable behaviour: same executed-event counts, same metrics digest.
@@ -28,7 +34,10 @@
 
 #include "bench_util.hpp"
 #include "common/inplace_callback.hpp"
+#include "common/small_vec.hpp"
 #include "overlay/chaos.hpp"
+#include "pastry/message.hpp"
+#include "pastry/message_pool.hpp"
 #include "sim/simulator.hpp"
 
 using namespace mspastry;
@@ -205,6 +214,554 @@ std::uint64_t chaos_digest(const overlay::ChaosResult& r) {
   return h;
 }
 
+// --- Frozen pre-PR-3 message layer ------------------------------------------
+//
+// A verbatim copy of what the message path looked like before the pooled
+// rewrite: one make_shared per message (atomic control block), std::vector
+// payloads heap-allocated per probe. Kept frozen for the same reason as
+// LegacySimulator: the speedup is always measured new-vs-old on the same
+// machine. Do not "improve" these types.
+namespace legacy_msg {
+
+using pastry::MsgType;
+using pastry::NodeDescriptor;
+
+struct Message {
+  explicit Message(MsgType t) : type(t) {}
+  virtual ~Message() = default;
+  MsgType type;
+  NodeDescriptor sender;
+  double trt_hint_s = 0.0;
+};
+
+struct LookupMsg final : Message {
+  LookupMsg() : Message(MsgType::kLookup) {}
+  NodeId key;
+  int hops = 0;
+  std::uint64_t hop_seq = 0;
+  std::uint64_t lookup_id = 0;
+};
+
+struct LsProbeMsg final : Message {
+  explicit LsProbeMsg(bool reply)
+      : Message(reply ? MsgType::kLsProbeReply : MsgType::kLsProbe) {}
+  std::vector<NodeDescriptor> leaf;
+  std::vector<NodeDescriptor> failed;
+};
+
+struct HeartbeatMsg final : Message {
+  HeartbeatMsg() : Message(MsgType::kHeartbeat) {}
+};
+
+struct RtProbeMsg final : Message {
+  explicit RtProbeMsg(bool reply)
+      : Message(reply ? MsgType::kRtProbeReply : MsgType::kRtProbe) {}
+};
+
+struct RtRowReplyMsg final : Message {
+  RtRowReplyMsg() : Message(MsgType::kRtRowReply) {}
+  int row = 0;
+  std::vector<NodeDescriptor> entries;
+};
+
+struct RtRowAnnounceMsg final : Message {
+  RtRowAnnounceMsg() : Message(MsgType::kRtRowAnnounce) {}
+  int row = 0;
+  std::vector<NodeDescriptor> entries;
+};
+
+struct AckMsg final : Message {
+  AckMsg() : Message(MsgType::kAck) {}
+  std::uint64_t hop_seq = 0;
+};
+
+}  // namespace legacy_msg
+
+// --- Message-path replay ----------------------------------------------------
+
+/// Fast deterministic stream for the replay's decisions: the digesting
+/// and decision machinery must stay cheap, or it drowns out the
+/// allocation/refcount cost the two paths differ on.
+struct SplitMix64 {
+  std::uint64_t s;
+  explicit SplitMix64(std::uint64_t seed) : s(seed) {}
+  std::uint64_t operator()() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// One dependent multiply per descriptor (order-sensitive), the field
+/// mixes pipeline in parallel.
+std::uint64_t fold_descriptor(std::uint64_t acc,
+                              const pastry::NodeDescriptor& d) {
+  return (acc * 0x100000001b3ull) ^
+         (d.id.value().hi * 0x9e3779b97f4a7c15ull) ^
+         (d.id.value().lo * 0xff51afd7ed558ccdull) ^
+         static_cast<std::uint32_t>(d.addr);
+}
+
+/// The production path: slab pool + intrusive refcount + SmallVec payloads.
+struct PooledMsgPath {
+  static constexpr const char* kName = "pooled";
+  using Ptr = pastry::MessagePtr;
+
+  pastry::MessagePool pool;
+
+  std::uint64_t chunk_allocs() const { return pool.stats().chunk_allocs; }
+
+  template <class It>
+  Ptr make_ls_probe(const pastry::NodeDescriptor& sender, bool reply,
+                    It peers, std::size_t nleaf, std::size_t nfailed) {
+    auto m = pastry::make_msg<pastry::LsProbeMsg>(pool, reply);
+    m->sender = sender;
+    m->leaf.assign(peers, peers + nleaf);
+    m->failed.assign(peers + nleaf, peers + nleaf + nfailed);
+    return m;
+  }
+
+  template <class It>
+  Ptr make_row_reply(const pastry::NodeDescriptor& sender, int row, It peers,
+                     std::size_t nentries) {
+    auto m = pastry::make_msg<pastry::RtRowReplyMsg>(pool);
+    m->sender = sender;
+    m->row = row;
+    m->entries.assign(peers, peers + nentries);
+    return m;
+  }
+
+  Ptr make_lookup(const pastry::NodeDescriptor& sender, NodeId key,
+                  std::uint64_t lookup_id, std::uint64_t hop_seq) {
+    auto m = pastry::make_msg<pastry::LookupMsg>(pool);
+    m->sender = sender;
+    m->key = key;
+    m->lookup_id = lookup_id;
+    m->hop_seq = hop_seq;
+    return m;
+  }
+
+  Ptr make_heartbeat(const pastry::NodeDescriptor& sender) {
+    auto m = pastry::make_msg<pastry::HeartbeatMsg>(pool);
+    m->sender = sender;
+    return m;
+  }
+
+  Ptr make_rt_probe(const pastry::NodeDescriptor& sender, bool reply) {
+    auto m = pastry::make_msg<pastry::RtProbeMsg>(pool, reply);
+    m->sender = sender;
+    return m;
+  }
+
+  Ptr make_ack(const pastry::NodeDescriptor& sender, std::uint64_t hop_seq) {
+    auto m = pastry::make_msg<pastry::AckMsg>(pool);
+    m->sender = sender;
+    m->hop_seq = hop_seq;
+    return m;
+  }
+
+  /// Per-hop forward: the production router builds the next hop's message
+  /// from the incoming one (fresh pool slot, field copy, hop_seq bump).
+  Ptr clone_lookup(const Ptr& m, const pastry::NodeDescriptor& hop) {
+    const auto& src = static_cast<const pastry::LookupMsg&>(*m);
+    auto c = pastry::make_msg<pastry::LookupMsg>(pool);
+    c->sender = hop;
+    c->key = src.key;
+    c->lookup_id = src.lookup_id;
+    c->hop_seq = src.hop_seq + 1;
+    return c;
+  }
+
+  /// Join-time row broadcast the way the post-PR-3 announce_rows works:
+  /// ONE pooled message, one payload fill, and `fanout` refcount aliases
+  /// pushed into the delivery queue.
+  template <class It, class PushFn>
+  void announce_row(const pastry::NodeDescriptor& sender, int row, It peers,
+                    std::size_t nentries, unsigned fanout, PushFn&& push) {
+    auto m = pastry::make_msg<pastry::RtRowAnnounceMsg>(pool);
+    m->sender = sender;
+    m->row = row;
+    m->entries.assign(peers, peers + nentries);
+    for (unsigned i = 1; i < fanout; ++i) push(send(Ptr(m)));
+    push(send(std::move(m)));
+  }
+
+  /// Hand a freshly built message to the network the way the production
+  /// path does: moved into the delivery callback, no refcount traffic.
+  static Ptr send(Ptr m) { return m; }
+
+  /// Take the packet out of the delivery queue the way the production
+  /// path does: the callback capture and deliver() hand-offs are *moves*
+  /// (PR-3's refcount-move rule); only the pointer cast into the handler
+  /// bumps the (non-atomic) count.
+  static Ptr retain(Ptr& slot) {
+    Ptr moved(std::move(slot));
+    Ptr cast(moved);
+    return cast;
+  }
+
+  static std::uint64_t dispatch(std::uint64_t h, const Ptr& p) {
+    using pastry::MsgType;
+    std::uint64_t acc = static_cast<std::uint64_t>(p->type);
+    acc = fold_descriptor(acc, p->sender);
+    switch (p->type) {
+      case MsgType::kLsProbe:
+      case MsgType::kLsProbeReply: {
+        const auto& m = static_cast<const pastry::LsProbeMsg&>(*p);
+        acc = (acc ^ (m.leaf.size() * 64 + m.failed.size())) *
+              0x100000001b3ull;
+        if (!m.leaf.empty()) {
+          acc = fold_descriptor(acc, m.leaf.front());
+          acc = fold_descriptor(acc, m.leaf.back());
+        }
+        if (!m.failed.empty()) acc = fold_descriptor(acc, m.failed.back());
+        break;
+      }
+      case MsgType::kRtRowReply: {
+        const auto& m = static_cast<const pastry::RtRowReplyMsg&>(*p);
+        acc ^= static_cast<std::uint64_t>(m.row) + (m.entries.size() << 8);
+        if (!m.entries.empty()) {
+          acc = fold_descriptor(acc, m.entries.front());
+          acc = fold_descriptor(acc, m.entries.back());
+        }
+        break;
+      }
+      case MsgType::kRtRowAnnounce: {
+        const auto& m = static_cast<const pastry::RtRowAnnounceMsg&>(*p);
+        acc ^= static_cast<std::uint64_t>(m.row) + (m.entries.size() << 8);
+        if (!m.entries.empty()) {
+          acc = fold_descriptor(acc, m.entries.front());
+          acc = fold_descriptor(acc, m.entries.back());
+        }
+        break;
+      }
+      case MsgType::kLookup: {
+        const auto& m = static_cast<const pastry::LookupMsg&>(*p);
+        acc = (acc ^ m.key.value().lo) * 0x100000001b3ull;
+        acc = (acc ^ m.lookup_id) * 0x100000001b3ull;
+        acc ^= m.hop_seq;
+        break;
+      }
+      case MsgType::kAck:
+        acc ^= static_cast<const pastry::AckMsg&>(*p).hop_seq;
+        break;
+      default:
+        break;
+    }
+    return (h ^ acc) * 0x100000001b3ull;
+  }
+};
+
+/// The frozen baseline: same factory/dispatch surface over legacy_msg.
+struct LegacyMsgPath {
+  static constexpr const char* kName = "shared_ptr";
+  using Ptr = std::shared_ptr<const legacy_msg::Message>;
+
+  std::uint64_t chunk_allocs() const { return 0; }
+
+  template <class It>
+  Ptr make_ls_probe(const pastry::NodeDescriptor& sender, bool reply,
+                    It peers, std::size_t nleaf, std::size_t nfailed) {
+    auto m = std::make_shared<legacy_msg::LsProbeMsg>(reply);
+    m->sender = sender;
+    m->leaf.assign(peers, peers + nleaf);
+    m->failed.assign(peers + nleaf, peers + nleaf + nfailed);
+    return m;
+  }
+
+  template <class It>
+  Ptr make_row_reply(const pastry::NodeDescriptor& sender, int row, It peers,
+                     std::size_t nentries) {
+    auto m = std::make_shared<legacy_msg::RtRowReplyMsg>();
+    m->sender = sender;
+    m->row = row;
+    m->entries.assign(peers, peers + nentries);
+    return m;
+  }
+
+  Ptr make_lookup(const pastry::NodeDescriptor& sender, NodeId key,
+                  std::uint64_t lookup_id, std::uint64_t hop_seq) {
+    auto m = std::make_shared<legacy_msg::LookupMsg>();
+    m->sender = sender;
+    m->key = key;
+    m->lookup_id = lookup_id;
+    m->hop_seq = hop_seq;
+    return m;
+  }
+
+  Ptr make_heartbeat(const pastry::NodeDescriptor& sender) {
+    auto m = std::make_shared<legacy_msg::HeartbeatMsg>();
+    m->sender = sender;
+    return m;
+  }
+
+  Ptr make_rt_probe(const pastry::NodeDescriptor& sender, bool reply) {
+    auto m = std::make_shared<legacy_msg::RtProbeMsg>(reply);
+    m->sender = sender;
+    return m;
+  }
+
+  Ptr make_ack(const pastry::NodeDescriptor& sender, std::uint64_t hop_seq) {
+    auto m = std::make_shared<legacy_msg::AckMsg>();
+    m->sender = sender;
+    m->hop_seq = hop_seq;
+    return m;
+  }
+
+  /// Per-hop forward, pre-PR-3 style: make_shared a fresh message and copy
+  /// the fields across.
+  Ptr clone_lookup(const Ptr& m, const pastry::NodeDescriptor& hop) {
+    const auto& src = static_cast<const legacy_msg::LookupMsg&>(*m);
+    auto c = std::make_shared<legacy_msg::LookupMsg>();
+    c->sender = hop;
+    c->key = src.key;
+    c->lookup_id = src.lookup_id;
+    c->hop_seq = src.hop_seq + 1;
+    return c;
+  }
+
+  /// Join-time row broadcast the way the pre-PR-3 announce_rows worked: a
+  /// fresh make_shared (atomic control block) and a fresh heap payload
+  /// vector for EVERY destination in the fanout.
+  template <class It, class PushFn>
+  void announce_row(const pastry::NodeDescriptor& sender, int row, It peers,
+                    std::size_t nentries, unsigned fanout, PushFn&& push) {
+    for (unsigned i = 0; i < fanout; ++i) {
+      auto m = std::make_shared<legacy_msg::RtRowAnnounceMsg>();
+      m->sender = sender;
+      m->row = row;
+      m->entries.assign(peers, peers + nentries);
+      push(send(std::move(m)));
+    }
+  }
+
+  /// Hand a freshly built message to the network the way the pre-PR-3
+  /// code did: Network::send took the shared_ptr by value and *copied* it
+  /// into the delivery callback's capture.
+  static Ptr send(Ptr m) {
+    Ptr queued(m);
+    return queued;
+  }
+
+  /// Take the packet out of the delivery queue the way the pre-PR-3 code
+  /// did: the delivery callback captured the shared_ptr by value, deliver
+  /// copied it again (`p = packet`), and the dynamic_pointer_cast into
+  /// the handler made a third copy — three atomic refcount round-trips
+  /// per dispatch.
+  static Ptr retain(Ptr& slot) {
+    Ptr captured(slot);
+    slot.reset();
+    Ptr delivered(captured);
+    Ptr cast(delivered);
+    return cast;
+  }
+
+  static std::uint64_t dispatch(std::uint64_t h, const Ptr& p) {
+    using pastry::MsgType;
+    std::uint64_t acc = static_cast<std::uint64_t>(p->type);
+    acc = fold_descriptor(acc, p->sender);
+    switch (p->type) {
+      case MsgType::kLsProbe:
+      case MsgType::kLsProbeReply: {
+        const auto& m = static_cast<const legacy_msg::LsProbeMsg&>(*p);
+        acc = (acc ^ (m.leaf.size() * 64 + m.failed.size())) *
+              0x100000001b3ull;
+        if (!m.leaf.empty()) {
+          acc = fold_descriptor(acc, m.leaf.front());
+          acc = fold_descriptor(acc, m.leaf.back());
+        }
+        if (!m.failed.empty()) acc = fold_descriptor(acc, m.failed.back());
+        break;
+      }
+      case MsgType::kRtRowReply: {
+        const auto& m = static_cast<const legacy_msg::RtRowReplyMsg&>(*p);
+        acc ^= static_cast<std::uint64_t>(m.row) + (m.entries.size() << 8);
+        if (!m.entries.empty()) {
+          acc = fold_descriptor(acc, m.entries.front());
+          acc = fold_descriptor(acc, m.entries.back());
+        }
+        break;
+      }
+      case MsgType::kRtRowAnnounce: {
+        const auto& m = static_cast<const legacy_msg::RtRowAnnounceMsg&>(*p);
+        acc ^= static_cast<std::uint64_t>(m.row) + (m.entries.size() << 8);
+        if (!m.entries.empty()) {
+          acc = fold_descriptor(acc, m.entries.front());
+          acc = fold_descriptor(acc, m.entries.back());
+        }
+        break;
+      }
+      case MsgType::kLookup: {
+        const auto& m = static_cast<const legacy_msg::LookupMsg&>(*p);
+        acc = (acc ^ m.key.value().lo) * 0x100000001b3ull;
+        acc = (acc ^ m.lookup_id) * 0x100000001b3ull;
+        acc ^= m.hop_seq;
+        break;
+      }
+      case MsgType::kAck:
+        acc ^= static_cast<const legacy_msg::AckMsg&>(*p).hop_seq;
+        break;
+      default:
+        break;
+    }
+    return (h ^ acc) * 0x100000001b3ull;
+  }
+};
+
+struct MsgPathResult {
+  double wall_seconds = 0.0;
+  std::uint64_t messages = 0;     ///< dispatched inside the timed window
+  double msgs_per_sec = 0.0;
+  std::uint64_t digest = kFnvOffset;       ///< content digest, full replay
+  std::uint64_t steady_chunk_allocs = 0;   ///< slab chunks carved post-warmup
+  std::uint64_t steady_spills = 0;         ///< SmallVec heap spills post-warmup
+};
+
+/// Replay the Figure-4 traffic mix through one message path as the
+/// protocol-shaped *bursts* that produce it: leaf-set and routing-table
+/// probes travel as probe/reply pairs, a lookup spawns a per-hop clone
+/// plus an ack, and a join-time row announce fans one row out to 8–15
+/// destinations — the case where the pre-PR-3 code built a fresh
+/// make_shared + payload vector per destination and the pooled path
+/// allocates once and pushes refcount aliases. Messages sit in a bounded
+/// in-flight window (the network's delivery queue) and dispatch in FIFO
+/// order. Occasionally an in-flight pointer is aliased — the fault plan's
+/// duplication rule delivers one packet twice — which on both paths is a
+/// refcount bump, not a deep copy. All decisions come from one PRNG
+/// stream shared by both paths, so the content digests must match
+/// exactly.
+///
+/// The replay runs twice on the same pool: the first (untimed) pass grows
+/// the slabs to this workload's exact peak per-type occupancy, so the
+/// timed second pass — the identical message sequence — provably needs no
+/// new chunks. Any post-warmup chunk or SmallVec spill is reported and
+/// fails the run.
+template <class Path>
+MsgPathResult run_msgpath(std::uint64_t target_msgs) {
+  Path path;
+  MsgPathResult out;
+
+  auto replay = [&](bool record) -> std::uint64_t {
+    SplitMix64 prng(0x5eedc0de);
+
+    // A fixed roster of peer descriptors; payloads copy slices of it (the
+    // copy, not the descriptor generation, is what the paths differ on).
+    std::vector<pastry::NodeDescriptor> peers;
+    peers.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      peers.push_back({NodeId{prng(), prng()}, static_cast<net::Address>(i)});
+    }
+    const auto* pp = peers.data();
+
+    // Fixed ring as the in-flight window: the shared queue machinery must
+    // stay cheap or it masks the per-message cost the two paths differ on.
+    constexpr std::size_t kRing = 32;  // > window 8 + largest burst (15)
+    std::vector<typename Path::Ptr> ring(kRing);
+    std::size_t head = 0, tail = 0, in_ring = 0;
+    std::uint64_t made = 0;
+    std::uint64_t dispatched = 0;
+
+    auto push = [&](typename Path::Ptr&& p) {
+      ring[tail] = std::move(p);
+      tail = (tail + 1) & (kRing - 1);
+      ++in_ring;
+      ++made;
+    };
+    // Single-message steps are also subject to the duplication alias.
+    auto push_dup = [&](std::uint64_t r, typename Path::Ptr m) {
+      if ((r >> 58) == 0) push(typename Path::Ptr(m));
+      push(Path::send(std::move(m)));
+    };
+    auto dispatch_front = [&] {
+      // Each path retains the packet across the handler the way its real
+      // delivery code does (see Path::retain): copies on the shared_ptr
+      // baseline, moves + one plain bump on the pooled path.
+      typename Path::Ptr p = Path::retain(ring[head]);
+      const std::uint64_t h = Path::dispatch(out.digest, p);
+      if (record) out.digest = h;
+      head = (head + 1) & (kRing - 1);
+      --in_ring;
+      ++dispatched;
+    };
+
+    while (made < target_msgs) {
+      const std::uint64_t r = prng();
+      const unsigned pick = static_cast<unsigned>(r % 100u);
+      const pastry::NodeDescriptor& sender = pp[(r >> 7) & 63u];
+      const pastry::NodeDescriptor& peer = pp[(r >> 13) & 63u];
+      // Figure-4 (right) mix, coarsely: leaf-set traffic (heartbeats plus
+      // payload-carrying probe/reply pairs) dominates, then acks, routing-
+      // table probes, lookups (each hop = clone + ack), row transfer.
+      if (pick < 15) {
+        push_dup(r, path.make_ack(sender, r >> 9));
+      } else if (pick < 35) {
+        push_dup(r, path.make_heartbeat(sender));
+      } else if (pick < 55) {
+        // Probe and its reply, both payload-carrying.
+        push(Path::send(path.make_ls_probe(sender, false, pp,
+                                           24 + ((r >> 16) & 7u),
+                                           (r >> 20) & 3u)));
+        push(Path::send(path.make_ls_probe(peer, true, pp,
+                                           24 + ((r >> 32) & 7u),
+                                           (r >> 36) & 3u)));
+      } else if (pick < 70) {
+        push_dup(r, path.make_ls_probe(sender, false, pp,
+                                       24 + ((r >> 16) & 7u),
+                                       (r >> 20) & 3u));
+      } else if (pick < 80) {
+        push(Path::send(path.make_rt_probe(sender, false)));
+        push(Path::send(path.make_rt_probe(peer, true)));
+      } else if (pick < 88) {
+        // One routing hop of a lookup: the incoming message, the clone
+        // forwarded to the next hop, and the per-hop ack back.
+        auto m = path.make_lookup(sender, NodeId{r * 0x9e3779b97f4a7c15ull, r},
+                                  made, r >> 9);
+        auto hop = path.clone_lookup(m, peer);
+        push(Path::send(std::move(m)));
+        push(Path::send(std::move(hop)));
+        push(Path::send(path.make_ack(peer, r >> 9)));
+      } else if (pick < 94) {
+        push_dup(r, path.make_row_reply(sender,
+                                        static_cast<int>((r >> 16) & 7u), pp,
+                                        8 + ((r >> 24) & 7u)));
+      } else {
+        // Join-time row broadcast: one row's entries to every row member.
+        path.announce_row(sender, static_cast<int>((r >> 16) & 7u), pp,
+                          8 + ((r >> 24) & 7u), 8 + ((r >> 40) & 7u), push);
+      }
+      while (in_ring > 8) dispatch_front();
+    }
+    while (in_ring > 0) dispatch_front();
+    return dispatched;
+  };
+
+  replay(/*record=*/false);  // warmup: size the pool for this exact replay
+  const std::uint64_t chunks0 = path.chunk_allocs();
+  const std::uint64_t spills0 = small_vec_spills();
+
+  WallTimer timer;
+  out.messages = replay(/*record=*/true);
+  out.wall_seconds = timer.seconds();
+  out.msgs_per_sec =
+      out.wall_seconds > 0 ? out.messages / out.wall_seconds : 0.0;
+  out.steady_chunk_allocs = path.chunk_allocs() - chunks0;
+  out.steady_spills = small_vec_spills() - spills0;
+  return out;
+}
+
+void emit_msgpath_row(JsonEmitter& out, const char* name,
+                      const MsgPathResult& r, const std::string& params) {
+  out.row(name)
+      .field("params", params)
+      .field("wall_seconds", r.wall_seconds)
+      .field("messages", r.messages)
+      .field("msgs_per_sec", r.msgs_per_sec)
+      .field("steady_chunk_allocs", r.steady_chunk_allocs)
+      .field("steady_small_vec_spills", r.steady_spills)
+      .hex("digest", r.digest);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -299,6 +856,60 @@ int main(int argc, char** argv) {
       .field("wall_seconds", chaos_wall)
       .field("ok", chaos.ok())
       .hex("digest", cdigest);
+
+  // --- 4. message-path replay: pooled vs frozen shared_ptr ----------------
+  // Written to its own BENCH_msgpath.json so the message-path trajectory
+  // can be tracked (and diffed) independently of the event-core numbers.
+  std::printf("\n-- msgpath: fig4-mix allocate/send/dispatch replay\n");
+  JsonEmitter msg_out("msgpath");
+  const std::uint64_t msg_target = smoke ? 400'000 : 2'000'000;
+  const std::string msg_params = "target_msgs=" + std::to_string(msg_target) +
+                                 " inflight=8 mix=fig4-bursts";
+  MsgPathResult msg_legacy, msg_pooled;
+  for (int r = 0; r < reps; ++r) {
+    const MsgPathResult l = run_msgpath<LegacyMsgPath>(msg_target);
+    const MsgPathResult c = run_msgpath<PooledMsgPath>(msg_target);
+    if (r == 0 || l.msgs_per_sec > msg_legacy.msgs_per_sec) msg_legacy = l;
+    if (r == 0 || c.msgs_per_sec > msg_pooled.msgs_per_sec) msg_pooled = c;
+    if (l.digest != c.digest) {
+      std::fprintf(stderr, "FATAL: msgpath digest mismatch in rep %d\n", r);
+      return 1;
+    }
+    if (c.steady_chunk_allocs != 0 || c.steady_spills != 0) {
+      std::fprintf(stderr,
+                   "FATAL: msgpath pooled run hit the heap after warmup "
+                   "(chunks=%llu spills=%llu)\n",
+                   (unsigned long long)c.steady_chunk_allocs,
+                   (unsigned long long)c.steady_spills);
+      return 1;
+    }
+  }
+  std::printf("  shared_ptr: %10.0f msgs/s  %.3fs\n", msg_legacy.msgs_per_sec,
+              msg_legacy.wall_seconds);
+  std::printf("  pooled    : %10.0f msgs/s  %.3fs\n", msg_pooled.msgs_per_sec,
+              msg_pooled.wall_seconds);
+  const double msg_speedup =
+      msg_legacy.msgs_per_sec > 0
+          ? msg_pooled.msgs_per_sec / msg_legacy.msgs_per_sec
+          : 0.0;
+  std::printf("  speedup: %.2fx   digests %s (%016llx)   steady-state heap "
+              "allocs: %llu\n",
+              msg_speedup,
+              msg_pooled.digest == msg_legacy.digest ? "MATCH" : "MISMATCH",
+              (unsigned long long)msg_pooled.digest,
+              (unsigned long long)msg_pooled.steady_chunk_allocs);
+  emit_msgpath_row(msg_out, "msgpath_pooled", msg_pooled, msg_params);
+  emit_msgpath_row(msg_out, "msgpath_legacy", msg_legacy, msg_params);
+  msg_out.row("msgpath_compare")
+      .field("speedup", msg_speedup)
+      .field("digests_match", msg_pooled.digest == msg_legacy.digest)
+      .field("zero_steady_state_heap", msg_pooled.steady_chunk_allocs == 0 &&
+                                           msg_pooled.steady_spills == 0);
+  msg_out.row("process")
+      .field("smoke", smoke)
+      .field("peak_rss_bytes", peak_rss_bytes())
+      .field("small_vec_spills", small_vec_spills());
+  msg_out.write();
 
   // --- environment / memory row -------------------------------------------
   out.row("process")

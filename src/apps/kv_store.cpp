@@ -8,7 +8,7 @@ KvStoreService::KvStoreService(overlay::OverlayDriver& driver, int replicas)
 std::uint64_t KvStoreService::put(net::Address via, const std::string& key,
                                   std::string value, PutCallback done) {
   const NodeId key_id = NodeId::hash_of(key);
-  auto data = std::make_shared<PutData>();
+  auto data = pastry::make_msg<PutData>(driver_.pool());
   data->op = next_op_++;
   data->key_id = key_id;
   data->value = std::move(value);
@@ -22,7 +22,7 @@ std::uint64_t KvStoreService::put(net::Address via, const std::string& key,
 std::uint64_t KvStoreService::get(net::Address via, const std::string& key,
                                   GetCallback done) {
   const NodeId key_id = NodeId::hash_of(key);
-  auto data = std::make_shared<GetData>();
+  auto data = pastry::make_msg<GetData>(driver_.pool());
   data->op = next_op_++;
   data->key_id = key_id;
   data->requester = via;
@@ -82,7 +82,7 @@ void KvStoreService::replicate(net::Address root, NodeId key_id,
     targets.push_back(members[static_cast<std::size_t>(sz - 1 - i)].addr);
   }
   for (const net::Address t : targets) {
-    auto r = std::make_shared<ReplicateMsg>();
+    auto r = pastry::make_msg<ReplicateMsg>(driver_.pool());
     r->key_id = key_id;
     r->value = value;
     driver_.send_app_packet(root, t, r);
@@ -90,18 +90,18 @@ void KvStoreService::replicate(net::Address root, NodeId key_id,
 }
 
 bool KvStoreService::deliver(net::Address self, const pastry::LookupMsg& m) {
-  if (auto putd = std::dynamic_pointer_cast<const PutData>(m.app_data)) {
+  if (auto putd = dynamic_pointer_cast<const PutData>(m.app_data)) {
     stores_[self][putd->key_id] = putd->value;
     replicate(self, putd->key_id, putd->value);
-    auto resp = std::make_shared<ResponseMsg>();
+    auto resp = pastry::make_msg<ResponseMsg>(driver_.pool());
     resp->op = putd->op;
     resp->is_put = true;
     resp->found = true;
     driver_.send_app_packet(self, putd->requester, resp);
     return true;
   }
-  if (auto getd = std::dynamic_pointer_cast<const GetData>(m.app_data)) {
-    auto resp = std::make_shared<ResponseMsg>();
+  if (auto getd = dynamic_pointer_cast<const GetData>(m.app_data)) {
+    auto resp = pastry::make_msg<ResponseMsg>(driver_.pool());
     resp->op = getd->op;
     resp->is_put = false;
     const auto& store = stores_[self];
@@ -118,12 +118,12 @@ bool KvStoreService::deliver(net::Address self, const pastry::LookupMsg& m) {
 
 bool KvStoreService::packet(net::Address self, net::Address /*from*/,
                             const net::PacketPtr& p) {
-  if (auto rep = std::dynamic_pointer_cast<const ReplicateMsg>(p)) {
+  if (auto rep = dynamic_pointer_cast<const ReplicateMsg>(p)) {
     stores_[self][rep->key_id] = rep->value;
     ++stats_.replicas_stored;
     return true;
   }
-  if (auto resp = std::dynamic_pointer_cast<const ResponseMsg>(p)) {
+  if (auto resp = dynamic_pointer_cast<const ResponseMsg>(p)) {
     const auto it = pending_.find(resp->op);
     if (it == pending_.end()) return true;
     Pending pending = std::move(it->second);

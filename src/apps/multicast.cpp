@@ -30,7 +30,7 @@ void MulticastService::refresh_tick() {
 void MulticastService::subscribe(net::Address member, NodeId group) {
   ++stats_.subscribes;
   state_[member][group].member = true;
-  auto data = std::make_shared<SubscribeData>();
+  auto data = pastry::make_msg<SubscribeData>(driver_.pool());
   data->group = group;
   data->member = member;
   driver_.issue_lookup(member, group, 0, data);
@@ -39,7 +39,7 @@ void MulticastService::subscribe(net::Address member, NodeId group) {
 void MulticastService::publish(net::Address via, NodeId group,
                                std::uint64_t msg_id) {
   ++stats_.publishes;
-  auto data = std::make_shared<PublishData>();
+  auto data = pastry::make_msg<PublishData>(driver_.pool());
   data->group = group;
   data->msg_id = msg_id;
   driver_.issue_lookup(via, group, msg_id, data);
@@ -71,10 +71,10 @@ void MulticastService::splice(net::Address self, const SubscribeData& sub,
 MulticastService::ForwardVerdict MulticastService::forward(
     net::Address self, const pastry::LookupMsg& m,
     const pastry::NodeDescriptor& /*next*/) {
-  auto sub = std::dynamic_pointer_cast<const SubscribeData>(m.app_data);
+  auto sub = dynamic_pointer_cast<const SubscribeData>(m.app_data);
   if (!sub) {
     // Publish lookups are recognised but always continue to the root.
-    if (std::dynamic_pointer_cast<const PublishData>(m.app_data)) {
+    if (dynamic_pointer_cast<const PublishData>(m.app_data)) {
       return {true, false};
     }
     return {};
@@ -96,7 +96,7 @@ MulticastService::ForwardVerdict MulticastService::forward(
 }
 
 bool MulticastService::deliver(net::Address self, const pastry::LookupMsg& m) {
-  if (auto sub = std::dynamic_pointer_cast<const SubscribeData>(m.app_data)) {
+  if (auto sub = dynamic_pointer_cast<const SubscribeData>(m.app_data)) {
     auto& st = state_[self][sub->group];
     st.in_tree = true;  // the rendezvous root anchors the tree
     const net::Address child =
@@ -105,7 +105,7 @@ bool MulticastService::deliver(net::Address self, const pastry::LookupMsg& m) {
     splice(self, *sub, child);
     return true;
   }
-  if (auto pub = std::dynamic_pointer_cast<const PublishData>(m.app_data)) {
+  if (auto pub = dynamic_pointer_cast<const PublishData>(m.app_data)) {
     disseminate(self, pub->group, pub->msg_id);
     return true;
   }
@@ -122,7 +122,7 @@ void MulticastService::disseminate(net::Address self, NodeId group,
     if (on_message) on_message(self, group, msg_id);
   }
   for (const net::Address child : st.children) {
-    auto data = std::make_shared<TreeData>();
+    auto data = pastry::make_msg<TreeData>(driver_.pool());
     data->group = group;
     data->msg_id = msg_id;
     ++stats_.forwards;
@@ -132,7 +132,7 @@ void MulticastService::disseminate(net::Address self, NodeId group,
 
 bool MulticastService::packet(net::Address self, net::Address /*from*/,
                               const net::PacketPtr& p) {
-  auto tree = std::dynamic_pointer_cast<const TreeData>(p);
+  auto tree = dynamic_pointer_cast<const TreeData>(p);
   if (!tree) return false;
   disseminate(self, tree->group, tree->msg_id);
   return true;

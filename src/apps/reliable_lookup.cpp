@@ -27,7 +27,7 @@ void ReliableLookupService::transmit(std::uint64_t op) {
     if (finished.done) finished.done(false, net::kNullAddress);
     return;
   }
-  auto data = std::make_shared<RequestData>();
+  auto data = pastry::make_msg<RequestData>(driver_.pool());
   data->op = op;
   data->requester = p.via;
   driver_.issue_lookup(p.via, p.key, op, data);
@@ -54,9 +54,9 @@ void ReliableLookupService::on_timeout(std::uint64_t op) {
 
 bool ReliableLookupService::deliver(net::Address self,
                                     const pastry::LookupMsg& m) {
-  auto req = std::dynamic_pointer_cast<const RequestData>(m.app_data);
+  auto req = dynamic_pointer_cast<const RequestData>(m.app_data);
   if (!req) return false;
-  auto ack = std::make_shared<E2eAck>();
+  auto ack = pastry::make_msg<E2eAck>(driver_.pool());
   ack->op = req->op;
   driver_.send_app_packet(self, req->requester, ack);
   return true;
@@ -64,7 +64,7 @@ bool ReliableLookupService::deliver(net::Address self,
 
 bool ReliableLookupService::packet(net::Address /*self*/, net::Address from,
                                    const net::PacketPtr& pkt) {
-  auto ack = std::dynamic_pointer_cast<const E2eAck>(pkt);
+  auto ack = dynamic_pointer_cast<const E2eAck>(pkt);
   if (!ack) return false;
   const auto it = pending_.find(ack->op);
   if (it == pending_.end()) return true;  // duplicate ack

@@ -9,7 +9,7 @@ WebCacheService::WebCacheService(overlay::OverlayDriver& driver,
 std::uint64_t WebCacheService::request(net::Address via,
                                        const std::string& url) {
   const NodeId key = NodeId::hash_of(url);
-  auto data = std::make_shared<RequestData>();
+  auto data = pastry::make_msg<RequestData>(driver_.pool());
   data->op = next_op_++;
   data->url_key = key;
   data->requester = via;
@@ -26,14 +26,14 @@ std::size_t WebCacheService::cached_on(net::Address a) const {
 
 void WebCacheService::respond(net::Address home, const RequestData& req,
                               bool was_cached) {
-  auto resp = std::make_shared<ResponseMsg>();
+  auto resp = pastry::make_msg<ResponseMsg>(driver_.pool());
   resp->op = req.op;
   resp->was_cached = was_cached;
   driver_.send_app_packet(home, req.requester, resp);
 }
 
 bool WebCacheService::deliver(net::Address self, const pastry::LookupMsg& m) {
-  auto req = std::dynamic_pointer_cast<const RequestData>(m.app_data);
+  auto req = dynamic_pointer_cast<const RequestData>(m.app_data);
   if (!req) return false;
   auto& cache = caches_[self];
   if (cache.count(req->url_key) > 0) {
@@ -60,7 +60,7 @@ bool WebCacheService::deliver(net::Address self, const pastry::LookupMsg& m) {
 
 bool WebCacheService::packet(net::Address /*self*/, net::Address /*from*/,
                              const net::PacketPtr& p) {
-  auto resp = std::dynamic_pointer_cast<const ResponseMsg>(p);
+  auto resp = dynamic_pointer_cast<const ResponseMsg>(p);
   if (!resp) return false;
   const auto it = pending_.find(resp->op);
   if (it == pending_.end()) return true;

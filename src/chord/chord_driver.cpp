@@ -32,18 +32,19 @@ class ChordDriver::NodeEnv final : public ChordEnv {
 
   void cancel(TimerId id) override { driver_.sim_.cancel(id); }
 
-  void send(net::Address to,
-            std::shared_ptr<const ChordMessage> msg) override {
+  void send(net::Address to, ChordMessagePtr msg) override {
     if (msg->type == ChordMsgType::kLookup) {
       driver_.metrics_.on_message(driver_.sim_.now(),
                                   pastry::MsgType::kLookup);
     } else {
       driver_.metrics_.on_unclassified_control(driver_.sim_.now());
     }
-    driver_.net_.send(self_.addr, to, msg);
+    driver_.net_.send(self_.addr, to, std::move(msg));
   }
 
   Rng& rng() override { return driver_.rng_; }
+
+  pastry::MessagePool& pool() override { return driver_.pool_; }
 
   void on_deliver(const ChordLookupMsg& m) override {
     driver_.handle_delivery(self_.addr, m);
@@ -94,7 +95,7 @@ net::Address ChordDriver::add_node() {
                                const net::PacketPtr& packet) {
     const auto it = nodes_.find(addr);
     if (it == nodes_.end()) return;
-    if (auto msg = std::dynamic_pointer_cast<const ChordMessage>(packet)) {
+    if (auto msg = dynamic_pointer_cast<const ChordMessage>(packet)) {
       it->second.node->handle(from, msg);
     }
   });

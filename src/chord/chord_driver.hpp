@@ -94,6 +94,9 @@ class ChordDriver {
   void handle_joined(net::Address self);
   void schedule_next_workload_lookup();
 
+  /// Before sim_: destroyed last, after queued callbacks drop their
+  /// in-flight message references (see OverlayDriver).
+  pastry::MessagePool pool_;
   Simulator sim_;
   std::shared_ptr<const net::Topology> topology_;
   net::Network net_;

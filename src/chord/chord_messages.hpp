@@ -30,6 +30,10 @@ struct ChordMessage : net::Packet {
   NodeDescriptor sender;
 };
 
+/// Chord messages are pooled and intrusively refcounted, like Pastry's
+/// (pastry/message_pool.hpp is protocol-agnostic).
+using ChordMessagePtr = IntrusivePtr<const ChordMessage>;
+
 struct FindSuccMsg final : ChordMessage {
   FindSuccMsg() : ChordMessage(ChordMsgType::kFindSucc) {}
   NodeId target;
@@ -51,7 +55,9 @@ struct GetNeighboursMsg final : ChordMessage {
 struct NeighboursReplyMsg final : ChordMessage {
   NeighboursReplyMsg() : ChordMessage(ChordMsgType::kNeighboursReply) {}
   NodeDescriptor predecessor;                 // invalid() if unknown
-  std::vector<NodeDescriptor> successors;     // sender's successor list
+  /// Sender's successor list; inline capacity covers the default
+  /// successor_list_size = 8.
+  SmallVec<NodeDescriptor, 8> successors;
 };
 
 struct NotifyMsg final : ChordMessage {

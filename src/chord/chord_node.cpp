@@ -28,9 +28,9 @@ void ChordNode::cancel_timer(TimerId& t) {
   }
 }
 
-void ChordNode::send(net::Address to, std::shared_ptr<ChordMessage> m) {
+void ChordNode::send(net::Address to, const IntrusivePtr<ChordMessage>& m) {
   m->sender = self_;
-  env_.send(to, std::move(m));
+  env_.send(to, m);
 }
 
 // --- Interval arithmetic on the ring -----------------------------------------
@@ -111,7 +111,7 @@ void ChordNode::join(NodeDescriptor bootstrap) {
     if (!joined_) join(join_bootstrap_);
   });
   pending_finds_.emplace(id, p);
-  auto m = std::make_shared<FindSuccMsg>();
+  auto m = make_msg<FindSuccMsg>(env_.pool());
   m->target = self_.id;
   m->reply_to = self_;
   m->request_id = id;
@@ -125,7 +125,7 @@ void ChordNode::route_find_succ(const FindSuccMsg& m) {
   if (!succ) return;  // not in a ring yet; drop (requester retries)
   if (m.hops >= cfg_.max_route_hops) return;
   if (in_interval_open_closed(self_.id, m.target, succ->id)) {
-    auto reply = std::make_shared<FindSuccReplyMsg>();
+    auto reply = make_msg<FindSuccReplyMsg>(env_.pool());
     reply->request_id = m.request_id;
     reply->successor = *succ;
     send(m.reply_to.addr, std::move(reply));
@@ -133,12 +133,12 @@ void ChordNode::route_find_succ(const FindSuccMsg& m) {
   }
   NodeDescriptor next = closest_preceding(m.target);
   if (!next.valid()) next = *succ;
-  auto fwd = std::make_shared<FindSuccMsg>(m);
+  auto fwd = make_msg<FindSuccMsg>(env_.pool(), m);
   fwd->hops = m.hops + 1;
   send(next.addr, std::move(fwd));
 }
 
-void ChordNode::route_lookup(const std::shared_ptr<const ChordLookupMsg>& m) {
+void ChordNode::route_lookup(const IntrusivePtr<const ChordLookupMsg>& m) {
   if (!joined_) return;  // best-effort: dropped
   if (owns(m->key)) {
     env_.on_deliver(*m);
@@ -156,13 +156,13 @@ void ChordNode::route_lookup(const std::shared_ptr<const ChordLookupMsg>& m) {
     }
     next = *succ;
   }
-  auto fwd = std::make_shared<ChordLookupMsg>(*m);
+  auto fwd = make_msg<ChordLookupMsg>(env_.pool(), *m);
   fwd->hops = m->hops + 1;
   send(next.addr, std::move(fwd));
 }
 
 void ChordNode::lookup(NodeId key, std::uint64_t lookup_id) {
-  auto m = std::make_shared<ChordLookupMsg>();
+  auto m = make_msg<ChordLookupMsg>(env_.pool());
   m->key = key;
   m->lookup_id = lookup_id;
   m->sender = self_;
@@ -180,7 +180,7 @@ void ChordNode::stabilize_tick() {
   cancel_timer(stabilize_reply_timer_);
   stabilize_reply_timer_ = env_.schedule(
       cfg_.rpc_timeout, [this] { on_stabilize_timeout(); });
-  send(succ->addr, std::make_shared<GetNeighboursMsg>());
+  send(succ->addr, make_msg<GetNeighboursMsg>(env_.pool()));
 }
 
 void ChordNode::on_stabilize_timeout() {
@@ -220,7 +220,7 @@ void ChordNode::fix_fingers_tick() {
   p.timer = env_.schedule(4 * cfg_.rpc_timeout,
                           [this, id] { pending_finds_.erase(id); });
   pending_finds_.emplace(id, p);
-  auto m = std::make_shared<FindSuccMsg>();
+  auto m = make_msg<FindSuccMsg>(env_.pool());
   m->target = target;
   m->reply_to = self_;
   m->request_id = id;
@@ -245,13 +245,12 @@ void ChordNode::check_predecessor_tick() {
       awaiting_pong_ = false;
     }
   });
-  send(predecessor_.addr, std::make_shared<PingMsg>());
+  send(predecessor_.addr, make_msg<PingMsg>(env_.pool()));
 }
 
 // --- Ingress -------------------------------------------------------------------------
 
-void ChordNode::handle(net::Address from,
-                       const std::shared_ptr<const ChordMessage>& msg) {
+void ChordNode::handle(net::Address from, const ChordMessagePtr& msg) {
   switch (msg->type) {
     case ChordMsgType::kFindSucc:
       route_find_succ(static_cast<const FindSuccMsg&>(*msg));
@@ -281,14 +280,14 @@ void ChordNode::handle(net::Address from,
             cfg_.check_predecessor_period,
             [this] { check_predecessor_tick(); });
         // Announce ourselves to the successor right away.
-        send(m.successor.addr, std::make_shared<NotifyMsg>());
+        send(m.successor.addr, make_msg<NotifyMsg>(env_.pool()));
       } else if (m.successor.addr != self_.addr) {
         fingers_[static_cast<std::size_t>(p.finger_index)] = m.successor;
       }
       return;
     }
     case ChordMsgType::kGetNeighbours: {
-      auto reply = std::make_shared<NeighboursReplyMsg>();
+      auto reply = make_msg<NeighboursReplyMsg>(env_.pool());
       reply->predecessor = predecessor_;
       reply->successors = successors_;
       send(from, std::move(reply));
@@ -328,7 +327,7 @@ void ChordNode::handle(net::Address from,
             static_cast<std::size_t>(cfg_.successor_list_size));
       }
       if (const auto s2 = successor(); s2 && s2->addr != self_.addr) {
-        send(s2->addr, std::make_shared<NotifyMsg>());
+        send(s2->addr, make_msg<NotifyMsg>(env_.pool()));
       }
       return;
     }
@@ -346,14 +345,14 @@ void ChordNode::handle(net::Address from,
       return;
     }
     case ChordMsgType::kPing:
-      send(from, std::make_shared<PongMsg>());
+      send(from, make_msg<PongMsg>(env_.pool()));
       return;
     case ChordMsgType::kPong:
       awaiting_pong_ = false;
       cancel_timer(pong_timer_);
       return;
     case ChordMsgType::kLookup:
-      route_lookup(std::static_pointer_cast<const ChordLookupMsg>(msg));
+      route_lookup(static_pointer_cast<const ChordLookupMsg>(msg));
       return;
   }
 }

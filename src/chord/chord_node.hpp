@@ -28,6 +28,7 @@
 #include "common/inplace_callback.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
+#include "pastry/message_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace mspastry::chord {
@@ -53,9 +54,11 @@ class ChordEnv {
   virtual SimTime now() const = 0;
   virtual TimerId schedule(SimDuration delay, InplaceCallback fn) = 0;
   virtual void cancel(TimerId id) = 0;
-  virtual void send(net::Address to,
-                    std::shared_ptr<const ChordMessage> msg) = 0;
+  virtual void send(net::Address to, ChordMessagePtr msg) = 0;
   virtual Rng& rng() = 0;
+  /// Slab pool for message allocation (shared with the driver; the pool
+  /// type is protocol-agnostic despite living under pastry/).
+  virtual pastry::MessagePool& pool() = 0;
   /// A lookup arrived for a key this node believes it owns.
   virtual void on_deliver(const ChordLookupMsg& m) = 0;
   /// The node obtained a successor and considers itself part of the ring.
@@ -76,7 +79,7 @@ class ChordNode {
   /// Join via any ring member.
   void join(NodeDescriptor bootstrap);
 
-  void handle(net::Address from, const std::shared_ptr<const ChordMessage>&);
+  void handle(net::Address from, const ChordMessagePtr& msg);
 
   /// Route a lookup for `key` (delivered at the node owning it).
   void lookup(NodeId key, std::uint64_t lookup_id);
@@ -101,7 +104,7 @@ class ChordNode {
   bool owns(NodeId key) const;
   NodeDescriptor closest_preceding(NodeId key) const;
   void route_find_succ(const FindSuccMsg& m);
-  void route_lookup(const std::shared_ptr<const ChordLookupMsg>& m);
+  void route_lookup(const IntrusivePtr<const ChordLookupMsg>& m);
 
   void stabilize_tick();
   void on_stabilize_timeout();
@@ -109,7 +112,7 @@ class ChordNode {
   void check_predecessor_tick();
   void drop_successor_head();
 
-  void send(net::Address to, std::shared_ptr<ChordMessage> m);
+  void send(net::Address to, const IntrusivePtr<ChordMessage>& m);
   void cancel_timer(TimerId& t);
 
   ChordConfig cfg_;

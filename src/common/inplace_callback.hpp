@@ -14,6 +14,7 @@
 // callback_heap_fallbacks() in BENCH_core.json so a capture that quietly
 // outgrows the buffer shows up as a perf regression, not a mystery.
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -26,15 +27,17 @@
 namespace mspastry {
 
 namespace detail {
-/// Process-wide tally of callbacks that did not fit inline. The
-/// simulation is single-threaded by design, so a plain counter is fine.
-inline std::uint64_t callback_heap_fallbacks_ = 0;
+/// Process-wide tally of callbacks that did not fit inline. Each
+/// simulation is single-threaded, but the sweep runner (bench/
+/// sweep_runner.hpp) runs independent trials on worker threads, so the
+/// counter is a relaxed atomic — uncontended increments stay cheap.
+inline std::atomic<std::uint64_t> callback_heap_fallbacks_{0};
 }  // namespace detail
 
 /// Number of BasicInplaceCallback constructions (since process start)
 /// that had to heap-allocate their callable.
 inline std::uint64_t callback_heap_fallbacks() {
-  return detail::callback_heap_fallbacks_;
+  return detail::callback_heap_fallbacks_.load(std::memory_order_relaxed);
 }
 
 template <std::size_t InlineCapacity>
@@ -122,7 +125,8 @@ class BasicInplaceCallback {
         manage_ = &inline_manage<D>;
       }
     } else {
-      ++detail::callback_heap_fallbacks_;
+      detail::callback_heap_fallbacks_.fetch_add(1,
+                                                 std::memory_order_relaxed);
       ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
       invoke_ = &boxed_invoke<D>;
       manage_ = &boxed_manage<D>;

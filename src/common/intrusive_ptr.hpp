@@ -1,0 +1,157 @@
+#pragma once
+
+// Move-aware smart pointer over RefCounted: a copy is one non-atomic
+// increment, a move is free. This is the message path's replacement for
+// shared_ptr<const Message> — half the size (no separate control block
+// pointer), no allocation, no atomics. See DESIGN.md "Message memory".
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "common/ref_counted.hpp"
+
+namespace mspastry {
+
+template <class T>
+class IntrusivePtr {
+ public:
+  using element_type = T;
+
+  constexpr IntrusivePtr() noexcept = default;
+  constexpr IntrusivePtr(std::nullptr_t) noexcept {}  // NOLINT
+
+  /// Shares ownership of `p` (increments). A freshly constructed object
+  /// has count zero, so wrapping the result of `new T(...)` yields count
+  /// one — there is no separate "adopt" path.
+  IntrusivePtr(T* p) noexcept : p_(p) {  // NOLINT(runtime/explicit)
+    if (p_ != nullptr) intrusive_add_ref(p_);
+  }
+
+  IntrusivePtr(const IntrusivePtr& o) noexcept : p_(o.p_) {
+    if (p_ != nullptr) intrusive_add_ref(p_);
+  }
+
+  IntrusivePtr(IntrusivePtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+  template <class U,
+            class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  IntrusivePtr(const IntrusivePtr<U>& o) noexcept  // NOLINT
+      : p_(o.get()) {
+    if (p_ != nullptr) intrusive_add_ref(p_);
+  }
+
+  template <class U,
+            class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  IntrusivePtr(IntrusivePtr<U>&& o) noexcept : p_(o.detach()) {}  // NOLINT
+
+  ~IntrusivePtr() {
+    if (p_ != nullptr) intrusive_release(p_);
+  }
+
+  IntrusivePtr& operator=(const IntrusivePtr& o) noexcept {
+    IntrusivePtr(o).swap(*this);
+    return *this;
+  }
+
+  IntrusivePtr& operator=(IntrusivePtr&& o) noexcept {
+    IntrusivePtr(std::move(o)).swap(*this);
+    return *this;
+  }
+
+  template <class U,
+            class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  IntrusivePtr& operator=(const IntrusivePtr<U>& o) noexcept {
+    IntrusivePtr(o).swap(*this);
+    return *this;
+  }
+
+  template <class U,
+            class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  IntrusivePtr& operator=(IntrusivePtr<U>&& o) noexcept {
+    IntrusivePtr(std::move(o)).swap(*this);
+    return *this;
+  }
+
+  IntrusivePtr& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  T* get() const noexcept { return p_; }
+  T& operator*() const noexcept { return *p_; }
+  T* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  /// Refcount of the pointee (0 for an empty pointer). Route code uses
+  /// this for the clone-elision fast path: a uniquely owned message may
+  /// be mutated in place instead of copied.
+  std::uint32_t use_count() const noexcept {
+    return p_ != nullptr ? p_->use_count() : 0;
+  }
+
+  void reset() noexcept {
+    if (p_ != nullptr) intrusive_release(p_);
+    p_ = nullptr;
+  }
+
+  /// Release ownership WITHOUT decrementing; the caller takes over the
+  /// reference. Used by the converting move constructor.
+  T* detach() noexcept {
+    T* p = p_;
+    p_ = nullptr;
+    return p;
+  }
+
+  void swap(IntrusivePtr& o) noexcept { std::swap(p_, o.p_); }
+
+ private:
+  T* p_ = nullptr;
+};
+
+template <class T, class U>
+bool operator==(const IntrusivePtr<T>& a, const IntrusivePtr<U>& b) noexcept {
+  return a.get() == b.get();
+}
+template <class T, class U>
+bool operator!=(const IntrusivePtr<T>& a, const IntrusivePtr<U>& b) noexcept {
+  return a.get() != b.get();
+}
+template <class T>
+bool operator==(const IntrusivePtr<T>& a, std::nullptr_t) noexcept {
+  return a.get() == nullptr;
+}
+template <class T>
+bool operator==(std::nullptr_t, const IntrusivePtr<T>& a) noexcept {
+  return a.get() == nullptr;
+}
+template <class T>
+bool operator!=(const IntrusivePtr<T>& a, std::nullptr_t) noexcept {
+  return a.get() != nullptr;
+}
+template <class T>
+bool operator!=(std::nullptr_t, const IntrusivePtr<T>& a) noexcept {
+  return a.get() != nullptr;
+}
+
+/// Heap-allocating factory for refcounted objects that do not come from a
+/// pool (tests, one-off payloads): deleted with `delete` when the count
+/// hits zero.
+template <class T, class... Args>
+IntrusivePtr<T> make_refcounted(Args&&... args) {
+  return IntrusivePtr<T>(new T(std::forward<Args>(args)...));
+}
+
+/// Drop-in equivalents of std::static_pointer_cast / dynamic_pointer_cast
+/// for the intrusive pointer (found unqualified via ADL).
+template <class To, class From>
+IntrusivePtr<To> static_pointer_cast(const IntrusivePtr<From>& p) noexcept {
+  return IntrusivePtr<To>(static_cast<To*>(p.get()));
+}
+
+template <class To, class From>
+IntrusivePtr<To> dynamic_pointer_cast(const IntrusivePtr<From>& p) noexcept {
+  return IntrusivePtr<To>(dynamic_cast<To*>(p.get()));
+}
+
+}  // namespace mspastry

@@ -100,10 +100,17 @@ void Network::send(Address from, Address to, PacketPtr packet) {
   }
   d += act.extra_delay;
   if (d < 1) d = 1;  // even loopback takes one microsecond
+  if (act.extra_copies == 0) {
+    // Common case: the caller's reference rides the wire; no refcount
+    // traffic at all between send() and the delivery callback.
+    schedule_delivery((depart - now) + d, from, to, std::move(packet));
+    return;
+  }
   schedule_delivery((depart - now) + d, from, to, packet);
   for (int i = 0; i < act.extra_copies; ++i) {
     // An injected copy occupies the wire like a real transmission, which
-    // keeps the packet-accounting identity exact.
+    // keeps the packet-accounting identity exact. All copies alias one
+    // packet object; the refcount keeps it alive until the last delivery.
     ++sent_;
     notify_injection(FaultKind::kDuplicate);
     schedule_delivery(
@@ -115,20 +122,26 @@ void Network::send(Address from, Address to, PacketPtr packet) {
 void Network::schedule_delivery(SimDuration after, Address from, Address to,
                                 PacketPtr packet) {
   ++in_flight_;
-  sim_.schedule_after(after, [this, from, to, p = std::move(packet)] {
-    deliver(from, to, p);
-  });
+  sim_.schedule_after(after,
+                      [this, from, to, p = std::move(packet)]() mutable {
+                        deliver(from, to, std::move(p));
+                      });
 }
 
-void Network::deliver(Address from, Address to, const PacketPtr& packet) {
+void Network::deliver(Address from, Address to, PacketPtr packet) {
   // A stalled receiver's packets sit in its socket buffer until the
-  // process resumes (gray failure: the endpoint never unbinds).
+  // process resumes (gray failure: the endpoint never unbinds). The
+  // deferred retry moves this delivery's reference instead of copying it
+  // — under a long stall the old copy-per-retry churned a refcount
+  // increment/decrement pair for every buffered packet.
   const SimTime release = faults_.stall_release(sim_.now(), to);
   if (release > sim_.now()) {
     faults_.note_stall_deferred();
     notify_injection(FaultKind::kStall);
     sim_.schedule_at(release,
-                     [this, from, to, p = packet] { deliver(from, to, p); });
+                     [this, from, to, p = std::move(packet)]() mutable {
+                       deliver(from, to, std::move(p));
+                     });
     return;
   }
   --in_flight_;

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/intrusive_ptr.hpp"
+#include "common/ref_counted.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "net/fault_plan.hpp"
@@ -15,11 +17,12 @@ namespace mspastry::net {
 
 /// Base class for anything carried by the network. Overlay message types
 /// derive from this; the network itself never inspects payloads.
-struct Packet {
-  virtual ~Packet() = default;
-};
+/// Intrusively refcounted: copying a PacketPtr is a non-atomic increment
+/// and in-flight delivery callbacks *move* their reference (see
+/// DESIGN.md "Message memory").
+struct Packet : RefCounted {};
 
-using PacketPtr = std::shared_ptr<const Packet>;
+using PacketPtr = IntrusivePtr<const Packet>;
 
 /// A network endpoint. Each overlay-node *session* gets a fresh address
 /// when it is created, which models the fact that a machine that fails and
@@ -131,7 +134,9 @@ class Network {
 
   void schedule_delivery(SimDuration after, Address from, Address to,
                          PacketPtr packet);
-  void deliver(Address from, Address to, const PacketPtr& packet);
+  /// Takes its reference by value and moves it onward (a stalled receiver
+  /// re-schedules the same reference instead of copying it per retry).
+  void deliver(Address from, Address to, PacketPtr packet);
   void notify_injection(FaultKind k) {
     if (injection_observer_) injection_observer_(k);
   }

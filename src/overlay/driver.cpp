@@ -48,6 +48,8 @@ class OverlayDriver::NodeEnv final : public pastry::Env {
 
   Rng& rng() override { return driver_.rng_; }
 
+  pastry::MessagePool& pool() override { return driver_.pool_; }
+
   std::optional<pastry::NodeDescriptor> bootstrap_candidate() override {
     const auto pick = driver_.oracle_.random_active(driver_.rng_);
     if (!pick || pick->second == self_.addr) return std::nullopt;
@@ -159,7 +161,7 @@ void OverlayDriver::deliver_packet(net::Address to, net::Address from,
                                    const net::PacketPtr& packet) {
   const auto it = nodes_.find(to);
   if (it == nodes_.end()) return;
-  if (auto msg = std::dynamic_pointer_cast<const pastry::Message>(packet)) {
+  if (auto msg = dynamic_pointer_cast<const pastry::Message>(packet)) {
     it->second.node->handle(from, msg);
     return;
   }

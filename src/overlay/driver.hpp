@@ -90,6 +90,7 @@ class OverlayDriver {
   Metrics& metrics() { return metrics_; }
   pastry::Counters& counters() { return counters_; }
   Rng& rng() { return rng_; }
+  pastry::MessagePool& pool() { return pool_; }
 
   pastry::PastryNode* node(net::Address a);
   std::size_t live_node_count() const { return nodes_.size(); }
@@ -126,6 +127,11 @@ class OverlayDriver {
   void handle_activated(net::Address self);
   void schedule_next_workload_lookup();
 
+  /// Declared before sim_: members destroy in reverse order, so the
+  /// simulator (whose queued callbacks hold the last references to
+  /// in-flight messages) tears down first and every slot recycles into a
+  /// live pool. The pool's destructor asserts live() == 0.
+  pastry::MessagePool pool_;
   Simulator sim_;
   std::shared_ptr<const net::Topology> topology_;
   net::Network net_;

@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "pastry/message.hpp"
+#include "pastry/message_pool.hpp"
 #include "pastry/types.hpp"
 #include "sim/simulator.hpp"
 
@@ -33,6 +34,11 @@ class Env {
   /// Transmit a message to a network address. The implementation stamps
   /// nothing: the node fills in sender/hints before calling.
   virtual void send(net::Address to, MessagePtr msg) = 0;
+
+  /// The slab pool all of this node's messages are allocated from. Owned
+  /// by the driver and shared by every node of a simulation; must outlive
+  /// all messages in flight.
+  virtual MessagePool& pool() = 0;
 
   virtual Rng& rng() = 0;
 

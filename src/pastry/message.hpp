@@ -3,9 +3,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/node_id.hpp"
+#include "common/small_vec.hpp"
 #include "net/network.hpp"
 #include "pastry/types.hpp"
 
@@ -70,7 +72,12 @@ struct Message : net::Packet {
   double trt_hint_s = 0.0;
 };
 
-using MessagePtr = std::shared_ptr<const Message>;
+/// Messages are slab-pooled (pastry/message_pool.hpp) and intrusively
+/// refcounted; a copy of this pointer is one non-atomic increment.
+using MessagePtr = IntrusivePtr<const Message>;
+
+// Payload vector aliases (LeafVec, RowVec, ...) live in pastry/types.hpp
+// so the routing table can return them without depending on this header.
 
 /// A routed message: carried hop by hop toward a destination key.
 /// Subtypes: lookups and join requests.
@@ -97,14 +104,14 @@ struct JoinRequestMsg final : RoutedMessage {
   NodeDescriptor joiner;
   std::uint64_t join_epoch = 0;  ///< joiner's attempt counter
   /// Routing-table rows gathered along the route: (row index, entries).
-  std::vector<std::pair<int, std::vector<NodeDescriptor>>> rows;
+  JoinRows rows;
 };
 
 struct JoinReplyMsg final : Message {
   JoinReplyMsg() : Message(MsgType::kJoinReply) {}
   std::uint64_t join_epoch = 0;
-  std::vector<std::pair<int, std::vector<NodeDescriptor>>> rows;
-  std::vector<NodeDescriptor> leaf_set;
+  JoinRows rows;
+  LeafVec leaf_set;
 };
 
 /// Leaf-set probe / reply (Figure 2): carries the sender's leaf set and
@@ -113,8 +120,8 @@ struct JoinReplyMsg final : Message {
 struct LsProbeMsg final : Message {
   explicit LsProbeMsg(bool reply)
       : Message(reply ? MsgType::kLsProbeReply : MsgType::kLsProbe) {}
-  std::vector<NodeDescriptor> leaf;
-  std::vector<NodeDescriptor> failed;
+  LeafVec leaf;
+  FailedVec failed;
 };
 
 struct HeartbeatMsg final : Message {
@@ -149,13 +156,13 @@ struct RtRowRequestMsg final : Message {
 struct RtRowReplyMsg final : Message {
   RtRowReplyMsg() : Message(MsgType::kRtRowReply) {}
   int row = 0;
-  std::vector<NodeDescriptor> entries;
+  RowVec entries;
 };
 
 struct RtRowAnnounceMsg final : Message {
   RtRowAnnounceMsg() : Message(MsgType::kRtRowAnnounce) {}
   int row = 0;
-  std::vector<NodeDescriptor> entries;
+  RowVec entries;
 };
 
 /// Passive repair: "I found your slot (row, col) empty while routing; do
@@ -181,7 +188,7 @@ struct NnRequestMsg final : Message {
 
 struct NnReplyMsg final : Message {
   NnReplyMsg() : Message(MsgType::kNnReply) {}
-  std::vector<NodeDescriptor> candidates;
+  CandidateVec candidates;
 };
 
 struct AckMsg final : Message {

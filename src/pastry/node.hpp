@@ -120,14 +120,14 @@ class PastryNode {
   // --- Message sending ---------------------------------------------------
   /// Stamp the common header (sender, trt hint), track last-sent time, and
   /// hand to the environment.
-  void send(net::Address to, const std::shared_ptr<Message>& m);
+  void send(net::Address to, const IntrusivePtr<Message>& m);
 
   // --- Routing core (Figure 2: routei) ------------------------------------
   struct ExclusionSet;  // see node_core.cpp
 
   /// Route a message: forward to the next hop or invoke receive_root.
   /// `excluded` holds per-message exclusions accumulated by ack timeouts.
-  void route(const std::shared_ptr<RoutedMessage>& m,
+  void route(const IntrusivePtr<RoutedMessage>& m,
              const std::vector<net::Address>& excluded);
 
   /// Figure 2's next-hop choice; returns invalid descriptor when the
@@ -140,13 +140,13 @@ class PastryNode {
   bool is_excluded(net::Address a,
                    const std::vector<net::Address>& excluded) const;
 
-  void receive_root(const std::shared_ptr<RoutedMessage>& m);
+  void receive_root(const IntrusivePtr<RoutedMessage>& m);
   void deliver_lookup(const LookupMsg& m);
-  void buffer_message(const std::shared_ptr<RoutedMessage>& m);
+  void buffer_message(const IntrusivePtr<RoutedMessage>& m);
   void flush_buffered();
 
   // --- Per-hop acks (Section 3.2) -----------------------------------------
-  void forward(const std::shared_ptr<RoutedMessage>& m,
+  void forward(const IntrusivePtr<RoutedMessage>& m,
                const NodeDescriptor& next,
                std::vector<net::Address> excluded);
   void on_ack(net::Address from, std::uint64_t hop_seq);
@@ -274,7 +274,7 @@ class PastryNode {
 
   /// In-flight forwarded messages awaiting per-hop acks.
   struct PendingAck {
-    std::shared_ptr<RoutedMessage> msg;
+    IntrusivePtr<RoutedMessage> msg;
     net::Address dest = net::kNullAddress;
     std::vector<net::Address> excluded;
     SimTime sent_at = 0;
@@ -300,7 +300,7 @@ class PastryNode {
   std::unordered_map<net::Address, SimTime> last_probe_due_;
 
   /// Buffered routed messages (node inactive, or leaf set mid-repair).
-  std::vector<std::shared_ptr<RoutedMessage>> buffered_;
+  std::vector<IntrusivePtr<RoutedMessage>> buffered_;
 
   /// Self-tuning state.
   FailureRateEstimator fail_est_;

@@ -28,8 +28,9 @@ void PastryNode::probe(const NodeDescriptor& j, bool announce_on_timeout) {
     it->second.announce_on_timeout |= announce_on_timeout;
     return;
   }
-  auto m = std::make_shared<LsProbeMsg>(/*reply=*/false);
+  auto m = make_msg<LsProbeMsg>(env_.pool(), /*reply=*/false);
   m->leaf = leaf_.members();
+  m->failed.reserve(failed_.size());
   for (const auto& [a, d] : failed_) m->failed.push_back(d.node);
   ++counters_.ls_probes_sent;
   send(j.addr, m);
@@ -50,8 +51,9 @@ void PastryNode::on_ls_probe_timeout(net::Address j) {
   st.timer = kInvalidTimer;
   if (st.retries < cfg_.max_probe_retries) {
     st.retries += 1;
-    auto m = std::make_shared<LsProbeMsg>(/*reply=*/false);
+    auto m = make_msg<LsProbeMsg>(env_.pool(), /*reply=*/false);
     m->leaf = leaf_.members();
+    m->failed.reserve(failed_.size());
     for (const auto& [a, d] : failed_) m->failed.push_back(d.node);
     ++counters_.ls_probes_sent;
     send(j, m);
@@ -147,7 +149,7 @@ void PastryNode::handle_ls_probe(const LsProbeMsg& m, bool is_reply) {
   }
 
   if (!is_reply) {
-    auto reply = std::make_shared<LsProbeMsg>(/*reply=*/true);
+    auto reply = make_msg<LsProbeMsg>(env_.pool(), /*reply=*/true);
     reply->leaf = leaf_.members();
     // Generalized repair aid (Section 3.1): when the requester's leaf set
     // is empty (mass failure), also offer close nodes drawn from the
@@ -164,6 +166,7 @@ void PastryNode::handle_ls_probe(const LsProbeMsg& m, bool is_reply) {
         }
       }
     }
+    reply->failed.reserve(failed_.size());
     for (const auto& [a, d] : failed_) reply->failed.push_back(d.node);
     send(j.addr, reply);
   } else {
@@ -369,7 +372,7 @@ void PastryNode::heartbeat_tick() {
     }
   }
   ++counters_.heartbeats_sent;
-  send(left->addr, std::make_shared<HeartbeatMsg>());
+  send(left->addr, make_msg<HeartbeatMsg>(env_.pool()));
 }
 
 void PastryNode::watch_tick() {

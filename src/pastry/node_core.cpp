@@ -36,7 +36,7 @@ void PastryNode::cancel_timer(TimerId& t) {
   }
 }
 
-void PastryNode::send(net::Address to, const std::shared_ptr<Message>& m) {
+void PastryNode::send(net::Address to, const IntrusivePtr<Message>& m) {
   assert(to != net::kNullAddress);
   m->sender = self_;
   m->trt_hint_s = cfg_.self_tuning ? trt_local_s_ : 0.0;
@@ -122,12 +122,12 @@ void PastryNode::leave() {
   std::unordered_set<net::Address> told;
   for (const NodeDescriptor& m : leaf_.members()) {
     if (told.insert(m.addr).second) {
-      send(m.addr, std::make_shared<LeaveMsg>());
+      send(m.addr, make_msg<LeaveMsg>(env_.pool()));
     }
   }
   rt_.for_each([&](int, int, const RoutingTable::Entry& e) {
     if (told.insert(e.node.addr).second) {
-      send(e.node.addr, std::make_shared<LeaveMsg>());
+      send(e.node.addr, make_msg<LeaveMsg>(env_.pool()));
     }
   });
   active_ = false;  // stop delivering; the host tears us down next
@@ -153,23 +153,23 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     case MsgType::kLookup: {
       const auto& m = static_cast<const LookupMsg&>(*msg);
       if (m.wants_ack && cfg_.per_hop_acks) {
-        auto ack = std::make_shared<AckMsg>();
+        auto ack = make_msg<AckMsg>(env_.pool());
         ack->hop_seq = m.hop_seq;
         ++counters_.acks_sent;
         send(from, ack);
       }
-      route(std::make_shared<LookupMsg>(m), {});
+      route(make_msg<LookupMsg>(env_.pool(), m), {});
       return;
     }
     case MsgType::kJoinRequest: {
       const auto& m = static_cast<const JoinRequestMsg&>(*msg);
       if (m.wants_ack && cfg_.per_hop_acks) {
-        auto ack = std::make_shared<AckMsg>();
+        auto ack = make_msg<AckMsg>(env_.pool());
         ack->hop_seq = m.hop_seq;
         ++counters_.acks_sent;
         send(from, ack);
       }
-      auto copy = std::make_shared<JoinRequestMsg>(m);
+      auto copy = make_msg<JoinRequestMsg>(env_.pool(), m);
       // Contribute routing-table rows for every prefix depth this node
       // shares with the joiner that the message does not carry yet.
       const int depth = self_.id.shared_prefix_length(copy->joiner.id, cfg_.b);
@@ -199,8 +199,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     case MsgType::kHeartbeat:
       return;  // liveness already recorded by heard_from
     case MsgType::kRtProbe: {
-      auto reply = std::make_shared<RtProbeMsg>(true);
-      send(from, reply);
+      send(from, make_msg<RtProbeMsg>(env_.pool(), true));
       return;
     }
     case MsgType::kRtProbeReply: {
@@ -216,7 +215,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     }
     case MsgType::kDistanceProbe: {
       const auto& m = static_cast<const DistanceProbeMsg&>(*msg);
-      auto reply = std::make_shared<DistanceProbeMsg>(true);
+      auto reply = make_msg<DistanceProbeMsg>(env_.pool(), true);
       reply->seq = m.seq;
       send(from, reply);
       return;
@@ -236,7 +235,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     }
     case MsgType::kRtRowRequest: {
       const auto& m = static_cast<const RtRowRequestMsg&>(*msg);
-      auto reply = std::make_shared<RtRowReplyMsg>();
+      auto reply = make_msg<RtRowReplyMsg>(env_.pool());
       reply->row = m.row;
       reply->entries = rt_.row_entries(m.row);
       send(from, reply);
@@ -246,7 +245,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     case MsgType::kRtRowAnnounce: {
       // Constrained gossiping: probe unknown nodes in the received row and
       // adopt the closer ones (handled by the distance sessions).
-      const std::vector<NodeDescriptor>* entries;
+      const RowVec* entries;
       if (msg->type == MsgType::kRtRowReply) {
         entries = &static_cast<const RtRowReplyMsg&>(*msg).entries;
       } else {
@@ -267,7 +266,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     }
     case MsgType::kRtEntryRequest: {
       const auto& m = static_cast<const RtEntryRequestMsg&>(*msg);
-      auto reply = std::make_shared<RtEntryReplyMsg>();
+      auto reply = make_msg<RtEntryReplyMsg>(env_.pool());
       reply->row = m.row;
       reply->col = m.col;
       // Return any node we know that fits the requester's slot.
@@ -300,7 +299,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
       return;
     }
     case MsgType::kNnRequest: {
-      auto reply = std::make_shared<NnReplyMsg>();
+      auto reply = make_msg<NnReplyMsg>(env_.pool());
       reply->candidates = close_nodes_for(self_.id);
       send(from, reply);
       return;
@@ -417,7 +416,7 @@ NodeDescriptor PastryNode::next_hop(
   return best;  // invalid == deliver locally
 }
 
-void PastryNode::route(const std::shared_ptr<RoutedMessage>& m,
+void PastryNode::route(const IntrusivePtr<RoutedMessage>& m,
                        const std::vector<net::Address>& excluded) {
   if (m->hops >= cfg_.max_route_hops) {
     ++counters_.lookups_dropped_no_route;
@@ -438,7 +437,7 @@ void PastryNode::route(const std::shared_ptr<RoutedMessage>& m,
   // Passive routing-table repair: we found our slot (er, ec) empty while
   // routing; ask the next hop whether it knows a node for it.
   if (er >= 0 && next.valid()) {
-    auto req = std::make_shared<RtEntryRequestMsg>();
+    auto req = make_msg<RtEntryRequestMsg>(env_.pool());
     req->row = er;
     req->col = ec;
     send(next.addr, req);
@@ -446,7 +445,7 @@ void PastryNode::route(const std::shared_ptr<RoutedMessage>& m,
   forward(m, next, excluded);
 }
 
-void PastryNode::receive_root(const std::shared_ptr<RoutedMessage>& m) {
+void PastryNode::receive_root(const IntrusivePtr<RoutedMessage>& m) {
   if (!active_) {
     // Figure 2: never deliver (or answer joins) while inactive; buffer and
     // re-route after activation.
@@ -466,7 +465,7 @@ void PastryNode::receive_root(const std::shared_ptr<RoutedMessage>& m) {
   }
   if (m->type == MsgType::kJoinRequest) {
     const auto& jr = static_cast<const JoinRequestMsg&>(*m);
-    auto reply = std::make_shared<JoinReplyMsg>();
+    auto reply = make_msg<JoinReplyMsg>(env_.pool());
     reply->join_epoch = jr.join_epoch;
     reply->rows = jr.rows;
     // Contribute this (root) node's rows as well.
@@ -488,7 +487,7 @@ void PastryNode::receive_root(const std::shared_ptr<RoutedMessage>& m) {
 
 void PastryNode::deliver_lookup(const LookupMsg& m) { env_.on_deliver(m); }
 
-void PastryNode::buffer_message(const std::shared_ptr<RoutedMessage>& m) {
+void PastryNode::buffer_message(const IntrusivePtr<RoutedMessage>& m) {
   constexpr std::size_t kMaxBuffered = 1024;
   if (buffered_.size() >= kMaxBuffered) {
     buffered_.erase(buffered_.begin());
@@ -519,15 +518,16 @@ SimDuration PastryNode::rto_for(net::Address a) const {
   return cfg_.rto_initial;
 }
 
-void PastryNode::forward(const std::shared_ptr<RoutedMessage>& m,
+void PastryNode::forward(const IntrusivePtr<RoutedMessage>& m,
                          const NodeDescriptor& next,
                          std::vector<net::Address> excluded) {
-  auto copy = m;  // routed messages are owned per hop; clone for mutation
+  // Routed messages are owned per hop; clone for mutation.
+  IntrusivePtr<RoutedMessage> copy;
   if (m->type == MsgType::kLookup) {
-    copy = std::make_shared<LookupMsg>(static_cast<const LookupMsg&>(*m));
+    copy = make_msg<LookupMsg>(env_.pool(), static_cast<const LookupMsg&>(*m));
   } else {
-    copy = std::make_shared<JoinRequestMsg>(
-        static_cast<const JoinRequestMsg&>(*m));
+    copy = make_msg<JoinRequestMsg>(env_.pool(),
+                                    static_cast<const JoinRequestMsg&>(*m));
   }
   copy->hops = m->hops + 1;
   if (m->type == MsgType::kLookup) ++counters_.lookups_forwarded;
@@ -583,13 +583,13 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
   // destination before treating it as suspect.
   if (pending.same_dest_retries < cfg_.ack_retransmits) {
     const std::uint64_t seq = next_hop_seq_++;
-    pending.msg = [&]() -> std::shared_ptr<RoutedMessage> {
+    pending.msg = [&]() -> IntrusivePtr<RoutedMessage> {
       if (pending.msg->type == MsgType::kLookup) {
-        return std::make_shared<LookupMsg>(
-            static_cast<const LookupMsg&>(*pending.msg));
+        return make_msg<LookupMsg>(
+            env_.pool(), static_cast<const LookupMsg&>(*pending.msg));
       }
-      return std::make_shared<JoinRequestMsg>(
-          static_cast<const JoinRequestMsg&>(*pending.msg));
+      return make_msg<JoinRequestMsg>(
+          env_.pool(), static_cast<const JoinRequestMsg&>(*pending.msg));
     }();
     pending.msg->hop_seq = seq;
     pending.same_dest_retries += 1;
@@ -629,13 +629,13 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
       return;
     }
     const std::uint64_t seq = next_hop_seq_++;
-    pending.msg = [&]() -> std::shared_ptr<RoutedMessage> {
+    pending.msg = [&]() -> IntrusivePtr<RoutedMessage> {
       if (pending.msg->type == MsgType::kLookup) {
-        return std::make_shared<LookupMsg>(
-            static_cast<const LookupMsg&>(*pending.msg));
+        return make_msg<LookupMsg>(
+            env_.pool(), static_cast<const LookupMsg&>(*pending.msg));
       }
-      return std::make_shared<JoinRequestMsg>(
-          static_cast<const JoinRequestMsg&>(*pending.msg));
+      return make_msg<JoinRequestMsg>(
+          env_.pool(), static_cast<const JoinRequestMsg&>(*pending.msg));
     }();
     pending.msg->hop_seq = seq;
     pending.same_dest_retries += 1;
@@ -660,7 +660,7 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
 void PastryNode::lookup(NodeId key, std::uint64_t lookup_id,
                         std::uint64_t payload, bool wants_ack,
                         net::PacketPtr app_data) {
-  auto m = std::make_shared<LookupMsg>();
+  auto m = make_msg<LookupMsg>(env_.pool());
   m->key = key;
   m->lookup_id = lookup_id;
   m->payload = payload;

@@ -39,7 +39,7 @@ void PastryNode::start_join(const NodeDescriptor& bootstrap) {
 }
 
 void PastryNode::nn_request(const NodeDescriptor& target) {
-  send(target.addr, std::make_shared<NnRequestMsg>());
+  send(target.addr, make_msg<NnRequestMsg>(env_.pool()));
   // If the reply never arrives (loss or death), push on with what we have.
   const std::uint64_t epoch = join_epoch_;
   const int iter = nn_iteration_;
@@ -55,6 +55,7 @@ void PastryNode::handle_nn_reply(const NnReplyMsg& m) {
   if (!joining_ || nn_outstanding_ > 0) return;
   // Sample unvisited candidates and measure each with a single probe.
   std::vector<NodeDescriptor> candidates;
+  candidates.reserve(m.candidates.size());
   for (const NodeDescriptor& d : m.candidates) {
     if (d.id == self_.id || nn_visited_.count(d.addr) > 0 ||
         in_failed(d.addr)) {
@@ -111,7 +112,7 @@ void PastryNode::send_join_request() {
     // Nothing reachable: wait for the retry timer to restart the join.
     return;
   }
-  auto m = std::make_shared<JoinRequestMsg>();
+  auto m = make_msg<JoinRequestMsg>(env_.pool());
   m->key = self_.id;
   m->joiner = self_;
   m->join_epoch = join_epoch_;

@@ -48,6 +48,7 @@ void PastryNode::rt_scan_tick() {
   const SimTime now = env_.now();
   const SimDuration period = from_seconds(trt_current_s_);
   std::vector<NodeDescriptor> to_probe;
+  to_probe.reserve(rt_.entry_count());
   rt_.for_each([&](int, int, const RoutingTable::Entry& e) {
     if (leaf_.contains(e.node.addr)) return;  // covered by the leaf-set
                                               // heartbeat structure
@@ -80,7 +81,7 @@ void PastryNode::rt_scan_tick() {
 void PastryNode::send_rt_probe(const NodeDescriptor& j) {
   if (rt_probing_.count(j.addr) > 0 || in_failed(j.addr)) return;
   ++counters_.rt_probes_sent;
-  send(j.addr, std::make_shared<RtProbeMsg>(false));
+  send(j.addr, make_msg<RtProbeMsg>(env_.pool(), false));
   RtProbeState st;
   st.target = j;
   st.sent_at = env_.now();
@@ -97,7 +98,7 @@ void PastryNode::on_rt_probe_timeout(net::Address j) {
   if (st.retries < cfg_.max_probe_retries) {
     st.retries += 1;
     ++counters_.rt_probes_sent;
-    send(j, std::make_shared<RtProbeMsg>(false));
+    send(j, make_msg<RtProbeMsg>(env_.pool(), false));
     st.timer = env_.schedule(cfg_.t_o, [this, j] { on_rt_probe_timeout(j); });
     return;
   }
@@ -146,7 +147,7 @@ void PastryNode::distance_session_step(std::uint64_t session_id) {
   if (s.sent < s.want) {
     const std::uint64_t seq = next_probe_seq_++;
     dist_probes_[seq] = OutstandingProbe{session_id, env_.now()};
-    auto m = std::make_shared<DistanceProbeMsg>(false);
+    auto m = make_msg<DistanceProbeMsg>(env_.pool(), false);
     m->seq = seq;
     ++counters_.distance_probes_sent;
     send(s.target.addr, m);
@@ -228,7 +229,7 @@ void PastryNode::consider_for_rt(const NodeDescriptor& d, SimDuration rtt,
   rtt_[d.addr].sample(rtt);  // seed the RTO estimator too
   rt_.add_with_rtt(d, rtt, cfg_.pns);
   if (report_symmetric) {
-    auto m = std::make_shared<DistanceReportMsg>();
+    auto m = make_msg<DistanceReportMsg>(env_.pool());
     m->rtt = rtt;
     send(d.addr, m);
   }
@@ -248,7 +249,7 @@ void PastryNode::rt_maintenance_tick() {
     if (entries.empty()) continue;
     const NodeDescriptor& pick =
         entries[env_.rng().uniform_index(entries.size())];
-    auto m = std::make_shared<RtRowRequestMsg>();
+    auto m = make_msg<RtRowRequestMsg>(env_.pool());
     m->row = r;
     send(pick.addr, m);
   }
@@ -261,11 +262,14 @@ void PastryNode::announce_rows() {
   for (int r = 0; r < rt_.rows(); ++r) {
     auto entries = rt_.row_entries(r);
     if (entries.empty()) continue;
-    auto m = std::make_shared<RtRowAnnounceMsg>();
+    // One pooled message shared by every destination in the row: the
+    // header send() stamps is identical per destination, so all copies
+    // alias a single refcounted object instead of cloning per receiver.
+    auto m = make_msg<RtRowAnnounceMsg>(env_.pool());
     m->row = r;
     m->entries = entries;
     for (const NodeDescriptor& d : entries) {
-      send(d.addr, std::make_shared<RtRowAnnounceMsg>(*m));
+      send(d.addr, m);
     }
   }
   // Also measure distances to our own entries so PNS comparisons and RTO

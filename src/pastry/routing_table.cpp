@@ -86,8 +86,8 @@ const RoutingTable::Entry* RoutingTable::find(net::Address a) const {
   return s ? &*s : nullptr;
 }
 
-std::vector<NodeDescriptor> RoutingTable::row_entries(int row) const {
-  std::vector<NodeDescriptor> out;
+RowVec RoutingTable::row_entries(int row) const {
+  RowVec out;
   if (row < 0 || row >= rows()) return out;
   for (const auto& s : grid_[static_cast<std::size_t>(row)]) {
     if (s) out.push_back(s->node);

@@ -70,8 +70,9 @@ class RoutingTable {
   /// Entry holding address `a`, or nullptr.
   const Entry* find(net::Address a) const;
 
-  /// All non-empty entries of one row.
-  std::vector<NodeDescriptor> row_entries(int row) const;
+  /// All non-empty entries of one row. Inline-capacity vector: a row has
+  /// at most 2^b - 1 entries, so this never heap-allocates for b <= 4.
+  RowVec row_entries(int row) const;
 
   /// Deepest row with at least one entry; -1 if the table is empty.
   int deepest_row() const;

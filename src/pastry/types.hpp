@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "common/node_id.hpp"
+#include "common/small_vec.hpp"
 #include "net/network.hpp"
 
 namespace mspastry::pastry {
@@ -19,6 +21,19 @@ struct NodeDescriptor {
     return a.addr == b.addr && a.id == b.id;
   }
 };
+
+/// Payload vectors with inline capacity matched to the protocol's
+/// cardinalities (DESIGN.md "Message memory"): a full leaf set is l = 32
+/// members, a routing-table row has at most 2^b - 1 = 15 entries, an
+/// NN-reply carries the l + 1 closest nodes, and a join gathers one row
+/// per shared prefix digit (~log_2b N; 8 covers overlays past 10^9
+/// nodes). Overflow spills to the heap and is counted
+/// (small_vec_spills()).
+using LeafVec = SmallVec<NodeDescriptor, 32>;
+using FailedVec = SmallVec<NodeDescriptor, 8>;
+using RowVec = SmallVec<NodeDescriptor, 16>;
+using CandidateVec = SmallVec<NodeDescriptor, 33>;
+using JoinRows = SmallVec<std::pair<int, RowVec>, 8>;
 
 /// Aggregated event counters, shared by all nodes of a simulation and read
 /// by benches (probe-suppression rates, reroute counts, etc.).

@@ -41,6 +41,8 @@ class MockEnv final : public pastry::Env {
 
   Rng& rng() override { return rng_; }
 
+  pastry::MessagePool& pool() override { return pool_; }
+
   std::optional<pastry::NodeDescriptor> bootstrap_candidate() override {
     return bootstrap_;
   }
@@ -96,6 +98,8 @@ class MockEnv final : public pastry::Env {
   Simulator& sim() { return sim_; }
 
  private:
+  // Pool first: captured messages in sent_ must recycle into a live pool.
+  pastry::MessagePool pool_;
   Simulator sim_;
   Rng rng_;
   std::vector<Sent> sent_;
@@ -121,7 +125,7 @@ struct NodeHarness {
   /// Deliver a message to the node as if it came from `from`. Stamps the
   /// sender header the way PastryNode::send would.
   template <typename M>
-  void receive(const pastry::NodeDescriptor& from, std::shared_ptr<M> m) {
+  void receive(const pastry::NodeDescriptor& from, IntrusivePtr<M> m) {
     m->sender = from;
     node->handle(from.addr, std::move(m));
   }
@@ -131,9 +135,9 @@ struct NodeHarness {
                         std::vector<pastry::NodeDescriptor> leaf = {},
                         std::vector<pastry::NodeDescriptor> failed = {},
                         bool reply = false) {
-    auto m = std::make_shared<pastry::LsProbeMsg>(reply);
-    m->leaf = std::move(leaf);
-    m->failed = std::move(failed);
+    auto m = pastry::make_msg<pastry::LsProbeMsg>(env.pool(), reply);
+    m->leaf = leaf;
+    m->failed = failed;
     receive(from, std::move(m));
   }
 };

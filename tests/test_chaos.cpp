@@ -159,7 +159,7 @@ TEST(ChaosNetwork, DuplicationKeepsAccountingIdentity) {
   f.net.faults().add(
       FaultRule::duplicate(LinkMatcher::all(), 1.0, milliseconds(5)));
   for (int i = 0; i < 50; ++i) {
-    f.net.send(a, b, std::make_shared<NetFixture::P>());
+    f.net.send(a, b, make_refcounted<NetFixture::P>());
     EXPECT_EQ(f.net.packets_sent(), f.accounted());  // holds mid-flight too
   }
   f.sim.run_to_completion();
@@ -174,9 +174,9 @@ TEST(ChaosNetwork, UnboundArrivalsAreCountedNotVanished) {
   const Address a = f.net.attach_random(f.rng);
   const Address b = f.net.attach_random(f.rng);
   f.net.bind(b, [](Address, const net::PacketPtr&) {});
-  f.net.send(a, b, std::make_shared<NetFixture::P>());
+  f.net.send(a, b, make_refcounted<NetFixture::P>());
   f.net.unbind(b);  // receiver dies with the packet in flight
-  f.net.send(a, b, std::make_shared<NetFixture::P>());
+  f.net.send(a, b, make_refcounted<NetFixture::P>());
   f.sim.run_to_completion();
   EXPECT_EQ(f.net.packets_dropped_unbound(), 2u);
   EXPECT_EQ(f.net.packets_delivered(), 0u);
@@ -195,13 +195,13 @@ TEST(ChaosNetwork, PartitionCoexistsWithOtherFaultRules) {
   EXPECT_EQ(f.net.faults().rule_count(), 2u);
   int got = 0;
   f.net.bind(b, [&](Address, const net::PacketPtr&) { ++got; });
-  f.net.send(a, b, std::make_shared<NetFixture::P>());
+  f.net.send(a, b, make_refcounted<NetFixture::P>());
   f.sim.run_to_completion();
   EXPECT_EQ(got, 0);  // partition drops the cross-cut packet
   f.net.heal();
   EXPECT_EQ(f.net.faults().rule_count(), 1u);  // delay spike survives heal
   const SimTime before = f.sim.now();
-  f.net.send(a, b, std::make_shared<NetFixture::P>());
+  f.net.send(a, b, make_refcounted<NetFixture::P>());
   f.sim.run_to_completion();
   EXPECT_EQ(got, 1);
   EXPECT_GE(f.sim.now() - before, f.net.delay(a, b) + milliseconds(100));
@@ -215,7 +215,7 @@ TEST(ChaosNetwork, StallDefersDeliveryUntilRelease) {
   SimTime arrived = kTimeNever;
   f.net.bind(b, [&](Address, const net::PacketPtr&) { arrived = f.sim.now(); });
   f.net.faults().add(FaultRule::stall({b}, 0, seconds(5)));
-  f.net.send(a, b, std::make_shared<NetFixture::P>());
+  f.net.send(a, b, make_refcounted<NetFixture::P>());
   f.sim.run_to_completion();
   // The endpoint stayed bound: the packet is delivered, but only after
   // the stall window — the gray-failure signature.

@@ -26,7 +26,7 @@ TEST(Leave, NoticesGoToEveryRoutingStateMember) {
   h.node->bootstrap();
   h.receive_ls_probe(nd(1010, 1));
   h.receive_ls_probe(nd(990, 2));
-  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  auto rep = make_refcounted<pastry::DistanceReportMsg>();
   rep->rtt = milliseconds(5);
   h.receive(pastry::NodeDescriptor{NodeId{0x7000000000000000ull, 0}, 5},
             std::move(rep));
@@ -46,7 +46,7 @@ TEST(Leave, ReceivedNoticeRemovesSenderImmediately) {
   h.receive_ls_probe(nd(1010, 1));
   ASSERT_TRUE(h.node->leaf_set().contains(1));
   h.env.drain();
-  h.receive(nd(1010, 1), std::make_shared<pastry::LeaveMsg>());
+  h.receive(nd(1010, 1), make_refcounted<pastry::LeaveMsg>());
   EXPECT_FALSE(h.node->leaf_set().contains(1));
   // No confirm probe: the word came from the departing node itself.
   for (const auto& s : h.env.drain()) {
@@ -60,7 +60,7 @@ TEST(Leave, LeaverIsNotMarkedFaulty) {
   NodeHarness h(nd(1000, 0));
   h.node->bootstrap();
   h.receive_ls_probe(nd(1010, 1));
-  h.receive(nd(1010, 1), std::make_shared<pastry::LeaveMsg>());
+  h.receive(nd(1010, 1), make_refcounted<pastry::LeaveMsg>());
   h.env.run_for(minutes(5));
   EXPECT_TRUE(h.env.marked_faulty().empty());
   EXPECT_EQ(h.counters.nodes_marked_faulty, 0u);

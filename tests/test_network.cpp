@@ -36,7 +36,7 @@ TEST(Network, DeliversWithTopologyDelay) {
     got = static_cast<const TestPacket&>(*p).value;
     at = f.sim.now();
   });
-  net.send(a, b, std::make_shared<TestPacket>(42));
+  net.send(a, b, make_refcounted<TestPacket>(42));
   f.sim.run_to_completion();
   EXPECT_EQ(got, 42);
   EXPECT_EQ(at, net.delay(a, b));
@@ -62,7 +62,7 @@ TEST(Network, SelfDelayZeroButDeliveryTakesATick) {
   EXPECT_EQ(net.delay(a, a), 0);
   bool got = false;
   net.bind(a, [&](Address, const PacketPtr&) { got = true; });
-  net.send(a, a, std::make_shared<TestPacket>(1));
+  net.send(a, a, make_refcounted<TestPacket>(1));
   EXPECT_FALSE(got);  // not synchronous
   f.sim.run_to_completion();
   EXPECT_TRUE(got);
@@ -75,14 +75,14 @@ TEST(Network, UnboundEndpointLosesPackets) {
   const Address b = net.attach_random(f.rng);
   int got = 0;
   net.bind(b, [&](Address, const PacketPtr&) { ++got; });
-  net.send(a, b, std::make_shared<TestPacket>(1));
+  net.send(a, b, make_refcounted<TestPacket>(1));
   f.sim.run_to_completion();
   EXPECT_EQ(got, 1);
   // Unbind (node failure): in-flight and future packets are lost — and
   // counted, so the accounting identity still holds.
-  net.send(a, b, std::make_shared<TestPacket>(2));
+  net.send(a, b, make_refcounted<TestPacket>(2));
   net.unbind(b);
-  net.send(a, b, std::make_shared<TestPacket>(3));
+  net.send(a, b, make_refcounted<TestPacket>(3));
   f.sim.run_to_completion();
   EXPECT_EQ(got, 1);
   EXPECT_FALSE(net.bound(b));
@@ -103,7 +103,7 @@ TEST(Network, UniformLossRateStatistics) {
   int got = 0;
   net.bind(b, [&](Address, const PacketPtr&) { ++got; });
   const int n = 5000;
-  for (int i = 0; i < n; ++i) net.send(a, b, std::make_shared<TestPacket>(i));
+  for (int i = 0; i < n; ++i) net.send(a, b, make_refcounted<TestPacket>(i));
   f.sim.run_to_completion();
   EXPECT_NEAR(static_cast<double>(got) / n, 0.80, 0.03);
   EXPECT_EQ(net.packets_sent(), static_cast<std::uint64_t>(n));
@@ -122,7 +122,7 @@ TEST(Network, ZeroLossDeliversEverything) {
   int got = 0;
   net.bind(b, [&](Address, const PacketPtr&) { ++got; });
   for (int i = 0; i < 1000; ++i) {
-    net.send(a, b, std::make_shared<TestPacket>(i));
+    net.send(a, b, make_refcounted<TestPacket>(i));
   }
   f.sim.run_to_completion();
   EXPECT_EQ(got, 1000);
@@ -142,7 +142,7 @@ TEST(Network, JitterBoundsDeliveryTime) {
   });
   SimTime base = f.sim.now();
   for (int i = 0; i < 200; ++i) {
-    net.send(a, b, std::make_shared<TestPacket>(i));
+    net.send(a, b, make_refcounted<TestPacket>(i));
   }
   f.sim.run_to_completion();
   ASSERT_EQ(arrivals.size(), 200u);
@@ -176,7 +176,7 @@ TEST(Network, OrderingPreservedBetweenSamePair) {
   net.bind(b, [&](Address, const PacketPtr& p) {
     order.push_back(static_cast<const TestPacket&>(*p).value);
   });
-  for (int i = 0; i < 50; ++i) net.send(a, b, std::make_shared<TestPacket>(i));
+  for (int i = 0; i < 50; ++i) net.send(a, b, make_refcounted<TestPacket>(i));
   f.sim.run_to_completion();
   ASSERT_EQ(order.size(), 50u);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);

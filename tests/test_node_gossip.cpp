@@ -27,7 +27,7 @@ NodeDescriptor rt_peer(unsigned digit, net::Address addr) {
 /// Feed a row announcement containing `peers` for row 0.
 void announce_row(NodeHarness& h, const NodeDescriptor& from,
                   std::vector<NodeDescriptor> peers) {
-  auto m = std::make_shared<pastry::RtRowAnnounceMsg>();
+  auto m = make_refcounted<pastry::RtRowAnnounceMsg>();
   m->row = 0;
   m->entries = std::move(peers);
   h.receive(from, std::move(m));
@@ -54,7 +54,7 @@ int answer_distance_probes(NodeHarness& h, const NodeDescriptor& peer,
       const auto& probe =
           static_cast<const pastry::DistanceProbeMsg&>(*s.msg);
       h.env.run_for(rtt);
-      auto reply = std::make_shared<pastry::DistanceProbeMsg>(true);
+      auto reply = make_refcounted<pastry::DistanceProbeMsg>(true);
       reply->seq = probe.seq;
       h.receive(peer, std::move(reply));
       ++answered;
@@ -175,7 +175,7 @@ TEST(NodeGossip, PeriodicMaintenanceRequestsRows) {
   NodeHarness h(kSelf, cfg);
   h.node->bootstrap();
   // Seed one routing-table entry via a direct report.
-  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  auto rep = make_refcounted<pastry::DistanceReportMsg>();
   rep->rtt = milliseconds(10);
   h.receive(rt_peer(7, 5), std::move(rep));
   h.env.drain();
@@ -191,7 +191,7 @@ TEST(NodeGossip, RtProbeTimeoutDropsEntryWithoutAnnouncement) {
   Config cfg;
   NodeHarness h(kSelf, cfg);
   h.node->bootstrap();
-  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  auto rep = make_refcounted<pastry::DistanceReportMsg>();
   rep->rtt = milliseconds(10);
   h.receive(rt_peer(7, 5), std::move(rep));
   // Also add a leaf member to observe (absence of) announcements.
@@ -215,7 +215,7 @@ TEST(NodeGossip, PassiveRepairOfferProbedBeforeInsertion) {
   h.env.drain();
   // Someone answers our (hypothetical) entry request with a candidate: we
   // must measure it, not insert it blindly.
-  auto offer = std::make_shared<pastry::RtEntryReplyMsg>();
+  auto offer = make_refcounted<pastry::RtEntryReplyMsg>();
   offer->row = 0;
   offer->col = 7;
   offer->entry = rt_peer(7, 5);
@@ -227,14 +227,14 @@ TEST(NodeGossip, PassiveRepairOfferProbedBeforeInsertion) {
 TEST(NodeGossip, EntryRequestAnsweredFromOwnState) {
   NodeHarness h(kSelf);
   h.node->bootstrap();
-  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  auto rep = make_refcounted<pastry::DistanceReportMsg>();
   rep->rtt = milliseconds(10);
   const auto peer = rt_peer(7, 5);
   h.receive(peer, std::move(rep));
   h.env.drain();
   // A node with id 2... asks us for its slot matching peer's prefix.
   const NodeDescriptor requester{NodeId{0x2000000000000000ull, 0}, 9};
-  auto req = std::make_shared<pastry::RtEntryRequestMsg>();
+  auto req = make_refcounted<pastry::RtEntryRequestMsg>();
   const auto [r, c] = pastry::slot_for(requester.id, peer.id, 4);
   req->row = r;
   req->col = c;

@@ -223,7 +223,7 @@ TEST(NodeProtocol, ChattyRightNeighbourIsNotSuspected) {
   h.receive_ls_probe(nd(1010, 1));
   for (int i = 0; i < 10; ++i) {
     h.env.run_for(seconds(20));
-    auto hb = std::make_shared<pastry::HeartbeatMsg>();
+    auto hb = make_refcounted<pastry::HeartbeatMsg>();
     h.receive(nd(1010, 1), std::move(hb));
   }
   EXPECT_EQ(h.counters.ls_probes_suspect, 0u);
@@ -236,7 +236,7 @@ TEST(NodeProtocol, ReceivedLookupIsAcked) {
   NodeHarness h(kSelf);
   h.node->bootstrap();
   h.env.drain();
-  auto m = std::make_shared<pastry::LookupMsg>();
+  auto m = make_refcounted<pastry::LookupMsg>();
   m->key = NodeId{0, 999};
   m->lookup_id = 7;
   m->hop_seq = 1234;
@@ -253,7 +253,7 @@ TEST(NodeProtocol, NoAckWhenLookupOptsOut) {
   NodeHarness h(kSelf);
   h.node->bootstrap();
   h.env.drain();
-  auto m = std::make_shared<pastry::LookupMsg>();
+  auto m = make_refcounted<pastry::LookupMsg>();
   m->key = NodeId{0, 999};
   m->lookup_id = 7;
   m->wants_ack = false;
@@ -273,7 +273,7 @@ TEST(NodeProtocol, ForwardedLookupAwaitsAckThenSettles) {
   ASSERT_EQ(sent.size(), 1u);
   EXPECT_EQ(sent[0].to, 1);
   EXPECT_EQ(h.node->debug_state().pending_acks, 1u);
-  auto ack = std::make_shared<pastry::AckMsg>();
+  auto ack = make_refcounted<pastry::AckMsg>();
   ack->hop_seq =
       static_cast<const pastry::LookupMsg&>(*sent[0].msg).hop_seq;
   h.receive(nd(2000, 1), std::move(ack));
@@ -336,7 +336,7 @@ TEST(NodeProtocol, RtProbeIsAnswered) {
   NodeHarness h(kSelf);
   h.node->bootstrap();
   h.env.drain();
-  h.receive(nd(77, 5), std::make_shared<pastry::RtProbeMsg>(false));
+  h.receive(nd(77, 5), make_refcounted<pastry::RtProbeMsg>(false));
   EXPECT_EQ(h.env.count_outgoing(MsgType::kRtProbeReply), 1);
 }
 
@@ -344,7 +344,7 @@ TEST(NodeProtocol, DistanceProbeEchoesSequence) {
   NodeHarness h(kSelf);
   h.node->bootstrap();
   h.env.drain();
-  auto p = std::make_shared<pastry::DistanceProbeMsg>(false);
+  auto p = make_refcounted<pastry::DistanceProbeMsg>(false);
   p->seq = 555;
   h.receive(nd(77, 5), std::move(p));
   const auto replies =
@@ -358,7 +358,7 @@ TEST(NodeProtocol, DistanceReportSeedsRoutingTable) {
   h.node->bootstrap();
   // A peer measured its RTT to us and reports it (symmetric probing): we
   // adopt it into the routing table with that distance.
-  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  auto rep = make_refcounted<pastry::DistanceReportMsg>();
   rep->rtt = milliseconds(12);
   const NodeDescriptor peer{NodeId{0x5000000000000000ull, 0}, 5};
   h.receive(peer, std::move(rep));
@@ -371,12 +371,12 @@ TEST(NodeProtocol, DistanceReportSeedsRoutingTable) {
 TEST(NodeProtocol, RtRowRequestReturnsRow) {
   NodeHarness h(kSelf);
   h.node->bootstrap();
-  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  auto rep = make_refcounted<pastry::DistanceReportMsg>();
   rep->rtt = milliseconds(5);
   const NodeDescriptor peer{NodeId{0x5000000000000000ull, 0}, 5};
   h.receive(peer, std::move(rep));
   h.env.drain();
-  auto req = std::make_shared<pastry::RtRowRequestMsg>();
+  auto req = make_refcounted<pastry::RtRowRequestMsg>();
   const auto [row, col] =
       h.node->routing_table().slot_of(peer.id);
   (void)col;
@@ -404,7 +404,7 @@ TEST(NodeProtocol, JoinStartsWithNearestNeighbourProbe) {
 TEST(NodeProtocol, StaleJoinReplyIgnored) {
   NodeHarness h(kSelf);
   h.node->join(nd(5000, 3));
-  auto reply = std::make_shared<pastry::JoinReplyMsg>();
+  auto reply = make_refcounted<pastry::JoinReplyMsg>();
   reply->join_epoch = 999;  // wrong epoch
   reply->leaf_set = {nd(900, 4)};
   h.receive(nd(5000, 3), std::move(reply));
@@ -420,7 +420,7 @@ TEST(NodeProtocol, JoinRequestRoutedThroughNodeGainsRows) {
   // Give the node one routing-table entry to contribute; it also probes
   // us into its leaf set (an empty leaf set with a non-empty table would
   // otherwise trigger the mass-failure delivery guard).
-  auto rep = std::make_shared<pastry::DistanceReportMsg>();
+  auto rep = make_refcounted<pastry::DistanceReportMsg>();
   rep->rtt = milliseconds(5);
   const NodeDescriptor entry{NodeId{0x7000000000000000ull, 0}, 5};
   h.receive(entry, std::move(rep));
@@ -428,7 +428,7 @@ TEST(NodeProtocol, JoinRequestRoutedThroughNodeGainsRows) {
   h.env.drain();
   // A join request for a joiner whose id shares no prefix with us: we
   // contribute row 0 and, being the only node, answer as the root.
-  auto jr = std::make_shared<pastry::JoinRequestMsg>();
+  auto jr = make_refcounted<pastry::JoinRequestMsg>();
   const NodeDescriptor joiner{NodeId{0x3000000000000000ull, 0}, 8};
   jr->key = joiner.id;
   jr->joiner = joiner;
@@ -447,7 +447,7 @@ TEST(NodeProtocol, JoinRequestRoutedThroughNodeGainsRows) {
 TEST(NodeProtocol, InactiveRootBuffersJoinRequestUntilActive) {
   NodeHarness h(kSelf);
   // Not bootstrapped: we are not active.
-  auto jr = std::make_shared<pastry::JoinRequestMsg>();
+  auto jr = make_refcounted<pastry::JoinRequestMsg>();
   const NodeDescriptor joiner{NodeId{0x3000000000000000ull, 0}, 8};
   jr->key = joiner.id;
   jr->joiner = joiner;
@@ -491,7 +491,7 @@ TEST(NodeProtocol, MedianOfGossipedTrtHints) {
   // ends up between the clamps and near 200 s once retune runs.
   const double hints[] = {100.0, 200.0, 900.0};
   for (int i = 0; i < 3; ++i) {
-    auto m = std::make_shared<LsProbeMsg>(false);
+    auto m = make_refcounted<LsProbeMsg>(false);
     m->trt_hint_s = hints[i];
     m->sender = nd(1010 + static_cast<std::uint64_t>(i), i + 1);
     h.node->handle(i + 1, m);
