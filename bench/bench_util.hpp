@@ -175,6 +175,12 @@ class JsonEmitter {
   };
 
   explicit JsonEmitter(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Write to an explicit path instead of BENCH_<bench>.json (tools such
+  /// as trace_explorer reuse the emitter outside the bench harness).
+  JsonEmitter(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
   ~JsonEmitter() { write(); }
 
   JsonEmitter(const JsonEmitter&) = delete;
@@ -192,7 +198,8 @@ class JsonEmitter {
   void write() {
     if (written_) return;
     written_ = true;
-    const std::string path = "BENCH_" + bench_ + ".json";
+    const std::string path =
+        path_.empty() ? "BENCH_" + bench_ + ".json" : path_;
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
@@ -212,6 +219,7 @@ class JsonEmitter {
 
  private:
   std::string bench_;
+  std::string path_;  // empty: derive BENCH_<bench>.json
   std::deque<Row> rows_;
   bool written_ = false;
 };

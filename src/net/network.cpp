@@ -71,6 +71,7 @@ void Network::send(Address from, Address to, PacketPtr packet) {
   ++sent_;
   if (filter_ && !filter_(from, to)) {
     ++lost_;
+    notify_drop(from, to, packet, DropKind::kFilter);
     return;
   }
   const SimTime now = sim_.now();
@@ -85,11 +86,13 @@ void Network::send(Address from, Address to, PacketPtr packet) {
   if (act.drop) {
     ++lost_;
     notify_injection(act.drop_kind);
+    notify_drop(from, to, packet, DropKind::kFault);
     return;
   }
   if (act.extra_delay > 0) notify_injection(FaultKind::kDelaySpike);
   if (rng_.chance(config_.loss_rate)) {
     ++lost_;
+    notify_drop(from, to, packet, DropKind::kLoss);
     return;
   }
   SimDuration d = delay(from, to);
@@ -148,6 +151,7 @@ void Network::deliver(Address from, Address to, PacketPtr packet) {
   Endpoint& ep = endpoints_[to];
   if (!ep.handler) {
     ++dropped_unbound_;  // endpoint is gone: packet is lost on arrival
+    notify_drop(from, to, packet, DropKind::kUnbound);
     return;
   }
   ++delivered_;

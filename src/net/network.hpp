@@ -114,6 +114,22 @@ class Network {
     injection_observer_ = std::move(o);
   }
 
+  /// Why the network dropped a packet (for the drop observer below).
+  enum class DropKind : std::uint8_t {
+    kFilter,   ///< caller-installed link filter said no
+    kFault,    ///< a fault-plan rule (partition, flap, ...) dropped it
+    kLoss,     ///< uniform random loss
+    kUnbound,  ///< arrived at a dead endpoint
+  };
+
+  /// Observer invoked for every packet the network loses, with the ground
+  /// truth of where and why. The observability layer wires this to the
+  /// sender's flight recorder; unset (the default) costs one branch per
+  /// drop.
+  using DropObserver =
+      std::function<void(Address from, Address to, const PacketPtr&, DropKind)>;
+  void set_drop_observer(DropObserver o) { drop_observer_ = std::move(o); }
+
   const Topology& topology() const { return *topology_; }
   int router_of(Address a) const { return endpoints_[a].router; }
 
@@ -140,6 +156,9 @@ class Network {
   void notify_injection(FaultKind k) {
     if (injection_observer_) injection_observer_(k);
   }
+  void notify_drop(Address from, Address to, const PacketPtr& p, DropKind k) {
+    if (drop_observer_) drop_observer_(from, to, p, k);
+  }
 
   Simulator& sim_;
   std::shared_ptr<const Topology> topology_;
@@ -151,6 +170,7 @@ class Network {
   FaultPlan faults_;
   FaultPlan::RuleId partition_rule_ = FaultPlan::kNoRule;
   InjectionObserver injection_observer_;
+  DropObserver drop_observer_;
   std::uint64_t sent_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t delivered_ = 0;

@@ -1,0 +1,251 @@
+#include "obs/expectations.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mspastry::obs {
+
+namespace {
+
+void add_violation(std::vector<Violation>& out, const char* rule,
+                   std::uint64_t trace_id, net::Address node, SimTime at,
+                   std::string detail) {
+  Violation v;
+  v.rule = rule;
+  v.trace_id = trace_id;
+  v.node = node;
+  v.at = at;
+  v.detail = std::move(detail);
+  out.push_back(std::move(v));
+}
+
+// R1 — hop count ≤ ceil(log_2^b N) + c. Reroutes and inactive-node
+// buffering legitimately consume extra transmissions (the hop counter
+// counts transmissions, as the paper does), so they extend the bound;
+// the slack c covers leaf-set final hops and imperfect tables.
+void check_hop_bound(const TraceDomain&, const std::vector<CausalPath>& paths,
+                     const ExpectationConfig& cfg,
+                     std::vector<Violation>& out) {
+  if (cfg.overlay_size < 2) return;
+  const int expected = static_cast<int>(std::ceil(
+      std::log2(static_cast<double>(cfg.overlay_size)) / cfg.b));
+  for (const CausalPath& p : paths) {
+    if (!p.delivered || !p.complete) continue;
+    const int bound =
+        expected + cfg.hop_slack + p.reroutes + p.buffered_hops;
+    const int hops = static_cast<int>(p.hops.size());
+    if (hops > bound) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%d hops exceeds ceil(log_2^b N)=%d + slack %d + "
+                    "%d reroutes + %d buffered",
+                    hops, expected, cfg.hop_slack, p.reroutes,
+                    p.buffered_hops);
+      add_violation(out, "hop-count-bound", p.trace_id, p.origin, p.issued_at,
+                    buf);
+    }
+  }
+}
+
+// R2 — never forward to a locally-condemned node: between a kCondemn for
+// a peer and its kAbsolve (or the failed-entry TTL), no kForward may
+// target it. The ring retains a contiguous suffix of history, so a
+// retained forward whose condemn was overwritten is simply not checked
+// (false negatives only, never false positives).
+void check_no_forward_to_condemned(const TraceDomain& domain,
+                                   const std::vector<CausalPath>&,
+                                   const ExpectationConfig& cfg,
+                                   std::vector<Violation>& out) {
+  domain.for_each_recorder([&](const FlightRecorder& r) {
+    std::unordered_map<net::Address, SimTime> condemned;
+    r.for_each([&](const TraceEvent& e) {
+      switch (e.kind) {
+        case EventKind::kCondemn:
+          condemned[e.peer] = e.t;
+          break;
+        case EventKind::kAbsolve:
+          condemned.erase(e.peer);
+          break;
+        case EventKind::kForward: {
+          const auto it = condemned.find(e.peer);
+          if (it == condemned.end()) break;
+          if (e.t - it->second > cfg.failed_entry_ttl) {
+            condemned.erase(it);  // verdict expired, mirror lazy expiry
+            break;
+          }
+          char buf[120];
+          std::snprintf(buf, sizeof buf,
+                        "forwarded to node %d condemned %.1f s earlier",
+                        e.peer, to_seconds(e.t - it->second));
+          add_violation(out, "no-forward-to-condemned", e.trace_id, r.self(),
+                        e.t, buf);
+          break;
+        }
+        default:
+          break;
+      }
+    });
+  });
+}
+
+// R3 — every per-hop timeout is followed by a recorded reaction: the
+// Section-3.2 ladder reacts synchronously (same callback, same sim time)
+// with a retransmission, a reroute, a give-up drop, or — for a joiner's
+// own request — a join restart. A timeout with no reaction means a
+// message silently vanished.
+void check_timeout_reaction(const TraceDomain& domain,
+                            const std::vector<CausalPath>&,
+                            const ExpectationConfig&,
+                            std::vector<Violation>& out) {
+  domain.for_each_recorder([&](const FlightRecorder& r) {
+    const std::vector<TraceEvent> events = r.events();
+    std::unordered_set<std::size_t> used;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      if (e.kind != EventKind::kAckTimeout || e.trace_id == 0) continue;
+      bool reacted = false;
+      for (std::size_t j = i + 1; j < events.size() && events[j].t == e.t;
+           ++j) {
+        const EventKind k = events[j].kind;
+        if ((k == EventKind::kRetransmit || k == EventKind::kReroute ||
+             k == EventKind::kDrop || k == EventKind::kJoinRestart) &&
+            events[j].trace_id == e.trace_id && used.insert(j).second) {
+          reacted = true;
+          break;
+        }
+      }
+      if (!reacted) {
+        char buf[120];
+        std::snprintf(buf, sizeof buf,
+                      "RTO expired for hop %d toward node %d with no "
+                      "retransmit/reroute/drop recorded",
+                      e.hop, e.peer);
+        add_violation(out, "timeout-followed-by-reaction", e.trace_id,
+                      r.self(), e.t, buf);
+      }
+    }
+  });
+}
+
+// R4 — join ordering: a node that accepted a JOIN-REPLY must probe its
+// leaf-set candidates before activating (Figure 2's mutual-awareness
+// precondition). Bootstrap nodes have no reply and are skipped.
+void check_join_probe_order(const TraceDomain& domain,
+                            const std::vector<CausalPath>&,
+                            const ExpectationConfig&,
+                            std::vector<Violation>& out) {
+  domain.for_each_recorder([&](const FlightRecorder& r) {
+    SimTime reply_at = kTimeNever;
+    SimTime activated_at = kTimeNever;
+    bool probed_between = false;
+    r.for_each([&](const TraceEvent& e) {
+      if (e.kind == EventKind::kJoinReplyRecv && reply_at == kTimeNever) {
+        reply_at = e.t;
+      } else if (e.kind == EventKind::kJoinProbe &&
+                 reply_at != kTimeNever && activated_at == kTimeNever) {
+        probed_between = true;
+      } else if (e.kind == EventKind::kActivated &&
+                 activated_at == kTimeNever) {
+        activated_at = e.t;
+      }
+    });
+    if (reply_at != kTimeNever && activated_at != kTimeNever &&
+        activated_at >= reply_at && !probed_between) {
+      add_violation(out, "join-probes-before-activation", 0, r.self(),
+                    activated_at,
+                    "activated after a JOIN-REPLY without probing any "
+                    "leaf-set candidate");
+    }
+  });
+}
+
+// R5 — heartbeat periodicity: the per-node heartbeat timer must tick at
+// least every Tls + To. Ring overwrite cannot forge a gap: retained
+// events are a contiguous suffix, so two adjacent retained ticks were
+// adjacent in reality.
+void check_heartbeat_period(const TraceDomain& domain,
+                            const std::vector<CausalPath>&,
+                            const ExpectationConfig& cfg,
+                            std::vector<Violation>& out) {
+  domain.for_each_recorder([&](const FlightRecorder& r) {
+    SimTime last = kTimeNever;
+    r.for_each([&](const TraceEvent& e) {
+      if (e.kind != EventKind::kHeartbeatTick) return;
+      if (last != kTimeNever && e.t - last > cfg.t_ls + cfg.t_o) {
+        char buf[120];
+        std::snprintf(buf, sizeof buf,
+                      "heartbeat gap %.1f s exceeds Tls + To = %.1f s",
+                      to_seconds(e.t - last),
+                      to_seconds(cfg.t_ls + cfg.t_o));
+        add_violation(out, "heartbeat-periodicity", 0, r.self(), e.t, buf);
+      }
+      last = e.t;
+    });
+  });
+}
+
+}  // namespace
+
+const std::vector<Expectation>& expectations() {
+  static const std::vector<Expectation> kRules = {
+      {"hop-count-bound",
+       "delivered lookups take at most ceil(log_2^b N) + c transmissions, "
+       "rescaled for reroutes and inactive-node buffering",
+       check_hop_bound},
+      {"no-forward-to-condemned",
+       "no message is forwarded to a peer in the local failed set",
+       check_no_forward_to_condemned},
+      {"timeout-followed-by-reaction",
+       "every per-hop ack timeout is followed by a retransmit, reroute, "
+       "drop, or join restart",
+       check_timeout_reaction},
+      {"join-probes-before-activation",
+       "a joiner probes leaf-set candidates between JOIN-REPLY and "
+       "activation",
+       check_join_probe_order},
+      {"heartbeat-periodicity",
+       "heartbeat timer ticks are never more than Tls + To apart",
+       check_heartbeat_period},
+  };
+  return kRules;
+}
+
+ExpectationReport check_expectations(const TraceDomain& domain,
+                                     const std::vector<CausalPath>& paths,
+                                     const ExpectationConfig& cfg) {
+  ExpectationReport report;
+  report.paths_checked = paths.size();
+  report.nodes_checked = domain.recorder_count();
+  for (const Expectation& rule : expectations()) {
+    report.rules_run.emplace_back(rule.name);
+    rule.check(domain, paths, cfg, report.violations);
+  }
+  return report;
+}
+
+std::string ExpectationReport::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "expectations: %zu rules over %zu paths, %zu nodes: ",
+                rules_run.size(), paths_checked, nodes_checked);
+  std::string out = buf;
+  if (ok()) {
+    out += "all satisfied\n";
+    return out;
+  }
+  std::snprintf(buf, sizeof buf, "%zu VIOLATIONS\n", violations.size());
+  out += buf;
+  for (const Violation& v : violations) {
+    std::snprintf(buf, sizeof buf, "  [%s] node %d t=%.3fs trace %016llx: ",
+                  v.rule.c_str(), v.node, to_seconds(v.at),
+                  static_cast<unsigned long long>(v.trace_id));
+    out += buf;
+    out += v.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mspastry::obs

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/path_assembler.hpp"
+
+namespace mspastry::obs {
+
+/// Parameters the declarative rules are evaluated against. These mirror
+/// the protocol configuration that was in force during the run; the
+/// checker never reaches into live nodes — everything it knows comes from
+/// the rings.
+struct ExpectationConfig {
+  int b = 4;                      ///< identifier digit width
+  std::size_t overlay_size = 0;   ///< N for the hop bound; 0 skips the rule
+  int hop_slack = 4;              ///< the "+c" over ceil(log_2^b N)
+  SimDuration t_ls = seconds(30);
+  SimDuration t_o = seconds(3);
+  SimDuration failed_entry_ttl = minutes(10);
+};
+
+struct Violation {
+  std::string rule;
+  std::uint64_t trace_id = 0;          ///< 0 for node-scoped violations
+  net::Address node = net::kNullAddress;
+  SimTime at = kTimeNever;
+  std::string detail;
+};
+
+struct ExpectationReport {
+  std::vector<Violation> violations;
+  std::size_t paths_checked = 0;
+  std::size_t nodes_checked = 0;
+  std::vector<std::string> rules_run;
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// One Pip-style expectation: a named, self-describing predicate over the
+/// assembled paths and the raw per-node rings.
+struct Expectation {
+  const char* name;
+  const char* description;
+  std::function<void(const TraceDomain&, const std::vector<CausalPath>&,
+                     const ExpectationConfig&, std::vector<Violation>&)>
+      check;
+};
+
+/// The rule table. Declarative in the Pip sense: each entry states a
+/// protocol invariant; check_expectations runs them all.
+const std::vector<Expectation>& expectations();
+
+/// Run every rule over the domain. `paths` must come from
+/// assemble_paths(domain) — passed in so callers can reuse the assembly.
+ExpectationReport check_expectations(const TraceDomain& domain,
+                                     const std::vector<CausalPath>& paths,
+                                     const ExpectationConfig& cfg);
+
+}  // namespace mspastry::obs

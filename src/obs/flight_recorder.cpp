@@ -1,0 +1,125 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstring>
+
+namespace mspastry::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kNone: return "none";
+    case EventKind::kLookupIssued: return "lookup-issued";
+    case EventKind::kRecv: return "recv";
+    case EventKind::kForward: return "forward";
+    case EventKind::kBuffered: return "buffered";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kAppConsumed: return "app-consumed";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kAckRecv: return "ack-recv";
+    case EventKind::kAckTimeout: return "ack-timeout";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kReroute: return "reroute";
+    case EventKind::kSuspect: return "suspect";
+    case EventKind::kAbsolve: return "absolve";
+    case EventKind::kCondemn: return "condemn";
+    case EventKind::kLsProbeSent: return "ls-probe";
+    case EventKind::kRtProbeSent: return "rt-probe";
+    case EventKind::kHeartbeatTick: return "heartbeat-tick";
+    case EventKind::kJoinStart: return "join-start";
+    case EventKind::kJoinRestart: return "join-restart";
+    case EventKind::kJoinRequestSent: return "join-request";
+    case EventKind::kJoinReplyRecv: return "join-reply";
+    case EventKind::kJoinProbe: return "join-probe";
+    case EventKind::kActivated: return "activated";
+    case EventKind::kNetDrop: return "net-drop";
+  }
+  return "?";
+}
+
+EventKind event_kind_from_name(const char* name) {
+  for (int i = 0; i < kEventKindCount; ++i) {
+    const EventKind k = static_cast<EventKind>(i);
+    if (std::strcmp(event_kind_name(k), name) == 0) return k;
+  }
+  return EventKind::kNone;
+}
+
+namespace {
+
+/// splitmix64: cheap, well-mixed, and stable across platforms — trace ids
+/// must be re-derivable by anyone who knows the lookup id.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x = x ^ (x >> 31);
+  return x;
+}
+
+constexpr std::uint64_t kLookupSalt = 0x70617468746163ull;  // "pathtrac"
+constexpr std::uint64_t kJoinSalt = 0x6a6f696e70617468ull;  // "joinpath"
+
+std::uint64_t threshold_for(double rate) {
+  if (rate >= 1.0) return ~0ull;
+  if (rate <= 0.0) return 0;
+  return static_cast<std::uint64_t>(
+      rate * 18446744073709551615.0);  // rate * (2^64 - 1)
+}
+
+}  // namespace
+
+std::uint64_t lookup_trace_id(std::uint64_t lookup_id) {
+  const std::uint64_t id = mix64(lookup_id ^ kLookupSalt);
+  return id == 0 ? 1 : id;  // 0 is reserved for "untraced"
+}
+
+std::uint64_t join_trace_id(net::Address joiner, std::uint64_t epoch) {
+  const std::uint64_t id =
+      mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(joiner))
+             << 32 | (epoch & 0xffffffffull)) ^
+            kJoinSalt);
+  return id == 0 ? 1 : id;
+}
+
+bool trace_sampled(std::uint64_t trace_id, double rate) {
+  return trace_id != 0 && trace_id <= threshold_for(rate);
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(net::Address self, const ObsConfig& cfg)
+    : self_(self),
+      threshold_(threshold_for(cfg.sample_rate)),
+      mask_(round_up_pow2(cfg.ring_capacity < 2 ? 2 : cfg.ring_capacity) - 1),
+      ring_(mask_ + 1) {}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(next_ < ring_.size() ? next_ : ring_.size());
+  for_each([&out](const TraceEvent& e) { out.push_back(e); });
+  return out;
+}
+
+FlightRecorder& TraceDomain::recorder_for(net::Address a) {
+  auto it = recorders_.find(a);
+  if (it == recorders_.end()) {
+    it = recorders_
+             .emplace(a, std::make_unique<FlightRecorder>(a, cfg_))
+             .first;
+  }
+  return *it->second;
+}
+
+const FlightRecorder* TraceDomain::find(net::Address a) const {
+  const auto it = recorders_.find(a);
+  return it == recorders_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mspastry::obs

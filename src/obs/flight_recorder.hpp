@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace mspastry::obs {
+
+/// Observability configuration, a knob on the driver. Disabled is the
+/// default and costs one null-pointer test per would-be event: nodes hold
+/// a FlightRecorder* that is simply nullptr.
+struct ObsConfig {
+  bool enabled = false;
+
+  /// Fraction of lookups/joins that get a trace id (deterministic
+  /// hash-threshold sampling, so the same run traces the same set of
+  /// lookups regardless of where the decision is evaluated).
+  double sample_rate = 1.0;
+
+  /// Events retained per node. The ring overwrites oldest-first, so the
+  /// retained window is always a contiguous suffix of what happened —
+  /// the path assembler and checker rely on that.
+  std::size_t ring_capacity = 4096;
+};
+
+/// Derive the 64-bit trace id carried by a sampled lookup. Deterministic
+/// (splitmix64 of the lookup id under a fixed salt): the chaos harness
+/// re-derives the id of an offending probe lookup after the fact.
+std::uint64_t lookup_trace_id(std::uint64_t lookup_id);
+
+/// Trace id for a join attempt, from the joiner's address and epoch.
+std::uint64_t join_trace_id(net::Address joiner, std::uint64_t epoch);
+
+/// True if `trace_id` falls under the sampling threshold for `rate`.
+bool trace_sampled(std::uint64_t trace_id, double rate);
+
+/// Fixed-capacity per-node binary event ring. All memory is allocated at
+/// construction (node creation, not steady state); record() is a bump of
+/// a monotone counter plus a handful of stores into the ring slot.
+class FlightRecorder {
+ public:
+  FlightRecorder(net::Address self, const ObsConfig& cfg);
+
+  net::Address self() const { return self_; }
+
+  void record(SimTime t, EventKind kind, std::uint64_t trace_id,
+              net::Address peer, std::int32_t hop = 0,
+              std::uint64_t aux = 0) {
+    TraceEvent& e = ring_[next_ & mask_];
+    e.t = t;
+    e.trace_id = trace_id;
+    e.aux = aux;
+    e.peer = peer;
+    e.hop = hop;
+    e.kind = kind;
+    ++next_;
+  }
+
+  /// Trace id for a lookup originated at this node, or 0 if the sampler
+  /// passes on it (or tracing of paths is off).
+  std::uint64_t sample_lookup(std::uint64_t lookup_id) const {
+    const std::uint64_t id = lookup_trace_id(lookup_id);
+    return id <= threshold_ ? id : 0;
+  }
+
+  std::uint64_t sample_join(std::uint64_t epoch) const {
+    const std::uint64_t id = join_trace_id(self_, epoch);
+    return id <= threshold_ ? id : 0;
+  }
+
+  /// Number of events ever recorded.
+  std::uint64_t recorded() const { return predropped_ + next_; }
+
+  /// Events lost to ring overwrite (always the oldest ones).
+  std::uint64_t dropped() const { return predropped_ + overwritten(); }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// For offline rebuilds (trace_explorer): account for events the live
+  /// ring had already overwritten before the dump was written, so the
+  /// assembler's completeness verdicts survive a dump/reload round trip.
+  void import_drop_count(std::uint64_t n) { predropped_ += n; }
+
+  /// Retained events, oldest first (a contiguous suffix of history).
+  std::vector<TraceEvent> events() const;
+
+  /// Visit retained events oldest first without materialising a copy.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint64_t i = overwritten(); i < next_; ++i) {
+      fn(ring_[i & mask_]);
+    }
+  }
+
+ private:
+  std::uint64_t overwritten() const {
+    return next_ > ring_.size() ? next_ - ring_.size() : 0;
+  }
+
+  net::Address self_;
+  std::uint64_t threshold_;
+  std::uint64_t next_ = 0;
+  std::uint64_t predropped_ = 0;
+  std::uint64_t mask_;
+  std::vector<TraceEvent> ring_;
+};
+
+/// Registry of per-node flight recorders, owned by the overlay driver.
+/// Keyed by network address — addresses identify *sessions* and are never
+/// reused, so rings survive their node's death and the assembler can
+/// still stitch paths through crashed hops.
+class TraceDomain {
+ public:
+  explicit TraceDomain(ObsConfig cfg) : cfg_(cfg) {}
+
+  const ObsConfig& config() const { return cfg_; }
+
+  /// The recorder for `a`, created on first use.
+  FlightRecorder& recorder_for(net::Address a);
+
+  const FlightRecorder* find(net::Address a) const;
+
+  /// Trace id a probe/workload lookup with `lookup_id` carries in this
+  /// domain (0 if unsampled) — how harnesses map lookup ids to paths.
+  std::uint64_t trace_id_for_lookup(std::uint64_t lookup_id) const {
+    const std::uint64_t id = lookup_trace_id(lookup_id);
+    return trace_sampled(id, cfg_.sample_rate) ? id : 0;
+  }
+
+  template <typename Fn>
+  void for_each_recorder(Fn&& fn) const {
+    for (const auto& [a, r] : recorders_) fn(*r);
+  }
+
+  std::size_t recorder_count() const { return recorders_.size(); }
+
+ private:
+  ObsConfig cfg_;
+  std::unordered_map<net::Address, std::unique_ptr<FlightRecorder>>
+      recorders_;
+};
+
+}  // namespace mspastry::obs

@@ -1,0 +1,297 @@
+#include "obs/path_assembler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mspastry::obs {
+
+SimDuration CausalPath::total_transmission() const {
+  SimDuration sum = 0;
+  for (const HopRecord& h : hops) {
+    if (h.transmission != kTimeNever) sum += h.transmission;
+  }
+  return sum;
+}
+
+SimDuration CausalPath::total_rto_wait() const {
+  SimDuration sum = 0;
+  for (const HopRecord& h : hops) sum += h.rto_wait;
+  return sum;
+}
+
+SimDuration CausalPath::total_reroute_penalty() const {
+  SimDuration sum = 0;
+  for (const HopRecord& h : hops) sum += h.reroute_penalty;
+  return sum;
+}
+
+namespace {
+
+struct NodeEvent {
+  net::Address node = net::kNullAddress;
+  TraceEvent e;
+};
+
+/// Per-recorder retention summary, for completeness verdicts: a ring that
+/// overwrote events whose window overlaps the path cannot vouch for it.
+struct Retention {
+  bool overwrote = false;
+  SimTime earliest_retained = kTimeNever;
+};
+
+CausalPath stitch(std::uint64_t trace_id, std::vector<NodeEvent>& events,
+                  const std::unordered_map<net::Address, Retention>& kept) {
+  // Per-node ring order is already chronological; a stable sort by time
+  // keeps it while interleaving nodes.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const NodeEvent& a, const NodeEvent& b) {
+                     return a.e.t < b.e.t;
+                   });
+
+  CausalPath p;
+  p.trace_id = trace_id;
+  std::map<int, HopRecord> hops;  // ordered by hop index
+
+  auto rec = [&hops](int hop) -> HopRecord& {
+    HopRecord& h = hops[hop];
+    h.hop = hop;
+    return h;
+  };
+
+  for (const NodeEvent& ne : events) {
+    const TraceEvent& e = ne.e;
+    switch (e.kind) {
+      case EventKind::kLookupIssued:
+        if (p.issued_at == kTimeNever) {
+          p.origin = ne.node;
+          p.issued_at = e.t;
+        }
+        break;
+      case EventKind::kJoinRequestSent:
+        if (p.issued_at == kTimeNever) {
+          p.origin = ne.node;
+          p.issued_at = e.t;
+        }
+        p.is_join = true;
+        break;
+      case EventKind::kForward: {
+        HopRecord& h = rec(e.hop);
+        if (h.attempts == 0) h.first_sent = e.t;
+        h.from = ne.node;
+        h.to = e.peer;
+        h.last_sent = e.t;
+        h.attempts += 1;
+        break;
+      }
+      case EventKind::kRetransmit: {
+        HopRecord& h = rec(e.hop);
+        if (h.first_sent == kTimeNever) h.first_sent = e.t;
+        h.to = e.peer;
+        h.last_sent = e.t;
+        h.attempts += 1;
+        break;
+      }
+      case EventKind::kRecv: {
+        HopRecord& h = rec(e.hop);
+        if (h.received == kTimeNever) {
+          h.received = e.t;
+          h.to = ne.node;  // ground truth: who actually got it
+          if (h.from == net::kNullAddress) h.from = e.peer;
+        } else {
+          h.duplicate_recvs += 1;
+        }
+        break;
+      }
+      case EventKind::kAckRecv: {
+        HopRecord& h = rec(e.hop);
+        if (h.acked == kTimeNever) h.acked = e.t;
+        break;
+      }
+      case EventKind::kAckTimeout: {
+        HopRecord& h = rec(e.hop);
+        h.timeouts += 1;
+        if (h.last_sent != kTimeNever && e.t > h.last_sent) {
+          h.rto_wait += e.t - h.last_sent;
+        }
+        break;
+      }
+      case EventKind::kReroute: {
+        HopRecord& h = rec(e.hop);
+        h.rerouted = true;
+        if (h.first_sent != kTimeNever && e.t > h.first_sent) {
+          h.reroute_penalty = e.t - h.first_sent;
+        }
+        break;
+      }
+      case EventKind::kNetDrop:
+        rec(e.hop).net_dropped = true;
+        break;
+      case EventKind::kBuffered:
+        rec(e.hop).buffered = true;
+        break;
+      case EventKind::kDeliver:
+        if (!p.delivered) {
+          p.delivered = true;
+          p.delivered_at = e.t;
+          p.delivered_by = ne.node;
+        }
+        break;
+      case EventKind::kAppConsumed:
+        p.consumed = true;
+        break;
+      case EventKind::kDrop:
+        p.dropped = true;
+        break;
+      default:
+        break;  // node-scoped kinds never carry a trace id
+    }
+  }
+
+  p.hops.reserve(hops.size());
+  std::unordered_set<net::Address> touched;
+  if (p.origin != net::kNullAddress) touched.insert(p.origin);
+  if (p.delivered_by != net::kNullAddress) touched.insert(p.delivered_by);
+  for (auto& [idx, h] : hops) {
+    if (h.received != kTimeNever && h.last_sent != kTimeNever) {
+      const SimTime base =
+          h.last_sent <= h.received ? h.last_sent : h.first_sent;
+      h.transmission = h.received >= base ? h.received - base : 0;
+    }
+    p.timeouts += h.timeouts;
+    if (h.attempts > 1) p.retransmits += h.attempts - 1;
+    if (h.rerouted) p.reroutes += 1;
+    p.duplicate_recvs += h.duplicate_recvs;
+    if (h.buffered) p.buffered_hops += 1;
+    if (h.net_dropped && !p.delivered) p.net_lost = true;
+    if (h.from != net::kNullAddress) touched.insert(h.from);
+    if (h.to != net::kNullAddress) touched.insert(h.to);
+    p.hops.push_back(std::move(h));
+  }
+
+  // Completeness: every touched ring must still retain the path's window.
+  for (const net::Address a : touched) {
+    const auto it = kept.find(a);
+    if (it == kept.end()) continue;
+    if (!it->second.overwrote) continue;
+    if (p.issued_at == kTimeNever ||
+        it->second.earliest_retained > p.issued_at) {
+      p.complete = false;
+      break;
+    }
+  }
+  return p;
+}
+
+std::unordered_map<std::uint64_t, std::vector<NodeEvent>> collect(
+    const TraceDomain& domain, std::uint64_t only_trace,
+    std::unordered_map<net::Address, Retention>& kept) {
+  std::unordered_map<std::uint64_t, std::vector<NodeEvent>> by_trace;
+  domain.for_each_recorder([&](const FlightRecorder& r) {
+    Retention ret;
+    ret.overwrote = r.dropped() > 0;
+    bool first = true;
+    r.for_each([&](const TraceEvent& e) {
+      if (first) {
+        ret.earliest_retained = e.t;
+        first = false;
+      }
+      if (e.trace_id == 0) return;
+      if (only_trace != 0 && e.trace_id != only_trace) return;
+      by_trace[e.trace_id].push_back(NodeEvent{r.self(), e});
+    });
+    kept.emplace(r.self(), ret);
+  });
+  return by_trace;
+}
+
+}  // namespace
+
+std::vector<CausalPath> assemble_paths(const TraceDomain& domain) {
+  std::unordered_map<net::Address, Retention> kept;
+  auto by_trace = collect(domain, 0, kept);
+  std::vector<CausalPath> out;
+  out.reserve(by_trace.size());
+  for (auto& [id, events] : by_trace) {
+    out.push_back(stitch(id, events, kept));
+  }
+  // Deterministic order: by origination time, then trace id.
+  std::sort(out.begin(), out.end(),
+            [](const CausalPath& a, const CausalPath& b) {
+              if (a.issued_at != b.issued_at) return a.issued_at < b.issued_at;
+              return a.trace_id < b.trace_id;
+            });
+  return out;
+}
+
+std::optional<CausalPath> assemble_path(const TraceDomain& domain,
+                                        std::uint64_t trace_id) {
+  if (trace_id == 0) return std::nullopt;
+  std::unordered_map<net::Address, Retention> kept;
+  auto by_trace = collect(domain, trace_id, kept);
+  const auto it = by_trace.find(trace_id);
+  if (it == by_trace.end()) return std::nullopt;
+  return stitch(trace_id, it->second, kept);
+}
+
+std::string describe(const CausalPath& p) {
+  char buf[256];
+  std::string out;
+  const char* outcome = p.delivered  ? "delivered"
+                        : p.consumed ? "app-consumed"
+                        : p.dropped  ? "dropped"
+                        : p.net_lost ? "lost-in-network"
+                                     : "unresolved";
+  std::snprintf(buf, sizeof buf,
+                "trace %016llx %s from node %d: %s, %zu hops, %d reroutes, "
+                "%d timeouts, %d retransmits%s\n",
+                static_cast<unsigned long long>(p.trace_id),
+                p.is_join ? "join" : "lookup", p.origin, outcome,
+                p.hops.size(), p.reroutes, p.timeouts, p.retransmits,
+                p.complete ? "" : " [INCOMPLETE: ring overwrote events]");
+  out += buf;
+  if (p.delivered) {
+    std::snprintf(buf, sizeof buf,
+                  "  latency %.3f ms = transmission %.3f ms + rto-wait %.3f "
+                  "ms + reroute-penalty %.3f ms (+ queueing)\n",
+                  to_seconds(p.total_latency()) * 1e3,
+                  to_seconds(p.total_transmission()) * 1e3,
+                  to_seconds(p.total_rto_wait()) * 1e3,
+                  to_seconds(p.total_reroute_penalty()) * 1e3);
+    out += buf;
+  }
+  for (const HopRecord& h : p.hops) {
+    std::snprintf(buf, sizeof buf,
+                  "  hop %2d: %4d -> %-4d t=%.6fs attempts=%d", h.hop, h.from,
+                  h.to, to_seconds(h.first_sent), h.attempts);
+    out += buf;
+    if (h.received != kTimeNever) {
+      std::snprintf(buf, sizeof buf, " recv+%.3fms",
+                    to_seconds(h.transmission) * 1e3);
+      out += buf;
+    }
+    if (h.acked != kTimeNever) {
+      std::snprintf(buf, sizeof buf, " ack+%.3fms",
+                    to_seconds(h.acked - h.first_sent) * 1e3);
+      out += buf;
+    }
+    if (h.timeouts > 0) {
+      std::snprintf(buf, sizeof buf, " TIMEOUTx%d(rto-wait %.0fms)",
+                    h.timeouts, to_seconds(h.rto_wait) * 1e3);
+      out += buf;
+    }
+    if (h.rerouted) out += " REROUTED";
+    if (h.net_dropped) out += " NET-DROP";
+    if (h.buffered) out += " BUFFERED";
+    if (h.duplicate_recvs > 0) {
+      std::snprintf(buf, sizeof buf, " dup-recv x%d", h.duplicate_recvs);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mspastry::obs

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace mspastry::obs {
+
+/// One overlay-hop transmission of a traced message, stitched from the
+/// sender's and receiver's rings. A reroute abandons a hop and the
+/// replacement transmission appears as the next hop index (the protocol's
+/// hop counter counts transmissions, matching the paper's accounting).
+struct HopRecord {
+  int hop = 0;                                ///< transmission index (1-based)
+  net::Address from = net::kNullAddress;
+  net::Address to = net::kNullAddress;        ///< last destination tried
+  SimTime first_sent = kTimeNever;
+  SimTime last_sent = kTimeNever;             ///< latest (re)transmission
+  SimTime received = kTimeNever;              ///< arrival at `to`, if seen
+  SimTime acked = kTimeNever;                 ///< per-hop ack back at `from`
+  int attempts = 0;                           ///< transmissions incl. retries
+  int timeouts = 0;                           ///< RTO expiries at `from`
+  int duplicate_recvs = 0;                    ///< dup-injected extra arrivals
+  bool rerouted = false;                      ///< abandoned via reroute
+  bool net_dropped = false;                   ///< wire drop observed
+  bool buffered = false;                      ///< held at an inactive receiver
+
+  /// Per-hop latency attribution (the tentpole's breakdown):
+  SimDuration transmission = kTimeNever;      ///< received - last_sent
+  SimDuration rto_wait = 0;                   ///< time burnt waiting on RTOs
+  SimDuration reroute_penalty = 0;            ///< first_sent -> reroute verdict
+};
+
+/// An end-to-end causal path for one traced lookup or join request.
+struct CausalPath {
+  std::uint64_t trace_id = 0;
+  bool is_join = false;
+  net::Address origin = net::kNullAddress;
+  net::Address delivered_by = net::kNullAddress;
+  SimTime issued_at = kTimeNever;
+  SimTime delivered_at = kTimeNever;
+
+  bool delivered = false;    ///< reached the root (kDeliver)
+  bool consumed = false;     ///< an application forward() upcall ate it
+  bool dropped = false;      ///< a node gave up (max hops / retry budget)
+  bool net_lost = false;     ///< the wire dropped the last transmission
+
+  /// False when a contributing ring overwrote events from this path's
+  /// time window: hops may be missing and attributions undercounted.
+  bool complete = true;
+
+  int reroutes = 0;
+  int timeouts = 0;
+  int retransmits = 0;
+  int duplicate_recvs = 0;
+  int buffered_hops = 0;
+
+  std::vector<HopRecord> hops;
+
+  SimDuration total_latency() const {
+    return (delivered && issued_at != kTimeNever) ? delivered_at - issued_at
+                                                  : kTimeNever;
+  }
+  SimDuration total_transmission() const;
+  SimDuration total_rto_wait() const;
+  SimDuration total_reroute_penalty() const;
+};
+
+/// Stitch every traced path out of the domain's per-node rings.
+std::vector<CausalPath> assemble_paths(const TraceDomain& domain);
+
+/// Stitch one path by trace id (empty if no ring holds events for it).
+std::optional<CausalPath> assemble_path(const TraceDomain& domain,
+                                        std::uint64_t trace_id);
+
+/// Multi-line human-readable rendering with the per-hop breakdown; used
+/// by chaos SLO dumps and the trace explorer.
+std::string describe(const CausalPath& p);
+
+}  // namespace mspastry::obs

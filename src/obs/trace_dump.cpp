@@ -1,0 +1,205 @@
+#include "obs/trace_dump.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mspastry::obs {
+
+namespace {
+
+void write_event(std::ostream& os, net::Address node, const TraceEvent& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"row\": \"event\", \"node\": %d, \"t\": %lld, "
+                "\"kind\": \"%s\", \"trace\": \"%016llx\", \"peer\": %d, "
+                "\"hop\": %d, \"aux\": %llu}\n",
+                node, static_cast<long long>(e.t), event_kind_name(e.kind),
+                static_cast<unsigned long long>(e.trace_id), e.peer, e.hop,
+                static_cast<unsigned long long>(e.aux));
+  os << buf;
+}
+
+}  // namespace
+
+void write_trace_dump(const TraceDomain& domain, std::ostream& os) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"schema\": 1, \"kind\": \"mspastry-trace\", "
+                "\"nodes\": %zu, \"ring_capacity\": %zu, "
+                "\"sample_rate\": %.17g}\n",
+                domain.recorder_count(), domain.config().ring_capacity,
+                domain.config().sample_rate);
+  os << buf;
+
+  // Deterministic output: order rings by address.
+  std::vector<const FlightRecorder*> rings;
+  rings.reserve(domain.recorder_count());
+  domain.for_each_recorder(
+      [&rings](const FlightRecorder& r) { rings.push_back(&r); });
+  std::sort(rings.begin(), rings.end(),
+            [](const FlightRecorder* a, const FlightRecorder* b) {
+              return a->self() < b->self();
+            });
+
+  for (const FlightRecorder* r : rings) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"row\": \"node\", \"node\": %d, \"recorded\": %llu, "
+                  "\"dropped\": %llu, \"capacity\": %zu}\n",
+                  r->self(),
+                  static_cast<unsigned long long>(r->recorded()),
+                  static_cast<unsigned long long>(r->dropped()),
+                  r->capacity());
+    os << buf;
+    r->for_each([&os, r](const TraceEvent& e) { write_event(os, r->self(), e); });
+  }
+}
+
+bool write_trace_dump_file(const TraceDomain& domain,
+                           const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_trace_dump(domain, os);
+  return os.good();
+}
+
+std::uint64_t DumpRow::u64(const char* key, std::uint64_t fallback) const {
+  const std::string* v = get(key);
+  return v == nullptr ? fallback : std::strtoull(v->c_str(), nullptr, 10);
+}
+
+std::int64_t DumpRow::i64(const char* key, std::int64_t fallback) const {
+  const std::string* v = get(key);
+  return v == nullptr ? fallback : std::strtoll(v->c_str(), nullptr, 10);
+}
+
+std::uint64_t DumpRow::hex64(const char* key) const {
+  const std::string* v = get(key);
+  return v == nullptr ? 0 : std::strtoull(v->c_str(), nullptr, 16);
+}
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+/// Parse one quoted string starting at s[i] == '"'. Handles the escapes
+/// the dump writer can produce; anything fancier is not our format.
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i];
+    } else {
+      out += s[i];
+    }
+    ++i;
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+}  // namespace
+
+std::vector<DumpRow> parse_dump_rows(std::istream& is) {
+  std::vector<DumpRow> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::size_t i = 0;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != '{') continue;
+    ++i;
+    DumpRow row;
+    bool bad = false;
+    while (!bad) {
+      skip_ws(line, i);
+      if (i < line.size() && line[i] == '}') break;
+      std::string key;
+      if (!parse_string(line, i, key)) {
+        bad = true;
+        break;
+      }
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') {
+        bad = true;
+        break;
+      }
+      ++i;
+      skip_ws(line, i);
+      std::string value;
+      if (i < line.size() && line[i] == '"') {
+        if (!parse_string(line, i, value)) {
+          bad = true;
+          break;
+        }
+      } else {
+        while (i < line.size() && line[i] != ',' && line[i] != '}') {
+          value += line[i];
+          ++i;
+        }
+        while (!value.empty() &&
+               (value.back() == ' ' || value.back() == '\t')) {
+          value.pop_back();
+        }
+      }
+      row.fields[key] = value;
+      skip_ws(line, i);
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (!bad && !row.fields.empty()) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TraceDomain load_trace_dump(const std::vector<DumpRow>& rows) {
+  // Size the offline rings to hold every retained event so the reload
+  // itself never overwrites; completeness comes from the imported
+  // per-ring drop counts instead.
+  std::unordered_map<std::int64_t, std::uint64_t> retained;
+  for (const DumpRow& r : rows) {
+    const std::string* kind = r.get("row");
+    if (kind != nullptr && *kind == "event") retained[r.i64("node")] += 1;
+  }
+  std::uint64_t max_retained = 2;
+  for (const auto& [node, n] : retained) {
+    max_retained = std::max(max_retained, n);
+  }
+
+  ObsConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = static_cast<std::size_t>(max_retained);
+  for (const DumpRow& r : rows) {
+    if (r.get("sample_rate") != nullptr) {
+      cfg.sample_rate = std::strtod(r.get("sample_rate")->c_str(), nullptr);
+      break;
+    }
+  }
+
+  TraceDomain domain(cfg);
+  for (const DumpRow& r : rows) {
+    const std::string* kind = r.get("row");
+    if (kind == nullptr) continue;
+    const auto node = static_cast<net::Address>(r.i64("node"));
+    if (*kind == "node") {
+      domain.recorder_for(node).import_drop_count(r.u64("dropped"));
+    } else if (*kind == "event") {
+      const std::string* name = r.get("kind");
+      domain.recorder_for(node).record(
+          r.i64("t"),
+          event_kind_from_name(name == nullptr ? "?" : name->c_str()),
+          r.hex64("trace"), static_cast<net::Address>(r.i64("peer")),
+          static_cast<std::int32_t>(r.i64("hop")), r.u64("aux"));
+    }
+  }
+  return domain;
+}
+
+}  // namespace mspastry::obs

@@ -1,0 +1,110 @@
+#pragma once
+
+// Flight-recorder dump format + offline reload.
+//
+// A dump is JSON-lines: a header object, one "node" object per ring
+// (with its overwrite accounting), then one "event" object per retained
+// event, oldest first. The format is append-only flat objects so the
+// explorer's parser stays trivial and dumps diff cleanly.
+//
+//   {"schema": 1, "kind": "mspastry-trace", "nodes": 40, ...}
+//   {"row": "node", "node": 3, "recorded": 512, "dropped": 0, ...}
+//   {"row": "event", "node": 3, "t": 1200000, "kind": "forward",
+//    "trace": "9f2c...", "peer": 17, "hop": 1, "aux": 42}
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/expectations.hpp"
+#include "obs/path_assembler.hpp"
+
+namespace mspastry::obs {
+
+/// Write the whole domain as a JSON-lines dump.
+void write_trace_dump(const TraceDomain& domain, std::ostream& os);
+
+/// Convenience: write to a file path. Returns false if it cannot open.
+bool write_trace_dump_file(const TraceDomain& domain,
+                           const std::string& path);
+
+/// One parsed flat-JSON line from a dump: string values unquoted,
+/// numbers kept as their literal text.
+struct DumpRow {
+  std::unordered_map<std::string, std::string> fields;
+
+  const std::string* get(const char* key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+  std::uint64_t u64(const char* key, std::uint64_t fallback = 0) const;
+  std::int64_t i64(const char* key, std::int64_t fallback = 0) const;
+  std::uint64_t hex64(const char* key) const;
+};
+
+/// Parse every flat JSON object (one per line) from a dump stream.
+/// Tolerates blank lines; nested values are not supported (the dump
+/// never produces them).
+std::vector<DumpRow> parse_dump_rows(std::istream& is);
+
+/// Rebuild a TraceDomain from parsed dump rows: rings are sized to hold
+/// every retained event and the live rings' overwrite counts are
+/// imported, so assemble_paths / check_expectations give the same
+/// answers offline as they would have in-process.
+TraceDomain load_trace_dump(const std::vector<DumpRow>& rows);
+
+/// Emit assembled paths as machine-readable rows on any emitter with the
+/// bench_util::JsonEmitter shape (row(name).field(key, value)); one
+/// "path" row per path, one "hop" row per hop. Duck-typed so obs does
+/// not depend on the bench harness.
+template <typename Emitter>
+void emit_paths(Emitter& out, const std::vector<CausalPath>& paths) {
+  for (const CausalPath& p : paths) {
+    auto& row = out.row("path");
+    row.hex("trace", p.trace_id)
+        .field("kind", p.is_join ? "join" : "lookup")
+        .field("origin", p.origin)
+        .field("outcome", p.delivered  ? "delivered"
+                          : p.consumed ? "app-consumed"
+                          : p.dropped  ? "dropped"
+                          : p.net_lost ? "lost-in-network"
+                                       : "unresolved")
+        .field("issued_at_s", to_seconds(p.issued_at))
+        .field("hops", static_cast<int>(p.hops.size()))
+        .field("reroutes", p.reroutes)
+        .field("timeouts", p.timeouts)
+        .field("retransmits", p.retransmits)
+        .field("complete", p.complete);
+    if (p.delivered) {
+      row.field("latency_ms", to_seconds(p.total_latency()) * 1e3)
+          .field("transmission_ms", to_seconds(p.total_transmission()) * 1e3)
+          .field("rto_wait_ms", to_seconds(p.total_rto_wait()) * 1e3)
+          .field("reroute_penalty_ms",
+                 to_seconds(p.total_reroute_penalty()) * 1e3);
+    }
+    for (const HopRecord& h : p.hops) {
+      auto& hr = out.row("hop");
+      hr.hex("trace", p.trace_id)
+          .field("hop", h.hop)
+          .field("from", h.from)
+          .field("to", h.to)
+          .field("attempts", h.attempts)
+          .field("timeouts", h.timeouts)
+          .field("rerouted", h.rerouted)
+          .field("net_dropped", h.net_dropped)
+          .field("buffered", h.buffered);
+      if (h.transmission != kTimeNever) {
+        hr.field("transmission_ms", to_seconds(h.transmission) * 1e3);
+      }
+      if (h.rto_wait > 0) {
+        hr.field("rto_wait_ms", to_seconds(h.rto_wait) * 1e3);
+      }
+      if (h.reroute_penalty > 0) {
+        hr.field("reroute_penalty_ms", to_seconds(h.reroute_penalty) * 1e3);
+      }
+    }
+  }
+}
+
+}  // namespace mspastry::obs

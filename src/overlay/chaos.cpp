@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "obs/expectations.hpp"
+#include "obs/path_assembler.hpp"
+#include "obs/trace_dump.hpp"
 
 namespace mspastry::overlay {
 
@@ -68,6 +71,7 @@ void ChaosHarness::build_overlay(std::uint64_t seed) {
   dcfg.lookup_rate_per_node = cfg_.bg_lookup_rate;
   dcfg.warmup = 0;
   dcfg.seed = seed;
+  dcfg.obs = cfg_.obs;
   driver_ = std::make_unique<OverlayDriver>(topology_, net::NetworkConfig{},
                                             dcfg);
   probes_.clear();
@@ -460,7 +464,55 @@ ChaosResult ChaosHarness::run(const std::string& scenario) {
         "packet accounting identity violated "
         "(sent != lost+delivered+unbound+in-flight)");
   }
+  attach_observability(res);
   return res;
+}
+
+void ChaosHarness::attach_observability(ChaosResult& res) {
+  obs::TraceDomain* domain = driver_->trace_domain();
+  if (domain == nullptr) return;
+
+  const auto paths = obs::assemble_paths(*domain);
+  obs::ExpectationConfig ecfg;
+  ecfg.b = cfg_.pastry.b;
+  ecfg.overlay_size = driver_->oracle().active_count();
+  ecfg.t_ls = cfg_.pastry.t_ls;
+  ecfg.t_o = cfg_.pastry.t_o;
+  ecfg.failed_entry_ttl = cfg_.pastry.failed_entry_ttl;
+  const auto report = obs::check_expectations(*domain, paths, ecfg);
+  res.expectation_summary = report.summary();
+  res.expectation_violations = report.violations.size();
+
+  if (res.ok()) return;
+
+  // An SLO tripped: attach the causal path of each failed probe lookup
+  // (lost, or delivered to the wrong node), a few at most — the point is
+  // evidence, not a corpus. Probe ids are sorted so the selection is
+  // deterministic across runs.
+  constexpr std::size_t kMaxOffendingPaths = 3;
+  std::vector<std::uint64_t> failed_ids;
+  for (const auto& [id, p] : probes_) {
+    if (p.phase == kDiagPhase) continue;
+    if (p.delivered && p.correct) continue;
+    failed_ids.push_back(id);
+  }
+  std::sort(failed_ids.begin(), failed_ids.end());
+  for (const std::uint64_t id : failed_ids) {
+    if (res.offending_paths.size() >= kMaxOffendingPaths) break;
+    const auto path =
+        obs::assemble_path(*domain, domain->trace_id_for_lookup(id));
+    if (!path) continue;
+    res.offending_paths.push_back(obs::describe(*path));
+  }
+  if (!cfg_.trace_dump_prefix.empty()) {
+    res.trace_dump_path =
+        cfg_.trace_dump_prefix + res.scenario + ".trace.jsonl";
+    if (!obs::write_trace_dump_file(*domain, res.trace_dump_path)) {
+      LOG_WARN(driver_->sim().now(), "chaos", "cannot write trace dump %s",
+               res.trace_dump_path.c_str());
+      res.trace_dump_path.clear();
+    }
+  }
 }
 
 }  // namespace mspastry::overlay

@@ -46,6 +46,17 @@ struct ChaosConfig {
 
   pastry::Config pastry{};
   ChaosSlo slo{};
+
+  /// Chaos runs trace every lookup by default (sampling off costs nothing
+  /// here — the overlays are small) so an SLO trip can name the offending
+  /// causal path instead of just a rate. Set obs.enabled = false to run
+  /// the harness blind.
+  obs::ObsConfig obs{/*enabled=*/true};
+
+  /// When non-empty and a run trips an SLO, the full flight-recorder
+  /// contents are written to "<prefix><scenario>.trace.jsonl" for offline
+  /// inspection with tools/trace_explorer.
+  std::string trace_dump_prefix;
 };
 
 /// Everything one scenario run produced, plus the oracle's verdicts.
@@ -85,6 +96,22 @@ struct ChaosResult {
   /// Invariant violations; empty means every oracle check passed.
   std::vector<std::string> violations;
   bool ok() const { return violations.empty(); }
+
+  /// Expectation-checker verdict over the run's causal traces (src/obs).
+  /// Faults legitimately break some expectations (a stalled node misses
+  /// heartbeats), so these are reported alongside — not folded into —
+  /// the SLO violations above.
+  std::string expectation_summary;
+  std::size_t expectation_violations = 0;
+
+  /// Assembled causal paths (obs::describe) of probe lookups that were
+  /// lost or misdelivered, attached when an SLO trips — the evidence that
+  /// turns "loss rate exceeded" into "this lookup died at hop 3".
+  std::vector<std::string> offending_paths;
+
+  /// Full flight-recorder dump written on an SLO trip when the config
+  /// asked for one ("" otherwise).
+  std::string trace_dump_path;
 
   double fault_loss_rate() const {
     return fault_issued == 0
@@ -137,6 +164,7 @@ class ChaosHarness {
   };
 
   void build_overlay(std::uint64_t seed);
+  void attach_observability(ChaosResult& res);
   void issue_probe(int phase, const NodeId* key);
   void probe_until(SimTime until, int phase, const NodeId* key);
   bool ring_consistent() const;

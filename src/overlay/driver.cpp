@@ -56,6 +56,12 @@ class OverlayDriver::NodeEnv final : public pastry::Env {
     return pastry::NodeDescriptor{pick->first, pick->second};
   }
 
+  obs::FlightRecorder* recorder() override {
+    return driver_.obs_ != nullptr
+               ? &driver_.obs_->recorder_for(self_.addr)
+               : nullptr;
+  }
+
   void on_deliver(const pastry::LookupMsg& m) override {
     driver_.handle_delivery(self_.addr, m);
   }
@@ -89,6 +95,22 @@ OverlayDriver::OverlayDriver(std::shared_ptr<const net::Topology> topology,
       metrics_(config.metrics_window, config.warmup) {
   net_.set_injection_observer(
       [this](net::FaultKind k) { metrics_.on_fault_injected(k); });
+  if (cfg_.obs.enabled) {
+    obs_ = std::make_unique<obs::TraceDomain>(cfg_.obs);
+    // Wire-level ground truth: when the network loses a traced routed
+    // message, note it on the *sender's* ring — the assembler uses it to
+    // explain why a hop's kRecv never happened.
+    net_.set_drop_observer([this](net::Address from, net::Address to,
+                                  const net::PacketPtr& p,
+                                  net::Network::DropKind) {
+      const auto rm = dynamic_pointer_cast<const pastry::RoutedMessage>(p);
+      if (rm != nullptr && rm->trace_id != 0) {
+        obs_->recorder_for(from).record(sim_.now(), obs::EventKind::kNetDrop,
+                                        rm->trace_id, to, rm->hops,
+                                        rm->hop_seq);
+      }
+    });
+  }
 }
 
 OverlayDriver::~OverlayDriver() {

@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "overlay/metrics.hpp"
 #include "overlay/oracle.hpp"
 #include "pastry/node.hpp"
@@ -32,6 +33,10 @@ struct DriverConfig {
   /// Lookups issued within this long of the end of the run are not
   /// counted as lost (they may legitimately still be in flight).
   SimDuration loss_grace = seconds(60);
+
+  /// Observability (causal path tracing, src/obs). Disabled by default:
+  /// no TraceDomain is created and every node's recorder pointer is null.
+  obs::ObsConfig obs;
 
   std::uint64_t seed = 7;
 };
@@ -92,6 +97,10 @@ class OverlayDriver {
   Rng& rng() { return rng_; }
   pastry::MessagePool& pool() { return pool_; }
 
+  /// The flight-recorder registry, or nullptr when observability is off.
+  obs::TraceDomain* trace_domain() { return obs_.get(); }
+  const obs::TraceDomain* trace_domain() const { return obs_.get(); }
+
   pastry::PastryNode* node(net::Address a);
   std::size_t live_node_count() const { return nodes_.size(); }
   std::vector<net::Address> live_addresses() const;
@@ -140,6 +149,10 @@ class OverlayDriver {
   pastry::Counters counters_;
   Oracle oracle_;
   Metrics metrics_;
+
+  /// Created in the constructor when cfg_.obs.enabled; nodes cache
+  /// per-session recorder pointers, so it must outlive nodes_.
+  std::unique_ptr<obs::TraceDomain> obs_;
 
   std::unordered_map<net::Address, LiveNode> nodes_;
   std::uint64_t next_lookup_id_ = 1;

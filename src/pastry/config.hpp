@@ -140,6 +140,16 @@ struct Config {
   /// bootstrap (covers lost JOIN-REPLY and dead seeds).
   SimDuration join_retry = seconds(60);
 
+  // --- Test-only fault injection ----------------------------------------
+
+  /// Mutation knob for the expectation checker's self-test: when set, an
+  /// exhausted per-hop ack ladder abandons the message instead of
+  /// rerouting (the timeout still fires and the suspect is still probed).
+  /// This reproduces a classic "silently lost lookup" bug; the
+  /// timeout-followed-by-reaction expectation must flag it. Never set
+  /// outside tests.
+  bool mutation_suppress_reroute = false;
+
   int routing_table_rows() const { return (128 + b - 1) / b; }
   int routing_table_cols() const { return 1 << b; }
   SimDuration probe_detect_time() const {

@@ -10,6 +10,10 @@
 #include "pastry/types.hpp"
 #include "sim/simulator.hpp"
 
+namespace mspastry::obs {
+class FlightRecorder;
+}
+
 namespace mspastry::pastry {
 
 struct LookupMsg;
@@ -45,6 +49,11 @@ class Env {
   /// A fresh bootstrap node for (re)starting a join. May be empty if the
   /// node is supposed to be the first in the overlay.
   virtual std::optional<NodeDescriptor> bootstrap_candidate() = 0;
+
+  /// This node's flight recorder, or nullptr when observability is off
+  /// (the default). The node caches the pointer at construction; the
+  /// disabled path costs one null test per would-be event.
+  virtual obs::FlightRecorder* recorder() { return nullptr; }
 
   // --- Upcalls ----------------------------------------------------------
 

@@ -88,6 +88,10 @@ struct RoutedMessage : Message {
   /// Per-hop transmission id; the receiver acks it. Unique per sender.
   std::uint64_t hop_seq = 0;
   bool wants_ack = true;
+  /// End-to-end causal-trace id (obs/flight_recorder.hpp); 0 = untraced.
+  /// Piggybacked hop to hop so every node on the path records against the
+  /// same id.
+  std::uint64_t trace_id = 0;
 };
 
 struct LookupMsg final : RoutedMessage {

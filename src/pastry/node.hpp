@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "pastry/config.hpp"
 #include "pastry/env.hpp"
 #include "pastry/leaf_set.hpp"
@@ -222,6 +223,22 @@ class PastryNode {
   /// A message was heard directly from `d`: refresh liveness, clear
   /// false-positive state, let the routing table learn the descriptor.
   void heard_from(const NodeDescriptor& d);
+
+  /// Flight-recorder hooks (obs/events.hpp). Node-scoped events carry
+  /// trace id 0 and are recorded whenever tracing is on; path-scoped
+  /// events are recorded only for sampled messages (trace_id != 0) so
+  /// rings stay signal-dense. Both are a single null test when off.
+  void trace_node(obs::EventKind kind, net::Address peer = net::kNullAddress,
+                  std::uint64_t aux = 0) {
+    if (rec_ != nullptr) rec_->record(env_.now(), kind, 0, peer, 0, aux);
+  }
+  void trace_path(obs::EventKind kind, std::uint64_t trace_id,
+                  net::Address peer = net::kNullAddress, std::int32_t hop = 0,
+                  std::uint64_t aux = 0) {
+    if (rec_ != nullptr && trace_id != 0) {
+      rec_->record(env_.now(), kind, trace_id, peer, hop, aux);
+    }
+  }
   void mark_faulty(const NodeDescriptor& j, bool announce);
   /// Checks membership in the failed set, lazily expiring old entries.
   bool in_failed(net::Address a) const;
@@ -232,6 +249,9 @@ class PastryNode {
   NodeDescriptor self_;
   Env& env_;
   Counters& counters_;
+  /// Flight recorder for this node's session, owned by the environment's
+  /// TraceDomain; nullptr when observability is disabled.
+  obs::FlightRecorder* rec_;
 
   LeafSet leaf_;
   RoutingTable rt_;

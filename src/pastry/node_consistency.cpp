@@ -33,6 +33,9 @@ void PastryNode::probe(const NodeDescriptor& j, bool announce_on_timeout) {
   m->failed.reserve(failed_.size());
   for (const auto& [a, d] : failed_) m->failed.push_back(d.node);
   ++counters_.ls_probes_sent;
+  trace_node(joining_ && !active_ ? obs::EventKind::kJoinProbe
+                                  : obs::EventKind::kLsProbeSent,
+             j.addr);
   send(j.addr, m);
   LsProbeState st;
   st.target = j;
@@ -56,6 +59,9 @@ void PastryNode::on_ls_probe_timeout(net::Address j) {
     m->failed.reserve(failed_.size());
     for (const auto& [a, d] : failed_) m->failed.push_back(d.node);
     ++counters_.ls_probes_sent;
+    trace_node(joining_ && !active_ ? obs::EventKind::kJoinProbe
+                                    : obs::EventKind::kLsProbeSent,
+               j);
     send(j, m);
     st.timer =
         env_.schedule(cfg_.t_o, [this, j] { on_ls_probe_timeout(j); });
@@ -83,6 +89,7 @@ void PastryNode::mark_faulty(const NodeDescriptor& j, bool announce) {
   last_heard_.erase(j.addr);
   last_sent_.erase(j.addr);
   rtt_.erase(j.addr);
+  trace_node(obs::EventKind::kCondemn, j.addr);
   failed_.emplace(j.addr, FailedEntry{j, env_.now()});
   fail_est_.record_failure(env_.now());
   ++counters_.nodes_marked_faulty;
@@ -300,6 +307,7 @@ void PastryNode::activate() {
   assert(!active_);
   active_ = true;
   joining_ = false;
+  trace_node(obs::EventKind::kActivated, net::kNullAddress, join_epoch_);
   failed_.clear();
   cancel_timer(join_retry_timer_);
   ++counters_.joins_completed;
@@ -362,6 +370,7 @@ std::vector<NodeDescriptor> PastryNode::close_nodes_for(NodeId target) const {
 
 void PastryNode::heartbeat_tick() {
   heartbeat_timer_ = env_.schedule(cfg_.t_ls, [this] { heartbeat_tick(); });
+  trace_node(obs::EventKind::kHeartbeatTick);
   const auto left = leaf_.left_neighbour();
   if (!left) return;
   if (cfg_.suppression) {

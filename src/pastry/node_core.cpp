@@ -11,6 +11,7 @@ PastryNode::PastryNode(const Config& cfg, NodeDescriptor self, Env& env,
       self_(self),
       env_(env),
       counters_(counters),
+      rec_(env.recorder()),
       leaf_(self.id, cfg.l),
       rt_(self.id, cfg.b),
       fail_est_(cfg.failure_history),
@@ -48,7 +49,9 @@ void PastryNode::heard_from(const NodeDescriptor& d) {
   if (!d.valid() || d.id == self_.id) return;
   last_heard_[d.addr] = env_.now();
   excluded_.erase(d.addr);  // evidence of liveness ends ack-exclusion
-  failed_.erase(d.addr);    // recover from false positives
+  if (failed_.erase(d.addr) > 0) {  // recover from false positives
+    trace_node(obs::EventKind::kAbsolve, d.addr);
+  }
 }
 
 std::size_t PastryNode::routing_state_size() const {
@@ -152,6 +155,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
   switch (msg->type) {
     case MsgType::kLookup: {
       const auto& m = static_cast<const LookupMsg&>(*msg);
+      trace_path(obs::EventKind::kRecv, m.trace_id, from, m.hops, m.hop_seq);
       if (m.wants_ack && cfg_.per_hop_acks) {
         auto ack = make_msg<AckMsg>(env_.pool());
         ack->hop_seq = m.hop_seq;
@@ -163,6 +167,7 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     }
     case MsgType::kJoinRequest: {
       const auto& m = static_cast<const JoinRequestMsg&>(*msg);
+      trace_path(obs::EventKind::kRecv, m.trace_id, from, m.hops, m.hop_seq);
       if (m.wants_ack && cfg_.per_hop_acks) {
         auto ack = make_msg<AckMsg>(env_.pool());
         ack->hop_seq = m.hop_seq;
@@ -420,6 +425,7 @@ void PastryNode::route(const IntrusivePtr<RoutedMessage>& m,
                        const std::vector<net::Address>& excluded) {
   if (m->hops >= cfg_.max_route_hops) {
     ++counters_.lookups_dropped_no_route;
+    trace_path(obs::EventKind::kDrop, m->trace_id, net::kNullAddress, m->hops);
     return;
   }
   bool fallback = false;
@@ -432,6 +438,7 @@ void PastryNode::route(const IntrusivePtr<RoutedMessage>& m,
   }
   if (m->type == MsgType::kLookup &&
       env_.on_forward(static_cast<const LookupMsg&>(*m), next)) {
+    trace_path(obs::EventKind::kAppConsumed, m->trace_id, next.addr, m->hops);
     return;  // the application consumed the message at this hop
   }
   // Passive routing-table repair: we found our slot (er, ec) empty while
@@ -480,19 +487,29 @@ void PastryNode::receive_root(const IntrusivePtr<RoutedMessage>& m) {
       }
     }
     reply->leaf_set = leaf_.members();
+    trace_path(obs::EventKind::kDeliver, jr.trace_id, jr.joiner.addr,
+               jr.hops, jr.join_epoch);
     send(jr.joiner.addr, reply);
     return;
   }
 }
 
-void PastryNode::deliver_lookup(const LookupMsg& m) { env_.on_deliver(m); }
+void PastryNode::deliver_lookup(const LookupMsg& m) {
+  trace_path(obs::EventKind::kDeliver, m.trace_id, m.source.addr, m.hops,
+             m.lookup_id);
+  env_.on_deliver(m);
+}
 
 void PastryNode::buffer_message(const IntrusivePtr<RoutedMessage>& m) {
   constexpr std::size_t kMaxBuffered = 1024;
   if (buffered_.size() >= kMaxBuffered) {
+    trace_path(obs::EventKind::kDrop, buffered_.front()->trace_id,
+               net::kNullAddress, buffered_.front()->hops);
     buffered_.erase(buffered_.begin());
     ++counters_.lookups_dropped_no_route;
   }
+  trace_path(obs::EventKind::kBuffered, m->trace_id, net::kNullAddress,
+             m->hops);
   buffered_.push_back(m);
 }
 
@@ -534,11 +551,15 @@ void PastryNode::forward(const IntrusivePtr<RoutedMessage>& m,
 
   if (!(cfg_.per_hop_acks && m->wants_ack)) {
     copy->hop_seq = 0;
+    trace_path(obs::EventKind::kForward, copy->trace_id, next.addr,
+               copy->hops);
     send(next.addr, copy);
     return;
   }
   const std::uint64_t seq = next_hop_seq_++;
   copy->hop_seq = seq;
+  trace_path(obs::EventKind::kForward, copy->trace_id, next.addr, copy->hops,
+             seq);
   PendingAck pending;
   pending.msg = copy;
   pending.dest = next.addr;
@@ -553,6 +574,8 @@ void PastryNode::forward(const IntrusivePtr<RoutedMessage>& m,
 void PastryNode::on_ack(net::Address from, std::uint64_t hop_seq) {
   const auto it = pending_acks_.find(hop_seq);
   if (it == pending_acks_.end() || it->second.dest != from) return;
+  trace_path(obs::EventKind::kAckRecv, it->second.msg->trace_id, from,
+             it->second.msg->hops, hop_seq);
   cancel_timer(it->second.timer);
   rtt_[from].sample(env_.now() - it->second.sent_at);
   pending_acks_.erase(it);
@@ -565,6 +588,8 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
   pending_acks_.erase(it);
   pending.timer = kInvalidTimer;
   ++counters_.ack_timeouts;
+  trace_path(obs::EventKind::kAckTimeout, pending.msg->trace_id, pending.dest,
+             pending.msg->hops, hop_seq);
 
   // Our own join request never got past the seed: restart the join from a
   // fresh bootstrap right away (a joiner has no routing state to reroute
@@ -572,6 +597,8 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
   if (pending.msg->type == MsgType::kJoinRequest && joining_ && !active_ &&
       static_cast<const JoinRequestMsg&>(*pending.msg).joiner.addr ==
           self_.addr) {
+    trace_path(obs::EventKind::kJoinRestart, pending.msg->trace_id,
+               pending.dest, pending.msg->hops, join_epoch_);
     const auto bootstrap = env_.bootstrap_candidate();
     if (bootstrap && bootstrap->id != self_.id) {
       start_join(*bootstrap);
@@ -594,6 +621,8 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
     pending.msg->hop_seq = seq;
     pending.same_dest_retries += 1;
     pending.sent_at = env_.now();
+    trace_path(obs::EventKind::kRetransmit, pending.msg->trace_id,
+               pending.dest, pending.msg->hops, seq);
     pending.timer = env_.schedule(2 * rto_for(pending.dest),
                                   [this, seq] { on_ack_timeout(seq); });
     send(pending.dest, pending.msg);
@@ -604,12 +633,20 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
   // Temporarily exclude the unresponsive node and probe it; it is only
   // marked faulty if the probe times out.
   excluded_.insert(pending.dest);
+  trace_node(obs::EventKind::kSuspect, pending.dest);
   if (auto d = leaf_.find(pending.dest)) {
     // First-hand suspicion (missed ack): announce if confirmed dead.
     ++counters_.ls_probes_suspect;
     probe(*d, /*announce_on_timeout=*/true);
   } else if (const RoutingTable::Entry* e = rt_.find(pending.dest)) {
     send_rt_probe(e->node);
+  }
+
+  if (cfg_.mutation_suppress_reroute) {
+    // Injected bug (see Config): the message is silently abandoned. The
+    // expectation checker's timeout-followed-by-reaction rule exists to
+    // catch exactly this.
+    return;
   }
 
   std::vector<net::Address> excl = pending.excluded;
@@ -626,6 +663,8 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
   if (next.valid() && next.addr == pending.dest) {
     if (pending.same_dest_retries >= cfg_.max_same_dest_retransmits) {
       ++counters_.lookups_dropped_no_route;
+      trace_path(obs::EventKind::kDrop, pending.msg->trace_id, pending.dest,
+                 pending.msg->hops);
       return;
     }
     const std::uint64_t seq = next_hop_seq_++;
@@ -640,6 +679,8 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
     pending.msg->hop_seq = seq;
     pending.same_dest_retries += 1;
     pending.sent_at = env_.now();
+    trace_path(obs::EventKind::kRetransmit, pending.msg->trace_id,
+               pending.dest, pending.msg->hops, seq);
     const SimDuration backoff = std::min<SimDuration>(
         rto_for(pending.dest) << std::min(pending.same_dest_retries, 8),
         cfg_.rto_max);
@@ -650,6 +691,8 @@ void PastryNode::on_ack_timeout(std::uint64_t hop_seq) {
     return;
   }
 
+  trace_path(obs::EventKind::kReroute, pending.msg->trace_id, pending.dest,
+             pending.msg->hops);
   route(pending.msg, excl);
 }
 
@@ -668,6 +711,9 @@ void PastryNode::lookup(NodeId key, std::uint64_t lookup_id,
   m->wants_ack = wants_ack;
   m->source = self_;
   m->sent_at = env_.now();
+  m->trace_id = rec_ != nullptr ? rec_->sample_lookup(lookup_id) : 0;
+  trace_path(obs::EventKind::kLookupIssued, m->trace_id, net::kNullAddress, 0,
+             lookup_id);
   if (!active_) {
     buffer_message(m);
     return;

@@ -11,6 +11,7 @@ void PastryNode::join(NodeDescriptor bootstrap) {
   joining_ = true;
   join_started_ = env_.now();
   ++counters_.joins_started;
+  trace_node(obs::EventKind::kJoinStart, bootstrap.addr, join_epoch_ + 1);
   fail_est_.record_join(env_.now());
   join_retry_timer_ =
       env_.schedule(cfg_.join_retry, [this] { on_join_retry(); });
@@ -117,6 +118,9 @@ void PastryNode::send_join_request() {
   m->joiner = self_;
   m->join_epoch = join_epoch_;
   m->wants_ack = cfg_.per_hop_acks;
+  m->trace_id = rec_ != nullptr ? rec_->sample_join(join_epoch_) : 0;
+  trace_path(obs::EventKind::kJoinRequestSent, m->trace_id, nn_current_.addr,
+             0, join_epoch_);
   // Send through forward() so the transmission is ack-protected: if the
   // seed died since we measured it, the ack timeout restarts the join
   // immediately instead of stalling until the retry timer.
@@ -127,6 +131,7 @@ void PastryNode::handle_join_reply(const JoinReplyMsg& m) {
   if (!joining_ || active_ || m.join_epoch != join_epoch_) return;
   if (join_reply_seen_) return;  // duplicate (retransmitted join request)
   join_reply_seen_ = true;
+  trace_node(obs::EventKind::kJoinReplyRecv, m.sender.addr, m.join_epoch);
   // Seed the routing table from the rows gathered along the join route.
   for (const auto& [row, entries] : m.rows) {
     (void)row;
@@ -159,6 +164,7 @@ void PastryNode::on_join_retry() {
       env_.schedule(cfg_.join_retry, [this] { on_join_retry(); });
   const auto bootstrap = env_.bootstrap_candidate();
   if (!bootstrap || bootstrap->id == self_.id) return;  // try again later
+  trace_node(obs::EventKind::kJoinRestart, bootstrap->addr, join_epoch_ + 1);
   start_join(*bootstrap);
 }
 

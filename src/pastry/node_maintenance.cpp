@@ -81,6 +81,7 @@ void PastryNode::rt_scan_tick() {
 void PastryNode::send_rt_probe(const NodeDescriptor& j) {
   if (rt_probing_.count(j.addr) > 0 || in_failed(j.addr)) return;
   ++counters_.rt_probes_sent;
+  trace_node(obs::EventKind::kRtProbeSent, j.addr);
   send(j.addr, make_msg<RtProbeMsg>(env_.pool(), false));
   RtProbeState st;
   st.target = j;

@@ -20,6 +20,9 @@
 #include "net/corpnet.hpp"
 #include "net/hier_as.hpp"
 #include "net/transit_stub.hpp"
+#include "obs/expectations.hpp"
+#include "obs/path_assembler.hpp"
+#include "obs/trace_dump.hpp"
 #include "overlay/chaos.hpp"
 #include "overlay/driver.hpp"
 #include "trace/churn_generators.hpp"
@@ -43,6 +46,9 @@ struct Options {
   std::uint64_t seed = 7;
   std::string chaos;              // named scenario | "all"
   std::uint64_t chaos_seed = 0;   // 0 = use --seed
+  std::string trace_out;          // causal-trace dump path (obs subsystem)
+  double trace_sample = 1.0;      // fraction of lookups/joins traced
+  bool check_expectations = false;
   std::string series;  // "", "rdp", "control", "all"
   bool no_acks = false;
   bool no_probing = false;
@@ -76,6 +82,17 @@ void usage() {
       "                         gray-stall|combined|random|all\n"
       "  --chaos-seed S         seed for the chaos fault schedule\n"
       "                         (default: --seed)\n"
+      "  --trace=FILE           record causal traces (src/obs) and write a\n"
+      "                         flight-recorder dump to FILE as JSON lines\n"
+      "                         (--trace-out FILE is the same flag; inspect\n"
+      "                         the dump with trace_explorer). With --chaos,\n"
+      "                         FILE is a prefix: a scenario that trips an\n"
+      "                         SLO dumps to FILE<scenario>.trace.jsonl\n"
+      "  --trace-sample R       fraction of lookups/joins traced (default 1)\n"
+      "  --check-expectations   run the Pip-style expectation checker over\n"
+      "                         the traces; any violation exits nonzero\n"
+      "                         (chaos runs report violations but never\n"
+      "                         gate on them — faults break expectations)\n"
       "  --b N --l N            Pastry parameters (default 4, 32)\n"
       "  --target-lr X          self-tuning raw-loss target (default 0.05)\n"
       "  --no-acks --no-probing --no-selftuning --no-suppression --no-pns\n"
@@ -110,6 +127,13 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a.rfind("--chaos=", 0) == 0) o.chaos = a.substr(8);
     else if (a == "--chaos-seed") { if (!(v = need(i))) return false; o.chaos_seed = std::strtoull(v, nullptr, 10); }
     else if (a.rfind("--chaos-seed=", 0) == 0) o.chaos_seed = std::strtoull(a.c_str() + 13, nullptr, 10);
+    // "--trace NAME" (space form) is the churn workload above; the "="
+    // form and --trace-out are the causal-trace dump path.
+    else if (a.rfind("--trace=", 0) == 0) o.trace_out = a.substr(8);
+    else if (a == "--trace-out") { if (!(v = need(i))) return false; o.trace_out = v; }
+    else if (a == "--trace-sample") { if (!(v = need(i))) return false; o.trace_sample = std::atof(v); }
+    else if (a.rfind("--trace-sample=", 0) == 0) o.trace_sample = std::atof(a.c_str() + 15);
+    else if (a == "--check-expectations") o.check_expectations = true;
     else if (a == "--b") { if (!(v = need(i))) return false; o.b = std::atoi(v); }
     else if (a == "--l") { if (!(v = need(i))) return false; o.l = std::atoi(v); }
     else if (a == "--target-lr") { if (!(v = need(i))) return false; o.target_lr = std::atof(v); }
@@ -188,6 +212,8 @@ int run_chaos(const Options& o) {
   cfg.seed = o.chaos_seed != 0 ? o.chaos_seed : o.seed;
   cfg.pastry.b = o.b;
   cfg.pastry.l = o.l;
+  cfg.obs.sample_rate = o.trace_sample;
+  cfg.trace_dump_prefix = o.trace_out;
   std::printf("chaos: scenario %s, seed %llu, topology %s\n",
               o.chaos.c_str(), (unsigned long long)cfg.seed,
               topology->name().c_str());
@@ -231,6 +257,15 @@ int run_chaos(const Options& o) {
     }
     for (const auto& v : r.violations) {
       std::printf("violation: %s\n", v.c_str());
+    }
+    if (!r.expectation_summary.empty()) {
+      std::printf("%s", r.expectation_summary.c_str());
+    }
+    for (const auto& p : r.offending_paths) {
+      std::printf("\noffending lookup:\n%s", p.c_str());
+    }
+    if (!r.trace_dump_path.empty()) {
+      std::printf("trace dump written to %s\n", r.trace_dump_path.c_str());
     }
     std::printf("verdict: %s\n", r.ok() ? "ok" : "FAIL");
     all_ok = all_ok && r.ok();
@@ -284,6 +319,9 @@ int main(int argc, char** argv) {
   dcfg.pastry.suppression = !o.no_suppression;
   dcfg.pastry.pns = !o.no_pns;
   dcfg.pastry.target_raw_loss = o.target_lr;
+  const bool tracing = !o.trace_out.empty() || o.check_expectations;
+  dcfg.obs.enabled = tracing;
+  dcfg.obs.sample_rate = o.trace_sample;
 
   overlay::OverlayDriver driver(topology, ncfg, dcfg);
   driver.run_trace(churn);
@@ -321,5 +359,34 @@ int main(int argc, char** argv) {
     print_series("control traffic (msgs/s/node)",
                  m.control_traffic_series(churn.duration()));
   }
-  return 0;
+
+  int rc = 0;
+  if (tracing) {
+    const obs::TraceDomain& domain = *driver.trace_domain();
+    const auto paths = obs::assemble_paths(domain);
+    std::printf("\ncausal traces: %zu paths from %zu node rings "
+                "(sample rate %.3g)\n",
+                paths.size(), domain.recorder_count(), o.trace_sample);
+    if (!o.trace_out.empty()) {
+      if (obs::write_trace_dump_file(domain, o.trace_out)) {
+        std::printf("trace dump written to %s\n", o.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace dump %s\n",
+                     o.trace_out.c_str());
+        rc = 2;
+      }
+    }
+    if (o.check_expectations) {
+      obs::ExpectationConfig ecfg;
+      ecfg.b = o.b;
+      ecfg.overlay_size = driver.oracle().active_count();
+      ecfg.t_ls = dcfg.pastry.t_ls;
+      ecfg.t_o = dcfg.pastry.t_o;
+      ecfg.failed_entry_ttl = dcfg.pastry.failed_entry_ttl;
+      const auto report = obs::check_expectations(domain, paths, ecfg);
+      std::printf("%s", report.summary().c_str());
+      if (!report.ok()) rc = 1;
+    }
+  }
+  return rc;
 }

@@ -1,0 +1,244 @@
+// trace_explorer — inspect flight-recorder dumps (src/obs).
+//
+// Reads a JSON-lines trace dump written by `mspastry-sim --trace=FILE`
+// (or by the chaos harness when an SLO trips), rebuilds the per-node
+// rings, reassembles end-to-end causal paths, and prints, filters,
+// aggregates, or re-checks them offline.
+//
+// Examples:
+//   trace_explorer run.trace.jsonl                   # overview + path list
+//   trace_explorer run.trace.jsonl --show 00c32... # one path, hop by hop
+//   trace_explorer run.trace.jsonl --kind lookup --outcome delivered --agg
+//   trace_explorer run.trace.jsonl --check --n 300   # expectation checker
+//   trace_explorer run.trace.jsonl --json paths.json # machine-readable rows
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/expectations.hpp"
+#include "obs/path_assembler.hpp"
+#include "obs/trace_dump.hpp"
+
+using namespace mspastry;
+
+namespace {
+
+struct Options {
+  std::string dump_file;
+  std::string show;      // 16-hex trace id
+  std::string kind;      // "", "lookup", "join"
+  std::string outcome;   // "", "delivered", "dropped", ...
+  std::string json_out;  // machine-readable rows via JsonEmitter
+  int min_hops = -1;
+  bool agg = false;
+  bool check = false;
+  int b = 4;
+  std::size_t n = 0;  // overlay size for the hop bound; 0 = node-ring count
+};
+
+void usage() {
+  std::puts(
+      "trace_explorer DUMP [options]\n"
+      "  --show TRACE       print one causal path (16-hex trace id) per hop\n"
+      "  --kind lookup|join           filter paths\n"
+      "  --outcome delivered|app-consumed|dropped|lost-in-network|unresolved\n"
+      "  --min-hops N                 filter paths\n"
+      "  --agg              per-hop delay attribution table over the\n"
+      "                     filtered delivered paths\n"
+      "  --check            run the Pip-style expectation checker over the\n"
+      "                     dump; violations exit nonzero\n"
+      "  --b N              digit width for the hop bound (default 4)\n"
+      "  --n N              overlay size for the hop bound (default: the\n"
+      "                     number of node rings in the dump)\n"
+      "  --json FILE        write the filtered paths + hops as JSON rows\n"
+      "                     (bench_util emitter format)\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") return false;
+    else if (a == "--show") { if (!(v = need(i))) return false; o.show = v; }
+    else if (a == "--kind") { if (!(v = need(i))) return false; o.kind = v; }
+    else if (a == "--outcome") { if (!(v = need(i))) return false; o.outcome = v; }
+    else if (a == "--min-hops") { if (!(v = need(i))) return false; o.min_hops = std::atoi(v); }
+    else if (a == "--json") { if (!(v = need(i))) return false; o.json_out = v; }
+    else if (a == "--agg") o.agg = true;
+    else if (a == "--check") o.check = true;
+    else if (a == "--b") { if (!(v = need(i))) return false; o.b = std::atoi(v); }
+    else if (a == "--n") { if (!(v = need(i))) return false; o.n = std::strtoull(v, nullptr, 10); }
+    else if (!a.empty() && a[0] != '-' && o.dump_file.empty()) o.dump_file = a;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (o.dump_file.empty()) {
+    std::fprintf(stderr, "no dump file given\n");
+    return false;
+  }
+  return true;
+}
+
+const char* outcome_name(const obs::CausalPath& p) {
+  if (p.delivered) return "delivered";
+  if (p.consumed) return "app-consumed";
+  if (p.dropped) return "dropped";
+  if (p.net_lost) return "lost-in-network";
+  return "unresolved";
+}
+
+bool keep(const obs::CausalPath& p, const Options& o) {
+  if (!o.kind.empty() && o.kind != (p.is_join ? "join" : "lookup")) {
+    return false;
+  }
+  if (!o.outcome.empty() && o.outcome != outcome_name(p)) return false;
+  if (o.min_hops >= 0 && static_cast<int>(p.hops.size()) < o.min_hops) {
+    return false;
+  }
+  return true;
+}
+
+void print_list(const std::vector<obs::CausalPath>& paths) {
+  std::printf("%-18s %-6s %-15s %4s %4s %4s %9s\n", "trace", "kind",
+              "outcome", "hops", "rrt", "rto", "lat(ms)");
+  for (const obs::CausalPath& p : paths) {
+    char lat[16] = "-";
+    if (p.delivered) {
+      std::snprintf(lat, sizeof lat, "%.2f",
+                    to_seconds(p.total_latency()) * 1e3);
+    }
+    std::printf("%016llx   %-6s %-15s %4zu %4d %4d %9s%s\n",
+                static_cast<unsigned long long>(p.trace_id),
+                p.is_join ? "join" : "lookup", outcome_name(p),
+                p.hops.size(), p.reroutes, p.timeouts, lat,
+                p.complete ? "" : "  (incomplete: ring overwrote events)");
+  }
+}
+
+/// Per-hop-index means over the delivered paths: where along the route
+/// the time goes, split into wire transmission, RTO stalls and reroute
+/// penalty — the delay-attribution lens of the per-hop analyses in
+/// PAPERS.md.
+void print_aggregate(const std::vector<obs::CausalPath>& paths) {
+  struct Acc {
+    std::uint64_t n = 0, timeouts = 0, reroutes = 0;
+    double tx = 0, rto = 0, rr = 0;
+  };
+  std::vector<Acc> by_hop;
+  std::uint64_t delivered = 0;
+  for (const obs::CausalPath& p : paths) {
+    if (!p.delivered) continue;
+    ++delivered;
+    for (const obs::HopRecord& h : p.hops) {
+      const std::size_t idx = h.hop > 0 ? static_cast<std::size_t>(h.hop) : 0;
+      if (idx >= by_hop.size()) by_hop.resize(idx + 1);
+      Acc& a = by_hop[idx];
+      ++a.n;
+      a.timeouts += static_cast<std::uint64_t>(h.timeouts);
+      a.reroutes += h.rerouted ? 1 : 0;
+      if (h.transmission != kTimeNever) {
+        a.tx += to_seconds(h.transmission) * 1e3;
+      }
+      a.rto += to_seconds(h.rto_wait) * 1e3;
+      a.rr += to_seconds(h.reroute_penalty) * 1e3;
+    }
+  }
+  std::printf("\nper-hop delay attribution (%llu delivered paths)\n",
+              static_cast<unsigned long long>(delivered));
+  std::printf("%4s %8s %8s %12s %12s %12s\n", "hop", "count", "rto/rrt",
+              "tx(ms)", "rto-wait(ms)", "reroute(ms)");
+  for (std::size_t i = 0; i < by_hop.size(); ++i) {
+    const Acc& a = by_hop[i];
+    if (a.n == 0) continue;
+    const double n = static_cast<double>(a.n);
+    std::printf("%4zu %8llu %4llu/%-3llu %12.3f %12.3f %12.3f\n", i,
+                static_cast<unsigned long long>(a.n),
+                static_cast<unsigned long long>(a.timeouts),
+                static_cast<unsigned long long>(a.reroutes), a.tx / n,
+                a.rto / n, a.rr / n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(o.dump_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", o.dump_file.c_str());
+    return 2;
+  }
+  const auto rows = obs::parse_dump_rows(in);
+  if (rows.empty()) {
+    std::fprintf(stderr, "%s: no dump rows\n", o.dump_file.c_str());
+    return 2;
+  }
+  obs::TraceDomain domain = obs::load_trace_dump(rows);
+
+  std::uint64_t events = 0, dropped = 0;
+  domain.for_each_recorder([&](const obs::FlightRecorder& r) {
+    events += r.recorded() - r.dropped();
+    dropped += r.dropped();
+  });
+  const auto all_paths = obs::assemble_paths(domain);
+  std::vector<obs::CausalPath> paths;
+  for (const obs::CausalPath& p : all_paths) {
+    if (keep(p, o)) paths.push_back(p);
+  }
+  std::printf(
+      "%s: %zu node rings, %llu events retained (%llu overwritten), "
+      "%zu paths (%zu after filters)\n",
+      o.dump_file.c_str(), domain.recorder_count(),
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(dropped), all_paths.size(),
+      paths.size());
+
+  if (!o.show.empty()) {
+    const std::uint64_t id = std::strtoull(o.show.c_str(), nullptr, 16);
+    const auto path = obs::assemble_path(domain, id);
+    if (!path) {
+      std::fprintf(stderr, "no events for trace %s\n", o.show.c_str());
+      return 1;
+    }
+    std::printf("\n%s", obs::describe(*path).c_str());
+    return 0;
+  }
+
+  print_list(paths);
+  if (o.agg) print_aggregate(paths);
+
+  if (!o.json_out.empty()) {
+    bench::JsonEmitter em("trace_paths", o.json_out);
+    obs::emit_paths(em, paths);
+    em.write();
+  }
+
+  if (o.check) {
+    obs::ExpectationConfig ecfg;
+    ecfg.b = o.b;
+    ecfg.overlay_size = o.n != 0 ? o.n : domain.recorder_count();
+    const auto report = obs::check_expectations(domain, all_paths, ecfg);
+    std::printf("\n%s", report.summary().c_str());
+    return report.ok() ? 0 : 1;
+  }
+  return 0;
+}
