@@ -1,0 +1,212 @@
+// Paper-scale simulation suite: runs N = 10,000-node slices of the
+// fig3/fig4/fig5 experiments and records, per phase, the wall-clock,
+// event throughput, peak RSS and routing-arena footprint that make those
+// runs tractable (slab routing rows, the timer wheel, the incremental
+// oracle). Output lands in BENCH_scale.json; CI runs `--smoke` with
+// thresholds (see --max-rss-mb / --min-events-per-sec) so a memory or
+// throughput regression fails the build instead of silently doubling the
+// paper-reproduction budget.
+//
+// Modes:
+//   --smoke        shortened slices (CI budget: a few minutes, Release)
+//   default        ~1 simulated hour per overlay slice
+//   REPRO_FULL=1   paper-scale slices (hours of wall-clock)
+
+#include <cstring>
+
+#include "bench_util.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+namespace {
+
+constexpr int kPopulation = 10000;
+
+struct Phase {
+  std::string name;
+  std::string params;
+  double wall_seconds = 0.0;
+  std::uint64_t executed_events = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t peak_rss = 0;  ///< process peak at phase end (monotone)
+  std::uint64_t digest = 0;
+  std::uint64_t live_nodes = 0;
+  std::uint64_t arena_rows = 0;
+  std::uint64_t arena_bytes = 0;
+  std::uint64_t timer_arena_slots = 0;
+  std::uint64_t parked_timers = 0;
+  RunSummary summary;  ///< zero for trace-only phases
+};
+
+void emit_phase(JsonEmitter& out, const Phase& p) {
+  out.row(p.name)
+      .field("params", p.params)
+      .field("population", kPopulation)
+      .field("wall_seconds", p.wall_seconds)
+      .field("executed_events", p.executed_events)
+      .field("events_per_sec", p.events_per_sec)
+      .field("peak_rss_bytes", p.peak_rss)
+      .field("peak_rss_mb", static_cast<double>(p.peak_rss) / (1024 * 1024))
+      .hex("digest", p.digest)
+      .field("live_nodes", p.live_nodes)
+      .field("arena_rows", p.arena_rows)
+      .field("arena_bytes", p.arena_bytes)
+      .field("timer_arena_slots", p.timer_arena_slots)
+      .field("parked_timers", p.parked_timers)
+      .field("rdp", p.summary.rdp)
+      .field("control_traffic", p.summary.control_traffic)
+      .field("loss_rate", p.summary.loss_rate)
+      .field("lookups", p.summary.lookups);
+  std::printf(
+      "  %-18s %7.1fs wall  %9.3gM events  %8.3gk ev/s  rss %6.0f MB  "
+      "digest %016llx\n",
+      p.name.c_str(), p.wall_seconds, p.executed_events / 1e6,
+      p.events_per_sec / 1e3, p.peak_rss / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(p.digest));
+}
+
+/// Fig 3 at paper scale is trace generation + analysis only (no overlay):
+/// the three measurement-study traces with a 10,000-node Gnutella
+/// population. The digest covers the failure-rate series, so generator
+/// changes that alter the dynamics show up as a digest change.
+Phase run_fig3(SimDuration slice) {
+  Phase p;
+  p.name = "fig3_traces";
+  p.params = "gnutella+overnet+microsoft, slice=" +
+             std::to_string(to_seconds(slice)) + "s";
+  WallTimer timer;
+  std::uint64_t h = kFnvOffset;
+  trace::SyntheticChurnParams specs[] = {
+      trace::gnutella_params(), trace::overnet_params(),
+      trace::microsoft_params()};
+  specs[0].target_population = kPopulation;
+  for (auto& spec : specs) {
+    spec.duration = std::min(spec.duration, slice);
+    const auto t = trace::generate_synthetic(spec);
+    h = hash_u64(h, static_cast<std::uint64_t>(t.session_count()));
+    for (const auto& [ts, rate] : t.failure_rate_series(minutes(10))) {
+      h = hash_f64(hash_f64(h, ts), rate);
+    }
+    // Event count proxy: churn events processed by the analysis.
+    p.executed_events += static_cast<std::uint64_t>(t.session_count()) * 2;
+  }
+  p.wall_seconds = timer.seconds();
+  p.events_per_sec =
+      p.wall_seconds > 0 ? p.executed_events / p.wall_seconds : 0.0;
+  p.peak_rss = peak_rss_bytes();
+  p.digest = h;
+  return p;
+}
+
+/// One overlay slice at N = 10,000: build the driver, run the trace,
+/// collect the standard summary plus the scale telemetry.
+Phase run_overlay(const std::string& name, const std::string& params,
+                  const trace::ChurnTrace& trace,
+                  const overlay::DriverConfig& dcfg) {
+  Phase p;
+  p.name = name;
+  p.params = params;
+  WallTimer timer;
+  overlay::OverlayDriver driver(make_topology(TopologyKind::kGATech),
+                                make_net_config(TopologyKind::kGATech),
+                                dcfg);
+  driver.run_trace(trace);
+  p.summary = summarize(driver, timer.seconds());
+  p.wall_seconds = p.summary.wall_seconds;
+  p.executed_events = p.summary.executed_events;
+  p.events_per_sec = p.summary.events_per_sec;
+  p.digest = p.summary.digest;
+  p.peak_rss = peak_rss_bytes();
+  p.live_nodes = driver.live_node_count();
+  p.arena_rows = driver.routing_arena().rows_in_use();
+  p.arena_bytes = driver.routing_arena().bytes_reserved();
+  p.timer_arena_slots = driver.sim().arena_slots();
+  p.parked_timers = driver.sim().parked_entries();
+  return p;
+}
+
+Phase run_fig4(SimDuration slice, SimDuration warmup) {
+  // The fig4 Gnutella experiment at the paper's overlay size: Gnutella
+  // session dynamics (lognormal sessions, diurnal arrivals) with the
+  // population raised to 10,000.
+  auto params = trace::gnutella_params();
+  params.target_population = kPopulation;
+  params.duration = slice;
+  params.seed = 11;
+  auto dcfg = base_driver_config(200);
+  dcfg.warmup = warmup;
+  return run_overlay("fig4_gnutella_10k",
+                     "gnutella dynamics, N=10000, slice=" +
+                         std::to_string(to_seconds(slice)) + "s",
+                     trace::generate_synthetic(params), dcfg);
+}
+
+Phase run_fig5(SimDuration slice, SimDuration warmup) {
+  // One point of the fig5 session-time sweep (30-minute exponential
+  // sessions, the paper's mid-churn column) at the paper's N = 10,000.
+  auto dcfg = base_driver_config(302);
+  dcfg.warmup = warmup;
+  const auto trace =
+      trace::generate_poisson(slice, 30 * 60.0, kPopulation, 502, "poisson");
+  return run_overlay("fig5_poisson30_10k",
+                     "poisson 30min sessions, N=10000, slice=" +
+                         std::to_string(to_seconds(slice)) + "s",
+                     trace, dcfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double max_rss_mb = 0.0;       // 0 = no threshold
+  double min_events_per_sec = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--max-rss-mb=", 13) == 0) {
+      max_rss_mb = std::atof(argv[i] + 13);
+    }
+    if (std::strncmp(argv[i], "--min-events-per-sec=", 21) == 0) {
+      min_events_per_sec = std::atof(argv[i] + 21);
+    }
+  }
+
+  print_header("Paper-scale suite: N = 10,000 slices of fig3/fig4/fig5");
+  const SimDuration slice =
+      smoke ? minutes(30) : (full_scale() ? hours(4) : hours(1));
+  const SimDuration warmup = smoke ? minutes(10) : minutes(20);
+  std::printf("slice: %.0f simulated minutes per overlay run%s\n",
+              to_seconds(slice) / 60.0, smoke ? " (smoke)" : "");
+
+  JsonEmitter out("scale");
+  std::vector<Phase> phases;
+  phases.push_back(run_fig3(slice));
+  emit_phase(out, phases.back());
+  phases.push_back(run_fig4(slice, warmup));
+  emit_phase(out, phases.back());
+  phases.push_back(run_fig5(slice, warmup));
+  emit_phase(out, phases.back());
+
+  // Threshold gates (CI): peak RSS is process-wide, throughput is the
+  // slowest overlay phase.
+  int failures = 0;
+  const double rss_mb = peak_rss_bytes() / (1024.0 * 1024.0);
+  if (max_rss_mb > 0 && rss_mb > max_rss_mb) {
+    std::fprintf(stderr, "FAIL: peak RSS %.0f MB exceeds budget %.0f MB\n",
+                 rss_mb, max_rss_mb);
+    ++failures;
+  }
+  if (min_events_per_sec > 0) {
+    for (const auto& p : phases) {
+      if (p.summary.executed_events == 0) continue;  // trace-only phase
+      if (p.events_per_sec < min_events_per_sec) {
+        std::fprintf(stderr,
+                     "FAIL: %s throughput %.0f events/s below floor %.0f\n",
+                     p.name.c_str(), p.events_per_sec, min_events_per_sec);
+        ++failures;
+      }
+    }
+  }
+  std::printf("\npeak RSS %.0f MB across the suite\n", rss_mb);
+  return failures == 0 ? 0 : 1;
+}

@@ -147,6 +147,35 @@ class SmallVec {
     data_[--size_].~T();
   }
 
+  /// Insert before `pos`, shifting the tail right. Takes the value by
+  /// value so inserting an element of *this cannot alias the shift.
+  iterator insert(const_iterator pos, T v) {
+    const size_type i = static_cast<size_type>(pos - data_);
+    assert(i <= size_);
+    if (size_ == cap_) grow(size_ + 1);
+    if (i == size_) {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(v));
+    } else {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      for (size_type j = size_ - 1; j > i; --j) {
+        data_[j] = std::move(data_[j - 1]);
+      }
+      data_[i] = std::move(v);
+    }
+    ++size_;
+    return data_ + i;
+  }
+
+  iterator erase(const_iterator pos) {
+    const size_type i = static_cast<size_type>(pos - data_);
+    assert(i < size_);
+    for (size_type j = i; j + 1 < size_; ++j) {
+      data_[j] = std::move(data_[j + 1]);
+    }
+    data_[--size_].~T();
+    return data_ + i;
+  }
+
   void clear() noexcept {
     for (size_type i = 0; i < size_; ++i) data_[i].~T();
     size_ = 0;

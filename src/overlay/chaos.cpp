@@ -110,20 +110,11 @@ void ChaosHarness::probe_until(SimTime until, int phase, const NodeId* key) {
 }
 
 bool ChaosHarness::ring_consistent() const {
-  std::size_t active_nodes = 0;
-  for (const net::Address a : driver_->live_addresses()) {
-    const auto* n = driver_->node(a);
-    if (n == nullptr || !n->active()) continue;
-    ++active_nodes;
-    const auto succ = driver_->oracle().successor_of(n->descriptor().id);
-    const auto right = n->leaf_set().right_neighbour();
-    if (!succ) {
-      if (right) return false;
-      continue;
-    }
-    if (!right || right->addr != succ->second) return false;
-  }
-  return active_nodes >= 2;
+  // Incrementally maintained by the oracle from right-neighbour change
+  // reports — O(1) per poll instead of a full O(N log N) rescan of every
+  // live node's leaf set (see tests/test_oracle_differential.cpp for the
+  // equivalence check against the rescan).
+  return driver_->oracle().ring_consistent();
 }
 
 double ChaosHarness::measure_reconvergence(SimTime heal_at,

@@ -50,6 +50,10 @@ class OverlayDriver::NodeEnv final : public pastry::Env {
 
   pastry::MessagePool& pool() override { return driver_.pool_; }
 
+  pastry::NodeArena* routing_arena() override {
+    return &driver_.node_arena_;
+  }
+
   std::optional<pastry::NodeDescriptor> bootstrap_candidate() override {
     const auto pick = driver_.oracle_.random_active(driver_.rng_);
     if (!pick || pick->second == self_.addr) return std::nullopt;
@@ -79,6 +83,13 @@ class OverlayDriver::NodeEnv final : public pastry::Env {
     if (driver_.net_.bound(victim)) ++driver_.counters_.false_positives;
   }
 
+  void on_right_neighbour(
+      const std::optional<pastry::NodeDescriptor>& right) override {
+    driver_.oracle_.node_reports_right(
+        self_.id, right ? std::optional<net::Address>(right->addr)
+                        : std::nullopt);
+  }
+
  private:
   OverlayDriver& driver_;
   pastry::NodeDescriptor self_;
@@ -92,7 +103,8 @@ OverlayDriver::OverlayDriver(std::shared_ptr<const net::Topology> topology,
       net_(sim_, topology_, net_config, config.seed ^ 0x9e3779b9ull),
       cfg_(config),
       rng_(config.seed),
-      metrics_(config.metrics_window, config.warmup) {
+      metrics_(config.metrics_window, config.warmup),
+      node_arena_(1 << config.pastry.b) {
   net_.set_injection_observer(
       [this](net::FaultKind k) { metrics_.on_fault_injected(k); });
   if (cfg_.obs.enabled) {

@@ -101,6 +101,9 @@ class OverlayDriver {
   obs::TraceDomain* trace_domain() { return obs_.get(); }
   const obs::TraceDomain* trace_domain() const { return obs_.get(); }
 
+  /// Shared routing-table row slab (scale telemetry: rows, bytes).
+  const pastry::NodeArena& routing_arena() const { return node_arena_; }
+
   pastry::PastryNode* node(net::Address a);
   std::size_t live_node_count() const { return nodes_.size(); }
   std::vector<net::Address> live_addresses() const;
@@ -153,6 +156,10 @@ class OverlayDriver {
   /// Created in the constructor when cfg_.obs.enabled; nodes cache
   /// per-session recorder pointers, so it must outlive nodes_.
   std::unique_ptr<obs::TraceDomain> obs_;
+
+  /// Routing-table row slab shared by every node; declared before nodes_
+  /// because each node's RoutingTable destructor returns its rows here.
+  pastry::NodeArena node_arena_;
 
   std::unordered_map<net::Address, LiveNode> nodes_;
   std::uint64_t next_lookup_id_ = 1;

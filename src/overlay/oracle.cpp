@@ -2,6 +2,60 @@
 
 namespace mspastry::overlay {
 
+void Oracle::node_activated(NodeId id, net::Address addr) {
+  const auto [it, inserted] = active_.emplace(id, addr);
+  if (!inserted) return;
+  refresh(id);
+  // Inserting `id` changes the ground-truth successor of exactly one
+  // other node: id's predecessor on the ring.
+  if (active_.size() >= 2) {
+    const auto pred =
+        it == active_.begin() ? std::prev(active_.end()) : std::prev(it);
+    refresh(pred->first);
+  }
+}
+
+void Oracle::node_failed(NodeId id) {
+  right_.erase(id);
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;  // crashed while still joining
+  std::optional<NodeId> pred;
+  if (active_.size() >= 2) {
+    const auto p =
+        it == active_.begin() ? std::prev(active_.end()) : std::prev(it);
+    pred = p->first;
+  }
+  active_.erase(it);
+  inconsistent_.erase(id);
+  // Removing `id` hands its keys to its successor but only changes the
+  // *expected successor* of its predecessor.
+  if (pred) refresh(*pred);
+}
+
+void Oracle::node_reports_right(NodeId id,
+                                std::optional<net::Address> right) {
+  right_[id] = right;
+  if (active_.count(id) > 0) refresh(id);
+}
+
+void Oracle::refresh(NodeId id) {
+  if (active_.count(id) == 0) {
+    inconsistent_.erase(id);
+    return;
+  }
+  const auto succ = successor_of(id);
+  const auto r = right_.find(id);
+  const std::optional<net::Address> reported =
+      r == right_.end() ? std::nullopt : r->second;
+  const bool ok = succ ? (reported.has_value() && *reported == succ->second)
+                       : !reported.has_value();
+  if (ok) {
+    inconsistent_.erase(id);
+  } else {
+    inconsistent_.insert(id);
+  }
+}
+
 std::optional<net::Address> Oracle::root_of(NodeId key) const {
   if (active_.empty()) return std::nullopt;
   // Candidates: the id at or after the key, and the one before (with

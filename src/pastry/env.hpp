@@ -17,6 +17,7 @@ class FlightRecorder;
 namespace mspastry::pastry {
 
 struct LookupMsg;
+class NodeArena;
 
 /// Everything a PastryNode needs from the outside world: a clock, timers,
 /// a way to send messages, randomness, and upcall hooks. The overlay
@@ -45,6 +46,11 @@ class Env {
   virtual MessagePool& pool() = 0;
 
   virtual Rng& rng() = 0;
+
+  /// Row slab for this node's routing table, shared by every node of a
+  /// simulation so churn recycles rows (see NodeArena). May be nullptr
+  /// (tests, standalone nodes): the table then owns a private arena.
+  virtual NodeArena* routing_arena() { return nullptr; }
 
   /// A fresh bootstrap node for (re)starting a join. May be empty if the
   /// node is supposed to be the first in the overlay.
@@ -77,6 +83,13 @@ class Env {
   /// The node's failure detector marked `victim` faulty (used by the
   /// oracle to count false positives).
   virtual void on_marked_faulty(net::Address victim) { (void)victim; }
+
+  /// The node's leaf-set right neighbour changed (nullopt: leaf set has
+  /// no clockwise member). Fired only on actual changes; the driver feeds
+  /// it to the oracle's incremental ring-consistency check.
+  virtual void on_right_neighbour(const std::optional<NodeDescriptor>& right) {
+    (void)right;
+  }
 };
 
 }  // namespace mspastry::pastry

@@ -24,19 +24,26 @@ bool LeafSet::add(const NodeDescriptor& d) {
     pos->addr = d.addr;  // same id re-announced from a new endpoint
     return true;
   }
-  members_.insert(pos, d);
-  // Trim members that fall outside both side windows: with the vector
-  // sorted by clockwise distance, the right window is the first l/2
-  // entries and the left window the last l/2, so the middle is evictable.
-  bool inserted_survives = true;
-  while (size() > l_) {
-    const int evict = capacity_per_side();
-    if (members_[static_cast<std::size_t>(evict)].id == d.id) {
-      inserted_survives = false;
-    }
-    members_.erase(members_.begin() + evict);
+  const auto p = static_cast<int>(pos - members_.begin());
+  if (size() < l_) {
+    members_.insert(pos, d);
+    return true;
   }
-  return inserted_survives;
+  // Full: one member must go. With the vector sorted by clockwise
+  // distance, the right window is the first l/2 entries and the left
+  // window the last l/2, so the evictee is whatever would land just past
+  // the right window after insertion. Evicting *before* inserting keeps
+  // the vector at l members, so the inline storage never spills.
+  const int evict = capacity_per_side();
+  if (p == evict) return false;  // d itself falls outside both windows
+  if (p < evict) {
+    members_.erase(members_.begin() + (evict - 1));
+    members_.insert(members_.begin() + p, d);
+  } else {
+    members_.erase(members_.begin() + evict);
+    members_.insert(members_.begin() + (p - 1), d);
+  }
+  return true;
 }
 
 bool LeafSet::remove(net::Address a) {

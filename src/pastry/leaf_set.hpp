@@ -1,7 +1,6 @@
 #pragma once
 
 #include <optional>
-#include <vector>
 
 #include "common/node_id.hpp"
 #include "pastry/types.hpp"
@@ -68,14 +67,17 @@ class LeafSet {
   std::optional<NodeDescriptor> closest(NodeId k) const;
 
   /// All members, nearest-successor first (clockwise order).
-  const std::vector<NodeDescriptor>& members() const { return members_; }
+  const LeafVec& members() const { return members_; }
 
  private:
   U128 cw_from_self(NodeId id) const { return self_.clockwise_distance_to(id); }
 
   NodeId self_;
   int l_;
-  std::vector<NodeDescriptor> members_;  // sorted by clockwise distance
+  /// Sorted by clockwise distance. Inline up to the paper's l = 32, and
+  /// add() evicts before inserting when full, so a node's leaf set never
+  /// touches the heap at the default configuration.
+  LeafVec members_;
 };
 
 }  // namespace mspastry::pastry

@@ -243,6 +243,9 @@ class PastryNode {
   /// Checks membership in the failed set, lazily expiring old entries.
   bool in_failed(net::Address a) const;
   void cancel_timer(TimerId& t);
+  /// Fire Env::on_right_neighbour if the leaf set's clockwise neighbour
+  /// changed since the last call. Invoked after every leaf-set mutation.
+  void notify_right_changed();
 
   // --- State -------------------------------------------------------------
   Config cfg_;
@@ -256,6 +259,8 @@ class PastryNode {
   LeafSet leaf_;
   RoutingTable rt_;
   bool active_ = false;
+  /// Right neighbour as last reported through Env::on_right_neighbour.
+  std::optional<net::Address> last_right_;
 
   /// Nodes believed faulty (Figure 2's failedi), keyed by address, with
   /// the time the verdict was reached (entries expire after

@@ -77,9 +77,19 @@ void PastryNode::on_ls_probe_timeout(net::Address j) {
   done_probing(target.addr);
 }
 
+void PastryNode::notify_right_changed() {
+  const auto r = leaf_.right_neighbour();
+  std::optional<net::Address> now_right;
+  if (r) now_right = r->addr;
+  if (now_right == last_right_) return;
+  last_right_ = now_right;
+  env_.on_right_neighbour(r);
+}
+
 void PastryNode::mark_faulty(const NodeDescriptor& j, bool announce) {
   const bool was_leaf = leaf_.contains(j.addr);
   leaf_.remove(j.addr);
+  notify_right_changed();
   rt_.remove(j.addr);
   excluded_.erase(j.addr);
   trt_hints_.erase(j.addr);
@@ -124,6 +134,7 @@ void PastryNode::handle_ls_probe(const LsProbeMsg& m, bool is_reply) {
       leaf_.remove(f.addr);
     }
   }
+  notify_right_changed();  // covers both the add and the removals above
 
   // Candidates from the sender's leaf set: probe before inclusion. Probe
   // only as many as the leaf set is short of (plus slack), closest first:

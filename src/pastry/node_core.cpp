@@ -13,7 +13,7 @@ PastryNode::PastryNode(const Config& cfg, NodeDescriptor self, Env& env,
       counters_(counters),
       rec_(env.recorder()),
       leaf_(self.id, cfg.l),
-      rt_(self.id, cfg.b),
+      rt_(self.id, cfg.b, env.routing_arena()),
       fail_est_(cfg.failure_history),
       trt_local_s_(to_seconds(cfg.self_tuning ? cfg.t_rt_max : cfg.t_rt_fixed)),
       trt_current_s_(trt_local_s_) {}
@@ -320,10 +320,8 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
       // needed (and no announcement — every member gets its own notice).
       // It does NOT go into failed_: the address never comes back, and a
       // rejoining machine arrives with a fresh id and address anyway.
-      const bool was_right =
-          leaf_.right_neighbour() &&
-          leaf_.right_neighbour()->addr == from;
       leaf_.remove(from);
+      notify_right_changed();
       rt_.remove(from);
       excluded_.erase(from);
       trt_hints_.erase(from);
@@ -333,7 +331,6 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
       last_sent_.erase(from);
       rtt_.erase(from);
       measured_at_.erase(from);
-      (void)was_right;
       if (active_ && !leaf_complete()) repair_leaf_set();
       return;
     }

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/node_id.hpp"
 #include "common/sim_time.hpp"
+#include "pastry/node_arena.hpp"
 #include "pastry/types.hpp"
 
 namespace mspastry::pastry {
@@ -26,18 +28,30 @@ inline std::pair<int, int> slot_for(NodeId owner, NodeId candidate, int b) {
 /// measured round-trip delay to the node (kTimeNever if not yet measured)
 /// so proximity neighbour selection can compare candidates.
 ///
+/// Rows live in a NodeArena (see node_arena.hpp): the table itself holds
+/// only a 128/b-wide array of row handles, allocating a row on first
+/// insert and releasing it when its last entry is removed. Only
+/// ~log_2^b(N) rows are ever populated, so per-node footprint is a few
+/// rows instead of the full grid, and at N = 10,000 the difference is
+/// the bulk of simulation RSS. Address-keyed lookups scan the populated
+/// rows (a few cache lines) instead of consulting a per-node hash map.
+///
 /// As with LeafSet, this is pure state: insertion policy (PNS, the
 /// heard-directly rule) is enforced by PastryNode.
 class RoutingTable {
  public:
-  RoutingTable(NodeId self, int b);
+  using Entry = RouteEntry;
 
-  struct Entry {
-    NodeDescriptor node;
-    SimDuration rtt = kTimeNever;  ///< measured RTT; kTimeNever = unknown
-  };
+  /// `arena` is the row slab shared by every node of a simulation (its
+  /// column width must be 2^b); pass nullptr — tests, standalone use —
+  /// and the table owns a private arena.
+  RoutingTable(NodeId self, int b, NodeArena* arena = nullptr);
+  ~RoutingTable();
 
-  int rows() const { return static_cast<int>(grid_.size()); }
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
   int cols() const { return 1 << b_; }
   NodeId self() const { return self_; }
 
@@ -65,10 +79,10 @@ class RoutingTable {
   void update_rtt(net::Address a, SimDuration rtt);
 
   bool remove(net::Address a);
-  bool contains(net::Address a) const { return index_.count(a) > 0; }
+  bool contains(net::Address a) const { return scan(a) != nullptr; }
 
   /// Entry holding address `a`, or nullptr.
-  const Entry* find(net::Address a) const;
+  const Entry* find(net::Address a) const { return scan(a); }
 
   /// All non-empty entries of one row. Inline-capacity vector: a row has
   /// at most 2^b - 1 entries, so this never heap-allocates for b <= 4.
@@ -77,22 +91,29 @@ class RoutingTable {
   /// Deepest row with at least one entry; -1 if the table is empty.
   int deepest_row() const;
 
-  std::size_t entry_count() const { return index_.size(); }
+  std::size_t entry_count() const { return count_; }
 
   /// Visit every entry: f(row, col, entry).
   void for_each(
       const std::function<void(int, int, const Entry&)>& f) const;
 
  private:
-  std::optional<Entry>& slot(int row, int col) {
-    return grid_[static_cast<std::size_t>(row)]
-                [static_cast<std::size_t>(col)];
-  }
+  /// Occupied slot at (row, col), or nullptr (row missing or slot empty).
+  Entry* peek(int row, int col);
+
+  /// Slot at (row, col) for writing, allocating the row if needed.
+  Entry* ensure(int row, int col);
+
+  /// Entry holding `a`, scanning populated rows; reports its slot.
+  const Entry* scan(net::Address a, int* row_out = nullptr,
+                    int* col_out = nullptr) const;
 
   NodeId self_;
   int b_;
-  std::vector<std::vector<std::optional<Entry>>> grid_;
-  std::unordered_map<net::Address, std::pair<int, int>> index_;
+  NodeArena* arena_;                 // shared, or owned_ below
+  std::unique_ptr<NodeArena> owned_;
+  std::vector<std::uint32_t> rows_;  // per-row handle or NodeArena::kNullRow
+  std::size_t count_ = 0;
 };
 
 }  // namespace mspastry::pastry

@@ -12,37 +12,44 @@ namespace mspastry::pastry {
 /// retransmission timeouts more aggressively than TCP (no 1-second floor)
 /// because a missed per-hop ack is recovered by rerouting to an
 /// alternative neighbour, not by a congestion-safe resend to the same one.
+/// State is kept in TCP-style scaled fixed point (srtt x8, rttvar x4) so
+/// the gain divisions keep their fractional part: updating the unscaled
+/// values with `(rtt - srtt) / 8` truncates toward zero, which silently
+/// drops sub-granularity decreases and pins srtt up to 7 ticks above a
+/// stable true RTT forever.
 class RttEstimator {
  public:
   /// Feed one RTT sample.
   void sample(SimDuration rtt) {
     if (!seeded_) {
-      srtt_ = rtt;
-      rttvar_ = rtt / 2;
+      srtt8_ = rtt * 8;
+      rttvar4_ = rtt * 2;  // rttvar seeds at rtt / 2
       seeded_ = true;
       return;
     }
-    const SimDuration err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
-    rttvar_ += (err - rttvar_) / 4;    // beta = 1/4
-    srtt_ += (rtt - srtt_) / 8;        // alpha = 1/8
+    SimDuration delta = rtt - (srtt8_ >> 3);
+    srtt8_ += delta;  // srtt += (rtt - srtt) / 8, error kept in srtt8_
+    if (delta < 0) delta = -delta;
+    rttvar4_ += delta - (rttvar4_ >> 2);  // rttvar += (|err| - rttvar) / 4
   }
 
   bool seeded() const { return seeded_; }
-  SimDuration srtt() const { return srtt_; }
+  SimDuration srtt() const { return srtt8_ >> 3; }
 
   /// Retransmission timeout under the given configuration.
   SimDuration rto(const Config& cfg) const {
     if (!seeded_) return cfg.rto_initial;
-    const auto raw = srtt_ + static_cast<SimDuration>(
-                                 cfg.rto_var_factor *
-                                 static_cast<double>(rttvar_));
+    const auto raw =
+        (srtt8_ >> 3) + static_cast<SimDuration>(
+                            cfg.rto_var_factor *
+                            (static_cast<double>(rttvar4_) / 4.0));
     return std::clamp(raw, cfg.rto_min, cfg.rto_max);
   }
 
  private:
   bool seeded_ = false;
-  SimDuration srtt_ = 0;
-  SimDuration rttvar_ = 0;
+  SimDuration srtt8_ = 0;   // smoothed RTT, scaled by 8
+  SimDuration rttvar4_ = 0; // mean deviation, scaled by 4
 };
 
 }  // namespace mspastry::pastry

@@ -17,8 +17,13 @@ double FailureRateEstimator::estimate(SimTime now,
     k += 1.0;
     last = now;
   }
-  const double span = to_seconds(last - times_.front());
-  if (span <= 0.0 || k <= 0.0) return 0.0;
+  if (k <= 0.0) return 0.0;
+  // A correlated failure burst can land every recorded time in the same
+  // event-loop tick, collapsing the span to zero exactly when probing
+  // should be fastest. Clamp to the clock resolution so a burst drives
+  // the estimate up (the safe direction) instead of to zero.
+  const double span = std::max(to_seconds(last - times_.front()),
+                               to_seconds(microseconds(1)));
   return k / (m * span);
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -28,17 +29,26 @@ inline constexpr TimerId kInvalidTimer = 0;
 /// This is the substrate everything else runs on: the network model
 /// schedules message deliveries, the overlay nodes schedule protocol
 /// timers, and the churn driver schedules joins and failures. The
-/// paper's runs push millions of events through it, so the internals are
-/// built for throughput (see DESIGN.md "Event core"):
+/// paper's runs push millions of events through it at N = 10,000 nodes,
+/// so the internals are built for throughput (see DESIGN.md "Event
+/// core"):
 ///
 ///  - callbacks live in a slab-allocated arena of fixed-size slots with
 ///    free-list reuse — schedule/cancel/fire touch no hash table and,
 ///    for callbacks that fit the inline buffer, no allocator;
-///  - cancel() is an O(1) generation check + tombstone: the heap entry
-///    is left in place and skipped (lazily) when it surfaces;
+///  - cancel() is an O(1) generation check + tombstone: the parked entry
+///    is left in place and dropped (lazily) when it surfaces;
+///  - a hierarchical timer wheel (4 levels x 64 buckets, 2^10 us ticks)
+///    fronts the ready queue: timers further than one tick out park in a
+///    bucket and only enter the comparison-ordered heap when the cursor
+///    reaches their tick, so the O(N) steady-state periodic load
+///    (heartbeats, Trt probes, RT maintenance) costs O(1) per timer and
+///    cancelled timers (most RTO timers — acks beat them) never touch
+///    the heap at all;
 ///  - the ready queue is a 4-ary implicit min-heap keyed by (time, seq),
 ///    which does ~half the levels of a binary heap on pop and keeps
-///    sifts within one or two cache lines.
+///    sifts within one or two cache lines. Execution order is exactly
+///    (time, seq) — the wheel never reorders, it only defers heap entry.
 class Simulator {
  public:
   /// Inline capacity for callbacks stored by the simulator. Sized so the
@@ -104,9 +114,15 @@ class Simulator {
   std::size_t pending_events() const { return live_; }
 
   /// Introspection for perf accounting: arena high-water mark (slots) and
-  /// heap entries currently held (live events + unpruned tombstones).
+  /// entries currently held across the heap, wheel, and far heap (live
+  /// events + unpruned tombstones).
   std::size_t arena_slots() const { return slots_.size(); }
-  std::size_t heap_entries() const { return heap_.size(); }
+  std::size_t heap_entries() const {
+    return heap_.size() + wheel_count_ + far_.size();
+  }
+  /// Entries parked in wheel buckets or the far heap (not yet promoted to
+  /// the ready queue); includes tombstones of cancelled timers.
+  std::size_t parked_entries() const { return wheel_count_ + far_.size(); }
 
  private:
   struct HeapEntry {
@@ -118,6 +134,27 @@ class Simulator {
 
   static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
 
+  // --- Timer wheel geometry ----------------------------------------------
+  // A tick is 2^10 us (~1 ms, on the order of one network hop). Each of
+  // the 4 levels has 64 buckets; level k buckets span 64^k ticks, so the
+  // wheel covers 64^4 ticks (~4.8 simulated hours). Timers beyond that
+  // horizon wait in `far_` (a plain (t, seq) min-heap of churn-trace
+  // events, never cancelled in practice) and migrate into the wheel when
+  // the cursor gets within range. Bucket indices are absolute tick bits
+  // (Varghese-Lauck hashed hierarchical wheel), and the level is chosen
+  // from the delta to the cursor, which guarantees an entry's bucket is
+  // always entered by the cursor before the entry's tick passes.
+  using Tick = std::int64_t;
+  static constexpr int kTickShift = 10;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kWheelLevels = 4;
+  static constexpr std::uint32_t kWheelBuckets = 64;
+  static constexpr Tick kWheelSpanTicks =
+      Tick(1) << (kLevelBits * kWheelLevels);  // 64^4
+  static constexpr Tick kTickNever = INT64_MAX;
+
+  static Tick tick_of(SimTime t) { return t >> kTickShift; }
+
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     return a.t != b.t ? a.t < b.t : a.seq < b.seq;
   }
@@ -126,8 +163,35 @@ class Simulator {
   void release_slot(std::uint32_t slot);
 
   /// Marks an acquired slot (callback already stored) as pending at `t`,
-  /// pushes its heap entry, and mints the generation-tagged handle.
+  /// parks its entry (heap, wheel, or far heap), and mints the
+  /// generation-tagged handle.
   TimerId arm_slot(SimTime t, std::uint32_t slot);
+
+  /// Files an entry by delta to the cursor: current tick (or past) goes
+  /// straight to the ready heap, within the wheel span to a bucket, and
+  /// beyond to the far heap.
+  void place(const HeapEntry& e);
+
+  /// Makes heap_[0] the globally earliest live pending event, advancing
+  /// the wheel cursor and draining buckets as needed. Stops early once it
+  /// can prove no pending event is at or before `bound` (the heap may
+  /// then be empty or its front later than `bound`).
+  void pump(SimTime bound);
+
+  /// Moves the cursor to `target` (the minimal occupied span start as
+  /// computed by pump), cascading the newly-entered bucket at each level.
+  void advance_to(Tick target);
+
+  /// Empties bucket (level, idx), re-filing live entries relative to the
+  /// current cursor and dropping cancelled tombstones.
+  void cascade(int level, std::uint32_t idx);
+
+  /// Earliest tick at which level `k` can hold an entry (the span start
+  /// of its next occupied bucket in cursor order), or kTickNever.
+  Tick level_next_tick(int k) const;
+
+  void far_push(const HeapEntry& e);
+  void far_pop_front();
 
   // Slot metadata is kept in a parallel flat array of 8-byte words —
   // generation in the high half, free-list link in the low half — so the
@@ -160,6 +224,16 @@ class Simulator {
   std::vector<Callback> slots_;     // timer arena (cold: callbacks only)
   std::vector<std::uint64_t> meta_; // parallel: generation | free link
   std::uint32_t free_head_ = kNoFreeSlot;
+
+  // Wheel state. Invariant: every bucket entry's tick is > cur_tick_;
+  // everything at or before the cursor has been promoted to the heap.
+  Tick cur_tick_ = 0;
+  std::array<std::array<std::vector<HeapEntry>, kWheelBuckets>, kWheelLevels>
+      wheel_;
+  std::array<std::uint64_t, kWheelLevels> occupied_{};  // per-level masks
+  std::size_t wheel_count_ = 0;   // entries across all buckets (+tombstones)
+  std::vector<HeapEntry> far_;    // binary min-heap on (t, seq)
+  std::vector<HeapEntry> scratch_;  // cascade staging, capacity reused
 };
 
 /// A repeating timer built on the simulator: fires `fn` every `period`,

@@ -217,9 +217,40 @@ void apply(Adapter& a, const Op& op) {
   }
 }
 
-void run_differential(std::uint64_t seed, int n_ops) {
-  SCOPED_TRACE("seed=" + std::to_string(seed));
-  const std::vector<Op> script = make_script(seed, n_ops);
+// Wide-delay script: delays land in every timer-wheel level and the far
+// heap (the wheel spans ~4.8 simulated hours), and run_until bounds jump
+// the cursor across whole levels at a time.
+std::vector<Op> make_wide_script(std::uint64_t seed, int n_ops) {
+  std::mt19937_64 rng(seed);
+  std::vector<Op> script;
+  script.reserve(static_cast<std::size_t>(n_ops));
+  std::uint64_t next_tag = 1;
+  auto wide_delay = [&rng]() -> SimDuration {
+    switch (rng() % 6) {
+      case 0: return microseconds(rng() % 2048);        // ready heap / L0
+      case 1: return milliseconds(rng() % 70);          // L0-L1 boundary
+      case 2: return seconds(rng() % 70);               // L1-L2
+      case 3: return minutes(rng() % 75);               // L2-L3
+      case 4: return hours(1 + rng() % 5);              // L3 / far edge
+      default: return hours(5) + minutes(rng() % 600);  // far heap
+    }
+  };
+  for (int i = 0; i < n_ops; ++i) {
+    const std::uint64_t roll = rng() % 100;
+    if (roll < 40) {
+      script.push_back({Op::kSchedule, next_tag++, wide_delay()});
+    } else if (roll < 65 && next_tag > 1) {
+      script.push_back({Op::kCancel, rng() % next_tag, 0});
+    } else if (roll < 75) {
+      script.push_back({Op::kStep, 0, 0});
+    } else {
+      script.push_back({Op::kRunUntil, 0, wide_delay()});
+    }
+  }
+  return script;
+}
+
+void run_script_differential(const std::vector<Op>& script) {
   SimAdapter sim;
   RefAdapter ref;
   for (std::size_t i = 0; i < script.size(); ++i) {
@@ -243,6 +274,11 @@ void run_differential(std::uint64_t seed, int n_ops) {
   }
   EXPECT_EQ(sim.now(), ref.now());
   EXPECT_EQ(sim.pending(), 0u);
+}
+
+void run_differential(std::uint64_t seed, int n_ops) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  run_script_differential(make_script(seed, n_ops));
 }
 
 TEST(EventCoreDifferential, MatchesReferenceAcrossSeeds) {
@@ -269,6 +305,67 @@ TEST(EventCoreDifferential, SameInstantFifoUnderNesting) {
   ASSERT_EQ(sim.log.size(), ref.log.size());
   EXPECT_EQ(sim.log, ref.log);
   EXPECT_EQ(sim.pending(), ref.pending());
+}
+
+TEST(EventCoreDifferential, WheelSpansAllLevelsAndFarHeap) {
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    run_script_differential(make_wide_script(seed, 3000));
+  }
+}
+
+TEST(EventCoreWheel, TimersBeyondOneTickParkOutsideTheHeap) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule_after(seconds(10 + i), [&fired] { ++fired; }));
+  }
+  // Everything is beyond the current wheel tick: parked, not in the heap.
+  EXPECT_EQ(sim.parked_entries(), 1000u);
+  EXPECT_EQ(sim.pending_events(), 1000u);
+
+  // Cancelling parked timers is O(1) and their tombstones never reach the
+  // ready heap: the run below executes nothing and the clock stays put.
+  for (const TimerId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), kTimeZero);
+  EXPECT_EQ(sim.heap_entries(), 0u);  // cascades dropped every tombstone
+}
+
+TEST(EventCoreWheel, FarFutureEventsMigrateAndFireInOrder) {
+  // Beyond the wheel span (~4.8 h) timers wait in the far heap; sparse
+  // far-apart events force the cursor to jump rather than walk buckets.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(days(2), [&order] { order.push_back(2); });
+  sim.schedule_at(days(1), [&order] { order.push_back(0); });
+  sim.schedule_at(hours(30), [&order] { order.push_back(1); });
+  sim.schedule_at(days(40), [&order] { order.push_back(3); });
+  EXPECT_EQ(sim.parked_entries(), 4u);
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), days(40));
+}
+
+TEST(EventCoreWheel, SameInstantFifoAcrossParkingClasses) {
+  // Events at one instant scheduled from different distances — direct to
+  // heap, via wheel buckets, via the far heap — must still fire in exact
+  // scheduling order once the clock arrives.
+  Simulator sim;
+  const SimTime t = hours(6);
+  std::vector<int> order;
+  sim.schedule_at(t, [&] { order.push_back(0); });  // far heap (> span)
+  sim.run_until(hours(3));
+  sim.schedule_at(t, [&] { order.push_back(1); });  // wheel, high level
+  sim.run_until(t - milliseconds(2));
+  sim.schedule_at(t, [&] { order.push_back(2); });  // wheel, level 0
+  sim.run_until(t - microseconds(1));
+  sim.schedule_at(t, [&] { order.push_back(3); });  // at most one tick out
+  sim.run_until(t);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(EventCoreDifferential, RunUntilBoundaryExactlyAtEventTime) {

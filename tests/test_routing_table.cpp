@@ -216,5 +216,37 @@ TEST_P(RoutingTablePropertyTest, SelfColumnStaysEmpty) {
 INSTANTIATE_TEST_SUITE_P(AllB, RoutingTablePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// Tables of many nodes share one arena; churn must recycle rows rather
+// than grow the reservation, and a destroyed table must return its rows.
+TEST(NodeArena, RowsRecycleAcrossTableLifetimes) {
+  const int b = 4;
+  NodeArena arena(1 << b);
+  Rng rng(42);
+  std::size_t high_water = 0;
+  for (int session = 0; session < 50; ++session) {
+    RoutingTable rt(rng.node_id(), b, &arena);
+    for (int i = 0; i < 60; ++i) rt.add({rng.node_id(), i});
+    EXPECT_GT(arena.rows_in_use(), 0u);
+    if (session == 0) high_water = arena.rows_reserved();
+    // Steady state: one table's worth of rows fits the first reservation.
+    EXPECT_EQ(arena.rows_reserved(), high_water) << "session " << session;
+  }
+  EXPECT_EQ(arena.rows_in_use(), 0u);  // every destructor freed its rows
+}
+
+TEST(NodeArena, RemovingLastEntryReleasesTheRow) {
+  const int b = 4;
+  NodeArena arena(1 << b);
+  RoutingTable rt(kSelf, b, &arena);
+  const NodeDescriptor d{
+      NodeId::from_string("0123456789abcdef0123456789abcdef"), 7};
+  ASSERT_TRUE(rt.add(d));
+  EXPECT_EQ(arena.rows_in_use(), 1u);
+  EXPECT_TRUE(rt.remove(d.addr));
+  EXPECT_EQ(arena.rows_in_use(), 0u);
+  EXPECT_EQ(rt.deepest_row(), -1);
+  EXPECT_EQ(rt.entry_count(), 0u);
+}
+
 }  // namespace
 }  // namespace mspastry::pastry

@@ -2,8 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+
 namespace mspastry::pastry {
 namespace {
+
+// Exact Jacobson/Karels recurrence in double precision, used as the
+// ground truth the fixed-point implementation must track.
+struct ReferenceEstimator {
+  bool seeded = false;
+  double srtt = 0.0;
+  double rttvar = 0.0;
+  void sample(double rtt) {
+    if (!seeded) {
+      srtt = rtt;
+      rttvar = rtt / 2.0;
+      seeded = true;
+      return;
+    }
+    const double err = std::abs(rtt - srtt);
+    rttvar += (err - rttvar) / 4.0;
+    srtt += (rtt - srtt) / 8.0;
+  }
+};
 
 Config cfg() { return Config{}; }
 
@@ -54,6 +76,57 @@ TEST(RttEstimator, VarianceTracksJitter) {
     jittery.sample(i % 2 == 0 ? milliseconds(20) : milliseconds(80));
   }
   EXPECT_GT(jittery.rto(cfg()), smooth.rto(cfg()));
+}
+
+TEST(RttEstimator, ConvergesDownThroughSubGranularitySteps) {
+  // Regression: with unscaled integer state, `(rtt - srtt_) / 8` truncates
+  // toward zero, so once srtt sits within 7 ticks above the true RTT no
+  // sample can ever pull it down — the estimator is permanently biased
+  // high. The scaled fixed-point state must converge to the true value.
+  RttEstimator e;
+  e.sample(microseconds(10007));  // seed 7 ticks above the true RTT
+  for (int i = 0; i < 300; ++i) e.sample(microseconds(10000));
+  EXPECT_EQ(e.srtt(), microseconds(10000));
+}
+
+TEST(RttEstimator, TracksReferenceThroughSlowDecrease) {
+  // RTT drifts down by 5 us per sample — every individual step is below
+  // the 8-tick truncation granularity. The pre-fix estimator freezes at
+  // the seed while the true RTT walks 4 ms away.
+  RttEstimator e;
+  ReferenceEstimator ref;
+  for (int i = 0; i <= 800; ++i) {
+    const SimDuration rtt = microseconds(60000 - 5 * i);
+    e.sample(rtt);
+    ref.sample(static_cast<double>(rtt));
+  }
+  EXPECT_NEAR(static_cast<double>(e.srtt()), ref.srtt, 16.0);
+}
+
+TEST(RttEstimator, TracksReferenceUnderRandomJitter) {
+  // Differential check against the double-precision recurrence across a
+  // long random sample stream: the fixed-point state keeps the dropped
+  // fractions, so srtt and the derived RTO stay within a few ticks of
+  // the exact values at every step.
+  std::mt19937_64 prng(0x5eed);
+  std::uniform_int_distribution<SimDuration> pick(
+      milliseconds(20), milliseconds(80));
+  RttEstimator e;
+  ReferenceEstimator ref;
+  const Config c = cfg();
+  for (int i = 0; i < 2000; ++i) {
+    const SimDuration rtt = pick(prng);
+    e.sample(rtt);
+    ref.sample(static_cast<double>(rtt));
+    ASSERT_NEAR(static_cast<double>(e.srtt()), ref.srtt, 16.0)
+        << "diverged at sample " << i;
+    const double ref_rto =
+        std::clamp(ref.srtt + c.rto_var_factor * ref.rttvar,
+                   static_cast<double>(c.rto_min),
+                   static_cast<double>(c.rto_max));
+    ASSERT_NEAR(static_cast<double>(e.rto(c)), ref_rto, 64.0)
+        << "RTO diverged at sample " << i;
+  }
 }
 
 TEST(RttEstimator, AdaptsToRttIncrease) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 namespace mspastry::pastry {
 namespace {
@@ -129,6 +130,53 @@ TEST(TuneTrt, SolutionAchievesTargetRawLoss) {
   EXPECT_NEAR(lr, cfg.target_raw_loss, 1e-6);
 }
 
+TEST(TuneTrt, PropertySweepMonotoneAndBounded) {
+  // Randomized audit of the bisection boundaries: across random overlay
+  // sizes and loss targets the returned Trt must be (a) monotone
+  // non-increasing in mu, (b) monotone non-decreasing in target_raw_loss,
+  // and (c) always inside [t_rt_min, t_rt_max].
+  std::mt19937_64 prng(0xc0ffee);
+  std::uniform_real_distribution<double> pick_n(10.0, 200000.0);
+  std::uniform_real_distribution<double> pick_loss(0.002, 0.2);
+  std::uniform_real_distribution<double> pick_log_mu(-8.0, 0.0);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Config cfg = base_config();
+    cfg.target_raw_loss = pick_loss(prng);
+    const double n = pick_n(prng);
+    const double t_min = to_seconds(cfg.t_rt_min);
+    const double t_max = to_seconds(cfg.t_rt_max);
+
+    // (a) + (c): increasing mu grid, Trt must not increase.
+    double prev = t_max + 1.0;
+    for (double log_mu = -8.0; log_mu <= 0.0; log_mu += 0.25) {
+      const double trt = selftune::tune_trt(cfg, std::pow(10.0, log_mu), n);
+      EXPECT_GE(trt, t_min);
+      EXPECT_LE(trt, t_max);
+      EXPECT_LE(trt, prev + 1e-9)
+          << "Trt increased with mu at n=" << n
+          << " target=" << cfg.target_raw_loss << " log_mu=" << log_mu;
+      prev = trt;
+    }
+
+    // (b) + (c): increasing loss target at fixed random mu, Trt must not
+    // decrease (a looser budget never needs faster probing).
+    const double mu = std::pow(10.0, pick_log_mu(prng));
+    prev = t_min - 1.0;
+    for (double loss = 0.001; loss <= 0.3; loss += 0.01) {
+      Config c2 = cfg;
+      c2.target_raw_loss = loss;
+      const double trt = selftune::tune_trt(c2, mu, n);
+      EXPECT_GE(trt, t_min);
+      EXPECT_LE(trt, t_max);
+      EXPECT_GE(trt, prev - 1e-9)
+          << "Trt decreased with loss target at n=" << n << " mu=" << mu
+          << " loss=" << loss;
+      prev = trt;
+    }
+  }
+}
+
 TEST(TuneTrt, LargerOverlayProbesFaster) {
   // More hops -> tighter per-hop budget -> shorter period.
   const Config cfg = base_config();
@@ -174,6 +222,41 @@ TEST(FailureRateEstimator, PartialHistoryCountsNowAsFailure) {
   const double late = est.estimate(seconds(10000), 100);
   EXPECT_GT(early, late);
   EXPECT_GT(late, 0.0);
+}
+
+TEST(FailureRateEstimator, CorrelatedBurstBiasesRateUp) {
+  // Regression: a correlated burst that lands every recorded failure in
+  // the same event-loop tick used to collapse the span to zero and return
+  // mu = 0 — driving tune_trt to t_rt_max exactly when probing should be
+  // fastest. The span is now clamped to the clock resolution, so a burst
+  // produces a very large (upward-biased) estimate instead.
+  const int k = 4;
+  FailureRateEstimator est(k);
+  const SimTime burst = seconds(100);
+  for (int i = 0; i < k; ++i) est.record_failure(burst);
+
+  const std::size_t m = 50;
+  const double mu = est.estimate(burst, m);
+  EXPECT_GT(mu, 0.0);
+  // k-1 failures over the 1-tick minimum span across M=50 nodes.
+  EXPECT_NEAR(mu, (k - 1) / (50.0 * to_seconds(microseconds(1))), 1e-6);
+
+  // And the large estimate must drive the probe period to its floor, not
+  // its ceiling.
+  const Config cfg = base_config();
+  EXPECT_DOUBLE_EQ(selftune::tune_trt(cfg, mu, 10000.0),
+                   to_seconds(cfg.t_rt_min));
+}
+
+TEST(FailureRateEstimator, BurstInThePastStillDecays) {
+  // The clamp must only kick in for a genuinely zero span: a burst
+  // observed long ago still yields a small estimate because the
+  // as-if-failure-now path stretches the span to the present.
+  FailureRateEstimator est(4);
+  for (int i = 0; i < 4; ++i) est.record_failure(seconds(100));
+  const double mu = est.estimate(seconds(10100), 50);
+  EXPECT_GT(mu, 0.0);
+  EXPECT_LT(mu, 1e-2);
 }
 
 TEST(FailureRateEstimator, HistoryIsBounded) {
