@@ -14,6 +14,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kStall: return "stall";
+    case FaultKind::kAdversarialDrop: return "adversarial-drop";
   }
   return "?";
 }
@@ -271,6 +272,8 @@ FaultAction FaultPlan::apply(SimTime now, Address from, Address to) {
         break;
       case FaultKind::kStall:
         break;
+      case FaultKind::kAdversarialDrop:
+        break;  // never a plan rule; injected by Network::devour
     }
     if (act.drop) {
       ++injected_[static_cast<std::size_t>(act.drop_kind)];

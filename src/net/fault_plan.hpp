@@ -27,8 +27,13 @@ enum class FaultKind : std::uint8_t {
   kDuplicate,
   kReorder,
   kStall,
+  /// Not a fault-plan rule: counted when an adversarial overlay node
+  /// devours a packet it pretended to forward (Network::devour). Lives in
+  /// this enum so the injection observer and per-kind counters cover all
+  /// injected packet mischief uniformly.
+  kAdversarialDrop,
 };
-inline constexpr std::size_t kFaultKindCount = 7;
+inline constexpr std::size_t kFaultKindCount = 8;
 
 const char* fault_kind_name(FaultKind k);
 
@@ -148,6 +153,12 @@ class FaultPlan {
   /// The network reports each packet it defers because of a stall.
   void note_stall_deferred() {
     ++injected_[static_cast<std::size_t>(FaultKind::kStall)];
+  }
+
+  /// The network reports each packet devoured by an adversarial sender
+  /// (Network::devour), so per-kind injection counters stay uniform.
+  void note_adversarial_drop() {
+    ++injected_[static_cast<std::size_t>(FaultKind::kAdversarialDrop)];
   }
 
   std::uint64_t injected(FaultKind k) const {

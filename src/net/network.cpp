@@ -122,6 +122,16 @@ void Network::send(Address from, Address to, PacketPtr packet) {
   }
 }
 
+void Network::devour(Address from, Address to, PacketPtr packet) {
+  assert(packet != nullptr);
+  // The pretend transmission occupies the identity like a real one.
+  ++sent_;
+  ++dropped_adversarial_;
+  faults_.note_adversarial_drop();
+  notify_injection(FaultKind::kAdversarialDrop);
+  notify_drop(from, to, packet, DropKind::kAdversary);
+}
+
 void Network::schedule_delivery(SimDuration after, Address from, Address to,
                                 PacketPtr packet) {
   ++in_flight_;

@@ -86,6 +86,12 @@ class Network {
   /// Send a packet; delivery (or loss) is scheduled on the simulator.
   void send(Address from, Address to, PacketPtr packet);
 
+  /// An adversarial sender "transmits" a packet it actually devours: the
+  /// packet counts as sent and adversarially dropped (keeping the
+  /// accounting identity exact), the injection and drop observers see it
+  /// (DropKind::kAdversary), but delivery is never scheduled.
+  void devour(Address from, Address to, PacketPtr packet);
+
   /// Install a reachability filter for fault injection: packets where
   /// `allow(from, to)` is false are silently dropped (both directions must
   /// be filtered by the caller if symmetry is wanted). Pass nullptr to
@@ -118,8 +124,9 @@ class Network {
   enum class DropKind : std::uint8_t {
     kFilter,   ///< caller-installed link filter said no
     kFault,    ///< a fault-plan rule (partition, flap, ...) dropped it
-    kLoss,     ///< uniform random loss
-    kUnbound,  ///< arrived at a dead endpoint
+    kLoss,      ///< uniform random loss
+    kUnbound,   ///< arrived at a dead endpoint
+    kAdversary, ///< devoured by an adversarial sender (Network::devour)
   };
 
   /// Observer invoked for every packet the network loses, with the ground
@@ -137,9 +144,14 @@ class Network {
   std::uint64_t packets_lost() const { return lost_; }
   std::uint64_t packets_delivered() const { return delivered_; }
   /// Packets that arrived at an endpoint with no bound handler (the
-  /// receiver died or never bound). Together with the above:
-  /// sent == lost + delivered + dropped_unbound + in_flight, always.
+  /// receiver died or never bound). Together with the others:
+  /// sent == lost + delivered + dropped_unbound + dropped_adversarial
+  ///      + in_flight, always.
   std::uint64_t packets_dropped_unbound() const { return dropped_unbound_; }
+  /// Packets devoured by adversarial senders (Network::devour).
+  std::uint64_t packets_dropped_adversarial() const {
+    return dropped_adversarial_;
+  }
   std::uint64_t packets_in_flight() const { return in_flight_; }
 
  private:
@@ -175,6 +187,7 @@ class Network {
   std::uint64_t lost_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_unbound_ = 0;
+  std::uint64_t dropped_adversarial_ = 0;
   std::uint64_t in_flight_ = 0;
 };
 

@@ -48,9 +48,11 @@ enum class EventKind : std::uint8_t {
 
   // --- Wire-level (recorded by the driver's drop observer) --------------
   kNetDrop,        ///< the network dropped a traced packet in flight
+  kAdversaryDrop,  ///< an adversarial sender devoured a traced packet
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kNetDrop) + 1;
+inline constexpr int kEventKindCount =
+    static_cast<int>(EventKind::kAdversaryDrop) + 1;
 
 /// Short stable name, used in dumps and reports.
 const char* event_kind_name(EventKind k);

@@ -186,6 +186,30 @@ void check_heartbeat_period(const TraceDomain& domain,
   });
 }
 
+// R6 — a delivered lookup must land at the oracle's root for its key.
+// The harness records a ground-truth verdict per lookup id at delivery
+// time; the rule attaches the offending causal path to the violation so
+// a misdelivery (e.g. an adversarial root claim) is directly debuggable.
+void check_delivered_at_oracle_root(const TraceDomain&,
+                                    const std::vector<CausalPath>& paths,
+                                    const ExpectationConfig& cfg,
+                                    std::vector<Violation>& out) {
+  if (!cfg.lookup_verdict) return;
+  for (const CausalPath& p : paths) {
+    if (!p.delivered || p.is_join || p.lookup_id == 0) continue;
+    const std::optional<bool> correct = cfg.lookup_verdict(p.lookup_id);
+    if (!correct.has_value() || *correct) continue;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "lookup %llu delivered by node %d, which the oracle says "
+                  "is not the root; offending path:\n",
+                  static_cast<unsigned long long>(p.lookup_id),
+                  p.delivered_by);
+    add_violation(out, "delivered-at-oracle-root", p.trace_id,
+                  p.delivered_by, p.delivered_at, buf + describe(p));
+  }
+}
+
 }  // namespace
 
 const std::vector<Expectation>& expectations() {
@@ -208,6 +232,10 @@ const std::vector<Expectation>& expectations() {
       {"heartbeat-periodicity",
        "heartbeat timer ticks are never more than Tls + To apart",
        check_heartbeat_period},
+      {"delivered-at-oracle-root",
+       "a delivered lookup's responsible node matches the oracle's root "
+       "for the key (misdelivery attaches the offending causal path)",
+       check_delivered_at_oracle_root},
   };
   return kRules;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,15 @@ struct ExpectationConfig {
   SimDuration t_ls = seconds(30);
   SimDuration t_o = seconds(3);
   SimDuration failed_entry_ttl = minutes(10);
+
+  /// Ground-truth verdict oracle for the delivered-at-oracle-root rule:
+  /// given a lookup id, return whether its (first) delivery landed at the
+  /// node the oracle says owned the key at delivery time. nullopt = no
+  /// verdict recorded for that id (unsampled or pre-warmup); rule is
+  /// skipped entirely when the function is unset. The checker itself
+  /// stays pure over the rings — the harness supplies the verdicts it
+  /// recorded during the run.
+  std::function<std::optional<bool>(std::uint64_t lookup_id)> lookup_verdict;
 };
 
 struct Violation {

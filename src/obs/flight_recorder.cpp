@@ -31,6 +31,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kJoinProbe: return "join-probe";
     case EventKind::kActivated: return "activated";
     case EventKind::kNetDrop: return "net-drop";
+    case EventKind::kAdversaryDrop: return "adversary-drop";
   }
   return "?";
 }

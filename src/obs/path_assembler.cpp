@@ -69,6 +69,7 @@ CausalPath stitch(std::uint64_t trace_id, std::vector<NodeEvent>& events,
           p.origin = ne.node;
           p.issued_at = e.t;
         }
+        if (p.lookup_id == 0) p.lookup_id = e.aux;
         break;
       case EventKind::kJoinRequestSent:
         if (p.issued_at == kTimeNever) {
@@ -129,6 +130,9 @@ CausalPath stitch(std::uint64_t trace_id, std::vector<NodeEvent>& events,
       case EventKind::kNetDrop:
         rec(e.hop).net_dropped = true;
         break;
+      case EventKind::kAdversaryDrop:
+        rec(e.hop).adversary_dropped = true;
+        break;
       case EventKind::kBuffered:
         rec(e.hop).buffered = true;
         break;
@@ -137,6 +141,7 @@ CausalPath stitch(std::uint64_t trace_id, std::vector<NodeEvent>& events,
           p.delivered = true;
           p.delivered_at = e.t;
           p.delivered_by = ne.node;
+          if (!p.is_join && p.lookup_id == 0) p.lookup_id = e.aux;
         }
         break;
       case EventKind::kAppConsumed:
@@ -166,6 +171,7 @@ CausalPath stitch(std::uint64_t trace_id, std::vector<NodeEvent>& events,
     p.duplicate_recvs += h.duplicate_recvs;
     if (h.buffered) p.buffered_hops += 1;
     if (h.net_dropped && !p.delivered) p.net_lost = true;
+    if (h.adversary_dropped && !p.delivered) p.adversary_devoured = true;
     if (h.from != net::kNullAddress) touched.insert(h.from);
     if (h.to != net::kNullAddress) touched.insert(h.to);
     p.hops.push_back(std::move(h));
@@ -239,11 +245,12 @@ std::optional<CausalPath> assemble_path(const TraceDomain& domain,
 std::string describe(const CausalPath& p) {
   char buf[256];
   std::string out;
-  const char* outcome = p.delivered  ? "delivered"
-                        : p.consumed ? "app-consumed"
-                        : p.dropped  ? "dropped"
-                        : p.net_lost ? "lost-in-network"
-                                     : "unresolved";
+  const char* outcome = p.delivered            ? "delivered"
+                        : p.consumed           ? "app-consumed"
+                        : p.dropped            ? "dropped"
+                        : p.adversary_devoured ? "devoured-by-adversary"
+                        : p.net_lost           ? "lost-in-network"
+                                               : "unresolved";
   std::snprintf(buf, sizeof buf,
                 "trace %016llx %s from node %d: %s, %zu hops, %d reroutes, "
                 "%d timeouts, %d retransmits%s\n",
@@ -284,6 +291,7 @@ std::string describe(const CausalPath& p) {
     }
     if (h.rerouted) out += " REROUTED";
     if (h.net_dropped) out += " NET-DROP";
+    if (h.adversary_dropped) out += " ADVERSARY-DROP";
     if (h.buffered) out += " BUFFERED";
     if (h.duplicate_recvs > 0) {
       std::snprintf(buf, sizeof buf, " dup-recv x%d", h.duplicate_recvs);

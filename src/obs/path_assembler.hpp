@@ -26,6 +26,7 @@ struct HopRecord {
   int duplicate_recvs = 0;                    ///< dup-injected extra arrivals
   bool rerouted = false;                      ///< abandoned via reroute
   bool net_dropped = false;                   ///< wire drop observed
+  bool adversary_dropped = false;             ///< devoured by the sender
   bool buffered = false;                      ///< held at an inactive receiver
 
   /// Per-hop latency attribution (the tentpole's breakdown):
@@ -37,6 +38,10 @@ struct HopRecord {
 /// An end-to-end causal path for one traced lookup or join request.
 struct CausalPath {
   std::uint64_t trace_id = 0;
+  /// The application-level lookup id this path carried (0 for joins or
+  /// when the issue/deliver events fell off the ring). Lets checkers ask
+  /// the oracle whether the delivering node was the true root.
+  std::uint64_t lookup_id = 0;
   bool is_join = false;
   net::Address origin = net::kNullAddress;
   net::Address delivered_by = net::kNullAddress;
@@ -47,6 +52,7 @@ struct CausalPath {
   bool consumed = false;     ///< an application forward() upcall ate it
   bool dropped = false;      ///< a node gave up (max hops / retry budget)
   bool net_lost = false;     ///< the wire dropped the last transmission
+  bool adversary_devoured = false;  ///< an adversarial hop devoured it
 
   /// False when a contributing ring overwrote events from this path's
   /// time window: hops may be missing and attributions undercounted.

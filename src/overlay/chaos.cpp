@@ -27,6 +27,9 @@ enum class Scenario {
   kDupReorder,
   kGrayStall,
   kCombined,
+  kByzantineDrop,
+  kByzantineMisroute,
+  kEclipse,
   kRandom,
 };
 
@@ -37,8 +40,16 @@ Scenario parse_scenario(const std::string& name) {
   if (name == "dup-reorder") return Scenario::kDupReorder;
   if (name == "gray-stall") return Scenario::kGrayStall;
   if (name == "combined") return Scenario::kCombined;
+  if (name == "byzantine-drop") return Scenario::kByzantineDrop;
+  if (name == "byzantine-misroute") return Scenario::kByzantineMisroute;
+  if (name == "eclipse-victim") return Scenario::kEclipse;
   if (name == "random") return Scenario::kRandom;
   throw std::runtime_error("unknown chaos scenario: " + name);
+}
+
+bool is_adversarial_scenario(Scenario s) {
+  return s == Scenario::kByzantineDrop || s == Scenario::kByzantineMisroute ||
+         s == Scenario::kEclipse;
 }
 
 std::uint64_t mix_seed(std::uint64_t seed, const std::string& name) {
@@ -60,14 +71,21 @@ ChaosHarness::~ChaosHarness() = default;
 
 const std::vector<std::string>& ChaosHarness::scenarios() {
   static const std::vector<std::string> kNames = {
-      "asym-partition", "flap",       "delay-spike",
-      "dup-reorder",    "gray-stall", "combined"};
+      "asym-partition", "flap",           "delay-spike",
+      "dup-reorder",    "gray-stall",     "combined",
+      "byzantine-drop", "byzantine-misroute", "eclipse-victim"};
   return kNames;
 }
 
-void ChaosHarness::build_overlay(std::uint64_t seed) {
+void ChaosHarness::build_overlay(std::uint64_t seed, bool harden) {
   DriverConfig dcfg;
   dcfg.pastry = cfg_.pastry;
+  if (harden) {
+    // Adversary scenarios gate the *defended* system: both
+    // countermeasures on (the undefended ablation is tab_adversary's).
+    dcfg.pastry.lookup_redundancy = cfg_.adversary_redundancy;
+    dcfg.pastry.leaf_plausibility_checks = true;
+  }
   dcfg.lookup_rate_per_node = cfg_.bg_lookup_rate;
   dcfg.warmup = 0;
   dcfg.seed = seed;
@@ -75,13 +93,22 @@ void ChaosHarness::build_overlay(std::uint64_t seed) {
   driver_ = std::make_unique<OverlayDriver>(topology_, net::NetworkConfig{},
                                             dcfg);
   probes_.clear();
+  adv_ = nullptr;
   driver_->on_app_deliver = [this](net::Address self,
                                    const pastry::LookupMsg& m) {
+    // First-correct-wins, mirroring Metrics: a misdelivered probe is
+    // upgraded if any later copy (diverse-path redundancy, duplication
+    // faults) lands at the true root.
     const auto it = probes_.find(m.lookup_id);
-    if (it == probes_.end() || it->second.delivered) return;
-    it->second.delivered = true;
+    if (it == probes_.end() || (it->second.delivered && it->second.correct)) {
+      return;
+    }
     const auto root = driver_->oracle().root_of(m.key);
-    it->second.correct = root && *root == self;
+    const bool correct = root && *root == self;
+    if (!it->second.delivered || correct) {
+      it->second.delivered = true;
+      it->second.correct = correct;
+    }
   };
   for (int i = 0; i < cfg_.nodes; ++i) {
     driver_->add_node();
@@ -92,11 +119,32 @@ void ChaosHarness::build_overlay(std::uint64_t seed) {
 }
 
 void ChaosHarness::issue_probe(int phase, const NodeId* key) {
-  const auto src = driver_->oracle().random_active(driver_->rng());
+  auto src = driver_->oracle().random_active(driver_->rng());
+  for (int tries = 0; adv_ != nullptr && src &&
+                      adv_->is_adversarial(src->second) && tries < 64;
+       ++tries) {
+    src = driver_->oracle().random_active(driver_->rng());
+  }
   if (!src || driver_->node(src->second) == nullptr) return;
-  const NodeId k = key != nullptr ? *key : driver_->rng().node_id();
-  const std::uint64_t id = driver_->issue_lookup(src->second, k);
+  if (adv_ != nullptr && adv_->is_adversarial(src->second)) return;
+  NodeId k = key != nullptr ? *key : driver_->rng().node_id();
+  if (key == nullptr && adv_ != nullptr) {
+    // Honest-rooted keys only: a key the adversary legitimately owns
+    // proves nothing about whether honest nodes can still serve theirs.
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto root = driver_->oracle().root_of(k);
+      if (root && !adv_->is_adversarial(*root)) break;
+      k = driver_->rng().node_id();
+    }
+    const auto root = driver_->oracle().root_of(k);
+    if (!root || adv_->is_adversarial(*root)) return;
+  }
+  // Register before issuing: when the source is itself the root, the
+  // delivery callback fires synchronously inside issue_lookup, and a
+  // probe registered afterwards would be scored lost forever.
+  const std::uint64_t id = driver_->next_lookup_id();
   probes_.emplace(id, ProbeOutcome{phase, k, false, false});
+  driver_->issue_lookup(src->second, k);
 }
 
 void ChaosHarness::probe_until(SimTime until, int phase, const NodeId* key) {
@@ -222,6 +270,19 @@ std::vector<net::FaultRule> ChaosHarness::make_schedule(
       rules.push_back(std::move(s));
       break;
     }
+    case Scenario::kByzantineDrop:
+    case Scenario::kByzantineMisroute: {
+      // The adversarial population is the fault; a mild background loss
+      // rule rides along so the scenario exercises the composition of
+      // Byzantine behavior with ordinary fault-plan rules.
+      auto l = FaultRule::loss(LinkMatcher::all(), 0.02, t0, t1);
+      l.seed = rng.next_u64();
+      l.label = "2% background loss composed with adversary";
+      rules.push_back(std::move(l));
+      break;
+    }
+    case Scenario::kEclipse:
+      break;  // the sybil cluster is the entire fault
     case Scenario::kRandom: {
       // Seeded random schedule over the non-partition kinds (partitions
       // need operational recovery, which would make "random" flaky).
@@ -285,27 +346,52 @@ std::vector<net::FaultRule> ChaosHarness::make_schedule(
 
 ChaosResult ChaosHarness::run(const std::string& scenario) {
   const Scenario kind = parse_scenario(scenario);
+  const bool adversarial = is_adversarial_scenario(kind);
   ChaosResult res;
   res.scenario = scenario;
   res.seed = cfg_.seed;
 
-  build_overlay(mix_seed(cfg_.seed, scenario));
+  build_overlay(mix_seed(cfg_.seed, scenario), adversarial);
   Rng schedule_rng(mix_seed(cfg_.seed, scenario + "/schedule"));
 
   net::Network& net = driver_->network();
-  const SimTime t0 = driver_->sim().now();
-  const SimTime t1 =
-      kind == Scenario::kGrayStall ? t0 + cfg_.stall_window
-                                   : t0 + cfg_.fault_window;
 
   net::Address victim = net::kNullAddress;
   NodeId victim_key;
   if (kind == Scenario::kFlap || kind == Scenario::kGrayStall ||
-      kind == Scenario::kCombined) {
+      kind == Scenario::kCombined || kind == Scenario::kEclipse) {
     const auto pick = driver_->oracle().random_active(schedule_rng);
     victim = pick->second;
     victim_key = pick->first;
   }
+
+  // Arm the adversary before the fault window opens, so eclipse sybils
+  // finish their (honest-protocol) joins before probing starts.
+  std::unique_ptr<AdversaryController> adv;
+  if (adversarial) {
+    const AdversaryBehavior behavior = kind == Scenario::kByzantineDrop
+                                           ? AdversaryBehavior::kDrop
+                                           : AdversaryBehavior::kMisroute;
+    adv = std::make_unique<AdversaryController>(
+        *driver_, behavior, 1.0,
+        mix_seed(cfg_.seed, scenario + "/adversary"));
+    if (kind == Scenario::kEclipse) {
+      adv->join_eclipse_cluster(victim_key, cfg_.eclipse_sybils, seconds(2));
+      driver_->run_for(seconds(30));  // let the cluster settle in
+    } else {
+      adv->corrupt_fraction(cfg_.adversary_fraction);
+    }
+    adv_ = adv.get();
+    res.adversarial_nodes = adv->count();
+    res.adversary_description = adv->describe();
+    LOG_INFO(driver_->sim().now(), "chaos", "%s",
+             res.adversary_description.c_str());
+  }
+
+  const SimTime t0 = driver_->sim().now();
+  const SimTime t1 =
+      kind == Scenario::kGrayStall ? t0 + cfg_.stall_window
+                                   : t0 + cfg_.fault_window;
 
   std::vector<net::Address> minority;
   for (auto& rule :
@@ -337,14 +423,31 @@ ChaosResult ChaosHarness::run(const std::string& scenario) {
       if (n->considers_failed(victim)) res.stall_condemned = true;
     }
     driver_->run_until(t1);
+  } else if (kind == Scenario::kEclipse) {
+    // Alternate probes for the eclipsed victim's own key (the attack
+    // target) with uniform honest-rooted probes (collateral damage).
+    int i = 0;
+    while (driver_->sim().now() + cfg_.probe_interval <= t1) {
+      const bool at_victim = (i++ % 2 == 0);
+      issue_probe(kFaultPhase, at_victim ? &victim_key : nullptr);
+      driver_->run_for(cfg_.probe_interval);
+    }
+    driver_->run_until(t1);
   } else {
     probe_until(t1, kFaultPhase, nullptr);
   }
 
-  // --- Heal: rule windows expire at t1. Asymmetric partitions condemn
-  // both sides, so the minority rejoins through the bootstrap service
-  // (the operational recovery path DESIGN.md documents).
+  // --- Heal: rule windows expire at t1. Byzantine nodes are disarmed
+  // (they act honest again) and eclipse sybils crash; asymmetric
+  // partitions condemn both sides, so the minority rejoins through the
+  // bootstrap service (the operational recovery path DESIGN.md
+  // documents).
   const SimTime heal_at = driver_->sim().now();
+  if (adv != nullptr) {
+    if (kind == Scenario::kEclipse) adv->kill_sybils();
+    adv->disarm();
+    adv_ = nullptr;
+  }
   if (kind == Scenario::kAsymPartition) {
     for (const net::Address a : minority) driver_->kill_node(a);
     for (std::size_t i = 0; i < minority.size(); ++i) {
@@ -399,23 +502,34 @@ ChaosResult ChaosHarness::run(const std::string& scenario) {
     }
   }
   res.false_positives = driver_->counters().false_positives;
+  const pastry::Counters& pc = driver_->counters();
+  res.adversary_drops = pc.lookups_dropped_adversarial;
+  res.adversary_misroutes = pc.lookups_misrouted_adversarial;
+  res.replies_corrupted = pc.ls_replies_corrupted + pc.nn_replies_corrupted;
+  res.leaf_rejections = pc.leaf_candidates_rejected;
+  res.redundant_copies = pc.redundant_lookup_copies;
   res.accounting_ok =
       net.packets_sent() == net.packets_lost() + net.packets_delivered() +
                                 net.packets_dropped_unbound() +
+                                net.packets_dropped_adversarial() +
                                 net.packets_in_flight();
 
   char buf[160];
   const ChaosSlo& slo = cfg_.slo;
-  if (res.fault_incorrect_rate() > slo.max_fault_incorrect_rate) {
+  const double max_incorrect = adversarial ? slo.max_adversary_incorrect_rate
+                                           : slo.max_fault_incorrect_rate;
+  const double max_loss =
+      adversarial ? slo.max_adversary_loss_rate : slo.max_fault_loss_rate;
+  if (res.fault_incorrect_rate() > max_incorrect) {
     std::snprintf(buf, sizeof(buf),
                   "incorrect-delivery rate %.3f during faults exceeds %.3f",
-                  res.fault_incorrect_rate(), slo.max_fault_incorrect_rate);
+                  res.fault_incorrect_rate(), max_incorrect);
     res.violations.push_back(buf);
   }
-  if (res.fault_loss_rate() > slo.max_fault_loss_rate) {
+  if (res.fault_loss_rate() > max_loss) {
     std::snprintf(buf, sizeof(buf),
                   "lookup-loss rate %.3f during faults exceeds %.3f",
-                  res.fault_loss_rate(), slo.max_fault_loss_rate);
+                  res.fault_loss_rate(), max_loss);
     res.violations.push_back(buf);
   }
   if (res.reconverge_seconds < 0) {
@@ -453,7 +567,7 @@ ChaosResult ChaosHarness::run(const std::string& scenario) {
   if (!res.accounting_ok) {
     res.violations.push_back(
         "packet accounting identity violated "
-        "(sent != lost+delivered+unbound+in-flight)");
+        "(sent != lost+delivered+unbound+adversarial+in-flight)");
   }
   attach_observability(res);
   return res;
@@ -470,6 +584,12 @@ void ChaosHarness::attach_observability(ChaosResult& res) {
   ecfg.t_ls = cfg_.pastry.t_ls;
   ecfg.t_o = cfg_.pastry.t_o;
   ecfg.failed_entry_ttl = cfg_.pastry.failed_entry_ttl;
+  // Ground-truth delivery verdicts recorded by the driver feed the
+  // delivered-at-oracle-root rule: a misdelivery (e.g. an adversarial
+  // root claim on the traced copy) is flagged with its causal path.
+  ecfg.lookup_verdict = [this](std::uint64_t id) {
+    return driver_->lookup_verdict(id);
+  };
   const auto report = obs::check_expectations(*domain, paths, ecfg);
   res.expectation_summary = report.summary();
   res.expectation_violations = report.violations.size();

@@ -8,6 +8,7 @@
 
 #include "net/fault_plan.hpp"
 #include "net/topology.hpp"
+#include "overlay/adversary.hpp"
 #include "overlay/driver.hpp"
 
 namespace mspastry::overlay {
@@ -24,6 +25,13 @@ struct ChaosSlo {
   /// above the ~3% residual loss a reconverging overlay shows.
   double max_heal_loss_rate = 0.10;
   SimDuration max_reconverge = minutes(8);
+
+  /// Adversary scenarios (byzantine-*, eclipse-victim) run WITH both
+  /// countermeasures on; these strict bounds gate that the defenses work
+  /// at the configured adversarial fraction (baseline-vs-countermeasure
+  /// ablation lives in bench/tab_adversary, not here).
+  double max_adversary_incorrect_rate = 0.01;
+  double max_adversary_loss_rate = 0.05;
 };
 
 struct ChaosConfig {
@@ -46,6 +54,13 @@ struct ChaosConfig {
 
   pastry::Config pastry{};
   ChaosSlo slo{};
+
+  /// Adversary scenarios: fraction of the built overlay corrupted
+  /// (byzantine-*), lookup redundancy and plausibility checks switched on
+  /// as countermeasures, and the sybil cluster size for eclipse-victim.
+  double adversary_fraction = 0.2;
+  int adversary_redundancy = 3;
+  int eclipse_sybils = 16;
 
   /// Chaos runs trace every lookup by default (sampling off costs nothing
   /// here — the overlays are small) so an SLO trip can name the offending
@@ -87,7 +102,17 @@ struct ChaosResult {
   bool stall_recovered = false;  ///< it served its keys again afterwards
 
   std::uint64_t false_positives = 0;  ///< live nodes condemned, whole run
-  bool accounting_ok = false;  ///< sent == lost+delivered+unbound+in-flight
+  bool accounting_ok = false;  ///< sent == lost+delivered+unbound
+                               ///< +adversarial+in-flight
+
+  // Adversary scenario facts (zero elsewhere).
+  std::string adversary_description;  ///< deterministic population dump
+  std::uint64_t adversarial_nodes = 0;
+  std::uint64_t adversary_drops = 0;       ///< lookups devoured
+  std::uint64_t adversary_misroutes = 0;   ///< root claims / off-path hops
+  std::uint64_t replies_corrupted = 0;     ///< LS + NN replies lied about
+  std::uint64_t leaf_rejections = 0;       ///< density-check vetoes
+  std::uint64_t redundant_copies = 0;      ///< diverse-path extra lookups
 
   /// Deterministic dump of the installed fault rules (byte-for-byte
   /// reproducible from the seed).
@@ -149,7 +174,8 @@ class ChaosHarness {
   ~ChaosHarness();
 
   /// The named scenarios, in bench/report order: asym-partition, flap,
-  /// delay-spike, dup-reorder, gray-stall, combined.
+  /// delay-spike, dup-reorder, gray-stall, combined, byzantine-drop,
+  /// byzantine-misroute, eclipse-victim.
   static const std::vector<std::string>& scenarios();
 
   /// Run one named scenario ("random" runs a seeded random schedule).
@@ -163,7 +189,7 @@ class ChaosHarness {
     bool correct = false;
   };
 
-  void build_overlay(std::uint64_t seed);
+  void build_overlay(std::uint64_t seed, bool harden);
   void attach_observability(ChaosResult& res);
   void issue_probe(int phase, const NodeId* key);
   void probe_until(SimTime until, int phase, const NodeId* key);
@@ -180,6 +206,12 @@ class ChaosHarness {
   ChaosConfig cfg_;
   std::unique_ptr<OverlayDriver> driver_;
   std::unordered_map<std::uint64_t, ProbeOutcome> probes_;
+
+  /// Set while an adversary scenario's population is armed: probe
+  /// sampling then rejects adversarial sources and adversarially-rooted
+  /// keys (the secure-routing measurement convention — a lookup "from"
+  /// or "for" the adversary proves nothing about honest service).
+  const AdversaryController* adv_ = nullptr;
 };
 
 }  // namespace mspastry::overlay

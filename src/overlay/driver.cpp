@@ -46,6 +46,10 @@ class OverlayDriver::NodeEnv final : public pastry::Env {
     driver_.net_.send(self_.addr, to, msg);
   }
 
+  void devour(net::Address to, pastry::MessagePtr msg) override {
+    driver_.devour_packet(self_.addr, to, std::move(msg));
+  }
+
   Rng& rng() override { return driver_.rng_; }
 
   pastry::MessagePool& pool() override { return driver_.pool_; }
@@ -114,12 +118,14 @@ OverlayDriver::OverlayDriver(std::shared_ptr<const net::Topology> topology,
     // explain why a hop's kRecv never happened.
     net_.set_drop_observer([this](net::Address from, net::Address to,
                                   const net::PacketPtr& p,
-                                  net::Network::DropKind) {
+                                  net::Network::DropKind kind) {
       const auto rm = dynamic_pointer_cast<const pastry::RoutedMessage>(p);
       if (rm != nullptr && rm->trace_id != 0) {
-        obs_->recorder_for(from).record(sim_.now(), obs::EventKind::kNetDrop,
-                                        rm->trace_id, to, rm->hops,
-                                        rm->hop_seq);
+        const auto ev = kind == net::Network::DropKind::kAdversary
+                            ? obs::EventKind::kAdversaryDrop
+                            : obs::EventKind::kNetDrop;
+        obs_->recorder_for(from).record(sim_.now(), ev, rm->trace_id, to,
+                                        rm->hops, rm->hop_seq);
       }
     });
   }
@@ -144,7 +150,15 @@ std::vector<net::Address> OverlayDriver::live_addresses() const {
 
 net::Address OverlayDriver::add_node() {
   const net::Address addr = net_.attach_random(rng_);
-  const pastry::NodeDescriptor self{rng_.node_id(), addr};
+  return add_node_at(addr, rng_.node_id());
+}
+
+net::Address OverlayDriver::add_node_with_id(NodeId id) {
+  return add_node_at(net_.attach_random(rng_), id);
+}
+
+net::Address OverlayDriver::add_node_at(net::Address addr, NodeId id) {
+  const pastry::NodeDescriptor self{id, addr};
 
   LiveNode ln;
   ln.env = std::make_unique<NodeEnv>(*this, self);
@@ -202,6 +216,18 @@ void OverlayDriver::deliver_packet(net::Address to, net::Address from,
   if (on_app_packet) on_app_packet(to, from, packet);
 }
 
+void OverlayDriver::devour_packet(net::Address from, net::Address to,
+                                  pastry::MessagePtr msg) {
+  // Adversarial traffic loss is attributed, not mistaken for network
+  // loss: the lookup id is remembered so an eventual lost verdict can be
+  // blamed on the adversary, and the network counts the phantom send
+  // toward the packet-accounting identity.
+  if (const auto* lm = dynamic_cast<const pastry::LookupMsg*>(msg.get())) {
+    metrics_.on_lookup_devoured(lm->lookup_id);
+  }
+  net_.devour(from, to, std::move(msg));
+}
+
 void OverlayDriver::handle_delivery(net::Address self,
                                     const pastry::LookupMsg& m) {
   const auto root = oracle_.root_of(m.key);
@@ -213,11 +239,22 @@ void OverlayDriver::handle_delivery(net::Address self,
              (unsigned long long)m.lookup_id, m.key.to_string().c_str(),
              self, root ? *root : -1);
   }
+  // Verdict for the obs delivered-at-oracle-root rule: only the traced
+  // copy (redundant diverse-path copies carry trace_id 0), so the verdict
+  // matches the delivery the assembled causal path will show.
+  if (obs_ != nullptr && m.trace_id != 0) {
+    lookup_verdicts_.emplace(m.lookup_id, correct);
+  }
   SimDuration net_delay = 0;
   if (correct && m.source.addr != self) {
     net_delay = net_.delay(m.source.addr, self);
   }
-  metrics_.on_lookup_delivered(m.lookup_id, sim_.now(), correct, net_delay);
+  const pastry::PastryNode* n = node(self);
+  const auto cause = (!correct && n != nullptr && n->is_adversarial())
+                         ? Metrics::IncorrectCause::kAdversarialMisroute
+                         : Metrics::IncorrectCause::kStaleLeafSet;
+  metrics_.on_lookup_delivered(m.lookup_id, sim_.now(), correct, net_delay,
+                               cause);
   if (on_app_deliver) on_app_deliver(self, m);
 }
 

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +67,11 @@ class OverlayDriver {
   /// empty). Returns its address.
   net::Address add_node();
 
+  /// Same, but with a caller-chosen identifier instead of a random one.
+  /// Adversarial eclipse placement uses this to cluster sybil ids around
+  /// a victim key; everything else about the join is the normal protocol.
+  net::Address add_node_with_id(NodeId id);
+
   /// Crash a node: silently drops all its state and traffic.
   void kill_node(net::Address a);
 
@@ -77,6 +83,12 @@ class OverlayDriver {
   std::uint64_t issue_lookup(net::Address from, NodeId key,
                              std::uint64_t payload = 0,
                              net::PacketPtr app_data = nullptr);
+
+  /// The id the next issue_lookup() will return. Harnesses that track
+  /// per-lookup outcomes must register the id BEFORE issuing: when the
+  /// source itself is the root, delivery happens synchronously inside
+  /// issue_lookup and an after-the-fact registration misses it.
+  std::uint64_t next_lookup_id() const { return next_lookup_id_; }
 
   void run_until(SimTime t) { sim_.run_until(t); }
   void run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
@@ -100,6 +112,16 @@ class OverlayDriver {
   /// The flight-recorder registry, or nullptr when observability is off.
   obs::TraceDomain* trace_domain() { return obs_.get(); }
   const obs::TraceDomain* trace_domain() const { return obs_.get(); }
+
+  /// Ground-truth verdict of a lookup's first delivery (correct root per
+  /// the oracle), recorded while observability is on. Feeds the obs
+  /// delivered-at-oracle-root expectation rule; nullopt when the lookup
+  /// was never delivered (or obs was off).
+  std::optional<bool> lookup_verdict(std::uint64_t id) const {
+    const auto it = lookup_verdicts_.find(id);
+    if (it == lookup_verdicts_.end()) return std::nullopt;
+    return it->second;
+  }
 
   /// Shared routing-table row slab (scale telemetry: rows, bytes).
   const pastry::NodeArena& routing_arena() const { return node_arena_; }
@@ -133,8 +155,11 @@ class OverlayDriver {
     SimTime join_started = 0;
   };
 
+  net::Address add_node_at(net::Address addr, NodeId id);
   void deliver_packet(net::Address to, net::Address from,
                       const net::PacketPtr& packet);
+  void devour_packet(net::Address from, net::Address to,
+                     pastry::MessagePtr msg);
   void handle_delivery(net::Address self, const pastry::LookupMsg& m);
   void handle_activated(net::Address self);
   void schedule_next_workload_lookup();
@@ -162,6 +187,7 @@ class OverlayDriver {
   pastry::NodeArena node_arena_;
 
   std::unordered_map<net::Address, LiveNode> nodes_;
+  std::unordered_map<std::uint64_t, bool> lookup_verdicts_;
   std::uint64_t next_lookup_id_ = 1;
   bool workload_running_ = false;
   bool finished_ = false;

@@ -36,16 +36,34 @@ void Metrics::on_lookup_issued(std::uint64_t id, SimTime t, net::Address src,
 }
 
 void Metrics::on_lookup_delivered(std::uint64_t id, SimTime t, bool correct,
-                                  SimDuration net_delay) {
+                                  SimDuration net_delay,
+                                  IncorrectCause cause) {
+  // First-correct-wins: an incorrect delivery parks the lookup in
+  // pending_incorrect_; a later correct delivery (a redundant
+  // diverse-path copy) upgrades it. Only finalize() turns a pending
+  // incorrect into a counted one.
   const auto it = outstanding_.find(id);
-  if (it == outstanding_.end()) return;  // duplicate delivery: first wins
-  const LookupRecord rec = it->second;
-  outstanding_.erase(it);
-  const bool counted = post_warmup(rec.issued_at);
-  if (!correct) {
-    if (counted) ++incorrect_;
+  if (it == outstanding_.end()) {
+    if (!correct) return;  // duplicate incorrect: the first verdict holds
+    const auto pit = pending_incorrect_.find(id);
+    if (pit == pending_incorrect_.end()) return;  // duplicate correct
+    const LookupRecord rec = pit->second.rec;
+    pending_incorrect_.erase(pit);
+    record_correct(rec, t, net_delay);
     return;
   }
+  const LookupRecord rec = it->second;
+  outstanding_.erase(it);
+  if (!correct) {
+    pending_incorrect_.emplace(id, PendingIncorrect{rec, cause});
+    return;
+  }
+  record_correct(rec, t, net_delay);
+}
+
+void Metrics::record_correct(const LookupRecord& rec, SimTime t,
+                             SimDuration net_delay) {
+  const bool counted = post_warmup(rec.issued_at);
   if (counted) ++correct_;
   if (net_delay > 0) {
     const double rdp = static_cast<double>(t - rec.issued_at) /
@@ -56,6 +74,12 @@ void Metrics::on_lookup_delivered(std::uint64_t id, SimTime t, bool correct,
       delay_.add(to_seconds(t - rec.issued_at));
     }
     rdp_series_.add(t, rdp);
+  }
+}
+
+void Metrics::on_lookup_devoured(std::uint64_t id) {
+  if (outstanding_.count(id) > 0 || pending_incorrect_.count(id) > 0) {
+    devoured_.insert(id);
   }
 }
 
@@ -74,8 +98,20 @@ void Metrics::finalize(SimTime end, SimDuration grace) {
   finalized_at_ = end;
   const SimTime cutoff = end - grace;
   for (const auto& [id, rec] : outstanding_) {
+    if (rec.issued_at <= cutoff && post_warmup(rec.issued_at)) {
+      ++lost_;
+      if (devoured_.count(id) > 0) ++lost_adversarial_;
+    }
+  }
+  // Pending incorrect deliveries never upgraded by a correct copy: they
+  // were delivered (wrongly), not lost — no grace applies.
+  for (const auto& [id, p] : pending_incorrect_) {
     (void)id;
-    if (rec.issued_at <= cutoff && post_warmup(rec.issued_at)) ++lost_;
+    if (!post_warmup(p.rec.issued_at)) continue;
+    ++incorrect_;
+    if (p.cause == IncorrectCause::kAdversarialMisroute) {
+      ++incorrect_adversarial_;
+    }
   }
 }
 

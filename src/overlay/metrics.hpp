@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -72,10 +73,28 @@ class Metrics {
   void on_unclassified_control(SimTime t);
   void on_lookup_issued(std::uint64_t id, SimTime t, net::Address src,
                         NodeId key);
+
+  /// Attribution for an incorrect delivery (who to blame). The driver
+  /// passes kAdversarialMisroute when the delivering node had an
+  /// AdversaryPolicy installed; everything else is a stale-leaf-set
+  /// misdelivery (churn raced the lookup, or lies poisoned honest state).
+  enum class IncorrectCause : std::uint8_t {
+    kStaleLeafSet = 0,
+    kAdversarialMisroute,
+  };
+
   /// `net_delay` is the direct network delay source->deliverer (for RDP);
-  /// pass 0 when source == deliverer.
-  void on_lookup_delivered(std::uint64_t id, SimTime t, bool correct,
-                           SimDuration net_delay);
+  /// pass 0 when source == deliverer. Deliveries resolve first-correct-
+  /// wins: an incorrect delivery is held pending and a later correct
+  /// delivery of the same id (a redundant diverse-path copy) upgrades it;
+  /// pendings still unresolved at finalize() count as incorrect.
+  void on_lookup_delivered(
+      std::uint64_t id, SimTime t, bool correct, SimDuration net_delay,
+      IncorrectCause cause = IncorrectCause::kStaleLeafSet);
+
+  /// An adversarial node devoured a copy of this lookup in transit; if no
+  /// copy is ever delivered, the loss is attributed to the adversary.
+  void on_lookup_devoured(std::uint64_t id);
   void on_join_started(SimTime t);
   void on_join_completed(SimTime t, SimDuration latency);
   void population_change(SimTime t, int delta) {
@@ -97,6 +116,19 @@ class Metrics {
   std::uint64_t lookups_delivered_correct() const { return correct_; }
   std::uint64_t lookups_delivered_incorrect() const { return incorrect_; }
   std::uint64_t lookups_lost() const { return lost_; }
+
+  // Attributed splits (valid after finalize()):
+  // incorrect == misrouted_by_adversary + stale_leaf_set, and
+  // lost >= dropped_by_adversary.
+  std::uint64_t incorrect_misrouted_by_adversary() const {
+    return incorrect_adversarial_;
+  }
+  std::uint64_t incorrect_stale_leaf_set() const {
+    return incorrect_ - incorrect_adversarial_;
+  }
+  std::uint64_t lost_dropped_by_adversary() const {
+    return lost_adversarial_;
+  }
 
   double loss_rate() const {
     return issued_ ? static_cast<double>(lost_) / issued_ : 0.0;
@@ -156,6 +188,8 @@ class Metrics {
   };
 
   bool post_warmup(SimTime t) const { return t >= warmup_; }
+  void record_correct(const LookupRecord& rec, SimTime t,
+                      SimDuration net_delay);
 
   SimDuration window_;
   SimDuration warmup_;
@@ -173,10 +207,23 @@ class Metrics {
   double post_warmup_node_seconds(SimTime end) const;
 
   std::unordered_map<std::uint64_t, LookupRecord> outstanding_;
+
+  /// Incorrectly-delivered lookups held open for a first-correct-wins
+  /// upgrade by a redundant copy; flushed into incorrect_ at finalize().
+  struct PendingIncorrect {
+    LookupRecord rec;
+    IncorrectCause cause = IncorrectCause::kStaleLeafSet;
+  };
+  std::unordered_map<std::uint64_t, PendingIncorrect> pending_incorrect_;
+  /// Lookup ids with at least one adversarially-devoured copy.
+  std::unordered_set<std::uint64_t> devoured_;
+
   std::uint64_t issued_ = 0;
   std::uint64_t correct_ = 0;
   std::uint64_t incorrect_ = 0;
+  std::uint64_t incorrect_adversarial_ = 0;
   std::uint64_t lost_ = 0;
+  std::uint64_t lost_adversarial_ = 0;
   RunningStats rdp_;
   RunningStats delay_;
   SampleSet rdp_samples_;

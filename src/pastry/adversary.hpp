@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pastry/types.hpp"
+
+namespace mspastry::pastry {
+
+struct RoutedMessage;
+
+/// Byzantine behavior hook for a PastryNode. A node with a policy
+/// installed consults it at the protocol's interception points: the
+/// routing forward path (drop / misroute), leaf-set probe replies, and
+/// nearest-neighbour replies (lying). A node without a policy (the
+/// default) pays one null test per interception point and behaves
+/// exactly as before.
+///
+/// The hook decides *what* to do; the node implements the mechanics so a
+/// policy cannot produce wire-impossible behavior (it can only lie within
+/// the message vocabulary honest nodes understand). Policies live in the
+/// overlay scenario layer (overlay/adversary.hpp) where they have access
+/// to seeded RNG streams; the pastry layer only defines the interface.
+class AdversaryPolicy {
+ public:
+  virtual ~AdversaryPolicy() = default;
+
+  /// Verdict for one routed message about to be forwarded/delivered.
+  enum class RouteAction : std::uint8_t {
+    kHonest,    ///< route faithfully
+    kDrop,      ///< ack upstream (already done by handle()), then devour
+    kMisroute,  ///< claim the root if plausible, else forward off-path
+  };
+
+  /// Consulted by route() after the honest next hop is computed.
+  /// `leaf_covers` says whether this node's leaf set covers the key, i.e.
+  /// whether a local root claim would look plausible to the sender.
+  virtual RouteAction on_route(const RoutedMessage& m, bool leaf_covers) = 0;
+
+  /// Mutate an outgoing leaf-set probe reply in place (lying about
+  /// membership and/or failures). Return true if anything was changed.
+  virtual bool corrupt_ls_reply(LeafVec& leaf, FailedVec& failed) = 0;
+
+  /// Mutate an outgoing nearest-neighbour reply in place. Return true if
+  /// anything was changed.
+  virtual bool corrupt_nn_reply(CandidateVec& candidates) = 0;
+};
+
+}  // namespace mspastry::pastry

@@ -140,6 +140,34 @@ struct Config {
   /// bootstrap (covers lost JOIN-REPLY and dead seeds).
   SimDuration join_retry = seconds(60);
 
+  // --- Adversary countermeasures ----------------------------------------
+
+  /// Redundant diverse-path lookups: each lookup() call routes this many
+  /// copies, forcing distinct first hops by excluding the hops already
+  /// used (interior disjointness is best-effort — Pastry's prefix routing
+  /// converges paths near the root). 1 = single path (the paper's
+  /// behavior). The application layer deduplicates deliveries
+  /// (first-correct-wins in overlay::Metrics).
+  int lookup_redundancy = 1;
+
+  /// Leaf-set plausibility checks against adversarial lies: (a) reject
+  /// announced candidates implausibly close to this node relative to the
+  /// id density the leaf set implies, and (b) treat peer-announced
+  /// failures skeptically — probe the accused member but keep it until
+  /// the probe itself times out, instead of dropping it on hearsay.
+  bool leaf_plausibility_checks = false;
+
+  /// Density threshold for (a): a candidate is rejected when its ring
+  /// distance to this node (or to the nearest current member) is below
+  /// (2^128 / N̂) / leaf_density_factor, where N̂ is the leaf-set density
+  /// estimate of the overlay size. Sybil clusters packed around a victim
+  /// id sit orders of magnitude below this; honest neighbors almost
+  /// never do (spacings are exponentially distributed around the mean, so
+  /// P(reject an honest neighbor) ~ 1/factor per admission — the factor
+  /// must be large enough that a whole run admits every true ring
+  /// neighbor, or the ring never reconverges).
+  double leaf_density_factor = 4096.0;
+
   // --- Test-only fault injection ----------------------------------------
 
   /// Mutation knob for the expectation checker's self-test: when set, an

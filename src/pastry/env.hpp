@@ -40,6 +40,16 @@ class Env {
   /// nothing: the node fills in sender/hints before calling.
   virtual void send(net::Address to, MessagePtr msg) = 0;
 
+  /// An adversarial node "transmits" a message it actually devours: the
+  /// network accounts for it as sent + adversarially dropped (so the
+  /// packet identity stays exact) but never schedules delivery. Default
+  /// no-op: environments without a network (unit-test mocks) need no
+  /// accounting.
+  virtual void devour(net::Address to, MessagePtr msg) {
+    (void)to;
+    (void)msg;
+  }
+
   /// The slab pool all of this node's messages are allocated from. Owned
   /// by the driver and shared by every node of a simulation; must outlive
   /// all messages in flight.

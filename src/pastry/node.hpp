@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
+#include "pastry/adversary.hpp"
 #include "pastry/config.hpp"
 #include "pastry/env.hpp"
 #include "pastry/leaf_set.hpp"
@@ -98,6 +99,13 @@ class PastryNode {
     return excluded_.count(a) > 0;
   }
 
+  /// Install (or clear, with nullptr) a Byzantine behavior policy. Not
+  /// owned; the caller keeps it alive for the node's lifetime. A node
+  /// with no policy behaves exactly as before — every interception point
+  /// is a single null test.
+  void set_adversary(AdversaryPolicy* policy) { adversary_ = policy; }
+  bool is_adversarial() const { return adversary_ != nullptr; }
+
   /// Snapshot of internal state for debugging and tests.
   struct DebugState {
     bool active = false;
@@ -141,6 +149,13 @@ class PastryNode {
   bool is_excluded(net::Address a,
                    const std::vector<net::Address>& excluded) const;
 
+  /// Adversary interception for one routed message; returns true when the
+  /// adversary consumed the message (drop or root claim) and route() must
+  /// stop. `next` is the honest next hop (invalid == local root).
+  bool adversary_route(const IntrusivePtr<RoutedMessage>& m,
+                       const NodeDescriptor& next,
+                       const std::vector<net::Address>& excluded);
+
   void receive_root(const IntrusivePtr<RoutedMessage>& m);
   void deliver_lookup(const LookupMsg& m);
   void buffer_message(const IntrusivePtr<RoutedMessage>& m);
@@ -180,6 +195,12 @@ class PastryNode {
 
   /// Would d enter the leaf set if added? (Capacity or range check.)
   bool leaf_would_admit(const NodeDescriptor& d) const;
+
+  /// Density/spacing plausibility check (Config::leaf_plausibility_checks):
+  /// true when d's announced id is not implausibly close to us or to an
+  /// existing member given the overlay-size estimate. Always true when
+  /// the check is disabled or the leaf set is too small to estimate.
+  bool plausible_leaf_candidate(const NodeDescriptor& d) const;
 
   /// Close nodes to `target` from this node's routing state, for leaf-set
   /// probe replies (generalized repair, Section 3.1).
@@ -255,6 +276,10 @@ class PastryNode {
   /// Flight recorder for this node's session, owned by the environment's
   /// TraceDomain; nullptr when observability is disabled.
   obs::FlightRecorder* rec_;
+
+  /// Byzantine behavior policy (nullptr == honest). Owned by the
+  /// scenario layer; see adversary.hpp.
+  AdversaryPolicy* adversary_ = nullptr;
 
   LeafSet leaf_;
   RoutingTable rt_;

@@ -119,8 +119,16 @@ void PastryNode::handle_ls_probe(const LsProbeMsg& m, bool is_reply) {
   const NodeDescriptor j = m.sender;
   if (!j.valid() || j.id == self_.id) return;
   // heard_from() already removed j from failed_. Insert j directly: we
-  // heard from it.
-  leaf_.add(j);
+  // heard from it — unless its announced id is implausibly dense
+  // (eclipse clusters pack sybil ids around a victim; the density check
+  // keeps them out of the leaf set while still learning the node for
+  // routing-table purposes, where one entry per prefix slot bounds the
+  // damage).
+  if (plausible_leaf_candidate(j)) {
+    leaf_.add(j);
+  } else {
+    ++counters_.leaf_candidates_rejected;
+  }
   rt_.add(j);
 
   // Nodes the sender believes failed: probe the ones in our leaf set to
@@ -131,7 +139,15 @@ void PastryNode::handle_ls_probe(const LsProbeMsg& m, bool is_reply) {
     if (leaf_.contains(f.addr)) {
       ++counters_.ls_probes_confirm;
       probe(f);
-      leaf_.remove(f.addr);
+      if (cfg_.leaf_plausibility_checks) {
+        // Skeptical mode: hearsay triggers the confirming probe but the
+        // member stays until that probe itself times out (mark_faulty
+        // removes it then). An adversary claiming healthy neighbors dead
+        // costs probe traffic, not membership.
+        ++counters_.failure_claims_distrusted;
+      } else {
+        leaf_.remove(f.addr);
+      }
     }
   }
   notify_right_changed();  // covers both the add and the removals above
@@ -145,6 +161,10 @@ void PastryNode::handle_ls_probe(const LsProbeMsg& m, bool is_reply) {
   for (const NodeDescriptor& d : m.leaf) {
     if (d.id == self_.id || in_failed(d.addr)) continue;
     if (leaf_.contains(d.addr)) continue;
+    if (!plausible_leaf_candidate(d)) {
+      ++counters_.leaf_candidates_rejected;
+      continue;
+    }
     if (leaf_would_admit(d)) candidates.push_back(d);
   }
   const int deficit = cfg_.l - leaf_.size();
@@ -186,6 +206,10 @@ void PastryNode::handle_ls_probe(const LsProbeMsg& m, bool is_reply) {
     }
     reply->failed.reserve(failed_.size());
     for (const auto& [a, d] : failed_) reply->failed.push_back(d.node);
+    if (adversary_ != nullptr &&
+        adversary_->corrupt_ls_reply(reply->leaf, reply->failed)) {
+      ++counters_.ls_replies_corrupted;
+    }
     send(j.addr, reply);
   } else {
     const auto it = ls_probing_.find(j.addr);
@@ -353,6 +377,21 @@ bool PastryNode::leaf_would_admit(const NodeDescriptor& d) const {
   const U128 cw_edge = self_.id.clockwise_distance_to(leaf_.rightmost()->id);
   const U128 ccw_edge = leaf_.leftmost()->id.clockwise_distance_to(self_.id);
   return cw < cw_edge || ccw < ccw_edge;
+}
+
+bool PastryNode::plausible_leaf_candidate(const NodeDescriptor& d) const {
+  if (!cfg_.leaf_plausibility_checks) return true;
+  // Too few members to estimate density: admit everything (a bootstrap
+  // ring must be able to grow from one node).
+  if (leaf_.size() < cfg_.l / 2) return true;
+  const double n_hat = estimate_overlay_size();
+  constexpr double kRing = 340282366920938463463374607431768211456.0;  // 2^128
+  const double min_spacing = kRing / n_hat / cfg_.leaf_density_factor;
+  if (self_.id.ring_distance_to(d.id).to_double() < min_spacing) return false;
+  for (const NodeDescriptor& m : leaf_.members()) {
+    if (m.id.ring_distance_to(d.id).to_double() < min_spacing) return false;
+  }
+  return true;
 }
 
 std::vector<NodeDescriptor> PastryNode::close_nodes_for(NodeId target) const {

@@ -306,6 +306,10 @@ void PastryNode::handle(net::Address from, const MessagePtr& msg) {
     case MsgType::kNnRequest: {
       auto reply = make_msg<NnReplyMsg>(env_.pool());
       reply->candidates = close_nodes_for(self_.id);
+      if (adversary_ != nullptr &&
+          adversary_->corrupt_nn_reply(reply->candidates)) {
+        ++counters_.nn_replies_corrupted;
+      }
       send(from, reply);
       return;
     }
@@ -429,6 +433,10 @@ void PastryNode::route(const IntrusivePtr<RoutedMessage>& m,
   int er = -1;
   int ec = -1;
   const NodeDescriptor next = next_hop(m->key, excluded, &fallback, &er, &ec);
+  if (adversary_ != nullptr && m->type == MsgType::kLookup &&
+      adversary_route(m, next, excluded)) {
+    return;  // the adversary consumed or diverted the message
+  }
   if (!next.valid()) {
     receive_root(m);
     return;
@@ -447,6 +455,64 @@ void PastryNode::route(const IntrusivePtr<RoutedMessage>& m,
     send(next.addr, req);
   }
   forward(m, next, excluded);
+}
+
+bool PastryNode::adversary_route(const IntrusivePtr<RoutedMessage>& m,
+                                 const NodeDescriptor& next,
+                                 const std::vector<net::Address>& excluded) {
+  switch (adversary_->on_route(*m, leaf_.covers(m->key))) {
+    case AdversaryPolicy::RouteAction::kHonest:
+      return false;
+    case AdversaryPolicy::RouteAction::kDrop: {
+      // Ack-then-devour: the upstream hop already got its per-hop ack
+      // from handle(), so to it the transmission succeeded. The network
+      // accounts for the pretend forward (sent + adversarially dropped)
+      // and reports it to the drop observer for causal-path evidence,
+      // but delivery is never scheduled.
+      ++counters_.lookups_dropped_adversarial;
+      if (next.valid()) {
+        auto copy = make_msg<LookupMsg>(env_.pool(),
+                                        static_cast<const LookupMsg&>(*m));
+        copy->hops = m->hops + 1;
+        copy->hop_seq = 0;
+        env_.devour(next.addr, copy);
+      }
+      return true;
+    }
+    case AdversaryPolicy::RouteAction::kMisroute: {
+      if (leaf_.covers(m->key)) {
+        // Plausible root claim: deliver locally past closer leaf-set
+        // members. This is the measurable misdelivery the oracle-verdict
+        // expectation rule catches.
+        ++counters_.lookups_misrouted_adversarial;
+        receive_root(m);
+        return true;
+      }
+      // Forward off-path: a live-but-wrong hop (the leaf member farthest
+      // from the key) instead of the prefix-matching next hop. Honest
+      // downstream nodes reconverge, so this costs hops and ack budget
+      // rather than guaranteeing failure.
+      NodeDescriptor wrong{};
+      bool have = false;
+      U128 worst{};
+      for (const NodeDescriptor& cand : leaf_.members()) {
+        if (cand.addr == next.addr || is_excluded(cand.addr, excluded)) {
+          continue;
+        }
+        const U128 dist = cand.id.ring_distance_to(m->key);
+        if (!have || worst < dist) {
+          wrong = cand;
+          worst = dist;
+          have = true;
+        }
+      }
+      if (!wrong.valid()) return false;  // nothing plausible: act honest
+      ++counters_.lookups_misrouted_adversarial;
+      forward(m, wrong, excluded);
+      return true;
+    }
+  }
+  return false;
 }
 
 void PastryNode::receive_root(const IntrusivePtr<RoutedMessage>& m) {
@@ -715,7 +781,36 @@ void PastryNode::lookup(NodeId key, std::uint64_t lookup_id,
     buffer_message(m);
     return;
   }
-  route(m, {});
+  if (cfg_.lookup_redundancy <= 1) {
+    route(m, {});
+    return;
+  }
+  // Diverse-path redundancy: route k copies with pairwise-distinct first
+  // hops, accumulated as per-copy exclusions. Disjointness is first-hop
+  // only — Pastry's prefix routing converges paths near the root, so
+  // interior disjointness is best-effort by construction. Redundant
+  // copies are untraced (causal-path assembly is per-path); the
+  // application layer deduplicates with first-correct-wins.
+  std::vector<net::Address> used;
+  for (int k = 0; k < cfg_.lookup_redundancy; ++k) {
+    bool fb = false;
+    int er = -1;
+    int ec = -1;
+    const NodeDescriptor first = next_hop(key, used, &fb, &er, &ec);
+    if (k == 0) {
+      route(m, {});
+      if (!first.valid()) return;  // delivered locally: one copy suffices
+    } else {
+      // Never let exclusion pressure turn a redundant copy into a local
+      // (mis)delivery: stop when no further disjoint first hop exists.
+      if (!first.valid()) return;
+      auto copy = make_msg<LookupMsg>(env_.pool(), *m);
+      copy->trace_id = 0;
+      ++counters_.redundant_lookup_copies;
+      route(copy, used);
+    }
+    used.push_back(first.addr);
+  }
 }
 
 }  // namespace mspastry::pastry

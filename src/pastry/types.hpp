@@ -63,6 +63,15 @@ struct Counters {
   std::uint64_t lookups_dropped_no_route = 0;
   std::uint64_t joins_started = 0;
   std::uint64_t joins_completed = 0;
+  // Adversarial actions taken by nodes with an AdversaryPolicy installed.
+  std::uint64_t lookups_dropped_adversarial = 0;
+  std::uint64_t lookups_misrouted_adversarial = 0;
+  std::uint64_t ls_replies_corrupted = 0;
+  std::uint64_t nn_replies_corrupted = 0;
+  // Countermeasure activity.
+  std::uint64_t redundant_lookup_copies = 0;   ///< extra copies routed
+  std::uint64_t leaf_candidates_rejected = 0;  ///< density check vetoes
+  std::uint64_t failure_claims_distrusted = 0; ///< skeptical-mode deferrals
 };
 
 }  // namespace mspastry::pastry

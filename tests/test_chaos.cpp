@@ -144,9 +144,12 @@ struct NetFixture {
 
   struct P final : net::Packet {};
 
+  // The packet-accounting identity: sent == lost + delivered +
+  // dropped_unbound + dropped_adversarial + in_flight.
   std::uint64_t accounted() const {
     return net.packets_lost() + net.packets_delivered() +
-           net.packets_dropped_unbound() + net.packets_in_flight();
+           net.packets_dropped_unbound() +
+           net.packets_dropped_adversarial() + net.packets_in_flight();
   }
 };
 
@@ -224,6 +227,28 @@ TEST(ChaosNetwork, StallDefersDeliveryUntilRelease) {
   EXPECT_EQ(f.net.packets_sent(), f.accounted());
 }
 
+TEST(ChaosNetwork, DevouredPacketsKeepAccountingIdentity) {
+  // An adversarial sender "transmits" packets it actually eats: they
+  // count as sent and as adversarially dropped, never as delivered or
+  // lost, and the identity holds throughout.
+  NetFixture f;
+  const Address a = f.net.attach_random(f.rng);
+  const Address b = f.net.attach_random(f.rng);
+  int got = 0;
+  f.net.bind(b, [&](Address, const net::PacketPtr&) { ++got; });
+  f.net.send(a, b, make_refcounted<NetFixture::P>());
+  f.net.devour(a, b, make_refcounted<NetFixture::P>());
+  f.net.devour(a, b, make_refcounted<NetFixture::P>());
+  EXPECT_EQ(f.net.packets_sent(), f.accounted());  // holds mid-flight
+  f.sim.run_to_completion();
+  EXPECT_EQ(got, 1);  // only the honest send arrives
+  EXPECT_EQ(f.net.packets_sent(), 3u);
+  EXPECT_EQ(f.net.packets_dropped_adversarial(), 2u);
+  EXPECT_EQ(f.net.packets_delivered(), 1u);
+  EXPECT_EQ(f.net.packets_lost(), 0u);
+  EXPECT_EQ(f.net.packets_sent(), f.accounted());
+}
+
 // ------------------------------------------------- harness scenario runs
 
 overlay::ChaosConfig small_config(std::uint64_t seed) {
@@ -260,6 +285,32 @@ TEST(ChaosHarness, DupReorderScenarioMeetsSlos) {
   EXPECT_GT(r.injected[static_cast<std::size_t>(FaultKind::kReorder)], 0u);
   EXPECT_EQ(r.heal_incorrect, 0u);
   EXPECT_GE(r.reconverge_seconds, 0.0);
+}
+
+TEST(ChaosHarness, ByzantineScenariosMeetSlosWithCountermeasures) {
+  // The adversary scenarios run with both countermeasures armed; the
+  // strict adversary SLOs (incorrect < 1%, loss < 5%) must hold, and the
+  // identity must absorb the adversarially devoured packets.
+  for (const char* name : {"byzantine-drop", "byzantine-misroute"}) {
+    overlay::ChaosHarness h(small_topology(), small_config(25));
+    const auto r = h.run(name);
+    EXPECT_TRUE(r.ok()) << name << ": "
+                        << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_GT(r.adversarial_nodes, 0u) << name;
+    EXPECT_TRUE(r.accounting_ok) << name;
+    EXPECT_GE(r.reconverge_seconds, 0.0) << name;
+  }
+}
+
+TEST(ChaosHarness, EclipseVictimSurvivesSybilCluster) {
+  overlay::ChaosHarness h(small_topology(), small_config(26));
+  const auto r = h.run("eclipse-victim");
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations.front());
+  EXPECT_EQ(r.adversarial_nodes, 16u);  // the sybil cluster
+  EXPECT_TRUE(r.accounting_ok);
+  // Density checks fired: sybils packed around the victim id were vetoed.
+  EXPECT_GT(r.leaf_rejections, 0u);
+  EXPECT_GE(r.reconverge_seconds, 0.0);  // ring healed after the kill
 }
 
 TEST(ChaosHarness, RunsAreReproducibleFromTheSeed) {

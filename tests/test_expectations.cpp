@@ -49,11 +49,11 @@ constexpr std::uint64_t kTrace = 0x5EEDu;
 
 // ------------------------------------------------------ synthetic rules
 
-TEST(Expectations, AllFiveRulesRunOnAnEmptyDomain) {
+TEST(Expectations, AllSixRulesRunOnAnEmptyDomain) {
   const TraceDomain d(obs_on());
   const auto report = run_checker(d, {});
   EXPECT_TRUE(report.ok());
-  EXPECT_EQ(report.rules_run.size(), 5u);
+  EXPECT_EQ(report.rules_run.size(), 6u);
 }
 
 TEST(Expectations, HopBoundFlagsAnAbsurdlyLongDeliveredPath) {
@@ -232,7 +232,7 @@ TEST(Expectations, CleanLiveRunSatisfiesEveryRule) {
   const auto report = f.check();
   EXPECT_TRUE(report.ok()) << report.summary();
   EXPECT_GT(report.paths_checked, 0u);
-  EXPECT_EQ(report.rules_run.size(), 5u);
+  EXPECT_EQ(report.rules_run.size(), 6u);
 }
 
 TEST(Expectations, MutationSuppressedRerouteIsCaughtByTheChecker) {

@@ -74,6 +74,51 @@ TEST(Metrics, DuplicateDeliveryIgnored) {
   EXPECT_EQ(m.lookups_delivered_incorrect(), 0u);
 }
 
+TEST(Metrics, IncorrectDeliveryUpgradedByLaterCorrectCopy) {
+  // First-correct-wins: a redundant diverse-path copy landing at the true
+  // root upgrades an earlier misdelivery of the same lookup.
+  Metrics m = make_metrics();
+  m.on_lookup_issued(1, seconds(30), 0, NodeId{0, 1});
+  m.on_lookup_delivered(1, seconds(31), false, 0,
+                        Metrics::IncorrectCause::kAdversarialMisroute);
+  m.on_lookup_delivered(1, seconds(32), true, milliseconds(10));
+  m.finalize(seconds(200), seconds(10));
+  EXPECT_EQ(m.lookups_delivered_correct(), 1u);
+  EXPECT_EQ(m.lookups_delivered_incorrect(), 0u);
+  EXPECT_EQ(m.incorrect_misrouted_by_adversary(), 0u);
+  EXPECT_EQ(m.lookups_lost(), 0u);
+}
+
+TEST(Metrics, UnresolvedIncorrectDeliveriesFlushWithAttribution) {
+  Metrics m = make_metrics();
+  m.on_lookup_issued(1, seconds(30), 0, NodeId{0, 1});
+  m.on_lookup_delivered(1, seconds(31), false, 0,
+                        Metrics::IncorrectCause::kAdversarialMisroute);
+  m.on_lookup_issued(2, seconds(32), 0, NodeId{0, 2});
+  m.on_lookup_delivered(2, seconds(33), false, 0,
+                        Metrics::IncorrectCause::kStaleLeafSet);
+  m.finalize(seconds(200), seconds(10));
+  EXPECT_EQ(m.lookups_delivered_incorrect(), 2u);
+  EXPECT_EQ(m.incorrect_misrouted_by_adversary(), 1u);
+  EXPECT_EQ(m.incorrect_stale_leaf_set(), 1u);
+  // Misdelivered, not lost: no loss, and no grace period applies.
+  EXPECT_EQ(m.lookups_lost(), 0u);
+}
+
+TEST(Metrics, DevouredLookupsAttributeLossToTheAdversary) {
+  Metrics m = make_metrics();
+  m.on_lookup_issued(1, seconds(30), 0, NodeId{0, 1});
+  m.on_lookup_devoured(1);  // adversary ate it; nothing ever arrives
+  m.on_lookup_issued(2, seconds(32), 0, NodeId{0, 2});  // plain loss
+  m.on_lookup_issued(3, seconds(34), 0, NodeId{0, 3});
+  m.on_lookup_devoured(3);  // devoured, but a copy still got through
+  m.on_lookup_delivered(3, seconds(35), true, milliseconds(10));
+  m.finalize(seconds(200), seconds(10));
+  EXPECT_EQ(m.lookups_lost(), 2u);
+  EXPECT_EQ(m.lost_dropped_by_adversary(), 1u);
+  EXPECT_EQ(m.lookups_delivered_correct(), 1u);
+}
+
 TEST(Metrics, LossGraceExcludesInFlight) {
   Metrics m = make_metrics();
   m.on_lookup_issued(1, seconds(95), 0, NodeId{0, 1});  // within grace

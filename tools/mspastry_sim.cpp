@@ -23,6 +23,7 @@
 #include "obs/expectations.hpp"
 #include "obs/path_assembler.hpp"
 #include "obs/trace_dump.hpp"
+#include "overlay/adversary.hpp"
 #include "overlay/chaos.hpp"
 #include "overlay/driver.hpp"
 #include "trace/churn_generators.hpp"
@@ -44,8 +45,12 @@ struct Options {
   double loss = 0.0;
   double lookup_rate = 0.01;
   std::uint64_t seed = 7;
-  std::string chaos;              // named scenario | "all"
+  std::string chaos;              // named scenario | "all" | "list"
   std::uint64_t chaos_seed = 0;   // 0 = use --seed
+  std::string adversary;          // behavior:fraction, e.g. misroute:0.2
+  std::string eclipse_victim;     // hex key to cluster sybils around
+  int redundancy = 1;             // diverse-path lookup copies
+  bool leaf_checks = false;       // leaf-set plausibility countermeasure
   std::string trace_out;          // causal-trace dump path (obs subsystem)
   double trace_sample = 1.0;      // fraction of lookups/joins traced
   bool check_expectations = false;
@@ -79,9 +84,20 @@ void usage() {
       "                         run header for reproducibility\n"
       "  --chaos SCENARIO       run a chaos scenario instead of a trace:\n"
       "                         asym-partition|flap|delay-spike|dup-reorder|\n"
-      "                         gray-stall|combined|random|all\n"
+      "                         gray-stall|combined|byzantine-drop|\n"
+      "                         byzantine-misroute|eclipse-victim|random|all\n"
+      "                         (--chaos=list prints the scenario names)\n"
       "  --chaos-seed S         seed for the chaos fault schedule\n"
       "                         (default: --seed)\n"
+      "  --adversary B:F        corrupt fraction F of live nodes at warmup\n"
+      "                         with behavior B (drop|misroute|lie), e.g.\n"
+      "                         --adversary=misroute:0.2\n"
+      "  --eclipse-victim KEY   join 16 sybils clustered around hex KEY at\n"
+      "                         warmup (combines with --adversary behavior)\n"
+      "  --redundancy K         diverse-path lookups: K first-hop-disjoint\n"
+      "                         copies, first correct delivery wins\n"
+      "  --leaf-checks          enable leaf-set density/spacing\n"
+      "                         plausibility checks\n"
       "  --trace=FILE           record causal traces (src/obs) and write a\n"
       "                         flight-recorder dump to FILE as JSON lines\n"
       "                         (--trace-out FILE is the same flag; inspect\n"
@@ -127,6 +143,13 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a.rfind("--chaos=", 0) == 0) o.chaos = a.substr(8);
     else if (a == "--chaos-seed") { if (!(v = need(i))) return false; o.chaos_seed = std::strtoull(v, nullptr, 10); }
     else if (a.rfind("--chaos-seed=", 0) == 0) o.chaos_seed = std::strtoull(a.c_str() + 13, nullptr, 10);
+    else if (a == "--adversary") { if (!(v = need(i))) return false; o.adversary = v; }
+    else if (a.rfind("--adversary=", 0) == 0) o.adversary = a.substr(12);
+    else if (a == "--eclipse-victim") { if (!(v = need(i))) return false; o.eclipse_victim = v; }
+    else if (a.rfind("--eclipse-victim=", 0) == 0) o.eclipse_victim = a.substr(17);
+    else if (a == "--redundancy") { if (!(v = need(i))) return false; o.redundancy = std::atoi(v); }
+    else if (a.rfind("--redundancy=", 0) == 0) o.redundancy = std::atoi(a.c_str() + 13);
+    else if (a == "--leaf-checks") o.leaf_checks = true;
     // "--trace NAME" (space form) is the churn workload above; the "="
     // form and --trace-out are the causal-trace dump path.
     else if (a.rfind("--trace=", 0) == 0) o.trace_out = a.substr(8);
@@ -279,6 +302,13 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (o.chaos == "list") {
+    for (const auto& s : overlay::ChaosHarness::scenarios()) {
+      std::puts(s.c_str());
+    }
+    std::puts("random");
+    return 0;
+  }
   std::printf("seed: %llu\n", (unsigned long long)o.seed);
   if (!o.chaos.empty()) return run_chaos(o);
 
@@ -319,11 +349,64 @@ int main(int argc, char** argv) {
   dcfg.pastry.suppression = !o.no_suppression;
   dcfg.pastry.pns = !o.no_pns;
   dcfg.pastry.target_raw_loss = o.target_lr;
+  dcfg.pastry.lookup_redundancy = o.redundancy;
+  dcfg.pastry.leaf_plausibility_checks = o.leaf_checks;
   const bool tracing = !o.trace_out.empty() || o.check_expectations;
   dcfg.obs.enabled = tracing;
   dcfg.obs.sample_rate = o.trace_sample;
 
   overlay::OverlayDriver driver(topology, ncfg, dcfg);
+
+  // Adversary: parse behavior:fraction, arm at warmup (the overlay is
+  // populated by then), print the configuration + seed in the header so
+  // the run is reproducible from the printed line alone.
+  std::unique_ptr<overlay::AdversaryController> adversary;
+  if (!o.adversary.empty() || !o.eclipse_victim.empty()) {
+    auto behavior = overlay::AdversaryBehavior::kMisroute;
+    double fraction = 0.0;
+    if (!o.adversary.empty()) {
+      const auto colon = o.adversary.find(':');
+      const std::string bname = o.adversary.substr(0, colon);
+      const auto parsed = overlay::behavior_from_name(bname);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown adversary behavior: %s\n",
+                     bname.c_str());
+        return 2;
+      }
+      behavior = *parsed;
+      if (colon != std::string::npos) {
+        char* end = nullptr;
+        fraction = std::strtod(o.adversary.c_str() + colon + 1, &end);
+        if (end == o.adversary.c_str() + colon + 1 || *end != '\0' ||
+            fraction < 0.0 || fraction > 1.0) {
+          std::fprintf(stderr, "bad adversary fraction (want 0..1): %s\n",
+                       o.adversary.c_str() + colon + 1);
+          return 2;
+        }
+      }
+    }
+    const std::uint64_t adv_seed = o.seed ^ 0xadd5a17ull;
+    adversary = std::make_unique<overlay::AdversaryController>(
+        driver, behavior, 1.0, adv_seed);
+    std::printf(
+        "adversary: behavior %s, fraction %.2f%s%s, seed %llu, armed at "
+        "warmup (%.0f s); countermeasures: redundancy %d, leaf-checks %s\n",
+        overlay::to_string(behavior), fraction,
+        o.eclipse_victim.empty() ? "" : ", eclipse victim ",
+        o.eclipse_victim.c_str(), (unsigned long long)adv_seed,
+        to_seconds(dcfg.warmup), o.redundancy, o.leaf_checks ? "on" : "off");
+    overlay::AdversaryController* adv = adversary.get();
+    const Options* opt = &o;
+    driver.sim().schedule_at(dcfg.warmup, [adv, opt, fraction] {
+      if (!opt->eclipse_victim.empty()) {
+        adv->join_eclipse_cluster(NodeId::from_string(opt->eclipse_victim),
+                                  16, /*join_gap=*/0);
+      }
+      if (!opt->adversary.empty()) adv->corrupt_fraction(fraction);
+      std::printf("adversary armed: %s\n", adv->describe().c_str());
+    });
+  }
+
   driver.run_trace(churn);
 
   auto& m = driver.metrics();
@@ -345,6 +428,24 @@ int main(int argc, char** argv) {
               m.join_latency_samples().quantile(0.95));
   std::printf("  false positives           %llu\n",
               (unsigned long long)c.false_positives);
+  if (adversary != nullptr) {
+    std::printf("  incorrect: adversarial    %llu (stale leaf set %llu)\n",
+                (unsigned long long)m.incorrect_misrouted_by_adversary(),
+                (unsigned long long)m.incorrect_stale_leaf_set());
+    std::printf("  lost: devoured            %llu\n",
+                (unsigned long long)m.lost_dropped_by_adversary());
+    std::printf("  adversary actions         %llu drops, %llu misroutes, "
+                "%llu corrupted replies\n",
+                (unsigned long long)c.lookups_dropped_adversarial,
+                (unsigned long long)c.lookups_misrouted_adversarial,
+                (unsigned long long)(c.ls_replies_corrupted +
+                                     c.nn_replies_corrupted));
+    std::printf("  countermeasures           %llu redundant copies, "
+                "%llu leaf rejections, %llu distrusted claims\n",
+                (unsigned long long)c.redundant_lookup_copies,
+                (unsigned long long)c.leaf_candidates_rejected,
+                (unsigned long long)c.failure_claims_distrusted);
+  }
   std::printf("  probes suppressed         %llu of %llu periodic\n",
               (unsigned long long)c.rt_probes_suppressed,
               (unsigned long long)(c.rt_probes_suppressed +
