@@ -28,6 +28,7 @@
 #include "net/hier_as.hpp"
 #include "net/transit_stub.hpp"
 #include "overlay/driver.hpp"
+#include "overlay/sharded_driver.hpp"
 #include "trace/churn_generators.hpp"
 
 namespace mspastry::bench {
@@ -319,6 +320,29 @@ inline RunSummary summarize(overlay::OverlayDriver& driver,
   RunSummary s;
   s.wall_seconds = wall_seconds;
   s.executed_events = driver.sim().executed_events();
+  s.events_per_sec =
+      s.wall_seconds > 0 ? s.executed_events / s.wall_seconds : 0.0;
+  auto& m = driver.metrics();
+  s.rdp = m.mean_rdp();
+  s.rdp_p50 = m.rdp_samples().quantile(0.5);
+  s.control_traffic = m.control_traffic_rate();
+  s.loss_rate = m.loss_rate();
+  s.incorrect_rate = m.incorrect_delivery_rate();
+  s.lookups = m.lookups_issued();
+  s.join_latency_p50 = m.join_latency_samples().quantile(0.5);
+  s.join_latency_p95 = m.join_latency_samples().quantile(0.95);
+  s.counters = driver.counters();
+  s.digest = summary_digest(s);
+  return s;
+}
+
+/// Summarise a sharded-driver run: same shape, so single-threaded and
+/// sharded runs of the sharded harness can be digest-compared row to row.
+inline RunSummary summarize(overlay::ShardedDriver& driver,
+                            double wall_seconds) {
+  RunSummary s;
+  s.wall_seconds = wall_seconds;
+  s.executed_events = driver.executed_events();
   s.events_per_sec =
       s.wall_seconds > 0 ? s.executed_events / s.wall_seconds : 0.0;
   auto& m = driver.metrics();

@@ -1,0 +1,163 @@
+// Parallel sharded simulation (PDES) benchmark. Runs the Figure-4-style
+// Gnutella churn replay on the conservative epoch engine at 1, 2, 4 and
+// 8 shards and records, per shard count: wall-clock, events/sec, epoch
+// count, lookahead, and the full run-summary digest in BENCH_pdes.json.
+//
+// Two gates:
+//   1. Determinism (always on): every shard count must produce the exact
+//      digest the single-shard run produced — the engine's correctness
+//      contract, independent of how many cores the host has. Any
+//      mismatch exits nonzero.
+//   2. Speedup (hardware-gated): --min-speedup X requires the best
+//      multi-shard run to beat single-shard wall-clock by Xx, but only
+//      when the host actually has at least that many cores
+//      (hardware_concurrency >= shards); on smaller hosts the measured
+//      ratio is still recorded, just not gated — a 1-core CI runner
+//      cannot exhibit parallel speedup and must not fail for it.
+//
+// Usage: perf_pdes [--smoke] [--min-speedup X]
+//        REPRO_FULL=1 perf_pdes   for paper-scale replay
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "overlay/sharded_driver.hpp"
+
+using namespace mspastry;
+using namespace mspastry::bench;
+
+namespace {
+
+struct ShardRun {
+  std::size_t shards = 0;
+  std::size_t effective = 0;
+  std::uint64_t epochs = 0;
+  SimDuration lookahead = 0;
+  RunSummary summary;
+};
+
+ShardRun run_sharded(const trace::ChurnTrace& trace, std::size_t shards) {
+  ShardRun r;
+  r.shards = shards;
+  overlay::ShardedDriver driver(make_topology(TopologyKind::kGATech),
+                                make_net_config(TopologyKind::kGATech),
+                                base_driver_config(200), shards);
+  WallTimer timer;
+  driver.run_trace(trace);
+  r.summary = summarize(driver, timer.seconds());
+  r.effective = driver.effective_shards();
+  r.epochs = driver.epochs();
+  r.lookahead = driver.lookahead();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--min-speedup X]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  print_header("Parallel sharded simulation (perf_pdes)");
+  std::printf("host cores: %u\n", cores);
+
+  // The same fig4-mix workload perf_core replays, sized so the smoke run
+  // finishes in CI seconds while still crossing thousands of epochs.
+  const double ts = smoke ? 0.02 : (full_scale() ? 1.0 : 0.05);
+  const double ns = smoke ? 0.1 : node_scale();
+  const auto trace = trace::generate_synthetic(
+      trace::gnutella_params(ns, ts, /*seed=*/11));
+  const std::string params = "trace=gnutella node_scale=" +
+                             std::to_string(ns) +
+                             " time_scale=" + std::to_string(ts) + " seed=200";
+
+  JsonEmitter out("pdes");
+  const std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  std::vector<ShardRun> runs;
+  for (const std::size_t s : shard_counts) {
+    const ShardRun r = run_sharded(trace, s);
+    std::printf(
+        "  shards=%zu (effective %zu): %9llu events in %7.3fs  "
+        "(%9.0f ev/s)  epochs=%llu  digest %016llx\n",
+        r.shards, r.effective, (unsigned long long)r.summary.executed_events,
+        r.summary.wall_seconds, r.summary.events_per_sec,
+        (unsigned long long)r.epochs, (unsigned long long)r.summary.digest);
+    runs.push_back(r);
+  }
+
+  const ShardRun& base = runs.front();
+  bool digests_match = true;
+  double best_speedup = 1.0;
+  std::size_t best_shards = 1;
+  for (const ShardRun& r : runs) {
+    emit_summary_row(out, "pdes_shards_" + std::to_string(r.shards), params,
+                     r.summary)
+        .field("shards", r.shards)
+        .field("effective_shards", r.effective)
+        .field("epochs", r.epochs)
+        .field("lookahead_us", r.lookahead)
+        .field("speedup_vs_1",
+               r.summary.wall_seconds > 0
+                   ? base.summary.wall_seconds / r.summary.wall_seconds
+                   : 0.0);
+    if (r.summary.digest != base.summary.digest ||
+        r.summary.executed_events != base.summary.executed_events) {
+      std::fprintf(stderr,
+                   "FATAL: shards=%zu digest %016llx != shards=1 %016llx\n",
+                   r.shards, (unsigned long long)r.summary.digest,
+                   (unsigned long long)base.summary.digest);
+      digests_match = false;
+    }
+    const double sp = r.summary.wall_seconds > 0
+                          ? base.summary.wall_seconds / r.summary.wall_seconds
+                          : 0.0;
+    if (r.shards > 1 && sp > best_speedup) {
+      best_speedup = sp;
+      best_shards = r.shards;
+    }
+  }
+
+  // The speedup gate only binds when the host can physically express the
+  // parallelism; the recorded numbers stay honest either way.
+  const bool gate_applies = min_speedup > 0.0 && cores >= 2;
+  const bool gate_ok = !gate_applies || best_speedup >= min_speedup;
+  std::printf("\n  best speedup: %.2fx at %zu shards (cores=%u)%s\n",
+              best_speedup, best_shards, cores,
+              gate_applies ? (gate_ok ? "  gate: PASS" : "  gate: FAIL")
+                           : "  gate: skipped (single-core host)");
+  std::printf("  digests across shard counts: %s\n",
+              digests_match ? "MATCH" : "MISMATCH");
+
+  out.row("pdes_compare")
+      .field("cores", static_cast<std::uint64_t>(cores))
+      .field("digests_match", digests_match)
+      .field("best_speedup", best_speedup)
+      .field("best_shards", best_shards)
+      .field("min_speedup_required", min_speedup)
+      .field("speedup_gate_applied", gate_applies);
+  out.row("process").field("smoke", smoke).field("peak_rss_bytes",
+                                                 peak_rss_bytes());
+  out.write();
+
+  if (!digests_match) return 1;
+  if (!gate_ok) {
+    std::fprintf(stderr, "FATAL: best speedup %.2fx < required %.2fx\n",
+                 best_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

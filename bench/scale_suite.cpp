@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "bench_util.hpp"
+#include "overlay/sharded_driver.hpp"
 
 using namespace mspastry;
 using namespace mspastry::bench;
@@ -24,40 +25,62 @@ namespace {
 constexpr int kPopulation = 10000;
 
 struct Phase {
+  /// What ran, and therefore which telemetry fields mean anything:
+  /// kTraceOnly phases have no overlay (no arena, no live nodes beyond
+  /// what the trace itself says), kSharded phases have per-shard arenas
+  /// (reported via shard/epoch telemetry instead of one arena's rows).
+  enum class Kind { kTraceOnly, kOverlay, kSharded };
+
   std::string name;
   std::string params;
+  Kind kind = Kind::kOverlay;
   double wall_seconds = 0.0;
   std::uint64_t executed_events = 0;
   double events_per_sec = 0.0;
   std::uint64_t peak_rss = 0;  ///< process peak at phase end (monotone)
   std::uint64_t digest = 0;
-  std::uint64_t live_nodes = 0;
+  std::uint64_t live_nodes = 0;  ///< slice end: overlay- or trace-derived
   std::uint64_t arena_rows = 0;
   std::uint64_t arena_bytes = 0;
   std::uint64_t timer_arena_slots = 0;
   std::uint64_t parked_timers = 0;
+  std::size_t shards = 0;        ///< kSharded only
+  std::size_t effective_shards = 0;
+  std::uint64_t epochs = 0;
   RunSummary summary;  ///< zero for trace-only phases
 };
 
 void emit_phase(JsonEmitter& out, const Phase& p) {
-  out.row(p.name)
-      .field("params", p.params)
-      .field("population", kPopulation)
-      .field("wall_seconds", p.wall_seconds)
-      .field("executed_events", p.executed_events)
-      .field("events_per_sec", p.events_per_sec)
-      .field("peak_rss_bytes", p.peak_rss)
-      .field("peak_rss_mb", static_cast<double>(p.peak_rss) / (1024 * 1024))
-      .hex("digest", p.digest)
-      .field("live_nodes", p.live_nodes)
-      .field("arena_rows", p.arena_rows)
-      .field("arena_bytes", p.arena_bytes)
-      .field("timer_arena_slots", p.timer_arena_slots)
-      .field("parked_timers", p.parked_timers)
-      .field("rdp", p.summary.rdp)
-      .field("control_traffic", p.summary.control_traffic)
-      .field("loss_rate", p.summary.loss_rate)
-      .field("lookups", p.summary.lookups);
+  auto& row = out.row(p.name)
+                  .field("params", p.params)
+                  .field("population", kPopulation)
+                  .field("wall_seconds", p.wall_seconds)
+                  .field("executed_events", p.executed_events)
+                  .field("events_per_sec", p.events_per_sec)
+                  .field("peak_rss_bytes", p.peak_rss)
+                  .field("peak_rss_mb",
+                         static_cast<double>(p.peak_rss) / (1024 * 1024))
+                  .hex("digest", p.digest)
+                  .field("live_nodes", p.live_nodes);
+  // Arena/timer telemetry only exists where a (single) overlay ran;
+  // emitting zeros for trace-only phases reads as "empty arena", which is
+  // not a fact this phase measured.
+  if (p.kind == Phase::Kind::kOverlay) {
+    row.field("arena_rows", p.arena_rows)
+        .field("arena_bytes", p.arena_bytes)
+        .field("timer_arena_slots", p.timer_arena_slots)
+        .field("parked_timers", p.parked_timers);
+  } else if (p.kind == Phase::Kind::kSharded) {
+    row.field("shards", p.shards)
+        .field("effective_shards", p.effective_shards)
+        .field("epochs", p.epochs);
+  }
+  if (p.kind != Phase::Kind::kTraceOnly) {
+    row.field("rdp", p.summary.rdp)
+        .field("control_traffic", p.summary.control_traffic)
+        .field("loss_rate", p.summary.loss_rate)
+        .field("lookups", p.summary.lookups);
+  }
   std::printf(
       "  %-18s %7.1fs wall  %9.3gM events  %8.3gk ev/s  rss %6.0f MB  "
       "digest %016llx\n",
@@ -75,6 +98,7 @@ Phase run_fig3(SimDuration slice) {
   p.name = "fig3_traces";
   p.params = "gnutella+overnet+microsoft, slice=" +
              std::to_string(to_seconds(slice)) + "s";
+  p.kind = Phase::Kind::kTraceOnly;
   WallTimer timer;
   std::uint64_t h = kFnvOffset;
   trace::SyntheticChurnParams specs[] = {
@@ -90,6 +114,13 @@ Phase run_fig3(SimDuration slice) {
     }
     // Event count proxy: churn events processed by the analysis.
     p.executed_events += static_cast<std::uint64_t>(t.session_count()) * 2;
+    // Slice-end population, derived from the trace itself (this phase
+    // runs no overlay): sessions joined but not yet failed at the end.
+    std::int64_t live = 0;
+    for (const auto& ev : t.events()) {
+      live += ev.type == trace::ChurnEventType::kJoin ? 1 : -1;
+    }
+    p.live_nodes += static_cast<std::uint64_t>(live < 0 ? 0 : live);
   }
   p.wall_seconds = timer.seconds();
   p.events_per_sec =
@@ -103,30 +134,43 @@ Phase run_fig3(SimDuration slice) {
 /// collect the standard summary plus the scale telemetry.
 Phase run_overlay(const std::string& name, const std::string& params,
                   const trace::ChurnTrace& trace,
-                  const overlay::DriverConfig& dcfg) {
+                  const overlay::DriverConfig& dcfg, std::size_t shards) {
   Phase p;
   p.name = name;
   p.params = params;
   WallTimer timer;
-  overlay::OverlayDriver driver(make_topology(TopologyKind::kGATech),
-                                make_net_config(TopologyKind::kGATech),
-                                dcfg);
-  driver.run_trace(trace);
-  p.summary = summarize(driver, timer.seconds());
+  if (shards > 1) {
+    p.kind = Phase::Kind::kSharded;
+    overlay::ShardedDriver driver(make_topology(TopologyKind::kGATech),
+                                  make_net_config(TopologyKind::kGATech),
+                                  dcfg, shards);
+    driver.run_trace(trace);
+    p.summary = summarize(driver, timer.seconds());
+    p.live_nodes = driver.live_node_count();
+    p.shards = shards;
+    p.effective_shards = driver.effective_shards();
+    p.epochs = driver.epochs();
+  } else {
+    overlay::OverlayDriver driver(make_topology(TopologyKind::kGATech),
+                                  make_net_config(TopologyKind::kGATech),
+                                  dcfg);
+    driver.run_trace(trace);
+    p.summary = summarize(driver, timer.seconds());
+    p.live_nodes = driver.live_node_count();
+    p.arena_rows = driver.routing_arena().rows_in_use();
+    p.arena_bytes = driver.routing_arena().bytes_reserved();
+    p.timer_arena_slots = driver.sim().arena_slots();
+    p.parked_timers = driver.sim().parked_entries();
+  }
   p.wall_seconds = p.summary.wall_seconds;
   p.executed_events = p.summary.executed_events;
   p.events_per_sec = p.summary.events_per_sec;
   p.digest = p.summary.digest;
   p.peak_rss = peak_rss_bytes();
-  p.live_nodes = driver.live_node_count();
-  p.arena_rows = driver.routing_arena().rows_in_use();
-  p.arena_bytes = driver.routing_arena().bytes_reserved();
-  p.timer_arena_slots = driver.sim().arena_slots();
-  p.parked_timers = driver.sim().parked_entries();
   return p;
 }
 
-Phase run_fig4(SimDuration slice, SimDuration warmup) {
+Phase run_fig4(SimDuration slice, SimDuration warmup, std::size_t shards) {
   // The fig4 Gnutella experiment at the paper's overlay size: Gnutella
   // session dynamics (lognormal sessions, diurnal arrivals) with the
   // population raised to 10,000.
@@ -139,10 +183,10 @@ Phase run_fig4(SimDuration slice, SimDuration warmup) {
   return run_overlay("fig4_gnutella_10k",
                      "gnutella dynamics, N=10000, slice=" +
                          std::to_string(to_seconds(slice)) + "s",
-                     trace::generate_synthetic(params), dcfg);
+                     trace::generate_synthetic(params), dcfg, shards);
 }
 
-Phase run_fig5(SimDuration slice, SimDuration warmup) {
+Phase run_fig5(SimDuration slice, SimDuration warmup, std::size_t shards) {
   // One point of the fig5 session-time sweep (30-minute exponential
   // sessions, the paper's mid-churn column) at the paper's N = 10,000.
   auto dcfg = base_driver_config(302);
@@ -152,7 +196,7 @@ Phase run_fig5(SimDuration slice, SimDuration warmup) {
   return run_overlay("fig5_poisson30_10k",
                      "poisson 30min sessions, N=10000, slice=" +
                          std::to_string(to_seconds(slice)) + "s",
-                     trace, dcfg);
+                     trace, dcfg, shards);
 }
 
 }  // namespace
@@ -161,6 +205,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   double max_rss_mb = 0.0;       // 0 = no threshold
   double min_events_per_sec = 0.0;
+  std::size_t shards = 1;        // >1: overlay slices on the sharded engine
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--max-rss-mb=", 13) == 0) {
@@ -168,6 +213,10 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--min-events-per-sec=", 21) == 0) {
       min_events_per_sec = std::atof(argv[i] + 21);
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<std::size_t>(std::atoi(argv[i] + 9));
+      if (shards == 0) shards = 1;
     }
   }
 
@@ -177,14 +226,17 @@ int main(int argc, char** argv) {
   const SimDuration warmup = smoke ? minutes(10) : minutes(20);
   std::printf("slice: %.0f simulated minutes per overlay run%s\n",
               to_seconds(slice) / 60.0, smoke ? " (smoke)" : "");
+  if (shards > 1) {
+    std::printf("overlay slices on the sharded engine, %zu shards\n", shards);
+  }
 
   JsonEmitter out("scale");
   std::vector<Phase> phases;
   phases.push_back(run_fig3(slice));
   emit_phase(out, phases.back());
-  phases.push_back(run_fig4(slice, warmup));
+  phases.push_back(run_fig4(slice, warmup, shards));
   emit_phase(out, phases.back());
-  phases.push_back(run_fig5(slice, warmup));
+  phases.push_back(run_fig5(slice, warmup, shards));
   emit_phase(out, phases.back());
 
   // Threshold gates (CI): peak RSS is process-wide, throughput is the

@@ -33,6 +33,9 @@ class CorpNetTopology final : public Topology {
   int router_count() const override { return graph_.router_count(); }
   SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
   std::string name() const override { return "CorpNet"; }
+  SimDuration min_positive_delay() const override {
+    return graph_.min_link_delay();
+  }
 
   const RoutedGraph& graph() const { return graph_; }
 

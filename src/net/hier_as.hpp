@@ -36,6 +36,9 @@ class HierASTopology final : public Topology {
   int router_count() const override { return graph_.router_count(); }
   SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
   std::string name() const override { return "Mercator"; }
+  SimDuration min_positive_delay() const override {
+    return graph_.min_link_delay();
+  }
 
   /// IP hop count between two routers (the paper's proximity metric).
   int hops(int a, int b) const { return graph_.hops(a, b); }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <memory>
 #include <queue>
 
 namespace mspastry::net {
@@ -13,24 +14,34 @@ void RoutedGraph::add_link(int a, int b, double weight, SimDuration delay) {
   adjacency_[a].push_back(Edge{b, weight, delay});
   adjacency_[b].push_back(Edge{a, weight, delay});
   links_ += 2;
-  cache_.clear();  // paths may change; generators build before querying
+  if (delay < min_link_delay_) min_link_delay_ = delay;
+  clear_cache();  // paths may change; generators build before querying
+}
+
+void RoutedGraph::clear_cache() {
+  for (auto& slot : cache_) {
+    delete slot.exchange(nullptr, std::memory_order_relaxed);
+  }
 }
 
 const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
-  const int n = router_count();
-  if (cache_.empty()) cache_.resize(static_cast<std::size_t>(n));
-  Row& row = cache_[static_cast<std::size_t>(src)];
-  if (row.filled()) return row;
+  auto& slot = cache_[static_cast<std::size_t>(src)];
+  if (const Row* row = slot.load(std::memory_order_acquire)) return *row;
 
+  std::lock_guard<std::mutex> lock(fill_mutex_);
+  if (const Row* row = slot.load(std::memory_order_relaxed)) return *row;
+
+  const int n = router_count();
+  auto row = std::make_unique<Row>();
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  row.delay.assign(n, kTimeNever);
-  row.hops.assign(n, -1);
+  row->delay.assign(n, kTimeNever);
+  row->hops.assign(n, -1);
 
   using Item = std::pair<double, int>;  // (policy weight, router)
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
   dist[src] = 0.0;
-  row.delay[src] = 0;
-  row.hops[src] = 0;
+  row->delay[src] = 0;
+  row->hops[src] = 0;
   pq.emplace(0.0, src);
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
@@ -40,13 +51,15 @@ const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
       const double nd = d + e.weight;
       if (nd < dist[e.to]) {
         dist[e.to] = nd;
-        row.delay[e.to] = row.delay[u] + e.delay;
-        row.hops[e.to] = row.hops[u] + 1;
+        row->delay[e.to] = row->delay[u] + e.delay;
+        row->hops[e.to] = row->hops[u] + 1;
         pq.emplace(nd, e.to);
       }
     }
   }
-  return row;
+  Row* published = row.release();
+  slot.store(published, std::memory_order_release);
+  return *published;
 }
 
 SimDuration RoutedGraph::delay(int a, int b) const {

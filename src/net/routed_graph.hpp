@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -18,14 +20,24 @@ namespace mspastry::net {
 /// Shortest-path trees are computed lazily per source router and cached;
 /// overlay simulations only ever query delays from the few hundred to few
 /// thousand routers that have end nodes attached, so caching rows is far
-/// cheaper than an all-pairs matrix. The cache is a flat vector indexed
-/// by source router (an unfilled row is empty): delay() is on the
-/// network's per-packet hot path, and two array indexes beat a hash
-/// lookup there. The vector of empty rows costs ~48 bytes per router —
-/// negligible next to one filled row.
+/// cheaper than an all-pairs matrix. The cache is a flat array of row
+/// pointers indexed by source router: delay() is on the network's
+/// per-packet hot path, and two array indexes beat a hash lookup there.
+///
+/// Concurrent reads are safe once the graph is built: the sharded
+/// simulation queries delays from every worker thread, so the row cache
+/// is a published-pointer scheme — an acquire load on the hot path, and a
+/// mutex-guarded, double-checked Dijkstra fill for the (rare, idempotent)
+/// first query of a row. Mutation (add_link) is NOT thread-safe and must
+/// finish before any concurrent querying starts.
 class RoutedGraph {
  public:
-  explicit RoutedGraph(int routers) : adjacency_(routers) {}
+  explicit RoutedGraph(int routers) : adjacency_(routers), cache_(routers) {}
+
+  ~RoutedGraph() { clear_cache(); }
+
+  RoutedGraph(const RoutedGraph&) = delete;
+  RoutedGraph& operator=(const RoutedGraph&) = delete;
 
   int router_count() const { return static_cast<int>(adjacency_.size()); }
 
@@ -42,6 +54,12 @@ class RoutedGraph {
 
   std::size_t link_count() const { return links_ / 2; }
 
+  /// Smallest single-link delay in the graph, or kTimeNever when there are
+  /// no links. Every path between distinct routers traverses at least one
+  /// link and link delays are positive, so this lower-bounds delay(a, b)
+  /// for a != b — the conservative scheduler's lookahead source.
+  SimDuration min_link_delay() const { return min_link_delay_; }
+
   /// True if every router can reach router 0 (hence, by symmetry of the
   /// undirected graph, the graph is connected).
   bool connected() const;
@@ -56,14 +74,19 @@ class RoutedGraph {
   struct Row {
     std::vector<SimDuration> delay;  // accumulated delay to each router
     std::vector<int> hops;           // hop count to each router
-    bool filled() const { return !delay.empty(); }
   };
 
   const Row& row_from(int src) const;
+  void clear_cache();
 
   std::vector<std::vector<Edge>> adjacency_;
   std::size_t links_ = 0;
-  mutable std::vector<Row> cache_;  // indexed by source router, lazy
+  SimDuration min_link_delay_ = kTimeNever;
+
+  /// Row pointers published with release stores, read with acquire loads;
+  /// fill_mutex_ serialises the Dijkstra fills.
+  mutable std::vector<std::atomic<Row*>> cache_;
+  mutable std::mutex fill_mutex_;
 };
 
 }  // namespace mspastry::net

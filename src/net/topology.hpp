@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/sim_time.hpp"
@@ -31,6 +32,30 @@ class Topology {
   virtual bool attachable(int router) const {
     (void)router;
     return true;
+  }
+
+  /// Lower bound on delay(a, b) over all pairs of *distinct* routers. The
+  /// conservative sharded scheduler derives its lookahead from this: any
+  /// positive bound lets shards on different routers run ahead of each
+  /// other by that much. Return 0 when no positive bound is known — the
+  /// scheduler then falls back to single-shard execution. Graph-backed
+  /// topologies return their minimum link delay (every path between
+  /// distinct routers traverses at least one link, and link delays are
+  /// positive, so this is a valid bound).
+  virtual SimDuration min_positive_delay() const { return 0; }
+
+  /// Lower bound on delay between any router in group `a` and any router
+  /// in group `b` (the groups are disjoint shard router sets). The safe
+  /// default is the global bound above; topologies with cheap
+  /// group-distance structure may refine it. Note: a scheduler that needs
+  /// shard-count-invariant epoch boundaries (for cross-shard-count
+  /// determinism) must use the *global* bound — this hook serves engines
+  /// that trade that invariance for wider epochs.
+  virtual SimDuration min_delay_between(std::span<const int> a,
+                                        std::span<const int> b) const {
+    (void)a;
+    (void)b;
+    return min_positive_delay();
   }
 };
 

@@ -55,6 +55,9 @@ class TransitStubTopology final : public Topology {
   bool attachable(int router) const override {
     return router >= first_stub_router_;
   }
+  SimDuration min_positive_delay() const override {
+    return graph_.min_link_delay();
+  }
 
   int transit_router_count() const { return first_stub_router_; }
   const RoutedGraph& graph() const { return graph_; }

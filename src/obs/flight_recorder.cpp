@@ -1,5 +1,6 @@
 #include "obs/flight_recorder.hpp"
 
+#include <cassert>
 #include <cstring>
 
 namespace mspastry::obs {
@@ -121,6 +122,15 @@ FlightRecorder& TraceDomain::recorder_for(net::Address a) {
 const FlightRecorder* TraceDomain::find(net::Address a) const {
   const auto it = recorders_.find(a);
   return it == recorders_.end() ? nullptr : it->second.get();
+}
+
+void TraceDomain::absorb(TraceDomain&& other) {
+  for (auto& [a, r] : other.recorders_) {
+    [[maybe_unused]] const bool inserted =
+        recorders_.emplace(a, std::move(r)).second;
+    assert(inserted && "recorder address collision across shards");
+  }
+  other.recorders_.clear();
 }
 
 }  // namespace mspastry::obs

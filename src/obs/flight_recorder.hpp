@@ -138,6 +138,12 @@ class TraceDomain {
 
   std::size_t recorder_count() const { return recorders_.size(); }
 
+  /// Move every recorder of `other` into this domain (other is left
+  /// empty). The sharded driver keeps one domain per shard during the run
+  /// and absorbs them into a single domain for assembly; addresses are
+  /// session-unique across shards, so collisions cannot happen (asserted).
+  void absorb(TraceDomain&& other);
+
  private:
   ObsConfig cfg_;
   std::unordered_map<net::Address, std::unique_ptr<FlightRecorder>>

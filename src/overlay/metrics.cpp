@@ -29,6 +29,24 @@ void Metrics::on_unclassified_control(SimTime t) {
   }
 }
 
+void Metrics::merge_traffic_from(const Metrics& other) {
+  for (const auto& [wi, counts] : other.class_windows_) {
+    auto& mine = class_windows_[wi];
+    for (std::size_t c = 0; c < counts.size(); ++c) mine[c] += counts[c];
+  }
+  for (const auto& [wi, count] : other.total_windows_) {
+    total_windows_[wi] += count;
+  }
+  for (std::size_t c = 0; c < class_totals_.size(); ++c) {
+    class_totals_[c] += other.class_totals_[c];
+  }
+  control_total_ += other.control_total_;
+  all_total_ += other.all_total_;
+  for (std::size_t k = 0; k < fault_injections_.size(); ++k) {
+    fault_injections_[k] += other.fault_injections_[k];
+  }
+}
+
 void Metrics::on_lookup_issued(std::uint64_t id, SimTime t, net::Address src,
                                NodeId key) {
   outstanding_.emplace(id, LookupRecord{t, src, key});

@@ -110,6 +110,15 @@ class Metrics {
   /// delivered are counted lost.
   void finalize(SimTime end, SimDuration grace);
 
+  /// Fold another Metrics' *traffic-side* state (per-window and total
+  /// message counts, fault-injection counters) into this one. The sharded
+  /// driver counts traffic per shard — on_message is called from worker
+  /// threads — and merges into the single ledger Metrics at the end;
+  /// everything lookup/join/population-related lives on the ledger only.
+  /// Sums of per-window counts are order-independent (integer-valued
+  /// doubles well under 2^53), so the merged result is shard-invariant.
+  void merge_traffic_from(const Metrics& other);
+
   // --- Aggregates (post-warmup) -------------------------------------------
 
   std::uint64_t lookups_issued() const { return issued_; }

@@ -1,0 +1,745 @@
+#include "overlay/sharded_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mspastry::overlay {
+
+namespace {
+
+/// splitmix64: stable, well-mixed, cheap. All network randomness in the
+/// sharded driver is *stateless* — a hash of (seed, sender, per-sender
+/// packet seq) — so a packet's fate never depends on how draws from other
+/// nodes interleave with it, which is the property that makes the run
+/// independent of the shard count.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix64(a ^ mix64(b ^ mix64(c)));
+}
+
+/// Uniform in [0, 1) from a hash (53 mantissa bits).
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kLossSalt = 0x6c6f7373ull;      // "loss"
+constexpr std::uint64_t kJitterSalt = 0x6a697474ull;    // "jitt"
+constexpr std::uint64_t kDitherSalt = 0x64697468ull;    // "dith"
+constexpr std::uint64_t kNodeSalt = 0x6e6f6465ull;      // "node"
+
+/// Delivery-time dither, hashed from the packet identity: 0..127 us added
+/// to every delay. Same-instant arrivals at one receiver from *different*
+/// senders would otherwise be ordered by simulator scheduling order,
+/// which is shard-dependent for cross-shard traffic (barrier drain order)
+/// — the dither makes such ties vanishingly rare instead of load-bearing.
+constexpr std::uint64_t kDitherMask = 127;
+
+SimDuration compute_lookahead(const net::Topology& topo,
+                              const net::NetworkConfig& nc) {
+  SimDuration topo_min = topo.min_positive_delay();
+  if (topo_min < 0 || topo_min >= kTimeNever) topo_min = 0;
+  // Cross-shard endpoints always sit on distinct routers (the partition
+  // cuts at router boundaries), so every cross-shard delay is at least
+  // topo_min + both LAN links, scaled by the worst-case jitter factor.
+  // Fault extra delays, duplication offsets and the dither only add.
+  const SimDuration base = 2 * nc.lan_delay + topo_min;
+  const double scaled =
+      static_cast<double>(base) * (1.0 - nc.jitter_fraction);
+  if (scaled <= 0.0) return 0;
+  return static_cast<SimDuration>(scaled);
+}
+
+void add_counters(pastry::Counters& into, const pastry::Counters& c) {
+  into.heartbeats_sent += c.heartbeats_sent;
+  into.heartbeats_suppressed += c.heartbeats_suppressed;
+  into.rt_probes_sent += c.rt_probes_sent;
+  into.rt_probes_suppressed += c.rt_probes_suppressed;
+  into.rt_probes_periodic += c.rt_probes_periodic;
+  into.ls_probes_sent += c.ls_probes_sent;
+  into.ls_probes_join += c.ls_probes_join;
+  into.ls_probes_candidate += c.ls_probes_candidate;
+  into.ls_probes_candidate_active += c.ls_probes_candidate_active;
+  into.ls_probes_confirm += c.ls_probes_confirm;
+  into.ls_probes_announce += c.ls_probes_announce;
+  into.ls_probes_repair += c.ls_probes_repair;
+  into.ls_probes_suspect += c.ls_probes_suspect;
+  into.distance_probes_sent += c.distance_probes_sent;
+  into.acks_sent += c.acks_sent;
+  into.ack_timeouts += c.ack_timeouts;
+  into.nodes_marked_faulty += c.nodes_marked_faulty;
+  into.false_positives += c.false_positives;
+  into.lookups_forwarded += c.lookups_forwarded;
+  into.lookups_dropped_no_route += c.lookups_dropped_no_route;
+  into.joins_started += c.joins_started;
+  into.joins_completed += c.joins_completed;
+  into.lookups_dropped_adversarial += c.lookups_dropped_adversarial;
+  into.lookups_misrouted_adversarial += c.lookups_misrouted_adversarial;
+  into.ls_replies_corrupted += c.ls_replies_corrupted;
+  into.nn_replies_corrupted += c.nn_replies_corrupted;
+  into.redundant_lookup_copies += c.redundant_lookup_copies;
+  into.leaf_candidates_rejected += c.leaf_candidates_rejected;
+  into.failure_claims_distrusted += c.failure_claims_distrusted;
+}
+
+}  // namespace
+
+/// Per-node Env for the sharded driver. Differences from the
+/// single-threaded OverlayDriver::NodeEnv, all in service of
+/// shard-count-invariance:
+///  - the node draws from its *own* RNG stream (seeded from the trial
+///    seed and the session uid), never a shared driver stream;
+///  - global bookkeeping upcalls append deferred-ledger events instead of
+///    mutating the oracle/metrics directly;
+///  - bootstrap candidates come from the ledger oracle's last-barrier
+///    snapshot (safe to read concurrently: it only mutates at barriers).
+class ShardedDriver::ShardEnv final : public pastry::Env {
+ public:
+  ShardEnv(ShardedDriver& d, std::size_t shard, std::uint32_t uid,
+           pastry::NodeDescriptor self, obs::FlightRecorder* rec)
+      : d_(d),
+        shard_(shard),
+        uid_(uid),
+        self_(self),
+        rng_(mix3(d.cfg_.seed, kNodeSalt, uid)),
+        rec_(rec),
+        alive_(std::make_shared<bool>(true)) {}
+
+  void shutdown() { *alive_ = false; }
+  const pastry::NodeDescriptor& self() const { return self_; }
+  std::uint32_t uid() const { return uid_; }
+
+  SimTime now() const override { return d_.engine_.shard(shard_).now(); }
+
+  TimerId schedule(SimDuration delay, InplaceCallback fn) override {
+    struct Guarded {
+      std::shared_ptr<bool> alive;
+      InplaceCallback fn;
+      void operator()() {
+        if (*alive) fn();
+      }
+    };
+    static_assert(Simulator::Callback::fits_inline<Guarded>(),
+                  "liveness-guarded node timers must stay allocation-free");
+    return d_.engine_.shard(shard_).schedule_after(
+        delay, Guarded{alive_, std::move(fn)});
+  }
+
+  void cancel(TimerId id) override { d_.engine_.shard(shard_).cancel(id); }
+
+  void send(net::Address to, pastry::MessagePtr msg) override {
+    d_.shard_send(shard_, self_.addr, to, std::move(msg), send_seq_++);
+  }
+
+  void devour(net::Address to, pastry::MessagePtr msg) override {
+    (void)to;
+    (void)msg;
+    assert(false && "adversary policies are unsupported in sharded mode");
+  }
+
+  Rng& rng() override { return rng_; }
+
+  pastry::MessagePool& pool() override { return d_.shards_[shard_]->pool; }
+
+  pastry::NodeArena* routing_arena() override {
+    return d_.shards_[shard_]->arena.get();
+  }
+
+  std::optional<pastry::NodeDescriptor> bootstrap_candidate() override {
+    // Reads the ledger oracle's last-barrier snapshot; the draw itself
+    // comes from this node's stream, so it is shard-count-invariant.
+    const auto pick = d_.oracle_.random_active(rng_);
+    if (!pick || pick->second == self_.addr) return std::nullopt;
+    return pastry::NodeDescriptor{pick->first, pick->second};
+  }
+
+  obs::FlightRecorder* recorder() override { return rec_; }
+
+  void on_deliver(const pastry::LookupMsg& m) override {
+    assert(m.app_data == nullptr &&
+           "application data is unsupported in sharded mode");
+    LogEvent e;
+    e.kind = LogEvent::Kind::kDelivered;
+    e.id = m.key;
+    e.a = m.source.addr;
+    e.b = self_.addr;
+    e.u = m.lookup_id;
+    log(std::move(e));
+  }
+
+  void on_activated() override {
+    LogEvent e;
+    e.kind = LogEvent::Kind::kActivated;
+    e.id = self_.id;
+    e.a = self_.addr;
+    e.u = static_cast<std::uint64_t>(now() - join_started_);
+    log(std::move(e));
+    if (!workload_started_) {
+      workload_started_ = true;
+      d_.start_workload_loop(*this);
+    }
+  }
+
+  void on_marked_faulty(net::Address victim) override {
+    // The live-victim check happens at barrier apply time against the
+    // ledger's alive set — in (time, session) order, so the verdict is
+    // the same for every shard count.
+    LogEvent e;
+    e.kind = LogEvent::Kind::kMarkedFaulty;
+    e.a = victim;
+    log(std::move(e));
+  }
+
+  void on_right_neighbour(
+      const std::optional<pastry::NodeDescriptor>& right) override {
+    LogEvent e;
+    e.kind = LogEvent::Kind::kRight;
+    e.id = self_.id;
+    e.a = self_.addr;
+    if (right) {
+      e.b = right->addr;
+      e.flag = true;
+    }
+    log(std::move(e));
+  }
+
+  /// Stamp (time, order) and append to the owning shard's log. Order is
+  /// (uid << 26) | stream 0 | seq: unique across sessions and across the
+  /// driver's drop-event stream (stream bit 1, keyed by send seq).
+  void log(LogEvent e) {
+    e.t = now();
+    e.order = (static_cast<std::uint64_t>(uid_) << 26) |
+              (log_seq_++ & 0xffffffull);
+    d_.shards_[shard_]->log.push_back(std::move(e));
+  }
+
+  std::uint64_t next_lookup_id() {
+    return (static_cast<std::uint64_t>(uid_ + 1) << 32) | lookup_seq_++;
+  }
+
+  SimTime join_started_ = 0;
+
+ private:
+  ShardedDriver& d_;
+  std::size_t shard_;
+  std::uint32_t uid_;
+  pastry::NodeDescriptor self_;
+  Rng rng_;
+  obs::FlightRecorder* rec_;
+  std::shared_ptr<bool> alive_;
+  std::uint64_t send_seq_ = 0;
+  std::uint32_t log_seq_ = 0;
+  std::uint64_t lookup_seq_ = 0;
+  bool workload_started_ = false;
+};
+
+ShardedDriver::ShardedDriver(std::shared_ptr<const net::Topology> topology,
+                             net::NetworkConfig net_config,
+                             DriverConfig config, std::size_t shards)
+    : topology_(std::move(topology)),
+      net_cfg_(net_config),
+      cfg_(config),
+      net_seed_(config.seed ^ 0x9e3779b9ull),
+      lookahead_(compute_lookahead(*topology_, net_config)),
+      engine_(shards, lookahead_),
+      metrics_(config.metrics_window, config.warmup) {
+  const std::size_t s = engine_.shards();
+  shards_.reserve(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->arena = std::make_unique<pastry::NodeArena>(1 << cfg_.pastry.b);
+    sh->traffic =
+        std::make_unique<Metrics>(cfg_.metrics_window, cfg_.warmup);
+    sh->faults.reseed(mix3(net_seed_, 0xfa017c0deull, i));
+    if (cfg_.obs.enabled) {
+      sh->obs = std::make_unique<obs::TraceDomain>(cfg_.obs);
+    }
+    sh->outbox.resize(s);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+ShardedDriver::~ShardedDriver() {
+  // Tear nodes down while the simulators are still alive: node
+  // destructors cancel their timers and return arena rows. The default
+  // member destruction then runs the engine down (releasing in-flight
+  // message references) before the pools assert live() == 0.
+  for (auto& sh : shards_) {
+    for (auto& [a, ns] : sh->nodes) ns.env->shutdown();
+    sh->nodes.clear();
+    for (auto& row : sh->outbox) row.clear();
+  }
+}
+
+void ShardedDriver::add_fault_rule(const net::FaultRule& rule) {
+  assert(!ran_ && "install fault rules before run_trace");
+  assert(rule.kind != net::FaultKind::kStall &&
+         "gray-failure stalls are unsupported in sharded mode");
+  for (auto& sh : shards_) sh->faults.add(rule);
+}
+
+SimDuration ShardedDriver::delay_between(net::Address a,
+                                         net::Address b) const {
+  if (a == b) return 0;
+  return topology_->delay(sessions_[static_cast<std::size_t>(a)].router,
+                          sessions_[static_cast<std::size_t>(b)].router) +
+         2 * net_cfg_.lan_delay;
+}
+
+void ShardedDriver::shard_send(std::size_t src_shard, net::Address from,
+                               net::Address to, pastry::MessagePtr msg,
+                               std::uint64_t send_seq) {
+  assert(msg != nullptr);
+  Shard& sh = *shards_[src_shard];
+  const SimTime now = engine_.shard(src_shard).now();
+  sh.traffic->on_message(now, msg->type);
+  ++sh.sent;
+
+  net::FaultAction act = sh.faults.apply(now, from, to);
+  if (act.drop) {
+    ++sh.lost;
+    sh.traffic->on_fault_injected(act.drop_kind);
+    note_send_drop(sh, now, from, to, *msg);
+    return;
+  }
+  if (act.extra_delay > 0) {
+    sh.traffic->on_fault_injected(net::FaultKind::kDelaySpike);
+  }
+  if (net_cfg_.loss_rate > 0.0 &&
+      to_unit(mix3(net_seed_ ^ kLossSalt,
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)),
+                   send_seq)) < net_cfg_.loss_rate) {
+    ++sh.lost;
+    note_send_drop(sh, now, from, to, *msg);
+    return;
+  }
+
+  SimDuration d = delay_between(from, to);
+  if (net_cfg_.jitter_fraction > 0.0) {
+    const double u = to_unit(mix3(
+        net_seed_ ^ kJitterSalt,
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)),
+        send_seq));
+    const double f = 1.0 - net_cfg_.jitter_fraction +
+                     2.0 * net_cfg_.jitter_fraction * u;
+    d = static_cast<SimDuration>(static_cast<double>(d) * f);
+  }
+  d += act.extra_delay;
+  if (d < 1) d = 1;
+  d += static_cast<SimDuration>(
+      mix3(net_seed_ ^ kDitherSalt,
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)),
+           send_seq) &
+      kDitherMask);
+
+  schedule_delivery(src_shard, now + d, from, to, msg, send_seq);
+  for (int i = 0; i < act.extra_copies; ++i) {
+    ++sh.sent;
+    sh.traffic->on_fault_injected(net::FaultKind::kDuplicate);
+    const SimDuration off =
+        (i + 1) * std::max<SimDuration>(1, act.dup_offset);
+    schedule_delivery(src_shard, now + d + off, from, to, msg, send_seq);
+  }
+}
+
+void ShardedDriver::note_send_drop(Shard& sh, SimTime now, net::Address from,
+                                   net::Address to,
+                                   const pastry::Message& msg) {
+  if (sh.obs == nullptr) return;
+  const auto* rm = dynamic_cast<const pastry::RoutedMessage*>(&msg);
+  if (rm == nullptr || rm->trace_id == 0) return;
+  sh.obs->recorder_for(from).record(now, obs::EventKind::kNetDrop,
+                                    rm->trace_id, to, rm->hops, rm->hop_seq);
+}
+
+void ShardedDriver::schedule_delivery(std::size_t src_shard, SimTime at,
+                                      net::Address from, net::Address to,
+                                      pastry::MessagePtr msg,
+                                      std::uint64_t send_seq) {
+  ++shards_[src_shard]->in_flight;
+  const std::size_t dst =
+      sessions_[static_cast<std::size_t>(to)].shard;
+  if (dst == src_shard) {
+    engine_.shard(dst).schedule_at(
+        at, [this, dst, from, to, send_seq, m = std::move(msg)]() mutable {
+          deliver(dst, from, to, send_seq, std::move(m));
+        });
+    return;
+  }
+  // Lookahead contract: a cross-shard delivery can never land inside the
+  // epoch that produced it.
+  assert(at >= engine_.epoch_end());
+  shards_[src_shard]->outbox[dst].push_back(
+      OutMsg{at, from, to, send_seq, std::move(msg)});
+}
+
+void ShardedDriver::deliver(std::size_t dst_shard, net::Address from,
+                            net::Address to, std::uint64_t send_seq,
+                            pastry::MessagePtr msg) {
+  Shard& sh = *shards_[dst_shard];
+  --sh.in_flight;
+  const auto it = sh.nodes.find(to);
+  if (it == sh.nodes.end()) {
+    ++sh.unbound;
+    // The sender's ring may live on another shard: defer the drop record
+    // through the ledger (ordered by the sender's packet seq, stream 1 —
+    // disjoint from the sessions' upcall stream 0).
+    if (cfg_.obs.enabled) {
+      const auto* rm =
+          dynamic_cast<const pastry::RoutedMessage*>(msg.get());
+      if (rm != nullptr && rm->trace_id != 0) {
+        LogEvent e;
+        e.t = engine_.shard(dst_shard).now();
+        e.order =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+             << 26) |
+            (1ull << 24) | (send_seq & 0xffffffull);
+        e.kind = LogEvent::Kind::kNetDropObs;
+        e.a = from;
+        e.b = to;
+        e.u = rm->trace_id;
+        e.v = (static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(rm->hops))
+               << 32) |
+              static_cast<std::uint32_t>(rm->hop_seq & 0xffffffffull);
+        sh.log.push_back(std::move(e));
+      }
+    }
+    return;
+  }
+  ++sh.delivered;
+  it->second.node->handle(from, std::move(msg));
+}
+
+void ShardedDriver::create_session(std::uint32_t uid) {
+  Session& s = sessions_[uid];
+  Shard& sh = *shards_[s.shard];
+  const net::Address addr = static_cast<net::Address>(uid);
+  const pastry::NodeDescriptor self{s.id, addr};
+
+  NodeState ns;
+  obs::FlightRecorder* rec =
+      sh.obs != nullptr ? &sh.obs->recorder_for(addr) : nullptr;
+  ns.env = std::make_unique<ShardEnv>(*this, s.shard, uid, self, rec);
+  ns.node = std::make_unique<pastry::PastryNode>(cfg_.pastry, self, *ns.env,
+                                                 sh.counters);
+  ShardEnv* env = ns.env.get();
+  pastry::PastryNode* node = ns.node.get();
+  env->join_started_ = engine_.shard(s.shard).now();
+  sh.nodes.emplace(addr, std::move(ns));
+
+  LogEvent e;
+  e.kind = LogEvent::Kind::kJoinStarted;
+  e.id = s.id;
+  e.a = addr;
+  env->log(std::move(e));
+
+  if (uid == first_session_) {
+    // Exactly one designated session seeds the overlay; every other join
+    // waits until a candidate is visible. (Letting any join with an empty
+    // oracle snapshot bootstrap would split the ring: snapshot visibility
+    // lags by up to an epoch.)
+    node->bootstrap();
+    return;
+  }
+  try_join(uid);
+}
+
+void ShardedDriver::try_join(std::uint32_t uid) {
+  Shard& sh = *shards_[sessions_[uid].shard];
+  const auto it = sh.nodes.find(static_cast<net::Address>(uid));
+  if (it == sh.nodes.end()) return;  // session died while waiting
+  ShardEnv& env = *it->second.env;
+  if (const auto cand = env.bootstrap_candidate()) {
+    it->second.node->join(*cand);
+  } else {
+    env.schedule(kJoinRetryDelay, [this, uid] { try_join(uid); });
+  }
+}
+
+void ShardedDriver::kill_session(std::uint32_t uid) {
+  Shard& sh = *shards_[sessions_[uid].shard];
+  const auto it = sh.nodes.find(static_cast<net::Address>(uid));
+  if (it == sh.nodes.end()) return;
+  ShardEnv& env = *it->second.env;
+  LogEvent e;
+  e.kind = LogEvent::Kind::kFailed;
+  e.id = sessions_[uid].id;
+  e.a = static_cast<net::Address>(uid);
+  env.log(std::move(e));
+  env.shutdown();
+  sh.nodes.erase(it);  // node destroyed on its own shard; timers cancelled
+}
+
+void ShardedDriver::start_workload_loop(ShardEnv& env) {
+  if (!workload_on_ || cfg_.lookup_rate_per_node <= 0.0) return;
+  schedule_workload_tick(env);
+}
+
+void ShardedDriver::schedule_workload_tick(ShardEnv& env) {
+  // Per-node Poisson process: the aggregate over N active nodes is
+  // Poisson with rate N * lookup_rate, exactly like the single-threaded
+  // driver's aggregate process, but each node draws only from its own
+  // stream. The callback is liveness-guarded by env.schedule, so a killed
+  // node's pending tick fires into nothing.
+  const SimDuration gap = from_seconds(
+      env.rng().exponential(1.0 / cfg_.lookup_rate_per_node));
+  ShardEnv* e = &env;
+  env.schedule(gap, [this, e] {
+    if (!workload_on_) return;
+    issue_workload_lookup(*e);
+    schedule_workload_tick(*e);
+  });
+}
+
+void ShardedDriver::issue_workload_lookup(ShardEnv& env) {
+  Shard& sh = *shards_[sessions_[env.uid()].shard];
+  const auto it = sh.nodes.find(static_cast<net::Address>(env.uid()));
+  if (it == sh.nodes.end()) return;
+  const NodeId key = env.rng().node_id();
+  const std::uint64_t id = env.next_lookup_id();
+  LogEvent e;
+  e.kind = LogEvent::Kind::kIssued;
+  e.id = key;
+  e.a = env.self().addr;
+  e.u = id;
+  env.log(std::move(e));
+  it->second.node->lookup(key, id, 0, cfg_.lookups_want_ack, nullptr);
+}
+
+void ShardedDriver::apply_barrier(SimTime epoch_end) {
+  (void)epoch_end;
+  const std::size_t s = shards_.size();
+  // 1. Hand cross-shard messages over: clone into the destination pool,
+  //    schedule there, release the source-pool reference. Single-threaded
+  //    and in (src, dst, append) order — but delivery *times* carry the
+  //    per-packet dither, so receiver-side interleaving doesn't depend on
+  //    this order.
+  for (std::size_t src = 0; src < s; ++src) {
+    for (std::size_t dst = 0; dst < s; ++dst) {
+      auto& row = shards_[src]->outbox[dst];
+      for (OutMsg& m : row) {
+        pastry::MessagePtr clone =
+            pastry::clone_message(*m.msg, shards_[dst]->pool);
+        engine_.shard(dst).schedule_at(
+            m.t, [this, dst, from = m.from, to = m.to, seq = m.send_seq,
+                  c = std::move(clone)]() mutable {
+              deliver(dst, from, to, seq, std::move(c));
+            });
+        m.msg = nullptr;
+      }
+      row.clear();
+    }
+  }
+  // 2. Apply the deferred ledger in global (time, session-order) order.
+  log_scratch_.clear();
+  for (auto& sh : shards_) {
+    log_scratch_.insert(log_scratch_.end(), sh->log.begin(), sh->log.end());
+    sh->log.clear();
+  }
+  std::sort(log_scratch_.begin(), log_scratch_.end(),
+            [](const LogEvent& a, const LogEvent& b) {
+              return a.t != b.t ? a.t < b.t : a.order < b.order;
+            });
+  for (const LogEvent& e : log_scratch_) apply_log_event(e);
+}
+
+void ShardedDriver::apply_log_event(const LogEvent& e) {
+  switch (e.kind) {
+    case LogEvent::Kind::kJoinStarted:
+      metrics_.on_join_started(e.t);
+      metrics_.population_change(e.t, +1);
+      alive_.emplace(e.a, e.id);
+      break;
+    case LogEvent::Kind::kActivated:
+      oracle_.node_activated(e.id, e.a);
+      metrics_.on_join_completed(e.t, static_cast<SimDuration>(e.u));
+      break;
+    case LogEvent::Kind::kFailed:
+      oracle_.node_failed(e.id);
+      metrics_.population_change(e.t, -1);
+      alive_.erase(e.a);
+      break;
+    case LogEvent::Kind::kRight:
+      oracle_.node_reports_right(
+          e.id, e.flag ? std::optional<net::Address>(e.b) : std::nullopt);
+      break;
+    case LogEvent::Kind::kIssued:
+      metrics_.on_lookup_issued(e.u, e.t, e.a, e.id);
+      break;
+    case LogEvent::Kind::kDelivered: {
+      // Scored against the ledger oracle as of all events before this one
+      // in global order — for every shard count, the same order.
+      const auto root = oracle_.root_of(e.id);
+      const bool correct = root && *root == e.b;
+      SimDuration nd = 0;
+      if (correct && e.a != e.b) nd = delay_between(e.a, e.b);
+      metrics_.on_lookup_delivered(e.u, e.t, correct, nd,
+                                   Metrics::IncorrectCause::kStaleLeafSet);
+      break;
+    }
+    case LogEvent::Kind::kMarkedFaulty:
+      if (alive_.count(e.a) > 0) ++ledger_false_positives_;
+      break;
+    case LogEvent::Kind::kNetDropObs: {
+      Shard& sh = *shards_[sessions_[static_cast<std::size_t>(e.a)].shard];
+      if (sh.obs != nullptr) {
+        sh.obs->recorder_for(e.a).record(
+            e.t, obs::EventKind::kNetDrop, e.u, e.b,
+            static_cast<std::int32_t>(e.v >> 32),
+            e.v & 0xffffffffull);
+      }
+      break;
+    }
+  }
+}
+
+void ShardedDriver::run_trace(const trace::ChurnTrace& trace,
+                              SimDuration extra) {
+  assert(!ran_ && "a ShardedDriver runs exactly one trace");
+  ran_ = true;
+
+  // --- Pre-assignment: sessions get ids, routers, addresses and their
+  // shard *before* anything runs, from the trial seed alone. ------------
+  std::vector<int> attachable;
+  for (int r = 0; r < topology_->router_count(); ++r) {
+    if (topology_->attachable(r)) attachable.push_back(r);
+  }
+  assert(!attachable.empty());
+
+  std::unordered_map<std::int32_t, std::uint32_t> uid_of;
+  for (const trace::ChurnEvent& ev : trace.events()) {
+    if (ev.type != trace::ChurnEventType::kJoin) continue;
+    if (uid_of.emplace(ev.node, sessions_.size()).second) {
+      sessions_.push_back(Session{});
+      sessions_.back().first_join = ev.time;
+    }
+  }
+  {
+    Rng setup(cfg_.seed);
+    for (Session& s : sessions_) {
+      s.router = attachable[setup.uniform_index(attachable.size())];
+      s.id = setup.node_id();
+    }
+  }
+
+  // Router-contiguous partition: sort sessions by (router, uid) and cut
+  // into near-equal blocks only at router boundaries, so cross-shard
+  // pairs always sit on distinct routers (the lookahead's premise).
+  const std::size_t n = sessions_.size();
+  const std::size_t s = shards_.size();
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return sessions_[a].router != sessions_[b].router
+                         ? sessions_[a].router < sessions_[b].router
+                         : a < b;
+            });
+  const std::size_t target = n == 0 ? 1 : (n + s - 1) / s;
+  std::size_t shard = 0, in_block = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_block >= target && shard + 1 < s &&
+        sessions_[order[i]].router != sessions_[order[i - 1]].router) {
+      ++shard;
+      in_block = 0;
+    }
+    sessions_[order[i]].shard = shard;
+    ++in_block;
+  }
+
+  // Designated bootstrap: the earliest-joining session (uid breaks ties).
+  first_session_ = 0;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (sessions_[i].first_join < sessions_[first_session_].first_join) {
+      first_session_ = i;
+    }
+  }
+
+  // --- Schedule the churn on each session's own shard. ------------------
+  for (const trace::ChurnEvent& ev : trace.events()) {
+    const auto it = uid_of.find(ev.node);
+    if (it == uid_of.end()) continue;  // fail without a join: malformed
+    const std::uint32_t uid = it->second;
+    const bool join = ev.type == trace::ChurnEventType::kJoin;
+    engine_.shard(sessions_[uid].shard)
+        .schedule_at(ev.time, [this, uid, join] {
+          if (join) {
+            create_session(uid);
+          } else {
+            kill_session(uid);
+          }
+        });
+  }
+
+  workload_on_ = cfg_.lookup_rate_per_node > 0.0;
+  engine_.run_until(trace.duration() + extra,
+                    [this](SimTime e) { apply_barrier(e); });
+  finish();
+}
+
+void ShardedDriver::finish() {
+  if (finished_) return;
+  finished_ = true;
+  workload_on_ = false;
+  apply_barrier(kTimeNever);  // flush any residual ledger entries
+
+  const SimTime end = engine_.shard(0).now();
+  for (auto& sh : shards_) {
+    metrics_.merge_traffic_from(*sh->traffic);
+    add_counters(total_counters_, sh->counters);
+  }
+  total_counters_.false_positives += ledger_false_positives_;
+  metrics_.finalize(end, cfg_.loss_grace);
+
+  if (cfg_.obs.enabled) {
+    obs_merged_ = std::make_unique<obs::TraceDomain>(cfg_.obs);
+    for (auto& sh : shards_) {
+      obs_merged_->absorb(std::move(*sh->obs));
+      sh->obs = nullptr;
+    }
+  }
+}
+
+std::uint64_t ShardedDriver::packets_sent() const {
+  std::uint64_t v = 0;
+  for (const auto& sh : shards_) v += sh->sent;
+  return v;
+}
+
+std::uint64_t ShardedDriver::packets_lost() const {
+  std::uint64_t v = 0;
+  for (const auto& sh : shards_) v += sh->lost;
+  return v;
+}
+
+std::uint64_t ShardedDriver::packets_delivered() const {
+  std::uint64_t v = 0;
+  for (const auto& sh : shards_) v += sh->delivered;
+  return v;
+}
+
+std::uint64_t ShardedDriver::packets_dropped_unbound() const {
+  std::uint64_t v = 0;
+  for (const auto& sh : shards_) v += sh->unbound;
+  return v;
+}
+
+std::int64_t ShardedDriver::packets_in_flight() const {
+  std::int64_t v = 0;
+  for (const auto& sh : shards_) v += sh->in_flight;
+  return v;
+}
+
+std::size_t ShardedDriver::live_node_count() const {
+  std::size_t v = 0;
+  for (const auto& sh : shards_) v += sh->nodes.size();
+  return v;
+}
+
+}  // namespace mspastry::overlay

@@ -1,0 +1,246 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fault_plan.hpp"
+#include "net/topology.hpp"
+#include "obs/flight_recorder.hpp"
+#include "overlay/driver.hpp"
+#include "overlay/metrics.hpp"
+#include "overlay/oracle.hpp"
+#include "pastry/node.hpp"
+#include "sim/sharded_simulator.hpp"
+#include "trace/churn_trace.hpp"
+
+namespace mspastry::overlay {
+
+/// Trace-driven experiment harness running on the conservative sharded
+/// scheduler (sim/sharded_simulator.hpp): node *sessions* are partitioned
+/// across shards, each shard owns its sessions' simulator, message pool,
+/// routing arena, counters and traffic metrics, and cross-shard messages
+/// are cloned into the destination shard's pool at epoch barriers.
+///
+/// The lookahead is derived from the topology: the minimum cross-shard
+/// one-way delay is 2 * lan_delay + Topology::min_positive_delay()
+/// (sessions sharing a router always share a shard — the partition cuts
+/// the router-sorted session list at router boundaries — so cross-shard
+/// pairs sit on distinct routers), scaled down by the worst-case jitter
+/// factor. A topology with no positive bound (and no LAN delay) yields
+/// zero lookahead and the engine falls back to single-shard execution.
+///
+/// Determinism contract — the output is byte-identical for any shard
+/// count, including 1:
+///  - every session's id, router, address (== session uid) and RNG stream
+///    are pre-assigned from the trial seed in uid order, before sharding;
+///  - the lookup workload is a *per-node* Poisson process driven by the
+///    node's own stream (equivalent in distribution to the single-driver
+///    aggregate process, but free of cross-node draw interleaving);
+///  - network loss/jitter draws are stateless hashes keyed by
+///    (net seed, sender, per-sender packet seq), plus a small hash-derived
+///    delivery-time dither that makes cross-shard/local (time, receiver)
+///    ties vanishingly rare;
+///  - all global bookkeeping (oracle, lookup scoring, join/population
+///    metrics, false positives) is a *deferred ledger*: shards append
+///    (time, session-ordered) log events during an epoch and the driver
+///    applies them single-threaded at the barrier, sorted by the
+///    shard-count-invariant key (time, session uid, per-session seq);
+///  - epoch boundaries depend only on the global minimum pending time and
+///    the (global) lookahead, so ledger visibility — when a joiner can see
+///    a bootstrap candidate, which root the oracle scores a delivery
+///    against — is itself shard-count-invariant.
+///
+/// Deliberately unsupported in sharded mode (use OverlayDriver):
+/// adversary policies, application packets / LookupMsg::app_data, Scribe,
+/// the chaos harness, and gray-failure stall rules. Fault-plan rules
+/// (loss, partitions, flaps, delay spikes, duplication, reordering) ARE
+/// supported via per-shard plan replicas: runs are deterministic for a
+/// fixed shard count but not byte-identical across shard counts (each
+/// shard's rule streams draw independently), so the determinism gate uses
+/// fault-free workloads.
+class ShardedDriver {
+ public:
+  ShardedDriver(std::shared_ptr<const net::Topology> topology,
+                net::NetworkConfig net_config, DriverConfig config,
+                std::size_t shards);
+  ~ShardedDriver();
+
+  ShardedDriver(const ShardedDriver&) = delete;
+  ShardedDriver& operator=(const ShardedDriver&) = delete;
+
+  /// Install one fault rule on every shard's plan replica (call before
+  /// run_trace). Stall rules are not supported (asserted).
+  void add_fault_rule(const net::FaultRule& rule);
+
+  /// Run a full churn trace with the configured lookup workload, then
+  /// finalize metrics. One-shot: a ShardedDriver runs one trace.
+  void run_trace(const trace::ChurnTrace& trace,
+                 SimDuration extra = seconds(30));
+
+  // --- Introspection (valid after run_trace) ------------------------------
+
+  Metrics& metrics() { return metrics_; }
+  Oracle& oracle() { return oracle_; }
+  /// Protocol counters summed over shards (plus ledger false positives).
+  const pastry::Counters& counters() const { return total_counters_; }
+
+  std::uint64_t executed_events() const { return engine_.executed_events(); }
+  std::uint64_t epochs() const { return engine_.epochs(); }
+  std::size_t effective_shards() const { return engine_.shards(); }
+  std::size_t requested_shards() const { return engine_.requested_shards(); }
+  SimDuration lookahead() const { return lookahead_; }
+
+  /// Packet accounting summed over shards; the identity
+  /// sent == lost + delivered + dropped_unbound + in_flight holds on the
+  /// aggregate (per-shard in-flight counts can be individually negative:
+  /// a send increments on the source shard, delivery decrements on the
+  /// destination shard).
+  std::uint64_t packets_sent() const;
+  std::uint64_t packets_lost() const;
+  std::uint64_t packets_delivered() const;
+  std::uint64_t packets_dropped_unbound() const;
+  std::int64_t packets_in_flight() const;
+
+  /// Merged flight-recorder registry (per-shard domains absorbed at
+  /// finish); nullptr when observability is off.
+  obs::TraceDomain* trace_domain() { return obs_merged_.get(); }
+
+  std::size_t live_node_count() const;
+
+ private:
+  class ShardEnv;  // per-node Env implementation
+  friend class ShardEnv;
+
+  /// One deferred-ledger event, written by a shard during an epoch and
+  /// applied single-threaded at the barrier. `order` is
+  /// (session uid << 24) | per-session seq — a shard-count-invariant
+  /// same-time tiebreak.
+  struct LogEvent {
+    enum class Kind : std::uint8_t {
+      kJoinStarted,
+      kActivated,
+      kFailed,
+      kRight,
+      kIssued,
+      kDelivered,
+      kMarkedFaulty,
+      kNetDropObs,
+    };
+    SimTime t = 0;
+    std::uint64_t order = 0;
+    Kind kind = Kind::kJoinStarted;
+    NodeId id;                            // node id / lookup key
+    net::Address a = net::kNullAddress;   // self / victim / source
+    net::Address b = net::kNullAddress;   // right / drop destination
+    std::uint64_t u = 0;                  // lookup id / latency / trace id
+    std::uint64_t v = 0;                  // aux (obs hop data)
+    bool flag = false;                    // right-present
+  };
+
+  /// A message queued for another shard: cloned into the destination pool
+  /// and scheduled there at the next barrier. The sender's packet seq
+  /// rides along to give unbound-drop ledger events a shard-count-
+  /// invariant order key.
+  struct OutMsg {
+    SimTime t = 0;
+    net::Address from = net::kNullAddress;
+    net::Address to = net::kNullAddress;
+    std::uint64_t send_seq = 0;
+    pastry::MessagePtr msg;
+  };
+
+  struct NodeState {
+    std::unique_ptr<ShardEnv> env;  // must outlive node (dtor uses it)
+    std::unique_ptr<pastry::PastryNode> node;
+  };
+
+  /// Everything one worker thread owns. Only the owning worker touches a
+  /// shard during the parallel phase; the barrier phase (single-threaded,
+  /// all workers quiescent) may touch all of them.
+  struct Shard {
+    /// Pool declared first: destroyed last, after everything in this
+    /// struct that can hold message references.
+    pastry::MessagePool pool;
+    std::unique_ptr<pastry::NodeArena> arena;
+    pastry::Counters counters;
+    std::unique_ptr<Metrics> traffic;  ///< on_message + fault injections only
+    net::FaultPlan faults;             ///< per-shard rule replica
+    std::unique_ptr<obs::TraceDomain> obs;  ///< per-shard rings (if enabled)
+    std::vector<LogEvent> log;
+    std::vector<std::vector<OutMsg>> outbox;  ///< one row per dest shard
+    std::unordered_map<net::Address, NodeState> nodes;
+    // Packet accounting (see packets_in_flight() on the aggregate).
+    std::uint64_t sent = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t unbound = 0;
+    std::int64_t in_flight = 0;
+  };
+
+  struct Session {
+    NodeId id;
+    int router = -1;
+    std::size_t shard = 0;
+    SimTime first_join = kTimeNever;
+  };
+
+  static constexpr SimDuration kJoinRetryDelay = seconds(1);
+
+  SimDuration delay_between(net::Address a, net::Address b) const;
+  void shard_send(std::size_t src_shard, net::Address from, net::Address to,
+                  pastry::MessagePtr msg, std::uint64_t send_seq);
+  void note_send_drop(Shard& sh, SimTime now, net::Address from,
+                      net::Address to, const pastry::Message& msg);
+  void schedule_delivery(std::size_t src_shard, SimTime at, net::Address from,
+                         net::Address to, pastry::MessagePtr msg,
+                         std::uint64_t send_seq);
+  void deliver(std::size_t dst_shard, net::Address from, net::Address to,
+               std::uint64_t send_seq, pastry::MessagePtr msg);
+  void create_session(std::uint32_t uid);
+  void kill_session(std::uint32_t uid);
+  void try_join(std::uint32_t uid);
+  void start_workload_loop(ShardEnv& env);
+  void schedule_workload_tick(ShardEnv& env);
+  void issue_workload_lookup(ShardEnv& env);
+  void apply_barrier(SimTime epoch_end);
+  void apply_log_event(const LogEvent& e);
+  void finish();
+
+  std::shared_ptr<const net::Topology> topology_;
+  net::NetworkConfig net_cfg_;
+  DriverConfig cfg_;
+  std::uint64_t net_seed_;
+  SimDuration lookahead_ = 0;
+
+  /// Shards declared before the engine: the engine's simulators (whose
+  /// queued callbacks hold the last message references) are destroyed
+  /// first, recycling every slot into a live pool. Node teardown happens
+  /// explicitly in the destructor, before either.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardedSimulator engine_;
+
+  std::vector<Session> sessions_;
+  std::uint32_t first_session_ = 0;  ///< designated bootstrap session
+
+  // --- Global ledger (barrier-phase only) ---------------------------------
+  Oracle oracle_;
+  Metrics metrics_;
+  /// Sessions currently bound (joined, not yet killed), as of the events
+  /// applied so far; the ground truth for false-positive verdicts.
+  std::unordered_map<net::Address, NodeId> alive_;
+  std::uint64_t ledger_false_positives_ = 0;
+  pastry::Counters total_counters_;
+  std::vector<LogEvent> log_scratch_;
+
+  std::unique_ptr<obs::TraceDomain> obs_merged_;
+
+  bool workload_on_ = false;
+  bool ran_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace mspastry::overlay

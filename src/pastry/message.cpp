@@ -1,5 +1,9 @@
 #include "pastry/message.hpp"
 
+#include <cassert>
+
+#include "pastry/message_pool.hpp"
+
 namespace mspastry::pastry {
 
 const char* msg_type_name(MsgType t) {
@@ -70,6 +74,63 @@ const char* traffic_class_name(TrafficClass c) {
     case TrafficClass::kLookups: return "Lookups";
   }
   return "?";
+}
+
+MessagePtr clone_message(const Message& m, MessagePool& pool) {
+  // Every concrete message type is `final` and copy-constructible, so a
+  // switch on the wire type recovers the dynamic type exactly (cheaper
+  // and more explicit than a virtual clone on the hot cross-shard path).
+  switch (m.type) {
+    case MsgType::kJoinRequest:
+      return pool.make<JoinRequestMsg>(static_cast<const JoinRequestMsg&>(m));
+    case MsgType::kJoinReply:
+      return pool.make<JoinReplyMsg>(static_cast<const JoinReplyMsg&>(m));
+    case MsgType::kLsProbe:
+    case MsgType::kLsProbeReply:
+      return pool.make<LsProbeMsg>(static_cast<const LsProbeMsg&>(m));
+    case MsgType::kHeartbeat:
+      return pool.make<HeartbeatMsg>(static_cast<const HeartbeatMsg&>(m));
+    case MsgType::kRtProbe:
+    case MsgType::kRtProbeReply:
+      return pool.make<RtProbeMsg>(static_cast<const RtProbeMsg&>(m));
+    case MsgType::kDistanceProbe:
+    case MsgType::kDistanceProbeReply:
+      return pool.make<DistanceProbeMsg>(
+          static_cast<const DistanceProbeMsg&>(m));
+    case MsgType::kDistanceReport:
+      return pool.make<DistanceReportMsg>(
+          static_cast<const DistanceReportMsg&>(m));
+    case MsgType::kRtRowRequest:
+      return pool.make<RtRowRequestMsg>(
+          static_cast<const RtRowRequestMsg&>(m));
+    case MsgType::kRtRowReply:
+      return pool.make<RtRowReplyMsg>(static_cast<const RtRowReplyMsg&>(m));
+    case MsgType::kRtRowAnnounce:
+      return pool.make<RtRowAnnounceMsg>(
+          static_cast<const RtRowAnnounceMsg&>(m));
+    case MsgType::kRtEntryRequest:
+      return pool.make<RtEntryRequestMsg>(
+          static_cast<const RtEntryRequestMsg&>(m));
+    case MsgType::kRtEntryReply:
+      return pool.make<RtEntryReplyMsg>(
+          static_cast<const RtEntryReplyMsg&>(m));
+    case MsgType::kNnRequest:
+      return pool.make<NnRequestMsg>(static_cast<const NnRequestMsg&>(m));
+    case MsgType::kNnReply:
+      return pool.make<NnReplyMsg>(static_cast<const NnReplyMsg&>(m));
+    case MsgType::kLookup: {
+      const auto& lookup = static_cast<const LookupMsg&>(m);
+      assert(lookup.app_data == nullptr &&
+             "app_data cannot cross shards (non-atomic refcount)");
+      return pool.make<LookupMsg>(lookup);
+    }
+    case MsgType::kAck:
+      return pool.make<AckMsg>(static_cast<const AckMsg&>(m));
+    case MsgType::kLeave:
+      return pool.make<LeaveMsg>(static_cast<const LeaveMsg&>(m));
+  }
+  assert(false && "unknown message type");
+  return nullptr;
 }
 
 }  // namespace mspastry::pastry

@@ -76,6 +76,17 @@ struct Message : net::Packet {
 /// refcounted; a copy of this pointer is one non-atomic increment.
 using MessagePtr = IntrusivePtr<const Message>;
 
+class MessagePool;
+
+/// Deep-copy `m` into `pool`, preserving the dynamic type. The sharded
+/// driver uses this to hand a message across shards: refcounts are
+/// non-atomic and slabs are single-threaded, so a cross-shard delivery
+/// must be a fresh object in the *destination* shard's pool (the
+/// RefCounted copy constructor starts the clone's count at zero).
+/// Lookups carrying app_data are not supported — the attached packet's
+/// refcount cannot be shared across shards (asserted).
+MessagePtr clone_message(const Message& m, MessagePool& pool);
+
 // Payload vector aliases (LeafVec, RowVec, ...) live in pastry/types.hpp
 // so the routing table can return them without depending on this header.
 

@@ -1,0 +1,142 @@
+#include "sim/sharded_simulator.hpp"
+
+#include <barrier>
+#include <cassert>
+#include <thread>
+
+namespace mspastry {
+
+/// Persistent worker threads for the parallel phase. The main thread
+/// executes shard 0 itself; shards 1..S-1 each get a thread. Two barriers
+/// frame every phase: `start` releases the workers onto their shard with
+/// the bound already published, `done` hands control back once every
+/// shard is quiescent. Barrier phase completion synchronises, so `bound`
+/// and `stop` need no atomics: they are written strictly before the start
+/// arrival and read strictly after it.
+struct ShardedSimulator::Pool {
+  ShardedSimulator& owner;
+  std::barrier<> start;
+  std::barrier<> done;
+  SimTime bound = kTimeZero;
+  bool stop = false;
+  std::vector<std::thread> threads;
+
+  explicit Pool(ShardedSimulator& o)
+      : owner(o),
+        start(static_cast<std::ptrdiff_t>(o.sims_.size())),
+        done(static_cast<std::ptrdiff_t>(o.sims_.size())) {
+    threads.reserve(o.sims_.size() - 1);
+    for (std::size_t i = 1; i < o.sims_.size(); ++i) {
+      threads.emplace_back([this, i] { worker(i); });
+    }
+  }
+
+  ~Pool() {
+    stop = true;
+    start.arrive_and_wait();  // releases workers into the stop branch
+    for (auto& t : threads) t.join();
+  }
+
+  void worker(std::size_t i) {
+    for (;;) {
+      start.arrive_and_wait();
+      if (stop) return;
+      owner.sims_[i]->run_until(bound);
+      done.arrive_and_wait();
+    }
+  }
+
+  void run(SimTime b) {
+    bound = b;
+    start.arrive_and_wait();
+    owner.sims_[0]->run_until(b);
+    done.arrive_and_wait();
+  }
+};
+
+ShardedSimulator::ShardedSimulator(std::size_t shards, SimDuration lookahead)
+    : requested_shards_(shards == 0 ? 1 : shards) {
+  std::size_t effective = requested_shards_;
+  if (lookahead < 1) {
+    // Nothing bounds cross-shard latency: conservative epochs would have
+    // zero width. Run everything on one shard; the epoch loop still needs
+    // a positive window to chunk time for the barrier hook.
+    effective = 1;
+    lookahead = kFallbackEpoch;
+  }
+  lookahead_ = lookahead;
+  sims_.reserve(effective);
+  for (std::size_t i = 0; i < effective; ++i) {
+    sims_.push_back(std::make_unique<Simulator>());
+  }
+  outboxes_.resize(effective * effective);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->executed_events();
+  return total;
+}
+
+void ShardedSimulator::post(std::size_t src, std::size_t dst, SimTime t,
+                            Simulator::Callback fn) {
+  assert(src < sims_.size() && dst < sims_.size());
+  assert(t >= epoch_end_ &&
+         "cross-shard event inside the current epoch violates lookahead");
+  outboxes_[src * sims_.size() + dst].push_back(Posted{t, std::move(fn)});
+}
+
+SimTime ShardedSimulator::global_min() {
+  SimTime m = kTimeNever;
+  for (auto& s : sims_) {
+    const SimTime t = s->next_event_time();
+    if (t < m) m = t;
+  }
+  return m;
+}
+
+void ShardedSimulator::drain_outboxes() {
+  const std::size_t n = sims_.size();
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      auto& row = outboxes_[src * n + dst];
+      for (Posted& p : row) {
+        sims_[dst]->schedule_at(p.t, std::move(p.fn));
+      }
+      row.clear();
+    }
+  }
+}
+
+void ShardedSimulator::parallel_run_until(SimTime bound) {
+  if (sims_.size() == 1) {
+    sims_[0]->run_until(bound);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<Pool>(*this);
+  pool_->run(bound);
+}
+
+void ShardedSimulator::run_until(SimTime until, const BarrierFn& at_barrier) {
+  assert(until < kTimeNever);
+  for (;;) {
+    const SimTime next_min = global_min();
+    if (next_min > until) break;  // also covers kTimeNever (empty queues)
+    // Epoch end: far enough to cover the lookahead window, but clipped to
+    // until + 1 so events at exactly `until` still execute in this call
+    // (matching Simulator::run_until semantics).
+    SimTime e = until + 1;
+    if (lookahead_ < e - next_min) e = next_min + lookahead_;
+    epoch_end_ = e;
+    parallel_run_until(e - 1);
+    drain_outboxes();
+    if (at_barrier) at_barrier(e);
+    ++epochs_;
+  }
+  // No events remain at or before `until`: advance every clock to it.
+  for (auto& s : sims_) s->run_until(until);
+}
+
+}  // namespace mspastry

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "sim/simulator.hpp"
+
+namespace mspastry {
+
+/// Conservative parallel discrete-event scheduler (PDES): S independent
+/// `Simulator` instances ("shards"), each owning a disjoint set of actors,
+/// executed in lock-step *epochs* whose length is bounded by the minimum
+/// cross-shard event latency (the lookahead L).
+///
+/// The classic conservative argument: if every event one shard can cause
+/// on another shard lands at least L after the causing event, then all
+/// events with t < min_pending + L are causally independent across shards
+/// and can run concurrently. Each epoch therefore:
+///
+///   1. (single-threaded) computes `next_min`, the earliest pending event
+///      across all shards, and the epoch end E = min(next_min + L,
+///      until + 1);
+///   2. (parallel) every shard runs `run_until(E - 1)` on its own thread —
+///      all events with t < E, in exact local (t, seq) order;
+///   3. (single-threaded, all shards quiescent) drains cross-shard
+///      outboxes posted during the parallel phase (each scheduled event
+///      has t >= E by the lookahead contract) and calls the caller's
+///      barrier hook with E.
+///
+/// Because workers only touch their own shard during phase 2 and all
+/// cross-shard hand-off happens in the quiescent phase 3, the only
+/// synchronisation is a pair of barriers per epoch — no locks, no atomics
+/// on the hot path. Outbox rows are per (src, dst) and written only by
+/// src's worker, so they are single-producer by construction.
+///
+/// Determinism contract: epoch boundaries depend only on the global
+/// minimum pending time and L, both of which are independent of the shard
+/// count, so a caller whose per-shard behaviour is shard-assignment-
+/// invariant (per-actor RNG streams, shard-count-independent tie-breaks)
+/// produces byte-identical results for any S — including S = 1, which
+/// runs the same epoch loop inline with no threads.
+class ShardedSimulator {
+ public:
+  /// Called at the end of every epoch (all shards quiescent, engine
+  /// outboxes already drained) with the epoch end E: every event with
+  /// t < E has executed on every shard; nothing at t >= E has.
+  using BarrierFn = std::function<void(SimTime epoch_end)>;
+
+  /// `lookahead` is the minimum cross-shard latency in simulated time: an
+  /// event executing at time t may post() work onto another shard no
+  /// earlier than t + lookahead. A lookahead < 1 cannot order anything
+  /// (same-time cross-shard events would be unordered), so the engine
+  /// falls back to a single shard and uses kFallbackEpoch to chunk time.
+  ShardedSimulator(std::size_t shards, SimDuration lookahead);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  /// Epoch length used when the requested lookahead was < 1 and the
+  /// engine fell back to one shard (any positive value is correct with a
+  /// single shard; this just sets the barrier-hook cadence).
+  static constexpr SimDuration kFallbackEpoch = SimDuration{16384};
+
+  /// Number of shards actually running (1 when the lookahead forced the
+  /// single-shard fallback).
+  std::size_t shards() const { return sims_.size(); }
+  /// Number of shards originally asked for.
+  std::size_t requested_shards() const { return requested_shards_; }
+  SimDuration lookahead() const { return lookahead_; }
+
+  Simulator& shard(std::size_t i) { return *sims_[i]; }
+  const Simulator& shard(std::size_t i) const { return *sims_[i]; }
+
+  /// Total events executed across all shards.
+  std::uint64_t executed_events() const;
+  /// Epochs completed so far (each = one parallel phase + one barrier).
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// End of the epoch currently executing (valid during the parallel
+  /// phase and the barrier hook): every posted event must satisfy
+  /// t >= epoch_end().
+  SimTime epoch_end() const { return epoch_end_; }
+
+  /// Post a callback onto shard `dst` at absolute time `t`, from code
+  /// running on shard `src` during the parallel phase. Buffered in a
+  /// per-(src, dst) row and scheduled on dst at the next barrier. The
+  /// lookahead contract requires t >= epoch_end(); asserted.
+  ///
+  /// Same-shard posts are legal and also deferred to the barrier (the
+  /// caller should normally just schedule_at directly for those).
+  void post(std::size_t src, std::size_t dst, SimTime t,
+            Simulator::Callback fn);
+
+  /// Run all shards up to and including `until` (same contract as
+  /// Simulator::run_until: events at exactly `until` execute; every
+  /// shard's clock ends at >= until). `at_barrier` may be empty.
+  void run_until(SimTime until, const BarrierFn& at_barrier = {});
+
+ private:
+  struct Posted {
+    SimTime t;
+    Simulator::Callback fn;
+  };
+
+  /// Earliest pending event across all shards (single-threaded).
+  SimTime global_min();
+  /// Schedule everything in the outboxes onto the destination shards, in
+  /// (src, dst) row order (single-threaded, deterministic).
+  void drain_outboxes();
+  /// One epoch's parallel phase: every shard runs run_until(bound).
+  /// Dispatches to the worker pool (or runs inline when S == 1).
+  void parallel_run_until(SimTime bound);
+
+  std::size_t requested_shards_;
+  SimDuration lookahead_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+
+  /// outboxes_[src * S + dst]: written only by shard src's worker during
+  /// the parallel phase, drained single-threaded at the barrier.
+  std::vector<std::vector<Posted>> outboxes_;
+
+  SimTime epoch_end_ = kTimeZero;
+  std::uint64_t epochs_ = 0;
+
+  struct Pool;  // worker threads + barriers (multi-shard runs only)
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace mspastry

@@ -236,6 +236,11 @@ void Simulator::execute_front() {
   fn();
 }
 
+SimTime Simulator::next_event_time() {
+  pump(kTimeNever);
+  return heap_.empty() ? kTimeNever : heap_[0].t;
+}
+
 bool Simulator::step() {
   pump(kTimeNever);
   if (heap_.empty()) return false;  // pump pruned everything: queue is empty

@@ -105,6 +105,12 @@ class Simulator {
   /// Run until the event queue drains completely.
   void run_to_completion();
 
+  /// Time of the earliest live pending event, or kTimeNever when the
+  /// queue is empty. Pumps the wheel (pruning tombstones) so the answer
+  /// is exact; the conservative sharded scheduler uses this to compute
+  /// epoch windows.
+  SimTime next_event_time();
+
   /// Number of events executed so far (for progress reporting and tests).
   std::uint64_t executed_events() const { return executed_; }
 

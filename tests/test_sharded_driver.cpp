@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "net/transit_stub.hpp"
+#include "overlay/sharded_driver.hpp"
+#include "trace/churn_generators.hpp"
+
+namespace mspastry {
+namespace {
+
+using overlay::DriverConfig;
+using overlay::ShardedDriver;
+
+std::shared_ptr<net::Topology> topo() {
+  return std::make_shared<net::TransitStubTopology>(
+      net::TransitStubParams::scaled(4, 3, 4));
+}
+
+DriverConfig small_config() {
+  DriverConfig cfg;
+  cfg.lookup_rate_per_node = 0.05;
+  cfg.metrics_window = minutes(1);
+  cfg.warmup = minutes(2);
+  cfg.seed = 71;
+  return cfg;
+}
+
+trace::ChurnTrace small_trace() {
+  return trace::generate_poisson(minutes(10), 600.0, 60, 31);
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ull;
+}
+
+std::uint64_t fold_f(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  return fold(h, bits);
+}
+
+/// Everything observable a run produces, folded into one value: if any
+/// of it depends on the shard count, runs at different counts diverge.
+std::uint64_t digest(ShardedDriver& d) {
+  std::uint64_t h = 14695981039346656037ull;
+  h = fold(h, d.executed_events());
+  const auto& m = d.metrics();
+  h = fold(h, m.lookups_issued());
+  h = fold(h, m.lookups_delivered_correct());
+  h = fold(h, m.lookups_delivered_incorrect());
+  h = fold(h, m.lookups_lost());
+  h = fold(h, m.joins_started());
+  h = fold(h, m.joins_completed());
+  h = fold_f(h, m.mean_rdp());
+  h = fold_f(h, m.control_traffic_rate());
+  h = fold_f(h, m.total_traffic_rate());
+  const auto& c = d.counters();
+  h = fold(h, c.heartbeats_sent);
+  h = fold(h, c.rt_probes_sent);
+  h = fold(h, c.ls_probes_sent);
+  h = fold(h, c.distance_probes_sent);
+  h = fold(h, c.acks_sent);
+  h = fold(h, c.ack_timeouts);
+  h = fold(h, c.nodes_marked_faulty);
+  h = fold(h, c.false_positives);
+  h = fold(h, c.lookups_forwarded);
+  h = fold(h, c.joins_completed);
+  h = fold(h, d.packets_sent());
+  h = fold(h, d.packets_lost());
+  h = fold(h, d.packets_delivered());
+  h = fold(h, d.packets_dropped_unbound());
+  return h;
+}
+
+TEST(ShardedDriver, DigestInvariantAcrossShardCounts) {
+  const auto trace = small_trace();
+  std::uint64_t want = 0;
+  std::uint64_t want_events = 0;
+  for (const std::size_t s : {1u, 2u, 4u, 8u}) {
+    ShardedDriver d(topo(), {}, small_config(), s);
+    ASSERT_GT(d.lookahead(), 0) << "GATech-like topology must give lookahead";
+    if (s > 1) ASSERT_GT(d.effective_shards(), 1u);
+    d.run_trace(trace);
+    const std::uint64_t got = digest(d);
+    if (s == 1) {
+      want = got;
+      want_events = d.executed_events();
+      // The run itself must be a healthy overlay run, or the digest
+      // equality below is vacuous.
+      EXPECT_GT(d.metrics().lookups_issued(), 100u);
+      EXPECT_GT(d.metrics().lookups_delivered_correct(), 100u);
+      EXPECT_LT(d.metrics().loss_rate(), 0.05);
+      EXPECT_GT(d.metrics().joins_completed(), 30u);
+    } else {
+      EXPECT_EQ(got, want) << "shards=" << s;
+      EXPECT_EQ(d.executed_events(), want_events) << "shards=" << s;
+      EXPECT_GT(d.epochs(), 1u);
+    }
+  }
+}
+
+TEST(ShardedDriver, PacketAccountingIdentityHolds) {
+  ShardedDriver d(topo(), {}, small_config(), 4);
+  d.run_trace(small_trace());
+  EXPECT_EQ(d.packets_sent(),
+            d.packets_lost() + d.packets_delivered() +
+                d.packets_dropped_unbound() +
+                static_cast<std::uint64_t>(d.packets_in_flight()));
+}
+
+/// A topology with no positive delay bound (the base-class default) and
+/// no LAN delay: lookahead is zero and the engine must fall back to
+/// single-shard execution rather than deadlock or violate causality.
+class FlatTopology final : public net::Topology {
+ public:
+  int router_count() const override { return 4; }
+  SimDuration delay(int a, int b) const override { return a == b ? 0 : 50; }
+  std::string name() const override { return "flat"; }
+};
+
+TEST(ShardedDriver, ZeroLookaheadTopologyFallsBackToSingleShard) {
+  net::NetworkConfig nc;
+  nc.lan_delay = 0;
+  ShardedDriver d(std::make_shared<FlatTopology>(), nc, small_config(), 4);
+  EXPECT_EQ(d.lookahead(), 0);
+  EXPECT_EQ(d.effective_shards(), 1u);
+  EXPECT_EQ(d.requested_shards(), 4u);
+  d.run_trace(small_trace());
+  EXPECT_GT(d.metrics().lookups_delivered_correct(), 100u);
+}
+
+TEST(ShardedDriver, FaultRecipeIsDeterministicAtFixedShardCount) {
+  const auto trace = small_trace();
+  const auto run = [&trace] {
+    ShardedDriver d(topo(), {}, small_config(), 4);
+    d.add_fault_rule(net::FaultRule::loss(net::LinkMatcher::all(), 0.01));
+    d.add_fault_rule(net::FaultRule::delay_spike(net::LinkMatcher::all(),
+                                                 milliseconds(20), minutes(3),
+                                                 minutes(6)));
+    d.add_fault_rule(net::FaultRule::duplicate(net::LinkMatcher::all(), 0.005,
+                                               milliseconds(1)));
+    d.run_trace(trace);
+    std::uint64_t h = digest(d);
+    h = fold(h, d.metrics().total_fault_injections());
+    return h;
+  };
+  const std::uint64_t a = run();
+  const std::uint64_t b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedDriver, FaultRecipeActuallyInjects) {
+  ShardedDriver d(topo(), {}, small_config(), 4);
+  d.add_fault_rule(net::FaultRule::loss(net::LinkMatcher::all(), 0.02));
+  d.run_trace(small_trace());
+  EXPECT_GT(d.metrics().fault_injections(net::FaultKind::kLoss), 0u);
+  EXPECT_GT(d.metrics().lookups_delivered_correct(), 100u);
+}
+
+}  // namespace
+}  // namespace mspastry

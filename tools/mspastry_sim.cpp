@@ -26,6 +26,7 @@
 #include "overlay/adversary.hpp"
 #include "overlay/chaos.hpp"
 #include "overlay/driver.hpp"
+#include "overlay/sharded_driver.hpp"
 #include "trace/churn_generators.hpp"
 
 using namespace mspastry;
@@ -45,6 +46,8 @@ struct Options {
   double loss = 0.0;
   double lookup_rate = 0.01;
   std::uint64_t seed = 7;
+  std::size_t shards = 0;    // 0 = classic engine; N>=1 = sharded engine
+  bool fault_recipe = false; // canonical loss+spike+duplicate plan (sharded)
   std::string chaos;              // named scenario | "all" | "list"
   std::uint64_t chaos_seed = 0;   // 0 = use --seed
   std::string adversary;          // behavior:fraction, e.g. misroute:0.2
@@ -82,6 +85,13 @@ void usage() {
       "  --seed S               RNG seed (default 7); feeds the network,\n"
       "                         trace, and chaos streams, printed in the\n"
       "                         run header for reproducibility\n"
+      "  --shards N             run on the parallel sharded engine with N\n"
+      "                         worker shards; output is byte-identical to\n"
+      "                         --shards 1 (not compatible with --chaos,\n"
+      "                         --adversary, or --eclipse-victim)\n"
+      "  --fault-recipe         sharded only: install the canonical fault\n"
+      "                         plan (1% loss, 20 ms delay spike mid-run,\n"
+      "                         0.5% duplication) on every shard\n"
       "  --chaos SCENARIO       run a chaos scenario instead of a trace:\n"
       "                         asym-partition|flap|delay-spike|dup-reorder|\n"
       "                         gray-stall|combined|byzantine-drop|\n"
@@ -139,6 +149,9 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--loss") { if (!(v = need(i))) return false; o.loss = std::atof(v); }
     else if (a == "--lookup-rate") { if (!(v = need(i))) return false; o.lookup_rate = std::atof(v); }
     else if (a == "--seed") { if (!(v = need(i))) return false; o.seed = std::strtoull(v, nullptr, 10); }
+    else if (a == "--shards") { if (!(v = need(i))) return false; o.shards = static_cast<std::size_t>(std::atoi(v)); if (o.shards == 0) o.shards = 1; }
+    else if (a.rfind("--shards=", 0) == 0) { o.shards = static_cast<std::size_t>(std::atoi(a.c_str() + 9)); if (o.shards == 0) o.shards = 1; }
+    else if (a == "--fault-recipe") o.fault_recipe = true;
     else if (a == "--chaos") { if (!(v = need(i))) return false; o.chaos = v; }
     else if (a.rfind("--chaos=", 0) == 0) o.chaos = a.substr(8);
     else if (a == "--chaos-seed") { if (!(v = need(i))) return false; o.chaos_seed = std::strtoull(v, nullptr, 10); }
@@ -221,6 +234,112 @@ void print_series(const char* name,
                   const std::vector<overlay::Metrics::SeriesPoint>& s) {
   std::printf("# series: %s (seconds\tvalue)\n", name);
   for (const auto& p : s) std::printf("%.6g\t%.6g\n", p.t_seconds, p.value);
+}
+
+/// The paper's evaluation block, shared by the single-threaded and
+/// sharded paths (adversary extras are printed by the caller).
+void print_results(overlay::Metrics& m, const pastry::Counters& c,
+                   std::uint64_t executed_events) {
+  std::printf("\nresults (post-warmup)\n");
+  std::printf("  lookups issued            %llu\n",
+              (unsigned long long)m.lookups_issued());
+  std::printf("  delivered correctly       %llu\n",
+              (unsigned long long)m.lookups_delivered_correct());
+  std::printf("  incorrect delivery rate   %.3g\n",
+              m.incorrect_delivery_rate());
+  std::printf("  lookup loss rate          %.3g\n", m.loss_rate());
+  std::printf("  RDP mean / median         %.2f / %.2f\n", m.mean_rdp(),
+              m.rdp_samples().quantile(0.5));
+  std::printf("  control traffic           %.3f msgs/s/node\n",
+              m.control_traffic_rate());
+  std::printf("  join latency p50 / p95    %.1f / %.1f s\n",
+              m.join_latency_samples().quantile(0.5),
+              m.join_latency_samples().quantile(0.95));
+  std::printf("  false positives           %llu\n",
+              (unsigned long long)c.false_positives);
+  std::printf("  probes suppressed         %llu of %llu periodic\n",
+              (unsigned long long)c.rt_probes_suppressed,
+              (unsigned long long)(c.rt_probes_suppressed +
+                                   c.rt_probes_periodic));
+  std::printf("  simulator events          %llu\n",
+              (unsigned long long)executed_events);
+}
+
+/// Causal-trace dump + expectation checking, shared by both engines.
+int finish_tracing(const Options& o, const obs::TraceDomain& domain,
+                   std::size_t overlay_size,
+                   const overlay::DriverConfig& dcfg) {
+  int rc = 0;
+  const auto paths = obs::assemble_paths(domain);
+  std::printf("\ncausal traces: %zu paths from %zu node rings "
+              "(sample rate %.3g)\n",
+              paths.size(), domain.recorder_count(), o.trace_sample);
+  if (!o.trace_out.empty()) {
+    if (obs::write_trace_dump_file(domain, o.trace_out)) {
+      std::printf("trace dump written to %s\n", o.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace dump %s\n",
+                   o.trace_out.c_str());
+      rc = 2;
+    }
+  }
+  if (o.check_expectations) {
+    obs::ExpectationConfig ecfg;
+    ecfg.b = o.b;
+    ecfg.overlay_size = overlay_size;
+    ecfg.t_ls = dcfg.pastry.t_ls;
+    ecfg.t_o = dcfg.pastry.t_o;
+    ecfg.failed_entry_ttl = dcfg.pastry.failed_entry_ttl;
+    const auto report = obs::check_expectations(domain, paths, ecfg);
+    std::printf("%s", report.summary().c_str());
+    if (!report.ok()) rc = 1;
+  }
+  return rc;
+}
+
+int run_sharded(const Options& o, std::shared_ptr<net::Topology> topology,
+                const net::NetworkConfig& ncfg,
+                const overlay::DriverConfig& dcfg,
+                const trace::ChurnTrace& churn) {
+  if (!o.adversary.empty() || !o.eclipse_victim.empty()) {
+    std::fprintf(stderr,
+                 "--shards does not support adversary options; "
+                 "use --shards 1\n");
+    return 2;
+  }
+  overlay::ShardedDriver driver(std::move(topology), ncfg, dcfg, o.shards);
+  std::printf("sharded engine: %zu shards requested, %zu effective, "
+              "lookahead %lld us\n",
+              driver.requested_shards(), driver.effective_shards(),
+              (long long)driver.lookahead());
+  if (o.fault_recipe) {
+    driver.add_fault_rule(
+        net::FaultRule::loss(net::LinkMatcher::all(), 0.01));
+    driver.add_fault_rule(net::FaultRule::delay_spike(
+        net::LinkMatcher::all(), milliseconds(20), churn.duration() / 3,
+        churn.duration() * 2 / 3));
+    driver.add_fault_rule(net::FaultRule::duplicate(
+        net::LinkMatcher::all(), 0.005, milliseconds(1)));
+    std::printf("fault recipe: loss 1%%, delay spike 20 ms over the middle "
+                "third, duplication 0.5%%\n");
+  }
+  driver.run_trace(churn);
+  print_results(driver.metrics(), driver.counters(),
+                driver.executed_events());
+  std::printf("  epochs                    %llu\n",
+              (unsigned long long)driver.epochs());
+  if (o.series == "rdp" || o.series == "all") {
+    print_series("RDP", driver.metrics().rdp_series());
+  }
+  if (o.series == "control" || o.series == "all") {
+    print_series("control traffic (msgs/s/node)",
+                 driver.metrics().control_traffic_series(churn.duration()));
+  }
+  if (dcfg.obs.enabled && driver.trace_domain() != nullptr) {
+    return finish_tracing(o, *driver.trace_domain(),
+                          driver.oracle().active_count(), dcfg);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -355,6 +474,12 @@ int main(int argc, char** argv) {
   dcfg.obs.enabled = tracing;
   dcfg.obs.sample_rate = o.trace_sample;
 
+  if (o.shards >= 1) return run_sharded(o, topology, ncfg, dcfg, churn);
+  if (o.fault_recipe) {
+    std::fprintf(stderr, "--fault-recipe requires --shards N (N > 1)\n");
+    return 2;
+  }
+
   overlay::OverlayDriver driver(topology, ncfg, dcfg);
 
   // Adversary: parse behavior:fraction, arm at warmup (the overlay is
@@ -411,23 +536,7 @@ int main(int argc, char** argv) {
 
   auto& m = driver.metrics();
   const auto& c = driver.counters();
-  std::printf("\nresults (post-warmup)\n");
-  std::printf("  lookups issued            %llu\n",
-              (unsigned long long)m.lookups_issued());
-  std::printf("  delivered correctly       %llu\n",
-              (unsigned long long)m.lookups_delivered_correct());
-  std::printf("  incorrect delivery rate   %.3g\n",
-              m.incorrect_delivery_rate());
-  std::printf("  lookup loss rate          %.3g\n", m.loss_rate());
-  std::printf("  RDP mean / median         %.2f / %.2f\n", m.mean_rdp(),
-              m.rdp_samples().quantile(0.5));
-  std::printf("  control traffic           %.3f msgs/s/node\n",
-              m.control_traffic_rate());
-  std::printf("  join latency p50 / p95    %.1f / %.1f s\n",
-              m.join_latency_samples().quantile(0.5),
-              m.join_latency_samples().quantile(0.95));
-  std::printf("  false positives           %llu\n",
-              (unsigned long long)c.false_positives);
+  print_results(m, c, driver.sim().executed_events());
   if (adversary != nullptr) {
     std::printf("  incorrect: adversarial    %llu (stale leaf set %llu)\n",
                 (unsigned long long)m.incorrect_misrouted_by_adversary(),
@@ -446,12 +555,6 @@ int main(int argc, char** argv) {
                 (unsigned long long)c.leaf_candidates_rejected,
                 (unsigned long long)c.failure_claims_distrusted);
   }
-  std::printf("  probes suppressed         %llu of %llu periodic\n",
-              (unsigned long long)c.rt_probes_suppressed,
-              (unsigned long long)(c.rt_probes_suppressed +
-                                   c.rt_probes_periodic));
-  std::printf("  simulator events          %llu\n",
-              (unsigned long long)driver.sim().executed_events());
 
   if (o.series == "rdp" || o.series == "all") {
     print_series("RDP", m.rdp_series());
@@ -461,33 +564,9 @@ int main(int argc, char** argv) {
                  m.control_traffic_series(churn.duration()));
   }
 
-  int rc = 0;
   if (tracing) {
-    const obs::TraceDomain& domain = *driver.trace_domain();
-    const auto paths = obs::assemble_paths(domain);
-    std::printf("\ncausal traces: %zu paths from %zu node rings "
-                "(sample rate %.3g)\n",
-                paths.size(), domain.recorder_count(), o.trace_sample);
-    if (!o.trace_out.empty()) {
-      if (obs::write_trace_dump_file(domain, o.trace_out)) {
-        std::printf("trace dump written to %s\n", o.trace_out.c_str());
-      } else {
-        std::fprintf(stderr, "cannot write trace dump %s\n",
-                     o.trace_out.c_str());
-        rc = 2;
-      }
-    }
-    if (o.check_expectations) {
-      obs::ExpectationConfig ecfg;
-      ecfg.b = o.b;
-      ecfg.overlay_size = driver.oracle().active_count();
-      ecfg.t_ls = dcfg.pastry.t_ls;
-      ecfg.t_o = dcfg.pastry.t_o;
-      ecfg.failed_entry_ttl = dcfg.pastry.failed_entry_ttl;
-      const auto report = obs::check_expectations(domain, paths, ecfg);
-      std::printf("%s", report.summary().c_str());
-      if (!report.ok()) rc = 1;
-    }
+    return finish_tracing(o, *driver.trace_domain(),
+                          driver.oracle().active_count(), dcfg);
   }
-  return rc;
+  return 0;
 }
