@@ -148,6 +148,41 @@ void BM_TopologyDelayColdRow(benchmark::State& state) {
 }
 BENCHMARK(BM_TopologyDelayColdRow)->Unit(benchmark::kMicrosecond);
 
+// Exact vs landmark delay-oracle query on the same graph: the landmark
+// path is a k x k min over precomputed tables (no Dijkstra, no cache),
+// the exact path is a warm row-cache hit. The interesting number is how
+// close the landmark query gets to the cached exact lookup — that gap is
+// what N = 100k pays per delay() in exchange for dropping the O(R^2)
+// row cache.
+void BM_DelayOracleExactQuery(benchmark::State& state) {
+  auto params = net::TransitStubParams::scaled(6, 4, 5);
+  params.oracle.mode = net::DelayOracleMode::kExact;
+  net::TransitStubTopology topo(params);
+  const int n = topo.router_count();
+  const int a = topo.transit_router_count();
+  benchmark::DoNotOptimize(topo.delay(a, n - 1));  // warm the row
+  int b = a + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.delay(a, b));
+    if (++b >= n) b = a;
+  }
+}
+BENCHMARK(BM_DelayOracleExactQuery);
+
+void BM_DelayOracleLandmarkQuery(benchmark::State& state) {
+  auto params = net::TransitStubParams::scaled(6, 4, 5);
+  params.oracle.mode = net::DelayOracleMode::kLandmark;
+  net::TransitStubTopology topo(params);
+  const int n = topo.router_count();
+  const int a = topo.transit_router_count();
+  int b = a + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.delay(a, b));
+    if (++b >= n) b = a;
+  }
+}
+BENCHMARK(BM_DelayOracleLandmarkQuery);
+
 // --- Message path (PR-3): pooled allocation vs make_shared ------------------
 //
 // A shared_ptr mirror of HeartbeatMsg/LsProbeMsg, local to the bench, so

@@ -70,6 +70,18 @@ CorpNetTopology::CorpNetTopology(const CorpNetParams& p) : graph_(p.routers) {
       link(gateway(c), gateway(1), backbone_delay());
     }
   }
+
+  // Delay-oracle clustering: one cluster per campus. All backbone links
+  // attach at campus gateways, so each cluster has a single border and
+  // landmark synthesis through it is exact.
+  std::vector<int> cluster_of(static_cast<std::size_t>(p.routers));
+  for (int c = 0; c < p.campuses; ++c) {
+    for (int r = campus_first[c]; r < campus_first[c + 1]; ++r) {
+      cluster_of[static_cast<std::size_t>(r)] = c;
+    }
+  }
+  oracle_ = std::make_unique<DelayOracle>(graph_, std::move(cluster_of),
+                                          p.oracle);
 }
 
 }  // namespace mspastry::net

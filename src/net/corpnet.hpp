@@ -1,6 +1,9 @@
 #pragma once
 
+#include <memory>
+
 #include "common/rng.hpp"
+#include "net/delay_oracle.hpp"
 #include "net/routed_graph.hpp"
 #include "net/topology.hpp"
 
@@ -23,6 +26,12 @@ struct CorpNetParams {
   double backbone_delay_ms_min = 15.0;
   double backbone_delay_ms_max = 80.0;
   std::uint64_t seed = 44;
+
+  /// Delay-oracle configuration; each campus is one cluster with a single
+  /// border (its gateway), so landmark synthesis would be exact — though
+  /// at 298 routers the default exact threshold keeps this topology on
+  /// byte-exact Dijkstra rows.
+  DelayOracleParams oracle;
 };
 
 /// CorpNet-like corporate WAN topology.
@@ -31,16 +40,27 @@ class CorpNetTopology final : public Topology {
   explicit CorpNetTopology(const CorpNetParams& params);
 
   int router_count() const override { return graph_.router_count(); }
-  SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
+  SimDuration delay(int a, int b) const override {
+    return oracle_->delay(a, b);
+  }
   std::string name() const override { return "CorpNet"; }
   SimDuration min_positive_delay() const override {
     return graph_.min_link_delay();
   }
+  SimDuration min_delay_between(std::span<const int> a,
+                                std::span<const int> b) const override {
+    return oracle_->min_delay_between(a, b);
+  }
+  DelayCacheStats delay_cache_stats() const override {
+    return oracle_->stats();
+  }
 
   const RoutedGraph& graph() const { return graph_; }
+  const DelayOracle& oracle() const { return *oracle_; }
 
  private:
   RoutedGraph graph_;
+  std::unique_ptr<DelayOracle> oracle_;  // built after the graph, in the ctor
 };
 
 }  // namespace mspastry::net

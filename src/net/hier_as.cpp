@@ -8,7 +8,8 @@ namespace mspastry::net {
 
 HierASTopology::HierASTopology(const HierASParams& p)
     : graph_(p.autonomous_systems * p.routers_per_as),
-      as_count_(p.autonomous_systems) {
+      as_count_(p.autonomous_systems),
+      hop_delay_(from_seconds(p.per_hop_delay_ms / 1000.0)) {
   assert(p.autonomous_systems >= 2 && p.routers_per_as >= 1);
   Rng rng(p.seed);
   const SimDuration hop = from_seconds(p.per_hop_delay_ms / 1000.0);
@@ -67,6 +68,16 @@ HierASTopology::HierASTopology(const HierASParams& p)
       link_as(a, target);
     }
   }
+
+  // Delay-oracle clustering: one cluster per AS. Inter-AS weights exceed
+  // any intra-AS path, so shortest paths between two routers of an AS
+  // never leave it and the restricted intra-cluster Dijkstra is exact.
+  std::vector<int> cluster_of(static_cast<std::size_t>(graph_.router_count()));
+  for (int r = 0; r < graph_.router_count(); ++r) {
+    cluster_of[static_cast<std::size_t>(r)] = r / p.routers_per_as;
+  }
+  oracle_ = std::make_unique<DelayOracle>(graph_, std::move(cluster_of),
+                                          p.oracle);
 }
 
 }  // namespace mspastry::net

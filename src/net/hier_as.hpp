@@ -1,6 +1,9 @@
 #pragma once
 
+#include <memory>
+
 #include "common/rng.hpp"
+#include "net/delay_oracle.hpp"
 #include "net/routed_graph.hpp"
 #include "net/topology.hpp"
 
@@ -23,6 +26,11 @@ struct HierASParams {
   int attachment_links = 2;   ///< preferential-attachment parameter m
   double per_hop_delay_ms = 1.0;  ///< one IP hop == 1 ms of delay
   std::uint64_t seed = 43;
+
+  /// Delay-oracle configuration; each AS is one cluster. Landmark
+  /// synthesis is approximate only for ASes whose border count exceeds
+  /// the landmark cap (high-degree preferential-attachment hubs).
+  DelayOracleParams oracle;
 };
 
 /// Mercator-like topology. The proximity metric is the IP hop count,
@@ -34,21 +42,42 @@ class HierASTopology final : public Topology {
   explicit HierASTopology(const HierASParams& params);
 
   int router_count() const override { return graph_.router_count(); }
-  SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
+  SimDuration delay(int a, int b) const override {
+    return oracle_->delay(a, b);
+  }
   std::string name() const override { return "Mercator"; }
   SimDuration min_positive_delay() const override {
     return graph_.min_link_delay();
   }
+  SimDuration min_delay_between(std::span<const int> a,
+                                std::span<const int> b) const override {
+    return oracle_->min_delay_between(a, b);
+  }
+  DelayCacheStats delay_cache_stats() const override {
+    return oracle_->stats();
+  }
 
   /// IP hop count between two routers (the paper's proximity metric).
-  int hops(int a, int b) const { return graph_.hops(a, b); }
+  /// Every link carries exactly per_hop_delay of delay, so in landmark
+  /// mode hops are recovered from the oracle's delay instead of pulling a
+  /// full Dijkstra row (returns -1 for unreachable pairs, as the graph
+  /// does).
+  int hops(int a, int b) const {
+    if (!oracle_->landmark_mode()) return graph_.hops(a, b);
+    const SimDuration d = oracle_->delay(a, b);
+    if (d == kTimeNever) return -1;
+    return static_cast<int>(d / hop_delay_);
+  }
 
   int as_count() const { return as_count_; }
   const RoutedGraph& graph() const { return graph_; }
+  const DelayOracle& oracle() const { return *oracle_; }
 
  private:
   RoutedGraph graph_;
   int as_count_;
+  SimDuration hop_delay_;
+  std::unique_ptr<DelayOracle> oracle_;  // built after the graph, in the ctor
 };
 
 }  // namespace mspastry::net

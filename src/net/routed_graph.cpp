@@ -22,26 +22,23 @@ void RoutedGraph::clear_cache() {
   for (auto& slot : cache_) {
     delete slot.exchange(nullptr, std::memory_order_relaxed);
   }
+  cache_bytes_.store(0, std::memory_order_relaxed);
+  cached_rows_.store(0, std::memory_order_relaxed);
 }
 
-const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
-  auto& slot = cache_[static_cast<std::size_t>(src)];
-  if (const Row* row = slot.load(std::memory_order_acquire)) return *row;
-
-  std::lock_guard<std::mutex> lock(fill_mutex_);
-  if (const Row* row = slot.load(std::memory_order_relaxed)) return *row;
-
+void RoutedGraph::compute_row(int src, std::vector<SimDuration>& delay_out,
+                              std::vector<int>& hops_out) const {
   const int n = router_count();
-  auto row = std::make_unique<Row>();
+  assert(src >= 0 && src < n);
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  row->delay.assign(n, kTimeNever);
-  row->hops.assign(n, -1);
+  delay_out.assign(n, kTimeNever);
+  hops_out.assign(n, -1);
 
   using Item = std::pair<double, int>;  // (policy weight, router)
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
   dist[src] = 0.0;
-  row->delay[src] = 0;
-  row->hops[src] = 0;
+  delay_out[src] = 0;
+  hops_out[src] = 0;
   pq.emplace(0.0, src);
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
@@ -51,12 +48,29 @@ const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
       const double nd = d + e.weight;
       if (nd < dist[e.to]) {
         dist[e.to] = nd;
-        row->delay[e.to] = row->delay[u] + e.delay;
-        row->hops[e.to] = row->hops[u] + 1;
+        delay_out[e.to] = delay_out[u] + e.delay;
+        hops_out[e.to] = hops_out[u] + 1;
         pq.emplace(nd, e.to);
       }
     }
   }
+}
+
+const RoutedGraph::Row& RoutedGraph::row_from(int src) const {
+  auto& slot = cache_[static_cast<std::size_t>(src)];
+  if (const Row* row = slot.load(std::memory_order_acquire)) return *row;
+
+  std::lock_guard<std::mutex> lock(fill_mutex_);
+  if (const Row* row = slot.load(std::memory_order_relaxed)) return *row;
+
+  auto row = std::make_unique<Row>();
+  compute_row(src, row->delay, row->hops);
+  cache_bytes_.fetch_add(
+      sizeof(Row) +
+          row->delay.capacity() * sizeof(SimDuration) +
+          row->hops.capacity() * sizeof(int),
+      std::memory_order_relaxed);
+  cached_rows_.fetch_add(1, std::memory_order_relaxed);
   Row* published = row.release();
   slot.store(published, std::memory_order_release);
   return *published;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -23,6 +24,10 @@ namespace mspastry::net {
 /// cheaper than an all-pairs matrix. The cache is a flat array of row
 /// pointers indexed by source router: delay() is on the network's
 /// per-packet hot path, and two array indexes beat a hash lookup there.
+/// Beyond a few thousand routers the lazily-filled rows still approach
+/// O(R^2) memory once most routers are queried — large graphs should sit
+/// behind a DelayOracle (net/delay_oracle.hpp) in landmark mode, which
+/// queries this class only at build time.
 ///
 /// Concurrent reads are safe once the graph is built: the sharded
 /// simulation queries delays from every worker thread, so the row cache
@@ -32,6 +37,12 @@ namespace mspastry::net {
 /// finish before any concurrent querying starts.
 class RoutedGraph {
  public:
+  struct Edge {
+    int to;
+    double weight;
+    SimDuration delay;
+  };
+
   explicit RoutedGraph(int routers) : adjacency_(routers), cache_(routers) {}
 
   ~RoutedGraph() { clear_cache(); }
@@ -54,6 +65,20 @@ class RoutedGraph {
 
   std::size_t link_count() const { return links_ / 2; }
 
+  /// Outgoing links of one router (both directions of every undirected
+  /// link appear, once per endpoint). Valid until the next add_link.
+  std::span<const Edge> edges(int router) const {
+    return adjacency_[static_cast<std::size_t>(router)];
+  }
+
+  /// Run one full Dijkstra from src without touching the row cache: fills
+  /// `delay_out[r]` / `hops_out[r]` for every router (kTimeNever / -1 when
+  /// unreachable). This is the build-time entry point for DelayOracle —
+  /// it allocates nothing persistent, so landmark-mode construction can
+  /// sweep many sources without growing cache_bytes().
+  void compute_row(int src, std::vector<SimDuration>& delay_out,
+                   std::vector<int>& hops_out) const;
+
   /// Smallest single-link delay in the graph, or kTimeNever when there are
   /// no links. Every path between distinct routers traverses at least one
   /// link and link delays are positive, so this lower-bounds delay(a, b)
@@ -64,20 +89,32 @@ class RoutedGraph {
   /// undirected graph, the graph is connected).
   bool connected() const;
 
- private:
-  struct Edge {
-    int to;
-    double weight;
-    SimDuration delay;
-  };
+  /// Drop every cached Dijkstra row. Not thread-safe: callers must ensure
+  /// no concurrent delay()/hops() queries are in flight.
+  void clear_cache();
 
+  // --- Row-cache telemetry --------------------------------------------------
+  // The lazily-filled rows are the superlinear memory term that RSS alone
+  // hides inside general allocator noise; scale_suite reports these so a
+  // run that silently regrows full rows is visible.
+
+  /// Bytes held by cached Dijkstra rows right now.
+  std::uint64_t cache_bytes() const {
+    return cache_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of source routers with a cached row right now.
+  std::uint64_t cached_rows() const {
+    return cached_rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
   struct Row {
     std::vector<SimDuration> delay;  // accumulated delay to each router
     std::vector<int> hops;           // hop count to each router
   };
 
   const Row& row_from(int src) const;
-  void clear_cache();
 
   std::vector<std::vector<Edge>> adjacency_;
   std::size_t links_ = 0;
@@ -87,6 +124,8 @@ class RoutedGraph {
   /// fill_mutex_ serialises the Dijkstra fills.
   mutable std::vector<std::atomic<Row*>> cache_;
   mutable std::mutex fill_mutex_;
+  mutable std::atomic<std::uint64_t> cache_bytes_{0};
+  mutable std::atomic<std::uint64_t> cached_rows_{0};
 };
 
 }  // namespace mspastry::net

@@ -7,6 +7,19 @@
 
 namespace mspastry::net {
 
+/// Telemetry for whatever backs a topology's delay() answers (see
+/// net/delay_oracle.hpp). scale_suite reports these per phase: RSS alone
+/// cannot distinguish "the overlay grew" from "the delay cache quietly
+/// regrew O(R^2) Dijkstra rows".
+struct DelayCacheStats {
+  bool landmark_mode = false;     ///< landmark synthesis vs exact rows
+  int clusters = 0;               ///< cluster count (landmark mode)
+  int landmarks = 0;              ///< total landmarks (landmark mode)
+  std::uint64_t oracle_bytes = 0; ///< landmark tables: O(R*k + C^2 + L^2)
+  std::uint64_t row_cache_bytes = 0;  ///< lazily-filled exact Dijkstra rows
+  std::uint64_t cached_rows = 0;      ///< row count behind row_cache_bytes
+};
+
 /// A router-level topology: the simulator's model of the underlying
 /// Internet. It answers one question: the one-way delay between two
 /// routers. The overlay's proximity metric is the round-trip delay derived
@@ -57,6 +70,10 @@ class Topology {
     (void)b;
     return min_positive_delay();
   }
+
+  /// Memory telemetry for the structure answering delay(). Default: none
+  /// (analytic topologies with no cache).
+  virtual DelayCacheStats delay_cache_stats() const { return {}; }
 };
 
 }  // namespace mspastry::net

@@ -106,6 +106,21 @@ TransitStubTopology::TransitStubTopology(const TransitStubParams& p)
     }
   }
   assert(next == graph_.router_count());
+
+  // Delay-oracle clustering: the transit core is one cluster — transit
+  // routes cross domain boundaries freely, so splitting it would make the
+  // restricted intra-cluster Dijkstra inexact — and each stub domain is
+  // its own cluster with exactly one border (its gateway), which makes
+  // landmark synthesis exact for every stub-to-stub (attachable) pair.
+  std::vector<int> cluster_of(static_cast<std::size_t>(graph_.router_count()));
+  for (int r = 0; r < graph_.router_count(); ++r) {
+    cluster_of[static_cast<std::size_t>(r)] =
+        r < first_stub_router_
+            ? 0
+            : 1 + (r - first_stub_router_) / p.routers_per_stub_domain;
+  }
+  oracle_ = std::make_unique<DelayOracle>(graph_, std::move(cluster_of),
+                                          p.oracle);
 }
 
 }  // namespace mspastry::net

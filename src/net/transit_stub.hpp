@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "net/delay_oracle.hpp"
 #include "net/routed_graph.hpp"
 #include "net/topology.hpp"
 
@@ -32,6 +33,14 @@ struct TransitStubParams {
 
   std::uint64_t seed = 42;
 
+  /// Delay-oracle configuration. The defaults keep every graph at or below
+  /// 2048 routers on byte-exact Dijkstra rows; the paper-size 5050-router
+  /// GATech graph (and anything larger) switches to landmark synthesis.
+  /// Clustering: the whole transit core is one cluster (transit paths roam
+  /// freely across transit domains), each stub domain is its own cluster
+  /// (it talks to the world only through its gateway link).
+  DelayOracleParams oracle;
+
   /// A smaller topology with the same shape, for fast test/bench runs.
   static TransitStubParams scaled(int transit_domains, int stubs_per_router,
                                   int routers_per_stub) {
@@ -50,7 +59,9 @@ class TransitStubTopology final : public Topology {
   explicit TransitStubTopology(const TransitStubParams& params);
 
   int router_count() const override { return graph_.router_count(); }
-  SimDuration delay(int a, int b) const override { return graph_.delay(a, b); }
+  SimDuration delay(int a, int b) const override {
+    return oracle_->delay(a, b);
+  }
   std::string name() const override { return "GATech"; }
   bool attachable(int router) const override {
     return router >= first_stub_router_;
@@ -58,13 +69,22 @@ class TransitStubTopology final : public Topology {
   SimDuration min_positive_delay() const override {
     return graph_.min_link_delay();
   }
+  SimDuration min_delay_between(std::span<const int> a,
+                                std::span<const int> b) const override {
+    return oracle_->min_delay_between(a, b);
+  }
+  DelayCacheStats delay_cache_stats() const override {
+    return oracle_->stats();
+  }
 
   int transit_router_count() const { return first_stub_router_; }
   const RoutedGraph& graph() const { return graph_; }
+  const DelayOracle& oracle() const { return *oracle_; }
 
  private:
   RoutedGraph graph_;
   int first_stub_router_;
+  std::unique_ptr<DelayOracle> oracle_;  // built after the graph, in the ctor
 };
 
 }  // namespace mspastry::net

@@ -210,6 +210,45 @@ void check_delivered_at_oracle_root(const TraceDomain&,
   }
 }
 
+// R7 — analytic mean hop count: the measured mean over delivered complete
+// non-join lookups must sit within a configured tolerance of the Kong et
+// al. closed-form expectation ceil(log_2^b N) ("A General Framework for
+// Scalability and Performance Analysis of DHT Routing Systems"). R1 bounds
+// each path from above with slack; this rule pins the *aggregate* from
+// both sides, so it also fires when routing systematically takes too FEW
+// hops (e.g. a broken hop counter) or drifts high without breaching the
+// per-path bound. Opt-in via analytic_hops_tolerance > 0: the closed form
+// assumes full routing tables over a stable population, which only
+// experiment-scale runs approximate.
+void check_analytic_mean_hops(const TraceDomain&,
+                              const std::vector<CausalPath>& paths,
+                              const ExpectationConfig& cfg,
+                              std::vector<Violation>& out) {
+  if (cfg.analytic_hops_tolerance <= 0.0 || cfg.overlay_size < 2) return;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const CausalPath& p : paths) {
+    if (!p.delivered || !p.complete || p.is_join) continue;
+    total += static_cast<double>(p.hops.size());
+    ++count;
+  }
+  if (count < cfg.analytic_min_paths) return;
+  const double expected = std::ceil(
+      std::log2(static_cast<double>(cfg.overlay_size)) / cfg.b);
+  const double mean = total / static_cast<double>(count);
+  if (std::abs(mean - expected) > cfg.analytic_hops_tolerance * expected) {
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "mean lookup hops %.3f over %zu paths deviates from "
+                  "analytic ceil(log_2^b N)=%.0f (N=%zu, b=%d) by more "
+                  "than %.0f%%",
+                  mean, count, expected, cfg.overlay_size, cfg.b,
+                  cfg.analytic_hops_tolerance * 100.0);
+    add_violation(out, "analytic-mean-hops", 0, net::kNullAddress, kTimeNever,
+                  buf);
+  }
+}
+
 }  // namespace
 
 const std::vector<Expectation>& expectations() {
@@ -236,6 +275,10 @@ const std::vector<Expectation>& expectations() {
        "a delivered lookup's responsible node matches the oracle's root "
        "for the key (misdelivery attaches the offending causal path)",
        check_delivered_at_oracle_root},
+      {"analytic-mean-hops",
+       "mean delivered-lookup hop count matches the Kong et al. analytic "
+       "expectation ceil(log_2^b N) within a configured tolerance",
+       check_analytic_mean_hops},
   };
   return kRules;
 }

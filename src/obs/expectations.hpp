@@ -22,6 +22,17 @@ struct ExpectationConfig {
   SimDuration t_o = seconds(3);
   SimDuration failed_entry_ttl = minutes(10);
 
+  /// R7 (analytic-mean-hops): tolerance as a fraction of the Kong et al.
+  /// closed-form expected hop count ceil(log_2^b N) — the aggregate
+  /// counterpart to R1's per-path bound, sensitive to systematic routing
+  /// shortfalls (e.g. a delay oracle distorting proximity) that per-path
+  /// slack absorbs. <= 0 (the default) disables the rule; it needs an
+  /// experiment-scale run to be meaningful, so the harness opts in.
+  double analytic_hops_tolerance = 0.0;
+  /// R7 minimum sample: skip the rule below this many delivered complete
+  /// non-join paths (the mean is noise on tiny samples).
+  std::size_t analytic_min_paths = 100;
+
   /// Ground-truth verdict oracle for the delivered-at-oracle-root rule:
   /// given a lookup id, return whether its (first) delivery landed at the
   /// node the oracle says owned the key at delivery time. nullopt = no

@@ -39,6 +39,15 @@ struct DriverConfig {
   /// no TraceDomain is created and every node's recorder pointer is null.
   obs::ObsConfig obs;
 
+  /// Sharded driver only: after partitioning sessions, widen the engine
+  /// lookahead from the global min-link bound to the minimum of
+  /// Topology::min_delay_between over the actual shard-pair router sets.
+  /// Fewer, longer epochs — but epoch boundaries then depend on the
+  /// partition, so runs are no longer byte-identical across *shard
+  /// counts* (they remain deterministic for a fixed count). Off by
+  /// default to preserve the cross-shard-count determinism gate.
+  bool per_pair_lookahead = false;
+
   std::uint64_t seed = 7;
 };
 

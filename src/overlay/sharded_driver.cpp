@@ -653,6 +653,39 @@ void ShardedDriver::run_trace(const trace::ChurnTrace& trace,
     ++in_block;
   }
 
+  // Per-shard-pair lookahead (opt-in): the global bound assumes the two
+  // closest routers in the whole topology could land on different shards,
+  // but the router-contiguous partition usually keeps them together. The
+  // real bound is the minimum Topology::min_delay_between over the actual
+  // shard-pair router sets — often an inter-cluster backbone delay, one
+  // to two orders of magnitude wider than the global min link.
+  if (cfg_.per_pair_lookahead && shards_.size() > 1) {
+    std::vector<std::vector<int>> shard_routers(s);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Session& sess = sessions_[order[i]];
+      auto& list = shard_routers[sess.shard];
+      if (list.empty() || list.back() != sess.router) {
+        list.push_back(sess.router);  // order[] is router-sorted: dedup
+      }
+    }
+    SimDuration bound = kTimeNever;
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = i + 1; j < s; ++j) {
+        const SimDuration d =
+            topology_->min_delay_between(shard_routers[i], shard_routers[j]);
+        if (d < bound) bound = d;
+      }
+    }
+    if (bound > 0 && bound < kTimeNever) {
+      const double scaled = static_cast<double>(2 * net_cfg_.lan_delay + bound) *
+                            (1.0 - net_cfg_.jitter_fraction);
+      if (scaled > 0.0) {
+        engine_.raise_lookahead(static_cast<SimDuration>(scaled));
+        lookahead_ = engine_.lookahead();
+      }
+    }
+  }
+
   // Designated bootstrap: the earliest-joining session (uid breaks ties).
   first_session_ = 0;
   for (std::uint32_t i = 1; i < n; ++i) {

@@ -74,6 +74,11 @@ ShardedSimulator::ShardedSimulator(std::size_t shards, SimDuration lookahead)
 
 ShardedSimulator::~ShardedSimulator() = default;
 
+void ShardedSimulator::raise_lookahead(SimDuration lookahead) {
+  assert(epochs_ == 0 && "raise_lookahead must precede run_until");
+  if (lookahead > lookahead_) lookahead_ = lookahead;
+}
+
 std::uint64_t ShardedSimulator::executed_events() const {
   std::uint64_t total = 0;
   for (const auto& s : sims_) total += s->executed_events();

@@ -73,6 +73,16 @@ class ShardedSimulator {
   std::size_t requested_shards() const { return requested_shards_; }
   SimDuration lookahead() const { return lookahead_; }
 
+  /// Widen the lookahead before the run starts (increase-only; shrinking
+  /// would re-ask the caller for a safety proof it already gave). The
+  /// caller asserts that every cross-shard event latency is at least
+  /// `lookahead` — e.g. a per-shard-pair bound from
+  /// Topology::min_delay_between over the actual partition, instead of
+  /// the global min-link bound the engine was constructed with. Must be
+  /// called before run_until; epoch boundaries derived from the wider
+  /// window are NOT shard-count-invariant (the partition isn't).
+  void raise_lookahead(SimDuration lookahead);
+
   Simulator& shard(std::size_t i) { return *sims_[i]; }
   const Simulator& shard(std::size_t i) const { return *sims_[i]; }
 

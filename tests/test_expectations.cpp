@@ -49,11 +49,11 @@ constexpr std::uint64_t kTrace = 0x5EEDu;
 
 // ------------------------------------------------------ synthetic rules
 
-TEST(Expectations, AllSixRulesRunOnAnEmptyDomain) {
+TEST(Expectations, AllSevenRulesRunOnAnEmptyDomain) {
   const TraceDomain d(obs_on());
   const auto report = run_checker(d, {});
   EXPECT_TRUE(report.ok());
-  EXPECT_EQ(report.rules_run.size(), 6u);
+  EXPECT_EQ(report.rules_run.size(), 7u);
 }
 
 TEST(Expectations, HopBoundFlagsAnAbsurdlyLongDeliveredPath) {
@@ -185,6 +185,62 @@ TEST(Expectations, HeartbeatGapBeyondTlsPlusToIsFlagged) {
   EXPECT_NE(report.summary().find("heartbeat gap"), std::string::npos);
 }
 
+// A synthetic batch of delivered lookups, each taking `hops` transmissions
+// from node 1 to node 2 under its own trace id. N=16, b=4 gives an
+// analytic mean of ceil(log_16 16) = 1 hop.
+TraceDomain analytic_domain(int paths, int hops) {
+  TraceDomain d(obs_on());
+  FlightRecorder& a = d.recorder_for(1);
+  FlightRecorder& b = d.recorder_for(2);
+  for (int i = 0; i < paths; ++i) {
+    const std::uint64_t trace = kTrace + static_cast<std::uint64_t>(i);
+    const SimTime t0 = seconds(i);
+    a.record(t0, EventKind::kLookupIssued, trace, net::kNullAddress, 0, 1);
+    for (int h = 1; h <= hops; ++h) {
+      a.record(t0 + milliseconds(h), EventKind::kForward, trace, 2, h);
+      b.record(t0 + milliseconds(h), EventKind::kRecv, trace, 1, h);
+    }
+    b.record(t0 + milliseconds(hops + 1), EventKind::kDeliver, trace, 1);
+  }
+  return d;
+}
+
+TEST(Expectations, AnalyticMeanHopsMutationFiresOnInflatedRouting) {
+  // The pre-seeded mutation: every lookup takes 3 transmissions where the
+  // Kong et al. closed form expects a mean of 1. Each individual path is
+  // comfortably inside R1's slack — only the aggregate rule can see it.
+  const TraceDomain d = analytic_domain(120, 3);
+  ExpectationConfig cfg;
+  cfg.overlay_size = 16;
+  cfg.analytic_hops_tolerance = 0.5;
+  const auto report = run_checker(d, cfg);
+  EXPECT_FALSE(has_rule(report, "hop-count-bound")) << report.summary();
+  ASSERT_TRUE(has_rule(report, "analytic-mean-hops")) << report.summary();
+  EXPECT_NE(report.summary().find("mean lookup hops"), std::string::npos);
+}
+
+TEST(Expectations, AnalyticMeanHopsAcceptsRoutingNearTheClosedForm) {
+  const TraceDomain d = analytic_domain(120, 1);
+  ExpectationConfig cfg;
+  cfg.overlay_size = 16;
+  cfg.analytic_hops_tolerance = 0.5;
+  EXPECT_FALSE(has_rule(run_checker(d, cfg), "analytic-mean-hops"));
+}
+
+TEST(Expectations, AnalyticMeanHopsSkipsSmallSamplesAndIsOptIn) {
+  const TraceDomain d = analytic_domain(20, 3);  // below analytic_min_paths
+  ExpectationConfig cfg;
+  cfg.overlay_size = 16;
+  cfg.analytic_hops_tolerance = 0.5;
+  EXPECT_FALSE(has_rule(run_checker(d, cfg), "analytic-mean-hops"));
+
+  // Default tolerance 0 disables the rule even with a large biased sample.
+  const TraceDomain big = analytic_domain(120, 3);
+  ExpectationConfig off;
+  off.overlay_size = 16;
+  EXPECT_FALSE(has_rule(run_checker(big, off), "analytic-mean-hops"));
+}
+
 // ------------------------------------------------------------ live runs
 
 std::shared_ptr<net::Topology> small_topology() {
@@ -232,7 +288,7 @@ TEST(Expectations, CleanLiveRunSatisfiesEveryRule) {
   const auto report = f.check();
   EXPECT_TRUE(report.ok()) << report.summary();
   EXPECT_GT(report.paths_checked, 0u);
-  EXPECT_EQ(report.rules_run.size(), 6u);
+  EXPECT_EQ(report.rules_run.size(), 7u);
 }
 
 TEST(Expectations, MutationSuppressedRerouteIsCaughtByTheChecker) {

@@ -101,6 +101,43 @@ TEST(ShardedDriver, DigestInvariantAcrossShardCounts) {
   }
 }
 
+TEST(ShardedDriver, PerPairLookaheadMatchesGlobalBoundWithFewerEpochs) {
+  // Differential: widening the lookahead from the global min-link bound
+  // to the per-shard-pair Topology::min_delay_between bound must change
+  // *only* the epoch structure, never the simulation. Joins are spaced
+  // seconds apart — orders of magnitude beyond either lookahead — so
+  // bootstrap-candidate visibility (the one barrier-cadence-sensitive
+  // read) is identical under both epoch layouts.
+  std::vector<trace::ChurnEvent> events;
+  for (int i = 0; i < 50; ++i) {
+    events.push_back({seconds(2 * i), i, trace::ChurnEventType::kJoin});
+  }
+  const trace::ChurnTrace trace(std::move(events), "spaced-joins");
+
+  DriverConfig cfg = small_config();
+  cfg.lookup_rate_per_node = 0.1;
+
+  std::uint64_t global_digest = 0, global_epochs = 0;
+  SimDuration global_lookahead = 0;
+  {
+    ShardedDriver d(topo(), {}, cfg, 4);
+    d.run_trace(trace, minutes(5));
+    global_digest = digest(d);
+    global_epochs = d.epochs();
+    global_lookahead = d.lookahead();
+    EXPECT_GT(d.metrics().lookups_delivered_correct(), 100u);
+  }
+  {
+    cfg.per_pair_lookahead = true;
+    ShardedDriver d(topo(), {}, cfg, 4);
+    d.run_trace(trace, minutes(5));
+    EXPECT_EQ(digest(d), global_digest);
+    EXPECT_GT(d.lookahead(), global_lookahead);
+    EXPECT_LT(d.epochs(), global_epochs);
+    EXPECT_GT(d.epochs(), 0u);
+  }
+}
+
 TEST(ShardedDriver, PacketAccountingIdentityHolds) {
   ShardedDriver d(topo(), {}, small_config(), 4);
   d.run_trace(small_trace());
