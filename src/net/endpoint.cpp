@@ -1,0 +1,47 @@
+#include "net/endpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mspastry::net {
+
+std::string endpoint_to_string(Endpoint e) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (e.ip >> 24) & 0xFF,
+                (e.ip >> 16) & 0xFF, (e.ip >> 8) & 0xFF, e.ip & 0xFF,
+                unsigned{e.port});
+  return buf;
+}
+
+std::optional<Endpoint> parse_endpoint(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  const std::string host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port <= 0 || port > 65535) {
+    return std::nullopt;
+  }
+
+  Endpoint e;
+  e.port = static_cast<std::uint16_t>(port);
+  if (host == "localhost") {
+    e.ip = kLoopbackIp;
+    return e;
+  }
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trail = 0;
+  if (std::sscanf(host.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trail) !=
+          4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    return std::nullopt;
+  }
+  e.ip = (a << 24) | (b << 16) | (c << 8) | d;
+  return e;
+}
+
+}  // namespace mspastry::net

@@ -40,6 +40,10 @@ enum class MsgType : std::uint8_t {
   kLeave,            // graceful departure notice (extension)
 };
 
+/// Number of message types; the rt wire codec (rt/wire.hpp) validates
+/// decoded type bytes against this and its round-trip test iterates it.
+inline constexpr int kMsgTypeCount = static_cast<int>(MsgType::kLeave) + 1;
+
 /// Human-readable name, for reports and logs.
 const char* msg_type_name(MsgType t);
 

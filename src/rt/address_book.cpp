@@ -1,0 +1,21 @@
+#include "rt/address_book.hpp"
+
+namespace mspastry::rt {
+
+net::Address AddressBook::intern(net::Endpoint e) {
+  const net::Address a = net::address_of(e);
+  if (a == net::kNullAddress) return a;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = map_.emplace(a, e);
+  if (!inserted && !(it->second == e)) ++collisions_;
+  return a;
+}
+
+std::optional<net::Endpoint> AddressBook::endpoint_of(net::Address a) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(a);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace mspastry::rt

@@ -1,0 +1,48 @@
+#pragma once
+
+// Endpoint <-> Address interning for the real-time backend.
+//
+// The protocol core addresses peers by net::Address; UDP needs host:port.
+// The book records every endpoint heard on the wire under its
+// deterministic address (net::address_of) so sends can be resolved back.
+// It is shared by all workers and the io thread of one RtRuntime, hence
+// the mutex — lookups are rare relative to packet work (one per descriptor
+// decoded/encoded) and the map stays small (one entry per known session).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "net/endpoint.hpp"
+
+namespace mspastry::rt {
+
+class AddressBook {
+ public:
+  /// Record `e` and return its address. If the deterministic fold maps
+  /// two distinct endpoints to one address (possible for non-loopback
+  /// ips only), the first mapping wins and the collision is counted —
+  /// callers can alarm on collisions() != 0.
+  net::Address intern(net::Endpoint e);
+
+  /// The endpoint `a` was interned from, if any.
+  std::optional<net::Endpoint> endpoint_of(net::Address a) const;
+
+  std::uint64_t collisions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return collisions_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<net::Address, net::Endpoint> map_;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace mspastry::rt

@@ -1,0 +1,38 @@
+#pragma once
+
+// Wall-clock time source for the real-time backend, expressed in the
+// protocol's SimTime (integral microseconds).
+//
+// CLOCK_MONOTONIC is system-wide on Linux: every process on a machine
+// reads the same counter. The localnet launcher passes its own start
+// reading to each daemon (--epoch-us), so all processes of a run stamp
+// flight-recorder events against a common, small time base and their
+// dumps merge into causally ordered traces without clock reconciliation.
+
+#include <ctime>
+
+#include "common/sim_time.hpp"
+
+namespace mspastry::rt {
+
+/// Raw CLOCK_MONOTONIC reading in microseconds.
+inline SimTime monotonic_micros() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+/// Monotonic clock rebased to an epoch (default: construction time).
+class WallClock {
+ public:
+  WallClock() : epoch_(monotonic_micros()) {}
+  explicit WallClock(SimTime epoch_us) : epoch_(epoch_us) {}
+
+  SimTime now() const { return monotonic_micros() - epoch_; }
+  SimTime epoch() const { return epoch_; }
+
+ private:
+  SimTime epoch_;
+};
+
+}  // namespace mspastry::rt

@@ -1,0 +1,333 @@
+#include "rt/runtime.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+namespace mspastry::rt {
+
+namespace {
+
+sockaddr_in to_sockaddr(net::Endpoint e) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(e.ip);
+  sa.sin_port = htons(e.port);
+  return sa;
+}
+
+/// Datagrams drained per socket per epoll wake: bounds the time one busy
+/// node can starve its siblings on the io thread.
+constexpr int kRecvBatch = 64;
+
+/// Idle cv/epoll wait cap, so stop flags are observed promptly.
+constexpr SimTime kMaxIdleWaitUs = 200000;
+
+}  // namespace
+
+/// The Env a real-time node runs against. Lives on the node's owner
+/// worker after start(); every method is owner-thread-only, mirroring the
+/// single-threaded contract the simulator's NodeEnv has.
+class RtNodeEnv final : public pastry::Env {
+ public:
+  RtNodeEnv(RtRuntime& rt, RtRuntime::Worker& w, LocalNode& n)
+      : rt_(rt), w_(w), n_(n), alive_(std::make_shared<bool>(true)) {}
+  ~RtNodeEnv() override { *alive_ = false; }
+
+  SimTime now() const override { return w_.cached_now; }
+
+  TimerId schedule(SimDuration delay, InplaceCallback fn) override {
+    // Same liveness-guard idiom as the overlay driver: a timer must
+    // never outlive its node, and the guard must stay allocation-free.
+    struct Guarded {
+      std::shared_ptr<bool> alive;
+      InplaceCallback fn;
+      void operator()() {
+        if (*alive) fn();
+      }
+    };
+    static_assert(
+        Simulator::Callback::fits_inline<Guarded>(),
+        "liveness-guarded node timers must stay allocation-free; grow "
+        "Simulator::kCallbackCapacity");
+    if (delay < 0) delay = 0;
+    return w_.timers.schedule_at(w_.cached_now + delay,
+                                 Guarded{alive_, std::move(fn)});
+  }
+
+  void cancel(TimerId id) override { w_.timers.cancel(id); }
+
+  void send(net::Address to, pastry::MessagePtr msg) override {
+    const auto ep = rt_.book_.endpoint_of(to);
+    if (!ep) {
+      rt_.stats_.dropped_no_endpoint.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const WireStatus st = encode_message(*msg, rt_.book_, &w_.wire_buf);
+    if (st != WireStatus::kOk) {
+      rt_.stats_.encode_errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const sockaddr_in sa = to_sockaddr(*ep);
+    const ssize_t r =
+        sendto(n_.fd, w_.wire_buf.data(), w_.wire_buf.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    if (r < 0) {
+      rt_.stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rt_.stats_.datagrams_out.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  pastry::MessagePool& pool() override { return w_.pool; }
+  Rng& rng() override { return w_.rng; }
+  pastry::NodeArena* routing_arena() override { return &w_.arena; }
+
+  std::optional<pastry::NodeDescriptor> bootstrap_candidate() override {
+    if (n_.bootstrap && n_.bootstrap->addr != n_.self.addr) {
+      return n_.bootstrap;
+    }
+    return std::nullopt;
+  }
+
+  obs::FlightRecorder* recorder() override {
+    return w_.obs != nullptr ? &w_.obs->recorder_for(n_.self.addr) : nullptr;
+  }
+
+  void on_deliver(const pastry::LookupMsg& m) override {
+    if (n_.on_deliver) n_.on_deliver(m);
+  }
+
+  void on_activated() override {
+    if (n_.on_activated) n_.on_activated();
+  }
+
+ private:
+  RtRuntime& rt_;
+  RtRuntime::Worker& w_;
+  LocalNode& n_;
+  std::shared_ptr<bool> alive_;
+};
+
+RtRuntime::RtRuntime(const RtConfig& cfg, pastry::Config node_cfg)
+    : cfg_(cfg),
+      node_cfg_(node_cfg),
+      clock_(cfg.epoch_us >= 0 ? cfg.epoch_us : monotonic_micros()) {
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  Rng seeder(cfg_.seed);
+  for (int i = 0; i < cfg_.workers; ++i) {
+    auto w = std::make_unique<Worker>(node_cfg_.routing_table_cols(),
+                                      seeder.fork());
+    if (cfg_.obs.enabled) {
+      w->obs = std::make_unique<obs::TraceDomain>(cfg_.obs);
+    }
+    w->cached_now = clock_.now();
+    workers_.push_back(std::move(w));
+  }
+  epoll_fd_ = epoll_create1(0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  assert(epoll_fd_ >= 0 && wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the wake eventfd
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+RtRuntime::~RtRuntime() {
+  if (started_ && !stopped_) stop();
+  for (auto& n : nodes_) {
+    if (n->fd >= 0) close(n->fd);
+  }
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+LocalNode* RtRuntime::add_node(NodeId id, net::Endpoint bind_ep) {
+  assert(!started_ && "nodes must be added before start()");
+  const int fd = socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return nullptr;
+  if (bind_ep.ip == 0) bind_ep.ip = net::kLoopbackIp;
+  sockaddr_in sa = to_sockaddr(bind_ep);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    close(fd);
+    return nullptr;
+  }
+  // Joins and lookup bursts are spiky; a roomy receive buffer absorbs
+  // them instead of silently dropping on loopback.
+  int rcvbuf = 1 << 20;
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+
+  socklen_t slen = sizeof sa;
+  getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &slen);
+  net::Endpoint actual{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+  if (actual.ip == 0) actual.ip = bind_ep.ip;
+
+  auto n = std::make_unique<LocalNode>();
+  n->endpoint = actual;
+  n->fd = fd;
+  n->worker = static_cast<int>(nodes_.size() % workers_.size());
+  n->self = pastry::NodeDescriptor{id, book_.intern(actual)};
+  if (n->self.addr == net::kNullAddress) {
+    close(fd);
+    return nullptr;
+  }
+
+  Worker& w = *workers_[n->worker];
+  w.cached_now = clock_.now();
+  n->env = std::make_unique<RtNodeEnv>(*this, w, *n);
+  n->node = std::make_unique<pastry::PastryNode>(node_cfg_, n->self, *n->env,
+                                                 n->counters);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = n.get();
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+
+  nodes_.push_back(std::move(n));
+  return nodes_.back().get();
+}
+
+pastry::NodeDescriptor RtRuntime::intern_peer(NodeId id, net::Endpoint e) {
+  return pastry::NodeDescriptor{id, book_.intern(e)};
+}
+
+void RtRuntime::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, wp = w.get()] { worker_loop(*wp); });
+  }
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void RtRuntime::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  io_stop_.store(true);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = write(wake_fd_, &one, sizeof one);
+  io_thread_.join();
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_one();
+    w->thread.join();
+  }
+  if (cfg_.obs.enabled) {
+    merged_obs_ = std::make_unique<obs::TraceDomain>(cfg_.obs);
+    for (auto& w : workers_) {
+      merged_obs_->absorb(std::move(*w->obs));
+    }
+  }
+}
+
+void RtRuntime::post(LocalNode& n, std::function<void()> fn) {
+  Worker& w = *workers_[n.worker];
+  if (!started_ || stopped_) {
+    // Single-threaded phase: run inline against a fresh clock reading.
+    w.cached_now = clock_.now();
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.tasks.push_back(std::move(fn));
+  }
+  w.cv.notify_one();
+}
+
+void RtRuntime::io_loop() {
+  std::vector<epoll_event> events(64);
+  std::vector<std::uint8_t> buf(65536);
+  std::vector<std::vector<Inbound>> staged(workers_.size());
+  while (!io_stop_.load(std::memory_order_relaxed)) {
+    const int n = epoll_wait(epoll_fd_, events.data(),
+                             static_cast<int>(events.size()),
+                             static_cast<int>(kMaxIdleWaitUs / 1000));
+    for (int i = 0; i < n; ++i) {
+      auto* ln = static_cast<LocalNode*>(events[i].data.ptr);
+      if (ln == nullptr) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const ssize_t r =
+            read(wake_fd_, &drain, sizeof drain);
+        continue;
+      }
+      for (int k = 0; k < kRecvBatch; ++k) {
+        const ssize_t got =
+            recvfrom(ln->fd, buf.data(), buf.size(), 0, nullptr, nullptr);
+        if (got < 0) break;  // EAGAIN: batch drained
+        stats_.datagrams_in.fetch_add(1, std::memory_order_relaxed);
+        staged[ln->worker].push_back(
+            Inbound{ln, {buf.data(), buf.data() + got}});
+      }
+    }
+    for (std::size_t wi = 0; wi < staged.size(); ++wi) {
+      if (staged[wi].empty()) continue;
+      Worker& w = *workers_[wi];
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        for (auto& in : staged[wi]) w.inbox.push_back(std::move(in));
+      }
+      w.cv.notify_one();
+      staged[wi].clear();
+    }
+  }
+}
+
+void RtRuntime::dispatch(Worker& w, Inbound& in) {
+  // One cached clock reading per datagram: every event recorded while
+  // handling it shares a timestamp (see runtime.hpp header comment).
+  w.cached_now = clock_.now();
+  DecodeResult r =
+      decode_message(in.bytes.data(), in.bytes.size(), w.pool, book_);
+  if (r.status != WireStatus::kOk || r.from == net::kNullAddress) {
+    stats_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  in.node->node->handle(r.from, r.msg);
+}
+
+void RtRuntime::worker_loop(Worker& w) {
+  std::vector<Inbound> inbox;
+  std::vector<std::function<void()>> tasks;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      if (!w.stop && w.inbox.empty() && w.tasks.empty()) {
+        const SimTime next = w.timers.next_event_time();
+        const SimTime now = clock_.now();
+        SimTime wait_us = kMaxIdleWaitUs;
+        if (next != kTimeNever) {
+          wait_us = std::min(wait_us, std::max<SimTime>(next - now, 0));
+        }
+        if (wait_us > 0) {
+          w.cv.wait_for(lock, std::chrono::microseconds(wait_us));
+        }
+      }
+      if (w.stop) break;
+      inbox.swap(w.inbox);
+      tasks.swap(w.tasks);
+    }
+    for (auto& t : tasks) {
+      w.cached_now = clock_.now();
+      t();
+    }
+    tasks.clear();
+    for (auto& in : inbox) dispatch(w, in);
+    inbox.clear();
+    w.cached_now = clock_.now();
+    w.timers.run_until(w.cached_now);
+  }
+}
+
+}  // namespace mspastry::rt

@@ -1,0 +1,193 @@
+#pragma once
+
+// Real-time backend: the same pastry::PastryNode that runs under the
+// discrete-event simulator, running on wall-clock timers and UDP sockets.
+//
+// Thread model (DESIGN.md "Real-time backend"):
+//
+//   - One net-io thread owns an epoll set over every local node's UDP
+//     socket. It only moves bytes: datagrams are batched off the sockets
+//     and pushed, still raw, onto the owning worker's inbound queue.
+//     Decoding happens on the worker because message pools and refcounts
+//     are single-threaded by design.
+//   - A small pool of worker threads owns all protocol state. Each worker
+//     owns a MessagePool, a NodeArena, an Rng, a per-worker
+//     obs::TraceDomain, and a Simulator used purely as a timer queue
+//     (schedule_at against wall time, run_until(now) each loop). Nodes
+//     are assigned to workers round-robin at creation and every touch of
+//     a node — decode, handle, timer callbacks, upcalls, sends — happens
+//     on its owner worker. This is the same owner-thread/hand-off
+//     discipline as the sharded simulator, with the epoll queue in place
+//     of the epoch barrier.
+//   - Sends go out synchronously on the owner worker through the node's
+//     own socket, so peers see the advertised source endpoint.
+//
+// Time: Env::now() returns a per-dispatch cached reading of the shared
+// monotonic clock, so all events recorded while handling one datagram or
+// one timer batch carry a single timestamp — the discretization the
+// expectation checker's same-instant rules (R3) assume of an Env.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
+#include "pastry/config.hpp"
+#include "pastry/node.hpp"
+#include "pastry/node_arena.hpp"
+#include "rt/address_book.hpp"
+#include "rt/clock.hpp"
+#include "rt/wire.hpp"
+
+namespace mspastry::rt {
+
+struct RtConfig {
+  /// Worker threads owning protocol state. One suffices for a daemon
+  /// hosting a single node; tests run many nodes across several.
+  int workers = 1;
+
+  /// Shared time base (a raw CLOCK_MONOTONIC reading in microseconds);
+  /// < 0 means "this runtime's construction time". The localnet launcher
+  /// passes its own start to every daemon so merged traces share one
+  /// clock.
+  SimTime epoch_us = -1;
+
+  std::uint64_t seed = 1;
+
+  /// Observability; enabled means every node records into a per-worker
+  /// TraceDomain, merged at stop().
+  obs::ObsConfig obs;
+};
+
+/// Aggregate datagram/codec counters (io + all workers; atomics).
+struct RtStats {
+  std::atomic<std::uint64_t> datagrams_in{0};
+  std::atomic<std::uint64_t> datagrams_out{0};
+  std::atomic<std::uint64_t> decode_errors{0};
+  std::atomic<std::uint64_t> encode_errors{0};
+  std::atomic<std::uint64_t> send_errors{0};
+  std::atomic<std::uint64_t> dropped_no_endpoint{0};
+};
+
+class RtRuntime;
+
+/// One locally hosted overlay node: its socket, its Env, and the
+/// PastryNode itself. Created via RtRuntime::add_node before start().
+/// All interaction after start() must go through RtRuntime::post.
+struct LocalNode {
+  pastry::NodeDescriptor self;
+  net::Endpoint endpoint;
+  int fd = -1;
+  int worker = 0;
+
+  /// Upcalls, invoked on the owner worker thread. Unset = ignored.
+  std::function<void(const pastry::LookupMsg&)> on_deliver;
+  std::function<void()> on_activated;
+
+  /// Fixed bootstrap fed to Env::bootstrap_candidate (join retries).
+  std::optional<pastry::NodeDescriptor> bootstrap;
+
+  pastry::Counters counters;
+  std::unique_ptr<pastry::Env> env;     // owner-worker only after start()
+  std::unique_ptr<pastry::PastryNode> node;
+};
+
+class RtRuntime {
+ public:
+  explicit RtRuntime(const RtConfig& cfg, pastry::Config node_cfg);
+  ~RtRuntime();
+
+  RtRuntime(const RtRuntime&) = delete;
+  RtRuntime& operator=(const RtRuntime&) = delete;
+
+  /// Bind a UDP socket on `bind` (port 0 picks an ephemeral port) and
+  /// create a node with identifier `id` behind it. Must be called before
+  /// start(). Returns nullptr if the socket cannot be bound.
+  LocalNode* add_node(NodeId id, net::Endpoint bind);
+
+  /// Record a remote node (endpoint + id) in the address book and return
+  /// a descriptor usable as a bootstrap.
+  pastry::NodeDescriptor intern_peer(NodeId id, net::Endpoint e);
+
+  void start();
+
+  /// Stop io + workers, then (single-threaded again) absorb per-worker
+  /// trace domains. Nodes stay alive for introspection until destruction.
+  void stop();
+
+  /// Run `fn` on `n`'s owner worker thread; the only safe way to touch a
+  /// node (join, lookups, reads of protocol state) while running.
+  void post(LocalNode& n, std::function<void()> fn);
+
+  AddressBook& book() { return book_; }
+  RtStats& stats() { return stats_; }
+  const WallClock& clock() const { return clock_; }
+  const std::vector<std::unique_ptr<LocalNode>>& nodes() const {
+    return nodes_;
+  }
+
+  /// Merged trace domain; valid (non-null iff obs enabled) after stop().
+  obs::TraceDomain* trace_domain() { return merged_obs_.get(); }
+
+ private:
+  friend class RtNodeEnv;
+  struct Inbound {
+    LocalNode* node;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  // Declaration order is destruction order in reverse; workers hold the
+  // pools/arenas/timers and must die after the nodes that use them, so
+  // nodes_ is declared after workers_.
+  struct Worker {
+    // pool first: the Simulator (whose parked callbacks may capture
+    // MessagePtrs) and the nodes must be destroyed before it.
+    pastry::MessagePool pool;
+    Simulator timers;
+    pastry::NodeArena arena;
+    Rng rng;
+    std::unique_ptr<obs::TraceDomain> obs;
+    std::vector<std::uint8_t> wire_buf;
+    SimTime cached_now = 0;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Inbound> inbox;
+    std::vector<std::function<void()>> tasks;
+    bool stop = false;
+
+    std::thread thread;
+
+    explicit Worker(int cols, Rng r) : arena(cols), rng(std::move(r)) {}
+  };
+
+  void io_loop();
+  void worker_loop(Worker& w);
+  void dispatch(Worker& w, Inbound& in);
+
+  RtConfig cfg_;
+  pastry::Config node_cfg_;
+  WallClock clock_;
+  AddressBook book_;
+  RtStats stats_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: io-thread shutdown
+  std::atomic<bool> io_stop_{false};
+  std::thread io_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<LocalNode>> nodes_;
+  std::unique_ptr<obs::TraceDomain> merged_obs_;
+};
+
+}  // namespace mspastry::rt

@@ -1,0 +1,483 @@
+#include "rt/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mspastry::rt {
+
+namespace {
+
+using pastry::Message;
+using pastry::MsgType;
+using pastry::NodeDescriptor;
+
+// --- Byte-order helpers ---------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>* out) : out_(*out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void u128(U128 v) {
+    u64(v.lo);
+    u64(v.hi);
+  }
+
+  std::size_t size() const { return out_.size(); }
+  void patch_u32(std::size_t at, std::uint32_t v) {
+    std::memcpy(out_.data() + at, &v, 4);
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    // Little-endian hosts only (x86/arm64); static_assert guards ports.
+    static_assert(std::endian::native == std::endian::little,
+                  "wire codec assumes a little-endian host");
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  bool u8(std::uint8_t* v) { return raw(v, 1); }
+  bool u16(std::uint16_t* v) { return raw(v, 2); }
+  bool u32(std::uint32_t* v) { return raw(v, 4); }
+  bool u64(std::uint64_t* v) { return raw(v, 8); }
+  bool i32(std::int32_t* v) { return raw(v, 4); }
+  bool i64(std::int64_t* v) { return raw(v, 8); }
+  bool f64(double* v) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+  bool u128(U128* v) { return u64(&v->lo) && u64(&v->hi); }
+
+  std::size_t remaining() const { return len_ - pos_; }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (len_ - pos_ < n) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+// --- Descriptors ----------------------------------------------------------
+
+WireStatus put_descriptor(Writer& w, const NodeDescriptor& d,
+                          const AddressBook& book) {
+  if (!d.valid()) {
+    w.u128(U128{});
+    w.u32(0);
+    w.u16(0);
+    return WireStatus::kOk;
+  }
+  const auto ep = book.endpoint_of(d.addr);
+  if (!ep) return WireStatus::kUnknownAddress;
+  w.u128(d.id.value());
+  w.u32(ep->ip);
+  w.u16(ep->port);
+  return WireStatus::kOk;
+}
+
+bool get_descriptor(Reader& r, AddressBook& book, NodeDescriptor* d) {
+  U128 id;
+  net::Endpoint ep;
+  if (!r.u128(&id) || !r.u32(&ep.ip) || !r.u16(&ep.port)) return false;
+  d->id = NodeId{id};
+  d->addr = ep.valid() ? book.intern(ep) : net::kNullAddress;
+  return true;
+}
+
+template <typename Vec>
+WireStatus put_descriptor_vec(Writer& w, const Vec& v,
+                              const AddressBook& book) {
+  if (v.size() > kMaxVecLen) return WireStatus::kOversizeVec;
+  w.u16(static_cast<std::uint16_t>(v.size()));
+  for (const NodeDescriptor& d : v) {
+    const WireStatus st = put_descriptor(w, d, book);
+    if (st != WireStatus::kOk) return st;
+  }
+  return WireStatus::kOk;
+}
+
+template <typename Vec>
+WireStatus get_descriptor_vec(Reader& r, AddressBook& book, Vec* v) {
+  std::uint16_t n = 0;
+  if (!r.u16(&n)) return WireStatus::kTruncated;
+  if (n > kMaxVecLen) return WireStatus::kOversizeVec;
+  for (std::uint16_t i = 0; i < n; ++i) {
+    NodeDescriptor d;
+    if (!get_descriptor(r, book, &d)) return WireStatus::kTruncated;
+    v->push_back(d);
+  }
+  return WireStatus::kOk;
+}
+
+WireStatus put_join_rows(Writer& w, const pastry::JoinRows& rows,
+                         const AddressBook& book) {
+  if (rows.size() > kMaxVecLen) return WireStatus::kOversizeVec;
+  w.u16(static_cast<std::uint16_t>(rows.size()));
+  for (const auto& [row, entries] : rows) {
+    w.i32(row);
+    const WireStatus st = put_descriptor_vec(w, entries, book);
+    if (st != WireStatus::kOk) return st;
+  }
+  return WireStatus::kOk;
+}
+
+WireStatus get_join_rows(Reader& r, AddressBook& book,
+                         pastry::JoinRows* rows) {
+  std::uint16_t n = 0;
+  if (!r.u16(&n)) return WireStatus::kTruncated;
+  if (n > kMaxVecLen) return WireStatus::kOversizeVec;
+  for (std::uint16_t i = 0; i < n; ++i) {
+    std::int32_t row = 0;
+    if (!r.i32(&row)) return WireStatus::kTruncated;
+    pastry::RowVec entries;
+    const WireStatus st = get_descriptor_vec(r, book, &entries);
+    if (st != WireStatus::kOk) return st;
+    rows->push_back({row, std::move(entries)});
+  }
+  return WireStatus::kOk;
+}
+
+// --- Routed header --------------------------------------------------------
+
+void put_routed(Writer& w, const pastry::RoutedMessage& m) {
+  w.u128(m.key.value());
+  w.i32(m.hops);
+  w.u64(m.hop_seq);
+  w.u8(m.wants_ack ? 1 : 0);
+  w.u64(m.trace_id);
+}
+
+bool get_routed(Reader& r, pastry::RoutedMessage* m) {
+  U128 key;
+  std::uint8_t flags = 0;
+  if (!r.u128(&key) || !r.i32(&m->hops) || !r.u64(&m->hop_seq) ||
+      !r.u8(&flags) || !r.u64(&m->trace_id)) {
+    return false;
+  }
+  m->key = NodeId{key};
+  m->wants_ack = (flags & 1) != 0;
+  return true;
+}
+
+// --- Per-type payloads ----------------------------------------------------
+
+WireStatus put_payload(Writer& w, const Message& m, const AddressBook& book) {
+  switch (m.type) {
+    case MsgType::kJoinRequest: {
+      const auto& j = static_cast<const pastry::JoinRequestMsg&>(m);
+      put_routed(w, j);
+      const WireStatus st = put_descriptor(w, j.joiner, book);
+      if (st != WireStatus::kOk) return st;
+      w.u64(j.join_epoch);
+      return put_join_rows(w, j.rows, book);
+    }
+    case MsgType::kJoinReply: {
+      const auto& j = static_cast<const pastry::JoinReplyMsg&>(m);
+      w.u64(j.join_epoch);
+      const WireStatus st = put_join_rows(w, j.rows, book);
+      if (st != WireStatus::kOk) return st;
+      return put_descriptor_vec(w, j.leaf_set, book);
+    }
+    case MsgType::kLsProbe:
+    case MsgType::kLsProbeReply: {
+      const auto& p = static_cast<const pastry::LsProbeMsg&>(m);
+      const WireStatus st = put_descriptor_vec(w, p.leaf, book);
+      if (st != WireStatus::kOk) return st;
+      return put_descriptor_vec(w, p.failed, book);
+    }
+    case MsgType::kHeartbeat:
+    case MsgType::kRtProbe:
+    case MsgType::kRtProbeReply:
+    case MsgType::kNnRequest:
+    case MsgType::kLeave:
+      return WireStatus::kOk;
+    case MsgType::kDistanceProbe:
+    case MsgType::kDistanceProbeReply:
+      w.u64(static_cast<const pastry::DistanceProbeMsg&>(m).seq);
+      return WireStatus::kOk;
+    case MsgType::kDistanceReport:
+      w.i64(static_cast<const pastry::DistanceReportMsg&>(m).rtt);
+      return WireStatus::kOk;
+    case MsgType::kRtRowRequest:
+      w.i32(static_cast<const pastry::RtRowRequestMsg&>(m).row);
+      return WireStatus::kOk;
+    case MsgType::kRtRowReply: {
+      const auto& rr = static_cast<const pastry::RtRowReplyMsg&>(m);
+      w.i32(rr.row);
+      return put_descriptor_vec(w, rr.entries, book);
+    }
+    case MsgType::kRtRowAnnounce: {
+      const auto& rr = static_cast<const pastry::RtRowAnnounceMsg&>(m);
+      w.i32(rr.row);
+      return put_descriptor_vec(w, rr.entries, book);
+    }
+    case MsgType::kRtEntryRequest: {
+      const auto& rr = static_cast<const pastry::RtEntryRequestMsg&>(m);
+      w.i32(rr.row);
+      w.i32(rr.col);
+      return WireStatus::kOk;
+    }
+    case MsgType::kRtEntryReply: {
+      const auto& rr = static_cast<const pastry::RtEntryReplyMsg&>(m);
+      w.i32(rr.row);
+      w.i32(rr.col);
+      return put_descriptor(w, rr.entry, book);
+    }
+    case MsgType::kNnReply:
+      return put_descriptor_vec(
+          w, static_cast<const pastry::NnReplyMsg&>(m).candidates, book);
+    case MsgType::kLookup: {
+      const auto& l = static_cast<const pastry::LookupMsg&>(m);
+      if (l.app_data != nullptr) return WireStatus::kAppData;
+      put_routed(w, l);
+      w.u64(l.lookup_id);
+      const WireStatus st = put_descriptor(w, l.source, book);
+      if (st != WireStatus::kOk) return st;
+      w.i64(l.sent_at);
+      w.u64(l.payload);
+      return WireStatus::kOk;
+    }
+    case MsgType::kAck:
+      w.u64(static_cast<const pastry::AckMsg&>(m).hop_seq);
+      return WireStatus::kOk;
+  }
+  return WireStatus::kBadType;
+}
+
+WireStatus get_payload(Reader& r, MsgType type, pastry::MessagePool& pool,
+                       AddressBook& book, pastry::MessagePtr* out) {
+  using pastry::make_msg;
+  switch (type) {
+    case MsgType::kJoinRequest: {
+      auto m = make_msg<pastry::JoinRequestMsg>(pool);
+      if (!get_routed(r, m.get())) return WireStatus::kTruncated;
+      if (!get_descriptor(r, book, &m->joiner)) return WireStatus::kTruncated;
+      if (!r.u64(&m->join_epoch)) return WireStatus::kTruncated;
+      const WireStatus st = get_join_rows(r, book, &m->rows);
+      if (st != WireStatus::kOk) return st;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kJoinReply: {
+      auto m = make_msg<pastry::JoinReplyMsg>(pool);
+      if (!r.u64(&m->join_epoch)) return WireStatus::kTruncated;
+      WireStatus st = get_join_rows(r, book, &m->rows);
+      if (st != WireStatus::kOk) return st;
+      st = get_descriptor_vec(r, book, &m->leaf_set);
+      if (st != WireStatus::kOk) return st;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kLsProbe:
+    case MsgType::kLsProbeReply: {
+      auto m = make_msg<pastry::LsProbeMsg>(pool,
+                                            type == MsgType::kLsProbeReply);
+      WireStatus st = get_descriptor_vec(r, book, &m->leaf);
+      if (st != WireStatus::kOk) return st;
+      st = get_descriptor_vec(r, book, &m->failed);
+      if (st != WireStatus::kOk) return st;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kHeartbeat:
+      *out = make_msg<pastry::HeartbeatMsg>(pool);
+      return WireStatus::kOk;
+    case MsgType::kRtProbe:
+    case MsgType::kRtProbeReply:
+      *out = make_msg<pastry::RtProbeMsg>(pool,
+                                          type == MsgType::kRtProbeReply);
+      return WireStatus::kOk;
+    case MsgType::kNnRequest:
+      *out = make_msg<pastry::NnRequestMsg>(pool);
+      return WireStatus::kOk;
+    case MsgType::kLeave:
+      *out = make_msg<pastry::LeaveMsg>(pool);
+      return WireStatus::kOk;
+    case MsgType::kDistanceProbe:
+    case MsgType::kDistanceProbeReply: {
+      auto m = make_msg<pastry::DistanceProbeMsg>(
+          pool, type == MsgType::kDistanceProbeReply);
+      if (!r.u64(&m->seq)) return WireStatus::kTruncated;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kDistanceReport: {
+      auto m = make_msg<pastry::DistanceReportMsg>(pool);
+      if (!r.i64(&m->rtt)) return WireStatus::kTruncated;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kRtRowRequest: {
+      auto m = make_msg<pastry::RtRowRequestMsg>(pool);
+      if (!r.i32(&m->row)) return WireStatus::kTruncated;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kRtRowReply: {
+      auto m = make_msg<pastry::RtRowReplyMsg>(pool);
+      if (!r.i32(&m->row)) return WireStatus::kTruncated;
+      const WireStatus st = get_descriptor_vec(r, book, &m->entries);
+      if (st != WireStatus::kOk) return st;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kRtRowAnnounce: {
+      auto m = make_msg<pastry::RtRowAnnounceMsg>(pool);
+      if (!r.i32(&m->row)) return WireStatus::kTruncated;
+      const WireStatus st = get_descriptor_vec(r, book, &m->entries);
+      if (st != WireStatus::kOk) return st;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kRtEntryRequest: {
+      auto m = make_msg<pastry::RtEntryRequestMsg>(pool);
+      if (!r.i32(&m->row) || !r.i32(&m->col)) return WireStatus::kTruncated;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kRtEntryReply: {
+      auto m = make_msg<pastry::RtEntryReplyMsg>(pool);
+      if (!r.i32(&m->row) || !r.i32(&m->col)) return WireStatus::kTruncated;
+      if (!get_descriptor(r, book, &m->entry)) return WireStatus::kTruncated;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kNnReply: {
+      auto m = make_msg<pastry::NnReplyMsg>(pool);
+      const WireStatus st = get_descriptor_vec(r, book, &m->candidates);
+      if (st != WireStatus::kOk) return st;
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kLookup: {
+      auto m = make_msg<pastry::LookupMsg>(pool);
+      if (!get_routed(r, m.get())) return WireStatus::kTruncated;
+      if (!r.u64(&m->lookup_id)) return WireStatus::kTruncated;
+      if (!get_descriptor(r, book, &m->source)) return WireStatus::kTruncated;
+      if (!r.i64(&m->sent_at) || !r.u64(&m->payload)) {
+        return WireStatus::kTruncated;
+      }
+      *out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kAck: {
+      auto m = make_msg<pastry::AckMsg>(pool);
+      if (!r.u64(&m->hop_seq)) return WireStatus::kTruncated;
+      *out = m;
+      return WireStatus::kOk;
+    }
+  }
+  return WireStatus::kBadType;
+}
+
+}  // namespace
+
+const char* wire_status_name(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kTruncated: return "truncated";
+    case WireStatus::kBadMagic: return "bad-magic";
+    case WireStatus::kBadVersion: return "bad-version";
+    case WireStatus::kBadType: return "bad-type";
+    case WireStatus::kBadLength: return "bad-length";
+    case WireStatus::kOversizeVec: return "oversize-vec";
+    case WireStatus::kTrailingBytes: return "trailing-bytes";
+    case WireStatus::kUnknownAddress: return "unknown-address";
+    case WireStatus::kAppData: return "app-data";
+    case WireStatus::kOversizeFrame: return "oversize-frame";
+  }
+  return "?";
+}
+
+WireStatus encode_message(const pastry::Message& m, const AddressBook& book,
+                          std::vector<std::uint8_t>* out) {
+  out->clear();
+  Writer w(out);
+  w.u32(0);  // length, patched below
+  w.u16(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(m.type));
+  WireStatus st = put_descriptor(w, m.sender, book);
+  if (st != WireStatus::kOk) return st;
+  w.f64(m.trt_hint_s);
+  st = put_payload(w, m, book);
+  if (st != WireStatus::kOk) return st;
+  if (out->size() > kMaxFrameBytes) return WireStatus::kOversizeFrame;
+  w.patch_u32(0, static_cast<std::uint32_t>(out->size() - 4));
+  return WireStatus::kOk;
+}
+
+DecodeResult decode_message(const std::uint8_t* data, std::size_t len,
+                            pastry::MessagePool& pool, AddressBook& book) {
+  DecodeResult res;
+  auto fail = [&res](WireStatus st) {
+    res.status = st;
+    res.msg = nullptr;
+    return res;
+  };
+  if (len > kMaxFrameBytes) return fail(WireStatus::kBadLength);
+
+  Reader r(data, len);
+  std::uint32_t frame_len = 0;
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type_byte = 0;
+  if (!r.u32(&frame_len)) return fail(WireStatus::kTruncated);
+  if (frame_len != len - 4) return fail(WireStatus::kBadLength);
+  if (!r.u16(&magic)) return fail(WireStatus::kTruncated);
+  if (magic != kWireMagic) return fail(WireStatus::kBadMagic);
+  if (!r.u8(&version)) return fail(WireStatus::kTruncated);
+  if (version != kWireVersion) return fail(WireStatus::kBadVersion);
+  if (!r.u8(&type_byte)) return fail(WireStatus::kTruncated);
+  if (type_byte >= pastry::kMsgTypeCount) return fail(WireStatus::kBadType);
+  const MsgType type = static_cast<MsgType>(type_byte);
+
+  NodeDescriptor sender;
+  double trt_hint = 0.0;
+  if (!get_descriptor(r, book, &sender) || !r.f64(&trt_hint)) {
+    return fail(WireStatus::kTruncated);
+  }
+
+  pastry::MessagePtr msg;
+  const WireStatus st = get_payload(r, type, pool, book, &msg);
+  if (st != WireStatus::kOk) return fail(st);
+  if (r.remaining() != 0) return fail(WireStatus::kTrailingBytes);
+
+  // Stamp the common header on the (still uniquely ours) message.
+  auto* mutable_msg = const_cast<pastry::Message*>(msg.get());
+  mutable_msg->sender = sender;
+  mutable_msg->trt_hint_s = trt_hint;
+
+  res.msg = std::move(msg);
+  res.from = sender.addr;
+  return res;
+}
+
+}  // namespace mspastry::rt

@@ -1,0 +1,85 @@
+#pragma once
+
+// Versioned binary wire codec for every pastry::Message subtype.
+//
+// The simulator passes messages as in-memory pointers; the real-time
+// backend has to put them on UDP. One datagram carries one frame:
+//
+//   u32  payload length (bytes after this field)
+//   u16  magic 0x4D50 ("MP")
+//   u8   version (kWireVersion)
+//   u8   message type (pastry::MsgType)
+//   --- common header ---
+//   endpoint  sender   (u32 ip, u16 port)
+//   u128      sender id
+//   f64       trt hint (bit pattern)
+//   --- routed header (kLookup / kJoinRequest only) ---
+//   u128 key, i32 hops, u64 hop_seq, u8 flags (bit0 wants_ack), u64 trace
+//   --- per-type payload ---
+//
+// All integers little-endian. NodeDescriptors travel as (u128 id,
+// endpoint); the receiver interns each endpoint into its AddressBook, so
+// descriptors decode with locally valid addresses and the protocol core
+// never sees an endpoint. Decoding is defensive: a frame that is
+// truncated, oversized, version-skewed, or internally inconsistent
+// yields an error status and no message — never UB (the corrupt-frame
+// corpus in tests/test_wire.cpp runs under ASan/UBSan in CI).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pastry/message.hpp"
+#include "pastry/message_pool.hpp"
+#include "rt/address_book.hpp"
+
+namespace mspastry::rt {
+
+inline constexpr std::uint16_t kWireMagic = 0x4D50;
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard ceiling on one frame; fits a single UDP datagram on loopback.
+inline constexpr std::size_t kMaxFrameBytes = 65507;
+
+/// Ceiling on any one on-wire vector (a full leaf set is 32, a routing
+/// row 15; the cap only exists so a corrupt length byte cannot demand a
+/// gigabyte).
+inline constexpr std::size_t kMaxVecLen = 4096;
+
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,       ///< frame shorter than its fields claim
+  kBadMagic,
+  kBadVersion,
+  kBadType,         ///< type byte outside pastry::kMsgTypeCount
+  kBadLength,       ///< length field disagrees with the datagram size
+  kOversizeVec,     ///< vector count above kMaxVecLen
+  kTrailingBytes,   ///< well-formed fields followed by extra bytes
+  kUnknownAddress,  ///< encode: descriptor address not in the book
+  kAppData,         ///< encode: LookupMsg::app_data is not serializable
+  kOversizeFrame,   ///< encode: frame would exceed kMaxFrameBytes
+};
+
+const char* wire_status_name(WireStatus s);
+
+/// Encode `m` as one frame appended to `out` (out is cleared first).
+/// Descriptor addresses are resolved to endpoints through `book`; every
+/// address a node can hold was interned when it was first heard, so
+/// kUnknownAddress indicates a logic error, not a protocol condition.
+WireStatus encode_message(const pastry::Message& m, const AddressBook& book,
+                          std::vector<std::uint8_t>* out);
+
+struct DecodeResult {
+  WireStatus status = WireStatus::kOk;
+  pastry::MessagePtr msg;     ///< null unless status == kOk
+  net::Address from = net::kNullAddress;  ///< interned sender address
+};
+
+/// Decode one frame. Allocates the message from `pool` (single-threaded:
+/// call on the owning worker) and interns every endpoint seen into
+/// `book`. On any error the result carries no message and the pool is
+/// left without a live allocation.
+DecodeResult decode_message(const std::uint8_t* data, std::size_t len,
+                            pastry::MessagePool& pool, AddressBook& book);
+
+}  // namespace mspastry::rt

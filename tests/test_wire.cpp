@@ -1,0 +1,505 @@
+// Wire-codec round-trip property test plus a corrupt-frame corpus.
+//
+// Every pastry::MsgType is encoded and decoded with randomized field
+// values — including payload vectors past their SmallVec inline capacity
+// (heap spill) — and compared field by field. Then every strict prefix
+// of a valid frame and a sweep of single-bit flips are decoded: each must
+// return an error status or a well-formed message, never crash. The
+// whole file runs under the ASan/UBSan CI job (full ctest), which is
+// where truncation/overread bugs in the codec would surface.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pastry/message.hpp"
+#include "pastry/message_pool.hpp"
+#include "rt/address_book.hpp"
+#include "rt/wire.hpp"
+
+namespace mspastry {
+namespace {
+
+using pastry::MessagePool;
+using pastry::MsgType;
+using pastry::NodeDescriptor;
+using rt::AddressBook;
+using rt::decode_message;
+using rt::encode_message;
+using rt::WireStatus;
+
+class WireTest : public ::testing::Test {
+ protected:
+  /// A descriptor whose endpoint both sides' books know about.
+  NodeDescriptor make_desc(Rng& rng) {
+    net::Endpoint e{net::kLoopbackIp,
+                    static_cast<std::uint16_t>(1024 + rng.uniform_index(60000))};
+    const net::Address a = sender_book_.intern(e);
+    return NodeDescriptor{rng.node_id(), a};
+  }
+
+  template <typename Vec>
+  void fill_descs(Rng& rng, Vec* v, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) v->push_back(make_desc(rng));
+  }
+
+  void stamp_common(Rng& rng, pastry::Message* m) {
+    m->sender = make_desc(rng);
+    m->trt_hint_s = rng.uniform(0.0, 100.0);
+  }
+
+  void stamp_routed(Rng& rng, pastry::RoutedMessage* m) {
+    m->key = rng.node_id();
+    m->hops = static_cast<int>(rng.uniform_index(64));
+    m->hop_seq = rng.next_u64();
+    m->wants_ack = rng.chance(0.5);
+    m->trace_id = rng.next_u64();
+  }
+
+  /// Build a randomized message of the given type. `spill` pushes every
+  /// payload vector past its inline capacity.
+  pastry::MessagePtr make_message(MsgType t, Rng& rng, bool spill) {
+    using namespace pastry;
+    // Past-capacity sizes: LeafVec inline 32, FailedVec 8, RowVec 16,
+    // CandidateVec 33, JoinRows 8.
+    const std::size_t leaf_n = spill ? 40 : 1 + rng.uniform_index(32);
+    const std::size_t failed_n = spill ? 12 : rng.uniform_index(8);
+    const std::size_t row_n = spill ? 24 : 1 + rng.uniform_index(15);
+    const std::size_t cand_n = spill ? 48 : 1 + rng.uniform_index(33);
+    const std::size_t rows_n = spill ? 12 : 1 + rng.uniform_index(8);
+    switch (t) {
+      case MsgType::kJoinRequest: {
+        auto m = make_msg<JoinRequestMsg>(pool_);
+        stamp_routed(rng, m.get());
+        m->joiner = make_desc(rng);
+        m->join_epoch = rng.next_u64();
+        for (std::size_t i = 0; i < rows_n; ++i) {
+          RowVec entries;
+          fill_descs(rng, &entries, row_n);
+          m->rows.push_back({static_cast<int>(i), std::move(entries)});
+        }
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kJoinReply: {
+        auto m = make_msg<JoinReplyMsg>(pool_);
+        m->join_epoch = rng.next_u64();
+        for (std::size_t i = 0; i < rows_n; ++i) {
+          RowVec entries;
+          fill_descs(rng, &entries, row_n);
+          m->rows.push_back({static_cast<int>(i), std::move(entries)});
+        }
+        fill_descs(rng, &m->leaf_set, leaf_n);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kLsProbe:
+      case MsgType::kLsProbeReply: {
+        auto m = make_msg<LsProbeMsg>(pool_, t == MsgType::kLsProbeReply);
+        fill_descs(rng, &m->leaf, leaf_n);
+        fill_descs(rng, &m->failed, failed_n);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kHeartbeat: {
+        auto m = make_msg<HeartbeatMsg>(pool_);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kRtProbe:
+      case MsgType::kRtProbeReply: {
+        auto m = make_msg<RtProbeMsg>(pool_, t == MsgType::kRtProbeReply);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kDistanceProbe:
+      case MsgType::kDistanceProbeReply: {
+        auto m = make_msg<DistanceProbeMsg>(
+            pool_, t == MsgType::kDistanceProbeReply);
+        m->seq = rng.next_u64();
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kDistanceReport: {
+        auto m = make_msg<DistanceReportMsg>(pool_);
+        m->rtt = static_cast<SimDuration>(rng.uniform_index(10000000));
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kRtRowRequest: {
+        auto m = make_msg<RtRowRequestMsg>(pool_);
+        m->row = static_cast<int>(rng.uniform_index(32));
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kRtRowReply: {
+        auto m = make_msg<RtRowReplyMsg>(pool_);
+        m->row = static_cast<int>(rng.uniform_index(32));
+        fill_descs(rng, &m->entries, row_n);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kRtRowAnnounce: {
+        auto m = make_msg<RtRowAnnounceMsg>(pool_);
+        m->row = static_cast<int>(rng.uniform_index(32));
+        fill_descs(rng, &m->entries, row_n);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kRtEntryRequest: {
+        auto m = make_msg<RtEntryRequestMsg>(pool_);
+        m->row = static_cast<int>(rng.uniform_index(32));
+        m->col = static_cast<int>(rng.uniform_index(16));
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kRtEntryReply: {
+        auto m = make_msg<RtEntryReplyMsg>(pool_);
+        m->row = static_cast<int>(rng.uniform_index(32));
+        m->col = static_cast<int>(rng.uniform_index(16));
+        // Alternate between a known entry and invalid() ("unknown").
+        if (rng.chance(0.5)) m->entry = make_desc(rng);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kNnRequest: {
+        auto m = make_msg<NnRequestMsg>(pool_);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kNnReply: {
+        auto m = make_msg<NnReplyMsg>(pool_);
+        fill_descs(rng, &m->candidates, cand_n);
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kLookup: {
+        auto m = make_msg<LookupMsg>(pool_);
+        stamp_routed(rng, m.get());
+        m->lookup_id = rng.next_u64();
+        m->source = make_desc(rng);
+        m->sent_at = static_cast<SimTime>(rng.uniform_index(1u << 30));
+        m->payload = rng.next_u64();
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kAck: {
+        auto m = make_msg<AckMsg>(pool_);
+        m->hop_seq = rng.next_u64();
+        stamp_common(rng, m.get());
+        return m;
+      }
+      case MsgType::kLeave: {
+        auto m = make_msg<LeaveMsg>(pool_);
+        stamp_common(rng, m.get());
+        return m;
+      }
+    }
+    return nullptr;
+  }
+
+  static void expect_desc_eq(const NodeDescriptor& a, const NodeDescriptor& b,
+                             const char* what) {
+    EXPECT_EQ(a.id, b.id) << what;
+    EXPECT_EQ(a.addr, b.addr) << what;
+  }
+
+  template <typename Vec>
+  static void expect_vec_eq(const Vec& a, const Vec& b, const char* what) {
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      expect_desc_eq(a[i], b[i], what);
+    }
+  }
+
+  static void expect_rows_eq(const pastry::JoinRows& a,
+                             const pastry::JoinRows& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].first, b[i].first);
+      expect_vec_eq(a[i].second, b[i].second, "join row");
+    }
+  }
+
+  static void expect_routed_eq(const pastry::RoutedMessage& a,
+                               const pastry::RoutedMessage& b) {
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.hop_seq, b.hop_seq);
+    EXPECT_EQ(a.wants_ack, b.wants_ack);
+    EXPECT_EQ(a.trace_id, b.trace_id);
+  }
+
+  /// Per-type payload equality (the common header is checked by caller).
+  void expect_message_eq(const pastry::Message& a, const pastry::Message& b) {
+    using namespace pastry;
+    ASSERT_EQ(a.type, b.type);
+    switch (a.type) {
+      case MsgType::kJoinRequest: {
+        const auto& x = static_cast<const JoinRequestMsg&>(a);
+        const auto& y = static_cast<const JoinRequestMsg&>(b);
+        expect_routed_eq(x, y);
+        expect_desc_eq(x.joiner, y.joiner, "joiner");
+        EXPECT_EQ(x.join_epoch, y.join_epoch);
+        expect_rows_eq(x.rows, y.rows);
+        return;
+      }
+      case MsgType::kJoinReply: {
+        const auto& x = static_cast<const JoinReplyMsg&>(a);
+        const auto& y = static_cast<const JoinReplyMsg&>(b);
+        EXPECT_EQ(x.join_epoch, y.join_epoch);
+        expect_rows_eq(x.rows, y.rows);
+        expect_vec_eq(x.leaf_set, y.leaf_set, "leaf_set");
+        return;
+      }
+      case MsgType::kLsProbe:
+      case MsgType::kLsProbeReply: {
+        const auto& x = static_cast<const LsProbeMsg&>(a);
+        const auto& y = static_cast<const LsProbeMsg&>(b);
+        expect_vec_eq(x.leaf, y.leaf, "leaf");
+        expect_vec_eq(x.failed, y.failed, "failed");
+        return;
+      }
+      case MsgType::kHeartbeat:
+      case MsgType::kRtProbe:
+      case MsgType::kRtProbeReply:
+      case MsgType::kNnRequest:
+      case MsgType::kLeave:
+        return;
+      case MsgType::kDistanceProbe:
+      case MsgType::kDistanceProbeReply:
+        EXPECT_EQ(static_cast<const DistanceProbeMsg&>(a).seq,
+                  static_cast<const DistanceProbeMsg&>(b).seq);
+        return;
+      case MsgType::kDistanceReport:
+        EXPECT_EQ(static_cast<const DistanceReportMsg&>(a).rtt,
+                  static_cast<const DistanceReportMsg&>(b).rtt);
+        return;
+      case MsgType::kRtRowRequest:
+        EXPECT_EQ(static_cast<const RtRowRequestMsg&>(a).row,
+                  static_cast<const RtRowRequestMsg&>(b).row);
+        return;
+      case MsgType::kRtRowReply: {
+        const auto& x = static_cast<const RtRowReplyMsg&>(a);
+        const auto& y = static_cast<const RtRowReplyMsg&>(b);
+        EXPECT_EQ(x.row, y.row);
+        expect_vec_eq(x.entries, y.entries, "entries");
+        return;
+      }
+      case MsgType::kRtRowAnnounce: {
+        const auto& x = static_cast<const RtRowAnnounceMsg&>(a);
+        const auto& y = static_cast<const RtRowAnnounceMsg&>(b);
+        EXPECT_EQ(x.row, y.row);
+        expect_vec_eq(x.entries, y.entries, "entries");
+        return;
+      }
+      case MsgType::kRtEntryRequest: {
+        const auto& x = static_cast<const RtEntryRequestMsg&>(a);
+        const auto& y = static_cast<const RtEntryRequestMsg&>(b);
+        EXPECT_EQ(x.row, y.row);
+        EXPECT_EQ(x.col, y.col);
+        return;
+      }
+      case MsgType::kRtEntryReply: {
+        const auto& x = static_cast<const RtEntryReplyMsg&>(a);
+        const auto& y = static_cast<const RtEntryReplyMsg&>(b);
+        EXPECT_EQ(x.row, y.row);
+        EXPECT_EQ(x.col, y.col);
+        EXPECT_EQ(x.entry.valid(), y.entry.valid());
+        if (x.entry.valid()) expect_desc_eq(x.entry, y.entry, "entry");
+        return;
+      }
+      case MsgType::kNnReply:
+        expect_vec_eq(static_cast<const NnReplyMsg&>(a).candidates,
+                      static_cast<const NnReplyMsg&>(b).candidates,
+                      "candidates");
+        return;
+      case MsgType::kLookup: {
+        const auto& x = static_cast<const LookupMsg&>(a);
+        const auto& y = static_cast<const LookupMsg&>(b);
+        expect_routed_eq(x, y);
+        EXPECT_EQ(x.lookup_id, y.lookup_id);
+        expect_desc_eq(x.source, y.source, "source");
+        EXPECT_EQ(x.sent_at, y.sent_at);
+        EXPECT_EQ(x.payload, y.payload);
+        return;
+      }
+      case MsgType::kAck:
+        EXPECT_EQ(static_cast<const AckMsg&>(a).hop_seq,
+                  static_cast<const AckMsg&>(b).hop_seq);
+        return;
+    }
+    FAIL() << "unhandled type";
+  }
+
+  MessagePool pool_;
+  AddressBook sender_book_;
+};
+
+TEST_F(WireTest, RoundTripEveryTypeRandomized) {
+  Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (int t = 0; t < pastry::kMsgTypeCount; ++t) {
+      const auto type = static_cast<MsgType>(t);
+      const bool spill = trial % 5 == 0;  // exercise SmallVec heap spill
+      pastry::MessagePtr msg = make_message(type, rng, spill);
+      ASSERT_NE(msg, nullptr);
+
+      std::vector<std::uint8_t> frame;
+      ASSERT_EQ(encode_message(*msg, sender_book_, &frame), WireStatus::kOk)
+          << pastry::msg_type_name(type);
+
+      // Decode into a fresh pool + book, as the receiving process would.
+      MessagePool rx_pool;
+      {
+        AddressBook rx_book;
+        auto res = decode_message(frame.data(), frame.size(), rx_pool,
+                                  rx_book);
+        ASSERT_EQ(res.status, WireStatus::kOk)
+            << pastry::msg_type_name(type);
+        ASSERT_NE(res.msg, nullptr);
+        // Loopback endpoints intern to the same address everywhere.
+        EXPECT_EQ(res.from, msg->sender.addr);
+        expect_desc_eq(res.msg->sender, msg->sender, "sender");
+        EXPECT_DOUBLE_EQ(res.msg->trt_hint_s, msg->trt_hint_s);
+        expect_message_eq(*msg, *res.msg);
+      }
+    }
+  }
+}
+
+TEST_F(WireTest, LookupWithAppDataIsRejectedAtEncode) {
+  Rng rng(7);
+  auto m = pastry::make_msg<pastry::LookupMsg>(pool_);
+  stamp_routed(rng, m.get());
+  m->source = make_desc(rng);
+  stamp_common(rng, m.get());
+  struct Blob : net::Packet {};
+  m->app_data = net::PacketPtr(new Blob);
+  std::vector<std::uint8_t> frame;
+  EXPECT_EQ(encode_message(*m, sender_book_, &frame), WireStatus::kAppData);
+}
+
+TEST_F(WireTest, UnknownSenderAddressIsRejectedAtEncode) {
+  auto m = pastry::make_msg<pastry::HeartbeatMsg>(pool_);
+  m->sender = NodeDescriptor{NodeId{1, 2}, net::Address{424242}};
+  std::vector<std::uint8_t> frame;
+  EXPECT_EQ(encode_message(*m, sender_book_, &frame),
+            WireStatus::kUnknownAddress);
+}
+
+TEST_F(WireTest, HeaderCorruptionsAreRejected) {
+  Rng rng(11);
+  auto msg = make_message(MsgType::kHeartbeat, rng, false);
+  std::vector<std::uint8_t> frame;
+  ASSERT_EQ(encode_message(*msg, sender_book_, &frame), WireStatus::kOk);
+
+  MessagePool rx_pool;
+  AddressBook rx_book;
+
+  auto bad = frame;
+  bad[4] ^= 0xFF;  // magic
+  EXPECT_EQ(decode_message(bad.data(), bad.size(), rx_pool, rx_book).status,
+            WireStatus::kBadMagic);
+
+  bad = frame;
+  bad[6] = rt::kWireVersion + 1;
+  EXPECT_EQ(decode_message(bad.data(), bad.size(), rx_pool, rx_book).status,
+            WireStatus::kBadVersion);
+
+  bad = frame;
+  bad[7] = static_cast<std::uint8_t>(pastry::kMsgTypeCount);
+  EXPECT_EQ(decode_message(bad.data(), bad.size(), rx_pool, rx_book).status,
+            WireStatus::kBadType);
+
+  bad = frame;
+  bad[0] += 1;  // length disagrees with datagram size
+  EXPECT_EQ(decode_message(bad.data(), bad.size(), rx_pool, rx_book).status,
+            WireStatus::kBadLength);
+
+  bad = frame;
+  bad.push_back(0);  // datagram longer than the frame claims
+  EXPECT_EQ(decode_message(bad.data(), bad.size(), rx_pool, rx_book).status,
+            WireStatus::kBadLength);
+}
+
+TEST_F(WireTest, EveryTruncationOfEveryTypeErrorsCleanly) {
+  Rng rng(0xBADF00D);
+  for (int t = 0; t < pastry::kMsgTypeCount; ++t) {
+    const auto type = static_cast<MsgType>(t);
+    auto msg = make_message(type, rng, /*spill=*/t % 3 == 0);
+    std::vector<std::uint8_t> frame;
+    ASSERT_EQ(encode_message(*msg, sender_book_, &frame), WireStatus::kOk);
+
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      // Patch the length field so the truncation is not trivially caught
+      // by the length check — the payload readers themselves must bound.
+      std::vector<std::uint8_t> shortened(frame.begin(),
+                                          frame.begin() + cut);
+      if (cut >= 4) {
+        const std::uint32_t claim = static_cast<std::uint32_t>(cut - 4);
+        std::memcpy(shortened.data(), &claim, 4);
+      }
+      MessagePool rx_pool;
+      AddressBook rx_book;
+      auto res =
+          decode_message(shortened.data(), shortened.size(), rx_pool,
+                         rx_book);
+      EXPECT_NE(res.status, WireStatus::kOk)
+          << pastry::msg_type_name(type) << " cut at " << cut;
+      EXPECT_EQ(res.msg, nullptr);
+      EXPECT_EQ(rx_pool.live(), 0u) << "decode error leaked a message";
+    }
+  }
+}
+
+TEST_F(WireTest, BitFlipsNeverCrashAndErrorsLeakNothing) {
+  Rng rng(0x5EED);
+  for (int t = 0; t < pastry::kMsgTypeCount; ++t) {
+    const auto type = static_cast<MsgType>(t);
+    auto msg = make_message(type, rng, false);
+    std::vector<std::uint8_t> frame;
+    ASSERT_EQ(encode_message(*msg, sender_book_, &frame), WireStatus::kOk);
+
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; bit += 3) {
+        std::vector<std::uint8_t> flipped = frame;
+        flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        MessagePool rx_pool;
+        AddressBook rx_book;
+        auto res = decode_message(flipped.data(), flipped.size(), rx_pool,
+                                  rx_book);
+        // A flip may still decode (payload bytes are arbitrary); what it
+        // must never do is crash, over-read, or leak on the error path.
+        if (res.status != WireStatus::kOk) {
+          EXPECT_EQ(res.msg, nullptr);
+          EXPECT_EQ(rx_pool.live(), 0u);
+        } else {
+          EXPECT_NE(res.msg, nullptr);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(WireTest, OversizeVecCountIsRejected) {
+  Rng rng(3);
+  auto msg = make_message(MsgType::kNnReply, rng, false);
+  std::vector<std::uint8_t> frame;
+  ASSERT_EQ(encode_message(*msg, sender_book_, &frame), WireStatus::kOk);
+  // The candidates count is the u16 right after the common header:
+  // 4 len + 2 magic + 1 ver + 1 type + 22 sender + 8 hint = 38.
+  const std::size_t count_at = 38;
+  const std::uint16_t huge = 0xFFFF;
+  std::memcpy(frame.data() + count_at, &huge, 2);
+  MessagePool rx_pool;
+  AddressBook rx_book;
+  EXPECT_EQ(
+      decode_message(frame.data(), frame.size(), rx_pool, rx_book).status,
+      WireStatus::kOversizeVec);
+}
+
+}  // namespace
+}  // namespace mspastry

@@ -1,0 +1,487 @@
+// localnet — multi-process overlay harness over mspastry-node daemons.
+//
+// Spawns N mspastry-node processes on localhost UDP ports, drives a
+// join / steady-lookup / crash / reconverge / steady-lookup scenario,
+// then gates the run offline:
+//
+//   1. every daemon completes the join protocol (status-file gate);
+//   2. phase A (pre-crash): every lookup whose true root (closest id of
+//      all N) survives the later kills is delivered exactly there;
+//   3. SIGKILL `kills` random non-bootstrap daemons;
+//   4. phase B (post-reconvergence): every lookup is delivered at the
+//      closest id among the *survivors*, with zero incorrect deliveries,
+//      and at least one phase-B key whose closest-of-N id belonged to a
+//      victim is delivered at the surviving root — the reconvergence
+//      proof;
+//   5. the merged survivor trace dumps pass the same Pip-style
+//      expectation rules the simulator runs (obs/expectations).
+//
+// Victim daemons die by SIGKILL, so their dumps are lost by design: the
+// launcher knows their ids from its own assignment, and phase-A lookups
+// rooted at a victim are excluded from the delivery gate (the proof of
+// their delivery died with the victim's ring).
+//
+// Every gate decision comes from per-daemon JSONL dumps: the standard
+// obs rows (merged with TraceDomain::absorb — port-derived addresses are
+// unique across processes, so rings never collide) plus the daemon's
+// "issued" / "delivery" rows, timestamped against the shared
+// CLOCK_MONOTONIC epoch the launcher hands out.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/expectations.hpp"
+#include "obs/path_assembler.hpp"
+#include "obs/trace_dump.hpp"
+#include "rt/clock.hpp"
+
+using namespace mspastry;
+
+namespace {
+
+struct Options {
+  std::string bin = "tools/mspastry-node";  // daemon binary
+  int n = 50;
+  int kills = 5;
+  int base_port = 47100;
+  double rate = 2.0;           // lookups/s per daemon
+  double phase_a_s = 30.0;     // steady seconds before the kills
+  double reconverge_s = 20.0;  // settle seconds after the kills
+  double phase_b_s = 15.0;     // steady seconds after reconvergence
+  double join_timeout_s = 120.0;
+  double settle_s = 2.0;       // post-join settle before gating begins
+  double tail_margin_s = 2.0;  // in-flight allowance before shutdown
+  double min_delivery = 0.99;
+  std::uint64_t seed = 1;
+  std::string run_dir = "localnet-run";
+  bool help = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --bin PATH        mspastry-node binary (default tools/mspastry-node)\n"
+      "  --n N             overlay size (default 50)\n"
+      "  --kills K         SIGKILL victims, never the bootstrap (default 5)\n"
+      "  --base-port P     first UDP port; node i binds P+i (default 47100)\n"
+      "  --rate R          per-daemon lookups/s (default 2)\n"
+      "  --phase-a S       pre-crash steady seconds (default 30)\n"
+      "  --reconverge S    post-crash settle seconds (default 20)\n"
+      "  --phase-b S       post-reconvergence steady seconds (default 15)\n"
+      "  --join-timeout S  join-gate deadline (default 120)\n"
+      "  --settle S        post-join settle before gating lookups (2)\n"
+      "  --min-delivery F  delivery-rate floor over gated lookups (0.99)\n"
+      "  --seed N          id/victim rng seed (default 1)\n"
+      "  --run-dir DIR     manifests, status files, logs, traces\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, Options* o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") o->help = true;
+    else if (a == "--bin") { if (!(v = next("--bin"))) return false; o->bin = v; }
+    else if (a == "--n") { if (!(v = next("--n"))) return false; o->n = std::atoi(v); }
+    else if (a == "--kills") { if (!(v = next("--kills"))) return false; o->kills = std::atoi(v); }
+    else if (a == "--base-port") { if (!(v = next("--base-port"))) return false; o->base_port = std::atoi(v); }
+    else if (a == "--rate") { if (!(v = next("--rate"))) return false; o->rate = std::atof(v); }
+    else if (a == "--phase-a") { if (!(v = next("--phase-a"))) return false; o->phase_a_s = std::atof(v); }
+    else if (a == "--reconverge") { if (!(v = next("--reconverge"))) return false; o->reconverge_s = std::atof(v); }
+    else if (a == "--phase-b") { if (!(v = next("--phase-b"))) return false; o->phase_b_s = std::atof(v); }
+    else if (a == "--join-timeout") { if (!(v = next("--join-timeout"))) return false; o->join_timeout_s = std::atof(v); }
+    else if (a == "--settle") { if (!(v = next("--settle"))) return false; o->settle_s = std::atof(v); }
+    else if (a == "--min-delivery") { if (!(v = next("--min-delivery"))) return false; o->min_delivery = std::atof(v); }
+    else if (a == "--seed") { if (!(v = next("--seed"))) return false; o->seed = std::strtoull(v, nullptr, 10); }
+    else if (a == "--run-dir") { if (!(v = next("--run-dir"))) return false; o->run_dir = v; }
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (o->n < 2 || o->kills < 0 || o->kills >= o->n) {
+    std::fprintf(stderr, "need n >= 2 and 0 <= kills < n\n");
+    return false;
+  }
+  return true;
+}
+
+std::string path_in(const Options& o, int i, const char* suffix) {
+  return o.run_dir + "/node_" + std::to_string(i) + suffix;
+}
+
+/// fork + exec one daemon with stdout/stderr captured to its log file.
+pid_t spawn(const std::vector<std::string>& args, const std::string& log) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const int fd = open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    dup2(fd, 1);
+    dup2(fd, 2);
+    close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());
+  std::fprintf(stderr, "execv %s: %s\n", argv[0], std::strerror(errno));
+  _exit(127);
+}
+
+void sleep_s(double s) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(s * 1e6)));
+}
+
+struct IssuedRow {
+  std::uint64_t lookup_id;
+  NodeId key;
+  SimTime t;
+};
+
+struct DeliveryRow {
+  NodeId by_id;
+  SimTime t;
+};
+
+NodeId closest(const std::vector<NodeId>& ids, const NodeId& key) {
+  NodeId best = ids.front();
+  for (const NodeId& id : ids) {
+    if (id.closer_to(key, best)) best = id;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse_args(argc, argv, &o)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (o.help) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  mkdir(o.run_dir.c_str(), 0755);
+
+  // The launcher assigns ids itself: it must know every id — including
+  // the victims', whose manifests it could read but whose dumps die with
+  // them — to compute closest-root ground truth offline.
+  Rng id_rng(o.seed);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < o.n; ++i) ids.push_back(id_rng.node_id());
+
+  const SimTime epoch = rt::monotonic_micros();
+  auto now_shared = [epoch] { return rt::monotonic_micros() - epoch; };
+
+  std::printf("localnet: spawning %d daemons (ports %d..%d), epoch %lld\n",
+              o.n, o.base_port, o.base_port + o.n - 1,
+              static_cast<long long>(epoch));
+  std::fflush(stdout);
+
+  std::vector<pid_t> pids(o.n, -1);
+  const std::string boot_ep =
+      "127.0.0.1:" + std::to_string(o.base_port);
+  for (int i = 0; i < o.n; ++i) {
+    std::vector<std::string> args = {
+        o.bin,
+        "--port", std::to_string(o.base_port + i),
+        "--id", ids[i].to_string(),
+        "--seed", std::to_string(o.seed * 1000003 + i + 1),
+        "--preset", "localnet",
+        "--epoch-us", std::to_string(epoch),
+        "--lookup-rate", std::to_string(o.rate),
+        "--manifest", path_in(o, i, ".manifest.json"),
+        "--status", path_in(o, i, ".status"),
+        "--trace", path_in(o, i, ".trace.jsonl"),
+    };
+    if (i > 0) {
+      args.insert(args.end(), {"--bootstrap", boot_ep,
+                               "--bootstrap-id", ids[0].to_string()});
+    }
+    pids[i] = spawn(args, path_in(o, i, ".log"));
+    if (pids[i] < 0) {
+      std::fprintf(stderr, "fork failed for node %d\n", i);
+      for (int j = 0; j < i; ++j) kill(pids[j], SIGKILL);
+      return 1;
+    }
+    // Stagger joins a little so the bootstrap does not absorb the whole
+    // overlay's join traffic in one burst.
+    if (i > 0) sleep_s(0.1);
+  }
+
+  auto kill_all = [&] {
+    for (pid_t p : pids) {
+      if (p > 0) kill(p, SIGKILL);
+    }
+    for (pid_t p : pids) {
+      if (p > 0) waitpid(p, nullptr, 0);
+    }
+  };
+
+  // Join gate: every daemon writes its status file upon activation.
+  SimTime t_joined = 0;
+  {
+    const SimTime deadline = now_shared() + from_seconds(o.join_timeout_s);
+    int joined = 0;
+    while (joined < o.n && now_shared() < deadline) {
+      joined = 0;
+      for (int i = 0; i < o.n; ++i) {
+        if (access(path_in(o, i, ".status").c_str(), F_OK) == 0) ++joined;
+      }
+      if (joined < o.n) sleep_s(0.2);
+    }
+    if (joined < o.n) {
+      std::fprintf(stderr,
+                   "join gate FAILED: %d/%d daemons active after %.0fs\n",
+                   joined, o.n, o.join_timeout_s);
+      kill_all();
+      return 1;
+    }
+    t_joined = now_shared();
+    std::printf("localnet: all %d daemons active at t=%.1fs\n", o.n,
+                to_seconds(t_joined));
+    std::fflush(stdout);
+  }
+
+  // Phase A: steady lookups over the full overlay.
+  sleep_s(o.phase_a_s);
+  const SimTime t_kill = now_shared();
+
+  // Crash: SIGKILL `kills` distinct victims, never the bootstrap (the
+  // remaining daemons' join-retry path still points at it).
+  Rng victim_rng(o.seed ^ 0x5EEDBEEF);
+  std::set<int> victims;
+  while (static_cast<int>(victims.size()) < o.kills) {
+    victims.insert(1 + static_cast<int>(victim_rng.uniform_index(
+                           static_cast<std::uint64_t>(o.n - 1))));
+  }
+  for (int v : victims) {
+    std::printf("localnet: SIGKILL node %d (id %s) at t=%.1fs\n", v,
+                ids[v].to_string().c_str(), to_seconds(t_kill));
+    kill(pids[v], SIGKILL);
+  }
+  std::fflush(stdout);
+
+  // Reconvergence window, then phase B steady lookups over survivors.
+  sleep_s(o.reconverge_s);
+  const SimTime t_phase_b = now_shared();
+  sleep_s(o.phase_b_s);
+  const SimTime t_stop = now_shared();
+
+  for (int i = 0; i < o.n; ++i) {
+    if (!victims.count(i)) kill(pids[i], SIGTERM);
+  }
+
+  // Reap: survivors must exit 0 (they dump traces on SIGTERM); victims
+  // must have died by our SIGKILL.
+  bool exit_gate_ok = true;
+  for (int i = 0; i < o.n; ++i) {
+    int st = 0;
+    waitpid(pids[i], &st, 0);
+    if (victims.count(i)) {
+      if (!WIFSIGNALED(st) || WTERMSIG(st) != SIGKILL) {
+        std::fprintf(stderr, "victim %d did not die by SIGKILL (status %d)\n",
+                     i, st);
+        exit_gate_ok = false;
+      }
+    } else if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) {
+      std::fprintf(stderr, "survivor %d exited abnormally (status %d)\n", i,
+                   st);
+      exit_gate_ok = false;
+    }
+  }
+
+  // Merge the survivor dumps into one trace domain and collect the
+  // daemons' issued/delivery ledger rows.
+  obs::TraceDomain merged{obs::ObsConfig{}};
+  bool have_domain = false;
+  std::vector<IssuedRow> issued;
+  std::unordered_map<std::uint64_t, std::vector<DeliveryRow>> deliveries;
+  for (int i = 0; i < o.n; ++i) {
+    if (victims.count(i)) continue;
+    const std::string trace = path_in(o, i, ".trace.jsonl");
+    std::ifstream in(trace);
+    if (!in) {
+      std::fprintf(stderr, "missing survivor dump %s\n", trace.c_str());
+      exit_gate_ok = false;
+      continue;
+    }
+    const auto rows = obs::parse_dump_rows(in);
+    for (const obs::DumpRow& r : rows) {
+      const std::string* row = r.get("row");
+      if (row == nullptr) continue;
+      if (*row == "issued") {
+        issued.push_back(IssuedRow{r.u64("lookup"),
+                                   NodeId::from_string(*r.get("key")),
+                                   r.i64("t")});
+      } else if (*row == "delivery") {
+        deliveries[r.u64("lookup")].push_back(
+            DeliveryRow{NodeId::from_string(*r.get("by_id")), r.i64("t")});
+      }
+    }
+    obs::TraceDomain d = obs::load_trace_dump(rows);
+    if (!have_domain) {
+      merged = std::move(d);
+      have_domain = true;
+    } else {
+      merged.absorb(std::move(d));
+    }
+  }
+
+  std::vector<NodeId> survivor_ids;
+  std::set<std::string> victim_id_set;
+  for (int i = 0; i < o.n; ++i) {
+    if (victims.count(i)) victim_id_set.insert(ids[i].to_string());
+    else survivor_ids.push_back(ids[i]);
+  }
+
+  // Correctness gates over the issued/delivery ledger. A lookup is gated
+  // when its phase gives it an unambiguous expected root and it was
+  // issued early enough that its delivery had time to land before the
+  // dumps were cut.
+  const SimTime tail = from_seconds(o.tail_margin_s);
+  // Lookups fired while daemons were still joining (or right after the
+  // last activation) see a partial overlay whose legitimate root is the
+  // closest *joined* id, not the closest of all N — they are outside
+  // both phase windows.
+  const SimTime t_gate_a = t_joined + from_seconds(o.settle_s);
+  std::size_t a_gated = 0, a_delivered = 0, a_victim_rooted = 0;
+  std::size_t b_gated = 0, b_delivered = 0, incorrect = 0, transition = 0;
+  std::size_t reconv_proof = 0;  // phase-B keys whose closest-of-N died
+  std::unordered_map<std::uint64_t, bool> verdicts;
+  for (const IssuedRow& r : issued) {
+    const bool phase_a = r.t >= t_gate_a && r.t < t_kill;
+    const bool phase_b = r.t >= t_phase_b && r.t < t_stop - tail;
+    if (!phase_a && !phase_b) {
+      ++transition;
+      continue;
+    }
+    const NodeId root_all = closest(ids, r.key);
+    if (phase_a && victim_id_set.count(root_all.to_string())) {
+      // The true root was later SIGKILLed: its delivery record died with
+      // its dump, so the gate cannot see it. Excluded by design.
+      ++a_victim_rooted;
+      continue;
+    }
+    const NodeId expected = phase_a ? root_all : closest(survivor_ids, r.key);
+    (phase_a ? a_gated : b_gated)++;
+    const auto it = deliveries.find(r.lookup_id);
+    bool correct = false;
+    if (it != deliveries.end()) {
+      for (const DeliveryRow& d : it->second) {
+        if (d.by_id == expected) correct = true;
+        else {
+          ++incorrect;
+          std::fprintf(stderr,
+                       "INCORRECT delivery: lookup %llu key %s delivered by "
+                       "%s, expected root %s\n",
+                       static_cast<unsigned long long>(r.lookup_id),
+                       r.key.to_string().c_str(), d.by_id.to_string().c_str(),
+                       expected.to_string().c_str());
+        }
+      }
+    }
+    if (correct) {
+      (phase_a ? a_delivered : b_delivered)++;
+      if (phase_b && victim_id_set.count(root_all.to_string())) {
+        ++reconv_proof;  // key re-homed from a dead root to a survivor
+      }
+    }
+    verdicts[r.lookup_id] = correct;
+  }
+
+  // Expectation rules over the merged rings — the same declarative
+  // checker the simulator gates on, with the localnet timer preset and
+  // the ledger verdicts wired into the delivered-at-oracle-root rule.
+  obs::ExpectationConfig ecfg;
+  ecfg.b = 4;
+  ecfg.overlay_size = static_cast<std::size_t>(o.n);
+  ecfg.t_ls = seconds(5);
+  ecfg.t_o = seconds(2);
+  ecfg.lookup_verdict =
+      [&verdicts](std::uint64_t lookup_id) -> std::optional<bool> {
+    const auto it = verdicts.find(lookup_id);
+    if (it == verdicts.end()) return std::nullopt;
+    return it->second;
+  };
+  const auto paths = obs::assemble_paths(merged);
+  const auto report = obs::check_expectations(merged, paths, ecfg);
+
+  const std::size_t gated = a_gated + b_gated;
+  const std::size_t delivered = a_delivered + b_delivered;
+  const double rate =
+      gated > 0 ? static_cast<double>(delivered) / static_cast<double>(gated)
+                : 1.0;
+
+  std::printf(
+      "\nlocalnet report: n=%d kills=%d\n"
+      "  phase A: %zu gated lookups, %zu delivered at root "
+      "(%zu victim-rooted excluded)\n"
+      "  phase B: %zu gated lookups, %zu delivered at surviving root\n"
+      "  transition window skipped: %zu; incorrect deliveries: %zu\n"
+      "  reconvergence proofs (dead root re-homed): %zu\n"
+      "  delivery rate %.4f (floor %.4f)\n"
+      "  merged domain: %zu rings, %zu paths\n%s",
+      o.n, o.kills, a_gated, a_delivered, a_victim_rooted, b_gated,
+      b_delivered, transition, incorrect, reconv_proof, rate, o.min_delivery,
+      merged.recorder_count(), paths.size(), report.summary().c_str());
+
+  bool ok = exit_gate_ok;
+  if (!have_domain || merged.recorder_count() !=
+                          static_cast<std::size_t>(o.n - o.kills)) {
+    std::fprintf(stderr, "GATE: expected %d survivor rings, merged %zu\n",
+                 o.n - o.kills, merged.recorder_count());
+    ok = false;
+  }
+  if (incorrect > 0) {
+    std::fprintf(stderr, "GATE: %zu incorrect deliveries\n", incorrect);
+    ok = false;
+  }
+  if (gated == 0 || rate < o.min_delivery) {
+    std::fprintf(stderr, "GATE: delivery rate %.4f below floor %.4f\n", rate,
+                 o.min_delivery);
+    ok = false;
+  }
+  if (o.kills > 0 && reconv_proof == 0) {
+    std::fprintf(stderr,
+                 "GATE: no phase-B lookup re-homed from a killed root — "
+                 "reconvergence unproven\n");
+    ok = false;
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "GATE: expectation checker found %zu violations\n",
+                 report.violations.size());
+    ok = false;
+  }
+  std::printf("localnet: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,375 @@
+// mspastry-node: one MSPastry overlay node as a real UDP daemon.
+//
+// Runs the same pastry::PastryNode the simulator runs, against the
+// real-time backend (rt::RtRuntime): wall-clock timers, UDP sockets, the
+// versioned wire codec. A daemon binds a port, optionally joins an
+// overlay through --bootstrap, issues a configurable lookup workload,
+// and on SIGTERM/SIGINT (or --duration expiry) dumps its flight-recorder
+// ring as an obs JSONL trace and prints a status summary.
+//
+// Multi-process runs (tools/localnet.cpp) need three things from each
+// daemon beyond the protocol itself:
+//   --manifest FILE  written at bind time: port, address, id. Survives
+//                    SIGKILL, so the launcher knows victim identities.
+//   --status FILE    written at activation: the launcher's join gate.
+//   --epoch-us N     a shared CLOCK_MONOTONIC base so every process
+//                    stamps traces against one clock and dumps merge.
+//
+// The trace dump is the standard obs format plus daemon rows ("session",
+// "issued", "delivery") that the expectation tooling ignores and the
+// launcher's correctness gates consume.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/trace_dump.hpp"
+#include "pastry/config.hpp"
+#include "rt/runtime.hpp"
+
+using namespace mspastry;
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+struct Options {
+  std::uint16_t port = 0;        // 0: ephemeral
+  std::string bind_ip;           // empty: 127.0.0.1
+  std::string id_hex;            // empty: derive from seed
+  std::uint64_t seed = 0;        // 0: derive from pid + time
+  std::string bootstrap;         // host:port; empty: bootstrap a new overlay
+  std::string bootstrap_id;      // required with --bootstrap
+  double lookup_rate = 0.0;      // lookups/s once active
+  double duration_s = 0.0;       // 0: run until signalled
+  std::string trace_path;
+  double trace_sample = 1.0;
+  std::string manifest_path;
+  std::string status_path;
+  SimTime epoch_us = -1;
+  std::string preset;            // "localnet" scales protocol timers
+  bool help = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --port N            UDP port to bind (default: ephemeral)\n"
+      "  --bind IP           local IP to bind (default 127.0.0.1)\n"
+      "  --id HEX            128-bit node id (default: random from seed)\n"
+      "  --seed N            rng seed (default: pid ^ clock)\n"
+      "  --bootstrap H:P     join via this node (default: new overlay)\n"
+      "  --bootstrap-id HEX  the bootstrap node's id (required to join)\n"
+      "  --lookup-rate R     lookups per second once active (default 0)\n"
+      "  --duration S        exit after S seconds (default: until signal)\n"
+      "  --trace FILE        dump obs JSONL trace on exit\n"
+      "  --trace-sample F    lookup trace sampling rate (default 1.0)\n"
+      "  --manifest FILE     write port/addr/id manifest at startup\n"
+      "  --status FILE       write this file upon activation\n"
+      "  --epoch-us N        shared CLOCK_MONOTONIC time base\n"
+      "  --preset localnet   scaled timers for localhost testing\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, Options* o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") {
+      o->help = true;
+    } else if (a == "--port") {
+      if ((v = next("--port")) == nullptr) return false;
+      o->port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (a == "--bind") {
+      if ((v = next("--bind")) == nullptr) return false;
+      o->bind_ip = v;
+    } else if (a == "--id") {
+      if ((v = next("--id")) == nullptr) return false;
+      o->id_hex = v;
+    } else if (a == "--seed") {
+      if ((v = next("--seed")) == nullptr) return false;
+      o->seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--bootstrap") {
+      if ((v = next("--bootstrap")) == nullptr) return false;
+      o->bootstrap = v;
+    } else if (a == "--bootstrap-id") {
+      if ((v = next("--bootstrap-id")) == nullptr) return false;
+      o->bootstrap_id = v;
+    } else if (a == "--lookup-rate") {
+      if ((v = next("--lookup-rate")) == nullptr) return false;
+      o->lookup_rate = std::atof(v);
+    } else if (a == "--duration") {
+      if ((v = next("--duration")) == nullptr) return false;
+      o->duration_s = std::atof(v);
+    } else if (a == "--trace") {
+      if ((v = next("--trace")) == nullptr) return false;
+      o->trace_path = v;
+    } else if (a == "--trace-sample") {
+      if ((v = next("--trace-sample")) == nullptr) return false;
+      o->trace_sample = std::atof(v);
+    } else if (a == "--manifest") {
+      if ((v = next("--manifest")) == nullptr) return false;
+      o->manifest_path = v;
+    } else if (a == "--status") {
+      if ((v = next("--status")) == nullptr) return false;
+      o->status_path = v;
+    } else if (a == "--epoch-us") {
+      if ((v = next("--epoch-us")) == nullptr) return false;
+      o->epoch_us = std::strtoll(v, nullptr, 10);
+    } else if (a == "--preset") {
+      if ((v = next("--preset")) == nullptr) return false;
+      o->preset = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Protocol timers scaled for a 50-process localhost overlay: detection
+/// and join latencies in seconds instead of the paper's WAN half-minutes,
+/// so a CI run converges quickly — while keeping every ratio (retries,
+/// RTO clamps vs t_o, heartbeat vs probe period) intact.
+pastry::Config localnet_config() {
+  pastry::Config cfg;
+  cfg.t_ls = seconds(5);
+  cfg.t_o = seconds(2);
+  cfg.t_rt_min = seconds(6);
+  cfg.nn_probe_timeout = milliseconds(500);
+  cfg.join_retry = seconds(20);
+  cfg.rto_initial = milliseconds(500);
+  cfg.rt_maintenance_period = minutes(2);
+  return cfg;
+}
+
+struct IssuedRec {
+  std::uint64_t lookup_id;
+  NodeId key;
+  SimTime t;
+};
+
+struct DeliveryRec {
+  std::uint64_t lookup_id;
+  NodeId key;
+  SimTime t;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage(argv[0]);
+    return 0;
+  }
+  if (!opt.bootstrap.empty() && opt.bootstrap_id.empty()) {
+    std::fprintf(stderr,
+                 "--bootstrap requires --bootstrap-id (the bootstrap's id "
+                 "is printed in its manifest/startup line)\n");
+    return 2;
+  }
+
+  if (opt.seed == 0) {
+    opt.seed = static_cast<std::uint64_t>(getpid()) * 0x9E3779B97F4A7C15ull ^
+               static_cast<std::uint64_t>(rt::monotonic_micros());
+  }
+
+  pastry::Config node_cfg;
+  if (opt.preset == "localnet") {
+    node_cfg = localnet_config();
+  } else if (!opt.preset.empty()) {
+    std::fprintf(stderr, "unknown preset %s\n", opt.preset.c_str());
+    return 2;
+  }
+
+  rt::RtConfig rc;
+  rc.workers = 1;
+  rc.seed = opt.seed;
+  rc.epoch_us = opt.epoch_us;
+  rc.obs.enabled = !opt.trace_path.empty();
+  rc.obs.sample_rate = opt.trace_sample;
+  rc.obs.ring_capacity = 1 << 15;
+
+  rt::RtRuntime runtime(rc, node_cfg);
+
+  Rng rng(opt.seed);
+  const NodeId id = opt.id_hex.empty() ? rng.node_id()
+                                       : NodeId::from_string(opt.id_hex);
+
+  net::Endpoint bind_ep{0, opt.port};
+  if (!opt.bind_ip.empty()) {
+    const auto parsed = net::parse_endpoint(opt.bind_ip + ":1");
+    if (!parsed) {
+      std::fprintf(stderr, "bad --bind ip %s\n", opt.bind_ip.c_str());
+      return 2;
+    }
+    bind_ep.ip = parsed->ip;
+  }
+
+  rt::LocalNode* node = runtime.add_node(id, bind_ep);
+  if (node == nullptr) {
+    std::fprintf(stderr, "cannot bind UDP port %u\n", unsigned{opt.port});
+    return 2;
+  }
+
+  std::printf("mspastry-node %s addr=%d id=%s\n",
+              net::endpoint_to_string(node->endpoint).c_str(),
+              node->self.addr, node->self.id.to_string().c_str());
+  std::fflush(stdout);
+
+  if (!opt.manifest_path.empty()) {
+    std::ofstream mf(opt.manifest_path);
+    mf << "{\"row\": \"manifest\", \"port\": " << node->endpoint.port
+       << ", \"addr\": " << node->self.addr << ", \"id\": \""
+       << node->self.id.to_string() << "\", \"pid\": " << getpid() << "}\n";
+  }
+
+  std::atomic<bool> active{false};
+  std::atomic<SimTime> activated_at{0};
+  node->on_activated = [&] {
+    active.store(true);
+    activated_at.store(runtime.clock().now());
+    if (!opt.status_path.empty()) {
+      std::ofstream sf(opt.status_path);
+      sf << "active " << runtime.clock().now() << "\n";
+    }
+  };
+
+  std::mutex log_mu;
+  std::vector<IssuedRec> issued;
+  std::vector<DeliveryRec> delivered;
+  node->on_deliver = [&](const pastry::LookupMsg& m) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    delivered.push_back(
+        DeliveryRec{m.lookup_id, m.key, runtime.clock().now()});
+  };
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  runtime.start();
+
+  if (opt.bootstrap.empty()) {
+    runtime.post(*node, [node] { node->node->bootstrap(); });
+  } else {
+    const auto ep = net::parse_endpoint(opt.bootstrap);
+    if (!ep) {
+      std::fprintf(stderr, "bad --bootstrap %s\n", opt.bootstrap.c_str());
+      return 2;
+    }
+    const pastry::NodeDescriptor boot =
+        runtime.intern_peer(NodeId::from_string(opt.bootstrap_id), *ep);
+    node->bootstrap = boot;
+    runtime.post(*node, [node, boot] { node->node->join(boot); });
+  }
+
+  // Lookup workload: a self-rescheduling timer on the node's worker.
+  // Lookup ids are namespaced by port so 50 daemons never collide on a
+  // trace id. Exponential gaps give a Poisson stream at --lookup-rate.
+  std::atomic<std::uint64_t> lookup_counter{0};
+  auto tick = std::make_shared<std::function<void()>>();
+  if (opt.lookup_rate > 0) {
+    const std::uint64_t id_base = std::uint64_t{node->endpoint.port} << 32;
+    // Worker-owned state; only the workload timer callback touches it.
+    auto wl_rng = std::make_shared<Rng>(opt.seed ^ 0xABCDEF);
+    const double rate = opt.lookup_rate;
+    *tick = [&runtime, node, tick, wl_rng, rate, id_base, &lookup_counter,
+             &log_mu, &issued, &active] {
+      if (active.load()) {
+        const NodeId key = wl_rng->node_id();
+        const std::uint64_t lid = id_base | (++lookup_counter);
+        {
+          std::lock_guard<std::mutex> lock(log_mu);
+          issued.push_back(IssuedRec{lid, key, runtime.clock().now()});
+        }
+        node->node->lookup(key, lid);
+      }
+      const SimDuration gap = std::max<SimDuration>(
+          from_seconds(wl_rng->exponential(1.0 / rate)), 1000);
+      node->env->schedule(gap, [tick] { (*tick)(); });
+    };
+    runtime.post(*node, [tick] { (*tick)(); });
+  }
+
+  // Main thread: wait for a signal or the duration to elapse.
+  const SimTime t_end =
+      opt.duration_s > 0
+          ? runtime.clock().now() + from_seconds(opt.duration_s)
+          : kTimeNever;
+  while (g_signal.load() == 0 && runtime.clock().now() < t_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  runtime.stop();
+  // The workload closure holds a shared_ptr to itself (so the timer can
+  // reschedule it); break the cycle or it leaks under ASan.
+  *tick = nullptr;
+
+  // Trace dump: the standard obs JSONL rows, then the daemon rows the
+  // launcher's correctness gates use (load_trace_dump ignores them).
+  if (!opt.trace_path.empty() && runtime.trace_domain() != nullptr) {
+    obs::write_trace_dump_file(*runtime.trace_domain(), opt.trace_path);
+    std::ofstream os(opt.trace_path, std::ios::app);
+    os << "{\"row\": \"session\", \"addr\": " << node->self.addr
+       << ", \"id\": \"" << node->self.id.to_string()
+       << "\", \"port\": " << node->endpoint.port
+       << ", \"activated_us\": " << activated_at.load() << "}\n";
+    std::lock_guard<std::mutex> lock(log_mu);
+    for (const IssuedRec& r : issued) {
+      os << "{\"row\": \"issued\", \"lookup\": " << r.lookup_id
+         << ", \"key\": \"" << r.key.to_string() << "\", \"t\": " << r.t
+         << ", \"origin\": " << node->self.addr << "}\n";
+    }
+    for (const DeliveryRec& r : delivered) {
+      os << "{\"row\": \"delivery\", \"lookup\": " << r.lookup_id
+         << ", \"key\": \"" << r.key.to_string() << "\", \"t\": " << r.t
+         << ", \"by\": " << node->self.addr << ", \"by_id\": \""
+         << node->self.id.to_string() << "\"}\n";
+    }
+  }
+
+  const auto& st = runtime.stats();
+  std::size_t n_issued, n_delivered;
+  {
+    std::lock_guard<std::mutex> lock(log_mu);
+    n_issued = issued.size();
+    n_delivered = delivered.size();
+  }
+  std::printf(
+      "{\"row\": \"summary\", \"addr\": %d, \"active\": %s, "
+      "\"issued\": %zu, \"delivered\": %zu, \"datagrams_in\": %" PRIu64
+      ", \"datagrams_out\": %" PRIu64 ", \"decode_errors\": %" PRIu64
+      ", \"encode_errors\": %" PRIu64 ", \"send_errors\": %" PRIu64
+      ", \"book_collisions\": %" PRIu64 "}\n",
+      node->self.addr, active.load() ? "true" : "false", n_issued,
+      n_delivered, st.datagrams_in.load(), st.datagrams_out.load(),
+      st.decode_errors.load(), st.encode_errors.load(),
+      st.send_errors.load(), runtime.book().collisions());
+
+  return active.load() ? 0 : 3;
+}

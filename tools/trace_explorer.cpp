@@ -11,6 +11,9 @@
 //   trace_explorer run.trace.jsonl --kind lookup --outcome delivered --agg
 //   trace_explorer run.trace.jsonl --check --n 300   # expectation checker
 //   trace_explorer run.trace.jsonl --json paths.json # machine-readable rows
+//   trace_explorer --merge node_*.trace.jsonl --check # localnet run:
+//       per-process dumps combine into one domain, so causal paths that
+//       hopped across processes reassemble before checking
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +32,8 @@ using namespace mspastry;
 namespace {
 
 struct Options {
-  std::string dump_file;
+  std::vector<std::string> dump_files;
+  bool merge = false;
   std::string show;      // 16-hex trace id
   std::string kind;      // "", "lookup", "join"
   std::string outcome;   // "", "delivered", "dropped", ...
@@ -43,7 +47,10 @@ struct Options {
 
 void usage() {
   std::puts(
-      "trace_explorer DUMP [options]\n"
+      "trace_explorer DUMP [DUMP...] [options]\n"
+      "  --merge            combine several dumps (one per process, e.g. a\n"
+      "                     localnet run) into one trace domain before\n"
+      "                     assembling paths; required for multiple DUMPs\n"
       "  --show TRACE       print one causal path (16-hex trace id) per hop\n"
       "  --kind lookup|join           filter paths\n"
       "  --outcome delivered|app-consumed|dropped|lost-in-network|unresolved\n"
@@ -78,16 +85,22 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--json") { if (!(v = need(i))) return false; o.json_out = v; }
     else if (a == "--agg") o.agg = true;
     else if (a == "--check") o.check = true;
+    else if (a == "--merge") o.merge = true;
     else if (a == "--b") { if (!(v = need(i))) return false; o.b = std::atoi(v); }
     else if (a == "--n") { if (!(v = need(i))) return false; o.n = std::strtoull(v, nullptr, 10); }
-    else if (!a.empty() && a[0] != '-' && o.dump_file.empty()) o.dump_file = a;
+    else if (!a.empty() && a[0] != '-') o.dump_files.push_back(a);
     else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return false;
     }
   }
-  if (o.dump_file.empty()) {
+  if (o.dump_files.empty()) {
     std::fprintf(stderr, "no dump file given\n");
+    return false;
+  }
+  if (o.dump_files.size() > 1 && !o.merge) {
+    std::fprintf(stderr, "%zu dump files given; pass --merge to combine\n",
+                 o.dump_files.size());
     return false;
   }
   return true;
@@ -117,7 +130,9 @@ void print_list(const std::vector<obs::CausalPath>& paths) {
               "outcome", "hops", "rrt", "rto", "lat(ms)");
   for (const obs::CausalPath& p : paths) {
     char lat[16] = "-";
-    if (p.delivered) {
+    // issued_at is unknowable when the origin's ring is missing from the
+    // dump (e.g. a localnet victim whose process was SIGKILLed).
+    if (p.delivered && p.issued_at != kTimeNever) {
       std::snprintf(lat, sizeof lat, "%.2f",
                     to_seconds(p.total_latency()) * 1e3);
     }
@@ -182,17 +197,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::ifstream in(o.dump_file);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", o.dump_file.c_str());
-    return 2;
+  // Load every dump; with --merge, absorb each per-process domain into
+  // the first (addresses are unique per process in localnet runs, so
+  // rings never collide) and cross-process paths reassemble whole.
+  obs::TraceDomain domain{obs::ObsConfig{}};
+  bool have_domain = false;
+  for (const std::string& file : o.dump_files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 2;
+    }
+    const auto rows = obs::parse_dump_rows(in);
+    if (rows.empty()) {
+      std::fprintf(stderr, "%s: no dump rows\n", file.c_str());
+      return 2;
+    }
+    obs::TraceDomain d = obs::load_trace_dump(rows);
+    if (!have_domain) {
+      domain = std::move(d);
+      have_domain = true;
+    } else {
+      domain.absorb(std::move(d));
+    }
   }
-  const auto rows = obs::parse_dump_rows(in);
-  if (rows.empty()) {
-    std::fprintf(stderr, "%s: no dump rows\n", o.dump_file.c_str());
-    return 2;
-  }
-  obs::TraceDomain domain = obs::load_trace_dump(rows);
 
   std::uint64_t events = 0, dropped = 0;
   domain.for_each_recorder([&](const obs::FlightRecorder& r) {
@@ -204,10 +232,14 @@ int main(int argc, char** argv) {
   for (const obs::CausalPath& p : all_paths) {
     if (keep(p, o)) paths.push_back(p);
   }
+  const std::string label =
+      o.dump_files.size() == 1
+          ? o.dump_files.front()
+          : std::to_string(o.dump_files.size()) + " merged dumps";
   std::printf(
       "%s: %zu node rings, %llu events retained (%llu overwritten), "
       "%zu paths (%zu after filters)\n",
-      o.dump_file.c_str(), domain.recorder_count(),
+      label.c_str(), domain.recorder_count(),
       static_cast<unsigned long long>(events),
       static_cast<unsigned long long>(dropped), all_paths.size(),
       paths.size());
