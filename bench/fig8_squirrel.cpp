@@ -11,12 +11,23 @@
 // layer). Figure 8's claim becomes: the two executions of the same
 // workload produce near-identical traffic curves.
 
+//
+// --sharded-slice additionally (or exclusively, for CI) runs a one-day
+// slice of the same workload through the parallel ShardedDriver with the
+// shard-count-invariant ShardedWebCacheService, at 1 and 4 shards, and
+// gates on digest equality — the app-data leg of the sharded-parity
+// contract. Rows land in BENCH_fig8_sharded.json.
+
 #include <cmath>
+#include <cstring>
 
 #include "apps/app_mux.hpp"
+#include "apps/sharded_web_cache.hpp"
 #include "apps/web_cache.hpp"
 #include "apps/web_workload.hpp"
 #include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "overlay/sharded_driver.hpp"
 
 using namespace mspastry;
 using namespace mspastry::bench;
@@ -92,9 +103,122 @@ std::vector<overlay::Metrics::SeriesPoint> run_once(std::uint64_t seed,
   return driver.metrics().total_traffic_series(days(kDays));
 }
 
+struct SliceResult {
+  RunSummary summary;
+  apps::ShardedWebCacheService::Stats stats;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  std::size_t latency_samples = 0;
+  std::uint64_t digest = 0;
+};
+
+/// One weekday of the Squirrel workload on the parallel engine: the same
+/// corporate churn shape, the web-cache app attached through the
+/// ShardedDriver's app contract. The digest folds the run summary, the
+/// cache counters, and every end-to-end latency sample (in the ledger's
+/// S-invariant order) — if any app effect lands differently at a
+/// different shard count, this catches it.
+SliceResult run_sharded_once(std::uint64_t seed, std::size_t shards) {
+  trace::SyntheticChurnParams churn;
+  churn.duration = days(1.0);  // one weekday slice of the 6-day log
+  churn.mean_session_seconds = 37.7 * 3600;
+  churn.median_session_seconds = 30.0 * 3600;
+  churn.target_population = kMachines;
+  churn.seed = seed * 13 + 1;
+  churn.name = "squirrel-corp-slice";
+  const auto trace = trace::generate_synthetic(churn);
+
+  auto dcfg = base_driver_config(seed);
+  dcfg.lookup_rate_per_node = 0.0;  // the attached app drives all lookups
+  dcfg.metrics_window = hours(1);
+  dcfg.warmup = hours(2);
+  overlay::ShardedDriver driver(make_topology(TopologyKind::kCorpNet),
+                                make_net_config(TopologyKind::kCorpNet), dcfg,
+                                shards);
+  apps::ShardedWebCacheService cache;
+  driver.attach_app(&cache);
+  WallTimer timer;
+  driver.run_trace(trace);
+
+  SliceResult r;
+  r.summary = summarize(driver, timer.seconds());
+  r.stats = cache.stats();
+  SampleSet lat;
+  for (const double s : driver.app_latency_samples()) lat.add(s);
+  r.latency_samples = driver.app_latency_samples().size();
+  r.latency_p50_ms = lat.quantile(0.5) * 1000.0;
+  r.latency_p95_ms = lat.quantile(0.95) * 1000.0;
+
+  std::uint64_t h = r.summary.digest;
+  h = hash_u64(h, r.stats.requests);
+  h = hash_u64(h, r.stats.hits);
+  h = hash_u64(h, r.stats.misses);
+  h = hash_u64(h, r.stats.responses);
+  h = hash_u64(h, static_cast<std::uint64_t>(cache.cached_total()));
+  for (const double s : driver.app_latency_samples()) h = hash_f64(h, s);
+  r.digest = h;
+  return r;
+}
+
+/// Returns true when the 1-shard and 4-shard runs digest identically.
+bool run_sharded_slice() {
+  std::printf("\nsharded slice: one weekday, ShardedDriver + "
+              "ShardedWebCacheService at 1 and 4 shards\n");
+  JsonEmitter out("fig8_sharded");
+  bool ok = true;
+  SliceResult first;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const SliceResult r = run_sharded_once(2001, shards);
+    std::printf("  shards=%zu: requests=%llu hit-rate=%.2f "
+                "latency p50/p95=%.1f/%.1f ms events=%llu digest=%016llx\n",
+                shards, (unsigned long long)r.stats.requests,
+                r.stats.requests ? static_cast<double>(r.stats.hits) /
+                                       static_cast<double>(r.stats.requests)
+                                 : 0.0,
+                r.latency_p50_ms, r.latency_p95_ms,
+                (unsigned long long)r.summary.executed_events,
+                (unsigned long long)r.digest);
+    emit_summary_row(out, shards == 1 ? "slice-1shard" : "slice-4shard",
+                     "seed=2001 shards=" + std::to_string(shards), r.summary)
+        .field("web_requests", r.stats.requests)
+        .field("web_hits", r.stats.hits)
+        .field("web_responses", r.stats.responses)
+        .field("latency_p50_ms", r.latency_p50_ms)
+        .field("latency_p95_ms", r.latency_p95_ms)
+        .field("latency_samples", r.latency_samples)
+        .hex("slice_digest", r.digest);
+    if (shards == 1) {
+      first = r;
+    } else if (r.digest != first.digest) {
+      std::printf("  GATE: sharded slice digest differs between 1 and %zu "
+                  "shards (%016llx vs %016llx)\n",
+                  shards, (unsigned long long)first.digest,
+                  (unsigned long long)r.digest);
+      ok = false;
+    }
+  }
+  if (ok) std::printf("  shard-count invariance: digests identical\n");
+  out.row("gate").field("digests_match", ok);
+  return ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool slice_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sharded-slice") == 0) {
+      slice_only = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--sharded-slice]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (slice_only) {
+    print_header("Figure 8 (sharded slice): Squirrel on the parallel engine");
+    return run_sharded_slice() ? 0 : 1;
+  }
+
   print_header("Figure 8: Squirrel deployment vs simulator (total traffic)");
   JsonEmitter out("fig8");
   std::printf("\nsimulator run:\n");

@@ -11,16 +11,23 @@
 // countermeasures together recover >= 95% lookup success while the
 // baseline is visibly degraded.
 //
-// Usage: tab_adversary [--seed=N] [--smoke]
+// Usage: tab_adversary [--seed=N] [--smoke] [--shards=N]
 //   --smoke: the CI gate — only the corner cells (f=0 purity, f=0.2
 //   baseline-vs-both), and a nonzero exit if the f=0.2 "both" cell
 //   misses the SLO (incorrect < 1%, lookup failure < 5%).
+//   --shards=N: run the cells on the parallel sharded engine instead
+//   (joins-only trace, Poisson probe workload with the same honest-source
+//   / honest-rooted-key conventions built into the ShardedDriver). Every
+//   cell runs at 1 shard and at N shards; a digest mismatch between the
+//   two fails the bench — the shard-count-invariance gate for the
+//   adversary, on top of the same SLO gates.
 
 #include <cstring>
 #include <unordered_map>
 
 #include "bench_util.hpp"
 #include "overlay/adversary.hpp"
+#include "overlay/sharded_driver.hpp"
 
 using namespace mspastry;
 using namespace mspastry::bench;
@@ -156,18 +163,87 @@ CellResult run_cell(const std::shared_ptr<const net::Topology>& topology,
   return r;
 }
 
+/// Sharded-engine counterpart of run_cell: a joins-only trace (one join
+/// every 2 s, no failures — the same cadence the serial cell uses), then
+/// the driver's own Poisson probe workload over a measurement window that
+/// opens when the adversary arms. Scoring comes from the driver's metrics
+/// (honest-source and honest-rooted-key probe conventions are built into
+/// the ShardedDriver when an adversary is configured).
+CellResult run_cell_sharded(
+    const std::shared_ptr<const net::Topology>& topology, std::uint64_t seed,
+    const Cell& cell, int nodes, std::size_t shards) {
+  std::vector<trace::ChurnEvent> events;
+  events.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    events.push_back({seconds(2) * i, i, trace::ChurnEventType::kJoin});
+  }
+  const trace::ChurnTrace joins(std::move(events), "adversary-joins");
+  const SimTime arm_at = joins.duration() + minutes(3);  // settle first
+
+  overlay::DriverConfig dcfg;
+  dcfg.seed = seed;
+  dcfg.warmup = arm_at;  // score only the armed window
+  dcfg.lookup_rate_per_node = 0.01;
+  dcfg.pastry.lookup_redundancy = cell.redundancy;
+  dcfg.pastry.leaf_plausibility_checks = cell.checks;
+  overlay::ShardedDriver driver(topology, net::NetworkConfig{}, dcfg,
+                                shards);
+  if (cell.f > 0.0) {
+    overlay::ShardedAdversaryConfig adv;
+    adv.behavior = cell.behavior;
+    adv.fraction = cell.f;
+    adv.arm_at = arm_at;
+    adv.seed = seed ^ 0xadd5a17ull;
+    driver.set_adversary(adv);
+  }
+  // Extra = settle + measurement window + straggler drain.
+  driver.run_trace(joins, minutes(3) + minutes(5) + seconds(30));
+
+  CellResult r;
+  auto& m = driver.metrics();
+  r.issued = m.lookups_issued();
+  r.correct = m.lookups_delivered_correct();
+  r.incorrect =
+      m.incorrect_misrouted_by_adversary() + m.incorrect_stale_leaf_set();
+  r.counters = driver.counters();
+  r.metrics_incorrect_adversarial = m.incorrect_misrouted_by_adversary();
+  r.metrics_incorrect_stale = m.incorrect_stale_leaf_set();
+  r.metrics_lost_devoured = m.lost_dropped_by_adversary();
+  r.executed_events = driver.executed_events();
+
+  std::uint64_t h = kFnvOffset;
+  h = hash_u64(h, r.issued);
+  h = hash_u64(h, r.correct);
+  h = hash_u64(h, r.incorrect);
+  h = hash_u64(h, r.executed_events);
+  h = hash_u64(h, r.counters.lookups_dropped_adversarial);
+  h = hash_u64(h, r.counters.lookups_misrouted_adversarial);
+  h = hash_u64(h, r.counters.ls_replies_corrupted);
+  h = hash_u64(h, r.counters.redundant_lookup_copies);
+  h = hash_u64(h, r.counters.leaf_candidates_rejected);
+  h = hash_u64(h, r.metrics_lost_devoured);
+  h = hash_u64(h, driver.packets_dropped_adversarial());
+  r.digest = h;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   bool smoke = false;
+  std::size_t shards = 0;  // 0 = classic single-threaded engine
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
+      if (shards == 0) shards = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--seed=N] [--smoke]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seed=N] [--smoke] [--shards=N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -175,7 +251,12 @@ int main(int argc, char** argv) {
   print_header("Adversarial routing: Byzantine fraction sweep");
   std::printf("seed: %llu%s\n", (unsigned long long)seed,
               smoke ? " (smoke: corner cells + SLO gate)" : "");
-  JsonEmitter out("adversary");
+  if (shards > 0) {
+    std::printf("engine: sharded; every cell runs at 1 and %zu shards and "
+                "the digests must match\n",
+                shards);
+  }
+  JsonEmitter out(shards > 0 ? "adversary_sharded" : "adversary");
 
   // Interception needs multi-hop routes: with l=32 a small overlay is
   // covered by every leaf set and lookups reach the root in one honest
@@ -240,7 +321,22 @@ int main(int argc, char** argv) {
     cell_seed = hash_u64(cell_seed,
                          static_cast<std::uint64_t>(cell.behavior) ^
                              static_cast<std::uint64_t>(cell.f * 1000.0));
-    const CellResult r = run_cell(topology, cell_seed, cell, nodes, probes);
+    CellResult r;
+    if (shards > 0) {
+      const CellResult serial_like =
+          run_cell_sharded(topology, cell_seed, cell, nodes, 1);
+      r = run_cell_sharded(topology, cell_seed, cell, nodes, shards);
+      if (r.digest != serial_like.digest) {
+        std::printf("  GATE: %s/%s/f=%.2f digest differs between 1 and %zu "
+                    "shards (%016llx vs %016llx)\n",
+                    cell.config, overlay::to_string(cell.behavior), cell.f,
+                    shards, (unsigned long long)serial_like.digest,
+                    (unsigned long long)r.digest);
+        gate_ok = false;
+      }
+    } else {
+      r = run_cell(topology, cell_seed, cell, nodes, probes);
+    }
     suite_digest = hash_u64(suite_digest, r.digest);
 
     const char* behavior_name =

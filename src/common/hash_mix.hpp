@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mspastry {
+
+/// splitmix64: stable, well-mixed, cheap. Subsystems that must stay
+/// shard-count-invariant (the sharded network model, the keyed adversary)
+/// derive all their randomness *statelessly* — as a hash of a (seed,
+/// identity, per-identity sequence) tuple — so one draw's outcome never
+/// depends on how draws from other nodes interleave with it.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix64(a ^ mix64(b ^ mix64(c)));
+}
+
+/// Uniform in [0, 1) from a hash (53 mantissa bits).
+inline double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace mspastry

@@ -47,6 +47,40 @@ class ScriptedAdversary final : public pastry::AdversaryPolicy {
   Rng rng_;
 };
 
+/// ScriptedAdversary's shard-count-invariant sibling, used by the
+/// ShardedDriver. Same behaviors, but every decision is a *stateless*
+/// draw keyed (adversary seed, this node's address, intercept seq) via
+/// common/hash_mix.hpp — the per-node intercept sequence is itself
+/// shard-count-invariant (a node's local event order never depends on
+/// the partition), so the corruption schedule is byte-identical at any
+/// shard count, unlike a shared mt19937 stream whose draws interleave
+/// across nodes.
+class KeyedAdversary final : public pastry::AdversaryPolicy {
+ public:
+  KeyedAdversary(AdversaryBehavior behavior, double strike,
+                 std::uint64_t seed, net::Address self)
+      : behavior_(behavior),
+        strike_(strike),
+        seed_(seed),
+        self_(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(self))) {}
+
+  RouteAction on_route(const pastry::RoutedMessage& m,
+                       bool leaf_covers) override;
+  bool corrupt_ls_reply(pastry::LeafVec& leaf,
+                        pastry::FailedVec& failed) override;
+  bool corrupt_nn_reply(pastry::CandidateVec& candidates) override;
+
+ private:
+  bool chance(double p);
+
+  AdversaryBehavior behavior_;
+  double strike_;
+  std::uint64_t seed_;
+  std::uint64_t self_;
+  std::uint64_t seq_ = 0;
+};
+
 /// Owns the adversarial population of one driver run: installs policies
 /// on existing nodes (a corrupted fraction f) or joins sybil nodes whose
 /// ids cluster around a victim key (an eclipse attack). The controller

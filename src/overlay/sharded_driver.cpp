@@ -1,37 +1,32 @@
 #include "overlay/sharded_driver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+
+#include "common/hash_mix.hpp"
 
 namespace mspastry::overlay {
 
 namespace {
 
-/// splitmix64: stable, well-mixed, cheap. All network randomness in the
-/// sharded driver is *stateless* — a hash of (seed, sender, per-sender
-/// packet seq) — so a packet's fate never depends on how draws from other
-/// nodes interleave with it, which is the property that makes the run
+/// All network randomness in the sharded driver is *stateless* — a
+/// mix3(seed, sender, per-sender packet seq) hash (common/hash_mix.hpp) —
+/// so a packet's fate never depends on how draws from other nodes
+/// interleave with it, which is the property that makes the run
 /// independent of the shard count.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-  return mix64(a ^ mix64(b ^ mix64(c)));
-}
-
-/// Uniform in [0, 1) from a hash (53 mantissa bits).
-double to_unit(std::uint64_t h) {
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
+double to_unit(std::uint64_t h) { return hash_to_unit(h); }
 
 constexpr std::uint64_t kLossSalt = 0x6c6f7373ull;      // "loss"
 constexpr std::uint64_t kJitterSalt = 0x6a697474ull;    // "jitt"
 constexpr std::uint64_t kDitherSalt = 0x64697468ull;    // "dith"
 constexpr std::uint64_t kNodeSalt = 0x6e6f6465ull;      // "node"
+constexpr std::uint64_t kAdvSelectSalt = 0x73656c65ull; // "sele"
+constexpr std::uint64_t kAdvSybilSalt = 0x73796269ull;  // "sybi"
+
+/// Honest-rooted key redraws (below) and the bench probe conventions cap
+/// redraw attempts so a pathological population cannot loop forever.
+constexpr int kHonestKeyRedraws = 64;
 
 /// Delivery-time dither, hashed from the packet identity: 0..127 us added
 /// to every delay. Same-instant arrivals at one receiver from *different*
@@ -113,6 +108,13 @@ class ShardedDriver::ShardEnv final : public pastry::Env {
   void shutdown() { *alive_ = false; }
   const pastry::NodeDescriptor& self() const { return self_; }
   std::uint32_t uid() const { return uid_; }
+  std::size_t shard() const { return shard_; }
+
+  /// The per-sender packet sequence feeding the stateless loss / jitter /
+  /// dither draws; app packets and overlay messages share one stream so
+  /// their fates are keyed exactly like the serial Network's single
+  /// stream of sends.
+  std::uint64_t next_send_seq() { return send_seq_++; }
 
   SimTime now() const override { return d_.engine_.shard(shard_).now(); }
 
@@ -133,13 +135,11 @@ class ShardedDriver::ShardEnv final : public pastry::Env {
   void cancel(TimerId id) override { d_.engine_.shard(shard_).cancel(id); }
 
   void send(net::Address to, pastry::MessagePtr msg) override {
-    d_.shard_send(shard_, self_.addr, to, std::move(msg), send_seq_++);
+    d_.shard_send(shard_, self_.addr, to, std::move(msg), next_send_seq());
   }
 
   void devour(net::Address to, pastry::MessagePtr msg) override {
-    (void)to;
-    (void)msg;
-    assert(false && "adversary policies are unsupported in sharded mode");
+    d_.shard_devour(*this, to, std::move(msg));
   }
 
   Rng& rng() override { return rng_; }
@@ -161,8 +161,6 @@ class ShardedDriver::ShardEnv final : public pastry::Env {
   obs::FlightRecorder* recorder() override { return rec_; }
 
   void on_deliver(const pastry::LookupMsg& m) override {
-    assert(m.app_data == nullptr &&
-           "application data is unsupported in sharded mode");
     LogEvent e;
     e.kind = LogEvent::Kind::kDelivered;
     e.id = m.key;
@@ -170,6 +168,11 @@ class ShardedDriver::ShardEnv final : public pastry::Env {
     e.b = self_.addr;
     e.u = m.lookup_id;
     log(std::move(e));
+    // App upcall on the worker thread, against per-shard app state; its
+    // global effects (latency samples) go through the ledger.
+    if (m.app_data != nullptr && d_.app_ != nullptr) {
+      d_.app_->deliver(AppNode(&d_, this), m);
+    }
   }
 
   void on_activated() override {
@@ -277,10 +280,41 @@ ShardedDriver::~ShardedDriver() {
 }
 
 void ShardedDriver::add_fault_rule(const net::FaultRule& rule) {
-  assert(!ran_ && "install fault rules before run_trace");
-  assert(rule.kind != net::FaultKind::kStall &&
-         "gray-failure stalls are unsupported in sharded mode");
+  if (ran_) {
+    throw ConfigError("add_fault_rule: install fault rules before run_trace");
+  }
   for (auto& sh : shards_) sh->faults.add(rule);
+}
+
+void ShardedDriver::set_adversary(const ShardedAdversaryConfig& adv) {
+  if (ran_) {
+    throw ConfigError("set_adversary: install the adversary before run_trace");
+  }
+  if (!(adv.fraction >= 0.0 && adv.fraction <= 1.0)) {
+    throw ConfigError("set_adversary: fraction must be in [0, 1]");
+  }
+  if (!(adv.strike >= 0.0 && adv.strike <= 1.0)) {
+    throw ConfigError("set_adversary: strike must be in [0, 1]");
+  }
+  if (adv.eclipse_sybils < 0) {
+    throw ConfigError("set_adversary: eclipse sybil count must be >= 0");
+  }
+  if (adv.arm_at < 0) {
+    throw ConfigError("set_adversary: arm_at must be >= 0");
+  }
+  adv_ = adv;
+}
+
+void ShardedDriver::attach_app(ShardedApp* app) {
+  if (ran_) {
+    throw ConfigError("attach_app: attach the application before run_trace");
+  }
+  app_ = app;
+}
+
+bool ShardedDriver::session_is_adversarial(net::Address a) const {
+  const auto i = static_cast<std::size_t>(a);
+  return a >= 0 && i < sessions_.size() && sessions_[i].adversarial;
 }
 
 SimDuration ShardedDriver::delay_between(net::Address a,
@@ -292,13 +326,29 @@ SimDuration ShardedDriver::delay_between(net::Address a,
 }
 
 void ShardedDriver::shard_send(std::size_t src_shard, net::Address from,
-                               net::Address to, pastry::MessagePtr msg,
+                               net::Address to, net::PacketPtr msg,
                                std::uint64_t send_seq) {
   assert(msg != nullptr);
   Shard& sh = *shards_[src_shard];
   const SimTime now = engine_.shard(src_shard).now();
-  sh.traffic->on_message(now, msg->type);
+  if (const auto* m = dynamic_cast<const pastry::Message*>(msg.get())) {
+    sh.traffic->on_message(now, m->type);
+  } else {
+    sh.traffic->on_app_message(now);
+  }
   ++sh.sent;
+
+  // A stalled sender's packets leave the machine only when it resumes
+  // (net/network.cpp has the serial twin). stall_release is *pure* — no
+  // RNG, just rule arithmetic — so the shard-local plan replica returns
+  // the same verdict at every shard count.
+  SimDuration stall = 0;
+  const SimTime depart = sh.faults.stall_release(now, from);
+  if (depart > now) {
+    sh.faults.note_stall_deferred();
+    sh.traffic->on_fault_injected(net::FaultKind::kStall);
+    stall = depart - now;
+  }
 
   net::FaultAction act = sh.faults.apply(now, from, to);
   if (act.drop) {
@@ -337,19 +387,47 @@ void ShardedDriver::shard_send(std::size_t src_shard, net::Address from,
            send_seq) &
       kDitherMask);
 
-  schedule_delivery(src_shard, now + d, from, to, msg, send_seq);
+  schedule_delivery(src_shard, now + stall + d, from, to, msg, send_seq);
   for (int i = 0; i < act.extra_copies; ++i) {
     ++sh.sent;
     sh.traffic->on_fault_injected(net::FaultKind::kDuplicate);
     const SimDuration off =
         (i + 1) * std::max<SimDuration>(1, act.dup_offset);
-    schedule_delivery(src_shard, now + d + off, from, to, msg, send_seq);
+    schedule_delivery(src_shard, now + stall + d + off, from, to, msg,
+                      send_seq);
+  }
+}
+
+void ShardedDriver::shard_devour(ShardEnv& env, net::Address to,
+                                 pastry::MessagePtr msg) {
+  assert(msg != nullptr);
+  Shard& sh = *shards_[env.shard()];
+  // The pretend transmission occupies the packet-accounting identity like
+  // a real one (the serial Network::devour does the same); the lookup id,
+  // if any, goes through the ledger so the eventual lost verdict is
+  // blamed on the adversary in S-invariant order.
+  ++sh.sent;
+  ++sh.dropped_adversarial;
+  sh.faults.note_adversarial_drop();
+  sh.traffic->on_fault_injected(net::FaultKind::kAdversarialDrop);
+  if (sh.obs != nullptr) {
+    const auto* rm = dynamic_cast<const pastry::RoutedMessage*>(msg.get());
+    if (rm != nullptr && rm->trace_id != 0) {
+      sh.obs->recorder_for(env.self().addr)
+          .record(env.now(), obs::EventKind::kAdversaryDrop, rm->trace_id,
+                  to, rm->hops, rm->hop_seq);
+    }
+  }
+  if (const auto* lm = dynamic_cast<const pastry::LookupMsg*>(msg.get())) {
+    LogEvent e;
+    e.kind = LogEvent::Kind::kDevoured;
+    e.u = lm->lookup_id;
+    env.log(std::move(e));
   }
 }
 
 void ShardedDriver::note_send_drop(Shard& sh, SimTime now, net::Address from,
-                                   net::Address to,
-                                   const pastry::Message& msg) {
+                                   net::Address to, const net::Packet& msg) {
   if (sh.obs == nullptr) return;
   const auto* rm = dynamic_cast<const pastry::RoutedMessage*>(&msg);
   if (rm == nullptr || rm->trace_id == 0) return;
@@ -359,7 +437,7 @@ void ShardedDriver::note_send_drop(Shard& sh, SimTime now, net::Address from,
 
 void ShardedDriver::schedule_delivery(std::size_t src_shard, SimTime at,
                                       net::Address from, net::Address to,
-                                      pastry::MessagePtr msg,
+                                      net::PacketPtr msg,
                                       std::uint64_t send_seq) {
   ++shards_[src_shard]->in_flight;
   const std::size_t dst =
@@ -380,8 +458,24 @@ void ShardedDriver::schedule_delivery(std::size_t src_shard, SimTime at,
 
 void ShardedDriver::deliver(std::size_t dst_shard, net::Address from,
                             net::Address to, std::uint64_t send_seq,
-                            pastry::MessagePtr msg) {
+                            net::PacketPtr msg) {
   Shard& sh = *shards_[dst_shard];
+  // A stalled receiver's packets sit in its socket buffer until the
+  // process resumes (gray failure: the endpoint never unbinds). The
+  // expiry timer lives on the *receiving* session's shard, so cross-shard
+  // timing never observes a partial stall; the verdict itself is pure.
+  const SimTime dnow = engine_.shard(dst_shard).now();
+  const SimTime release = sh.faults.stall_release(dnow, to);
+  if (release > dnow) {
+    sh.faults.note_stall_deferred();
+    sh.traffic->on_fault_injected(net::FaultKind::kStall);
+    engine_.shard(dst_shard).schedule_at(
+        release, [this, dst_shard, from, to, send_seq,
+                  p = std::move(msg)]() mutable {
+          deliver(dst_shard, from, to, send_seq, std::move(p));
+        });
+    return;
+  }
   --sh.in_flight;
   const auto it = sh.nodes.find(to);
   if (it == sh.nodes.end()) {
@@ -413,7 +507,13 @@ void ShardedDriver::deliver(std::size_t dst_shard, net::Address from,
     return;
   }
   ++sh.delivered;
-  it->second.node->handle(from, std::move(msg));
+  if (auto m = dynamic_pointer_cast<const pastry::Message>(msg)) {
+    it->second.node->handle(from, std::move(m));
+    return;
+  }
+  if (app_ != nullptr) {
+    app_->packet(AppNode(this, it->second.env.get()), from, msg);
+  }
 }
 
 void ShardedDriver::create_session(std::uint32_t uid) {
@@ -431,6 +531,11 @@ void ShardedDriver::create_session(std::uint32_t uid) {
   ShardEnv* env = ns.env.get();
   pastry::PastryNode* node = ns.node.get();
   env->join_started_ = engine_.shard(s.shard).now();
+  // Adversarial sessions created at or after the arming instant (sybils,
+  // churn rejoins) arm immediately; earlier ones wait for the arm sweep.
+  if (s.adversarial && adv_ && env->join_started_ >= adv_->arm_at) {
+    install_policy(uid, ns);
+  }
   sh.nodes.emplace(addr, std::move(ns));
 
   LogEvent e;
@@ -476,23 +581,58 @@ void ShardedDriver::kill_session(std::uint32_t uid) {
   sh.nodes.erase(it);  // node destroyed on its own shard; timers cancelled
 }
 
+void ShardedDriver::arm_session(std::uint32_t uid) {
+  // Install the policy on one corrupted session if it is live; a session
+  // dead at arm time arms on its next join (create_session).
+  Shard& sh = *shards_[sessions_[uid].shard];
+  const auto it = sh.nodes.find(static_cast<net::Address>(uid));
+  if (it != sh.nodes.end()) install_policy(uid, it->second);
+}
+
+void ShardedDriver::install_policy(std::uint32_t uid, NodeState& ns) {
+  if (ns.policy != nullptr) return;
+  ns.policy = std::make_unique<KeyedAdversary>(
+      adv_->behavior, adv_->strike, adv_->seed,
+      static_cast<net::Address>(uid));
+  ns.node->set_adversary(ns.policy.get());
+}
+
+double ShardedDriver::workload_rate(SimTime now) const {
+  return app_ != nullptr ? app_->workload_rate(now)
+                         : cfg_.lookup_rate_per_node;
+}
+
 void ShardedDriver::start_workload_loop(ShardEnv& env) {
-  if (!workload_on_ || cfg_.lookup_rate_per_node <= 0.0) return;
+  if (!workload_on_) return;
   schedule_workload_tick(env);
 }
 
 void ShardedDriver::schedule_workload_tick(ShardEnv& env) {
   // Per-node Poisson process: the aggregate over N active nodes is
-  // Poisson with rate N * lookup_rate, exactly like the single-threaded
-  // driver's aggregate process, but each node draws only from its own
-  // stream. The callback is liveness-guarded by env.schedule, so a killed
-  // node's pending tick fires into nothing.
-  const SimDuration gap = from_seconds(
-      env.rng().exponential(1.0 / cfg_.lookup_rate_per_node));
+  // Poisson with rate N * rate, exactly like the single-threaded driver's
+  // aggregate process, but each node draws only from its own stream. With
+  // an app attached the rate is the app's (a pure function of time,
+  // re-sampled each tick — the same piecewise approximation the serial
+  // fig8 pump uses). The callback is liveness-guarded by env.schedule, so
+  // a killed node's pending tick fires into nothing.
+  const double rate = std::max(workload_rate(env.now()), 1e-6);
+  const SimDuration gap = from_seconds(env.rng().exponential(1.0 / rate));
   ShardEnv* e = &env;
   env.schedule(gap, [this, e] {
     if (!workload_on_) return;
-    issue_workload_lookup(*e);
+    // Armed adversarial sessions issue no workload: sources stay honest,
+    // matching the serial benches' probe convention, so failure rates
+    // measure the adversary's effect on *victims*, not its self-drops.
+    const bool armed_adversary =
+        adv_ && e->now() >= adv_->arm_at &&
+        sessions_[e->uid()].adversarial;
+    if (!armed_adversary) {
+      if (app_ != nullptr) {
+        app_->workload_tick(AppNode(this, e));
+      } else {
+        issue_workload_lookup(*e);
+      }
+    }
     schedule_workload_tick(*e);
   });
 }
@@ -501,7 +641,19 @@ void ShardedDriver::issue_workload_lookup(ShardEnv& env) {
   Shard& sh = *shards_[sessions_[env.uid()].shard];
   const auto it = sh.nodes.find(static_cast<net::Address>(env.uid()));
   if (it == sh.nodes.end()) return;
-  const NodeId key = env.rng().node_id();
+  NodeId key = env.rng().node_id();
+  if (adv_ && env.now() >= adv_->arm_at) {
+    // Honest-rooted keys (bounded redraws from the node's own stream,
+    // against the barrier-snapshot oracle — concurrent reads are safe):
+    // the serial adversary benches redraw probe keys the same way, so
+    // correctness verdicts measure misrouting, not keys the adversary
+    // legitimately owns.
+    for (int i = 0; i < kHonestKeyRedraws; ++i) {
+      const auto root = oracle_.root_of(key);
+      if (!root || !session_is_adversarial(*root)) break;
+      key = env.rng().node_id();
+    }
+  }
   const std::uint64_t id = env.next_lookup_id();
   LogEvent e;
   e.kind = LogEvent::Kind::kIssued;
@@ -524,8 +676,22 @@ void ShardedDriver::apply_barrier(SimTime epoch_end) {
     for (std::size_t dst = 0; dst < s; ++dst) {
       auto& row = shards_[src]->outbox[dst];
       for (OutMsg& m : row) {
-        pastry::MessagePtr clone =
-            pastry::clone_message(*m.msg, shards_[dst]->pool);
+        net::PacketPtr clone;
+        if (const auto* pm =
+                dynamic_cast<const pastry::Message*>(m.msg.get())) {
+          clone = pastry::clone_message(*pm, shards_[dst]->pool);
+        } else if (const auto* app = dynamic_cast<const pastry::CloneableAppData*>(
+                       m.msg.get())) {
+          clone = app->clone_into(shards_[dst]->pool);
+        } else {
+          // Single-threaded barrier context: throwing is sound, and the
+          // config error (an app packet type that cannot cross shards)
+          // must not be silently dropped in Release builds.
+          throw pastry::CodecError(
+              pastry::WireStatus::kAppData,
+              "sharded barrier: cross-shard app packet does not implement "
+              "CloneableAppData");
+        }
         engine_.shard(dst).schedule_at(
             m.t, [this, dst, from = m.from, to = m.to, seq = m.send_seq,
                   c = std::move(clone)]() mutable {
@@ -579,10 +745,22 @@ void ShardedDriver::apply_log_event(const LogEvent& e) {
       const bool correct = root && *root == e.b;
       SimDuration nd = 0;
       if (correct && e.a != e.b) nd = delay_between(e.a, e.b);
-      metrics_.on_lookup_delivered(e.u, e.t, correct, nd,
-                                   Metrics::IncorrectCause::kStaleLeafSet);
+      // Same attribution rule as the serial driver: a wrong delivery by an
+      // armed adversarial node is a misroute, anything else stale state.
+      const auto cause =
+          (!correct && adv_ && e.t >= adv_->arm_at &&
+           session_is_adversarial(e.b))
+              ? Metrics::IncorrectCause::kAdversarialMisroute
+              : Metrics::IncorrectCause::kStaleLeafSet;
+      metrics_.on_lookup_delivered(e.u, e.t, correct, nd, cause);
       break;
     }
+    case LogEvent::Kind::kDevoured:
+      metrics_.on_lookup_devoured(e.u);
+      break;
+    case LogEvent::Kind::kAppSample:
+      app_samples_.push_back(std::bit_cast<double>(e.u));
+      break;
     case LogEvent::Kind::kMarkedFaulty:
       if (alive_.count(e.a) > 0) ++ledger_false_positives_;
       break;
@@ -601,8 +779,11 @@ void ShardedDriver::apply_log_event(const LogEvent& e) {
 
 void ShardedDriver::run_trace(const trace::ChurnTrace& trace,
                               SimDuration extra) {
-  assert(!ran_ && "a ShardedDriver runs exactly one trace");
+  if (ran_) {
+    throw ConfigError("run_trace: a ShardedDriver runs exactly one trace");
+  }
   ran_ = true;
+  if (app_ != nullptr) app_->on_run_start(*this, shards_.size());
 
   // --- Pre-assignment: sessions get ids, routers, addresses and their
   // shard *before* anything runs, from the trial seed alone. ------------
@@ -625,6 +806,48 @@ void ShardedDriver::run_trace(const trace::ChurnTrace& trace,
     for (Session& s : sessions_) {
       s.router = attachable[setup.uniform_index(attachable.size())];
       s.id = setup.node_id();
+    }
+  }
+
+  // --- Adversarial population, decided before the partition so the
+  // corrupted set and sybil sessions are identical at any shard count.
+  const std::size_t n_trace = sessions_.size();
+  if (adv_) {
+    if (adv_->fraction > 0.0) {
+      // Rank trace sessions by a stateless hash of (adversary seed, salt,
+      // uid) and corrupt the round(f*N) smallest — reproducible from the
+      // seeds alone, independent of shard layout and map iteration order.
+      std::vector<std::uint32_t> rank(n_trace);
+      for (std::uint32_t i = 0; i < n_trace; ++i) rank[i] = i;
+      std::sort(rank.begin(), rank.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const std::uint64_t ha = mix3(adv_->seed, kAdvSelectSalt, a);
+                  const std::uint64_t hb = mix3(adv_->seed, kAdvSelectSalt, b);
+                  return ha != hb ? ha < hb : a < b;
+                });
+      const auto k = static_cast<std::size_t>(
+          adv_->fraction * static_cast<double>(n_trace) + 0.5);
+      for (std::size_t i = 0; i < std::min(k, n_trace); ++i) {
+        sessions_[rank[i]].adversarial = true;
+      }
+    }
+    // Eclipse sybils: extra sessions that join at arm time with ids
+    // alternating ±k·2^104 around the victim, the same clustering the
+    // serial AdversaryController::join_eclipse_cluster produces.
+    Rng sybil_setup(mix3(adv_->seed, kAdvSybilSalt, 0));
+    for (int i = 0; i < adv_->eclipse_sybils; ++i) {
+      const U128 offset =
+          U128{0, static_cast<std::uint64_t>(i / 2 + 1)} << 104;
+      const U128 id = (i % 2 == 0) ? adv_->eclipse_victim.value() + offset
+                                   : adv_->eclipse_victim.value() - offset;
+      Session sy;
+      sy.first_join = adv_->arm_at;
+      sy.router = attachable[sybil_setup.uniform_index(attachable.size())];
+      sy.id = NodeId{id};
+      sy.adversarial = true;
+      sy.sybil = true;
+      sybils_.push_back(static_cast<net::Address>(sessions_.size()));
+      sessions_.push_back(sy);
     }
   }
 
@@ -686,9 +909,10 @@ void ShardedDriver::run_trace(const trace::ChurnTrace& trace,
     }
   }
 
-  // Designated bootstrap: the earliest-joining session (uid breaks ties).
+  // Designated bootstrap: the earliest-joining *trace* session (uid
+  // breaks ties) — sybils never bootstrap the overlay.
   first_session_ = 0;
-  for (std::uint32_t i = 1; i < n; ++i) {
+  for (std::uint32_t i = 1; i < n_trace; ++i) {
     if (sessions_[i].first_join < sessions_[first_session_].first_join) {
       first_session_ = i;
     }
@@ -710,7 +934,23 @@ void ShardedDriver::run_trace(const trace::ChurnTrace& trace,
         });
   }
 
-  workload_on_ = cfg_.lookup_rate_per_node > 0.0;
+  // --- Arm the adversary: one event per corrupted session (scheduled on
+  // its own shard — the event *count* must not depend on the shard
+  // count), and sybil joins through the normal session path.
+  if (adv_) {
+    for (std::uint32_t i = 0; i < n_trace; ++i) {
+      if (!sessions_[i].adversarial) continue;
+      engine_.shard(sessions_[i].shard)
+          .schedule_at(adv_->arm_at, [this, i] { arm_session(i); });
+    }
+    for (const net::Address a : sybils_) {
+      const auto uid = static_cast<std::uint32_t>(a);
+      engine_.shard(sessions_[uid].shard)
+          .schedule_at(adv_->arm_at, [this, uid] { create_session(uid); });
+    }
+  }
+
+  workload_on_ = cfg_.lookup_rate_per_node > 0.0 || app_ != nullptr;
   engine_.run_until(trace.duration() + extra,
                     [this](SimTime e) { apply_barrier(e); });
   finish();
@@ -763,6 +1003,12 @@ std::uint64_t ShardedDriver::packets_dropped_unbound() const {
   return v;
 }
 
+std::uint64_t ShardedDriver::packets_dropped_adversarial() const {
+  std::uint64_t v = 0;
+  for (const auto& sh : shards_) v += sh->dropped_adversarial;
+  return v;
+}
+
 std::int64_t ShardedDriver::packets_in_flight() const {
   std::int64_t v = 0;
   for (const auto& sh : shards_) v += sh->in_flight;
@@ -773,6 +1019,60 @@ std::size_t ShardedDriver::live_node_count() const {
   std::size_t v = 0;
   for (const auto& sh : shards_) v += sh->nodes.size();
   return v;
+}
+
+// --- AppNode: the per-upcall façade handed to ShardedApp hooks. ---------
+
+SimTime ShardedDriver::AppNode::now() const { return env_->now(); }
+
+net::Address ShardedDriver::AppNode::self() const {
+  return env_->self().addr;
+}
+
+std::size_t ShardedDriver::AppNode::shard() const { return env_->shard(); }
+
+Rng& ShardedDriver::AppNode::rng() const { return env_->rng(); }
+
+pastry::MessagePool& ShardedDriver::AppNode::pool() const {
+  return d_->shards_[env_->shard()]->pool;
+}
+
+std::uint64_t ShardedDriver::AppNode::issue_lookup(
+    NodeId key, std::uint64_t payload, net::PacketPtr app_data) const {
+  Shard& sh = *d_->shards_[env_->shard()];
+  const auto it = sh.nodes.find(env_->self().addr);
+  if (it == sh.nodes.end()) return 0;  // node died under the app's feet
+  const std::uint64_t id = env_->next_lookup_id();
+  LogEvent e;
+  e.kind = LogEvent::Kind::kIssued;
+  e.id = key;
+  e.a = env_->self().addr;
+  e.u = id;
+  env_->log(std::move(e));
+  it->second.node->lookup(key, id, payload, d_->cfg_.lookups_want_ack,
+                          std::move(app_data));
+  return id;
+}
+
+void ShardedDriver::AppNode::send_packet(net::Address to,
+                                         net::PacketPtr packet) const {
+  // Shares the sender's send-seq stream with overlay messages, so the
+  // packet's loss/jitter/dither fate is keyed exactly like every other
+  // send from this node.
+  d_->shard_send(env_->shard(), env_->self().addr, to, std::move(packet),
+                 env_->next_send_seq());
+}
+
+void ShardedDriver::AppNode::schedule(SimDuration delay,
+                                      InplaceCallback fn) const {
+  env_->schedule(delay, std::move(fn));
+}
+
+void ShardedDriver::AppNode::record_latency(double seconds) const {
+  LogEvent e;
+  e.kind = LogEvent::Kind::kAppSample;
+  e.u = std::bit_cast<std::uint64_t>(seconds);
+  env_->log(std::move(e));
 }
 
 }  // namespace mspastry::overlay

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "net/fault_plan.hpp"
 #include "net/topology.hpp"
 #include "obs/flight_recorder.hpp"
+#include "overlay/adversary.hpp"
 #include "overlay/driver.hpp"
 #include "overlay/metrics.hpp"
 #include "overlay/oracle.hpp"
@@ -18,6 +21,43 @@
 #include "trace/churn_trace.hpp"
 
 namespace mspastry::overlay {
+
+/// Configuration the driver cannot run. Thrown in every build mode —
+/// these used to be assert(false) guards that compiled out under NDEBUG,
+/// so a Release build silently *accepted* an adversary / app-data /
+/// stall-rule configuration and produced wrong results. Raised at
+/// set_adversary / add_fault_rule / run_trace setup, never mid-run.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Declarative adversary setup for the sharded engine. The serial
+/// driver's AdversaryController mutates a running overlay; the sharded
+/// driver instead takes the whole scenario up front (who is corrupt, when
+/// policies arm, how many sybils eclipse which key) so every adversarial
+/// decision can be pre-assigned from the trial seed in uid order — the
+/// same discipline as session ids and routers, and the reason the
+/// corruption schedule is byte-identical at any shard count.
+struct ShardedAdversaryConfig {
+  AdversaryBehavior behavior = AdversaryBehavior::kDrop;
+  /// Fraction of trace sessions corrupted: the round(f*N) sessions with
+  /// the smallest selection hashes (exact count, like the serial
+  /// controller's shuffle prefix).
+  double fraction = 0.0;
+  double strike = 1.0;
+  /// Policies install at this instant (typically warmup end, matching
+  /// the serial benches that corrupt after the overlay settles); sybil
+  /// joins are scheduled here too. Sessions created later arm on join.
+  SimTime arm_at = 0;
+  /// Sybil sessions joined around eclipse_victim at arm_at, ids
+  /// alternating ± k*2^104 like AdversaryController::join_eclipse_cluster.
+  int eclipse_sybils = 0;
+  NodeId eclipse_victim;
+  std::uint64_t seed = 0;
+};
+
+class ShardedApp;
 
 /// Trace-driven experiment harness running on the conservative sharded
 /// scheduler (sim/sharded_simulator.hpp): node *sessions* are partitioned
@@ -54,14 +94,25 @@ namespace mspastry::overlay {
 ///    a bootstrap candidate, which root the oracle scores a delivery
 ///    against — is itself shard-count-invariant.
 ///
-/// Deliberately unsupported in sharded mode (use OverlayDriver):
-/// adversary policies, application packets / LookupMsg::app_data, Scribe,
-/// the chaos harness, and gray-failure stall rules. Fault-plan rules
-/// (loss, partitions, flaps, delay spikes, duplication, reordering) ARE
-/// supported via per-shard plan replicas: runs are deterministic for a
-/// fixed shard count but not byte-identical across shard counts (each
-/// shard's rule streams draw independently), so the determinism gate uses
-/// fault-free workloads.
+/// Adversary policies, application data and gray-failure stall rules run
+/// here with S-invariant formulations of their serial semantics:
+///  - adversary corruption (set_adversary) uses KeyedAdversary — every
+///    decision a stateless hash of (adversary seed, node addr, intercept
+///    seq) — with selection, sybil placement and arming pre-assigned from
+///    the seed; devoured lookups flow through a per-shard accounting path
+///    and a kDevoured ledger event;
+///  - application packets (attach_app / LookupMsg::app_data) ride the
+///    same keyed send path as overlay messages, cross shards via
+///    CloneableAppData::clone_into, and report latency samples through
+///    kAppSample ledger events applied in (time, uid, seq) order;
+///  - gray-stall rules evaluate against the shard-local plan replica —
+///    stall_release is pure (no RNG), so identical replicas give every
+///    shard the same verdict — with deferred deliveries re-scheduled on
+///    the *receiving* session's shard.
+/// Probabilistic fault-plan rules (loss, flaps, delay spikes,
+/// duplication, reordering) remain per-shard RNG streams: deterministic
+/// for a fixed shard count but not byte-identical across shard counts,
+/// so cross-count determinism gates use stall-only or fault-free plans.
 class ShardedDriver {
  public:
   ShardedDriver(std::shared_ptr<const net::Topology> topology,
@@ -73,13 +124,63 @@ class ShardedDriver {
   ShardedDriver& operator=(const ShardedDriver&) = delete;
 
   /// Install one fault rule on every shard's plan replica (call before
-  /// run_trace). Stall rules are not supported (asserted).
+  /// run_trace; ConfigError afterwards). Stall rules are supported: their
+  /// evaluation is pure, so the replicas agree at every shard count.
   void add_fault_rule(const net::FaultRule& rule);
+
+  /// Install an adversary scenario (call before run_trace; ConfigError
+  /// afterwards or on out-of-range fraction/strike/sybil count).
+  void set_adversary(const ShardedAdversaryConfig& adv);
+
+  /// Attach an application (Squirrel-style workloads). The app's hooks
+  /// run on worker threads against per-shard state; see ShardedApp.
+  /// Call before run_trace (ConfigError afterwards).
+  void attach_app(ShardedApp* app);
 
   /// Run a full churn trace with the configured lookup workload, then
   /// finalize metrics. One-shot: a ShardedDriver runs one trace.
   void run_trace(const trace::ChurnTrace& trace,
                  SimDuration extra = seconds(30));
+
+ private:
+  class ShardEnv;  // per-node Env implementation
+
+ public:
+  /// Value handle a ShardedApp receives for the node an upcall concerns:
+  /// issue lookups, send app packets, schedule liveness-guarded timers
+  /// and record latency samples, all against the node's own shard and
+  /// RNG stream. Copyable and cheap; valid only while the node lives
+  /// (apps use it inside upcalls and schedule() callbacks, which are
+  /// liveness-guarded).
+  class AppNode {
+   public:
+    SimTime now() const;
+    net::Address self() const;
+    std::size_t shard() const;
+    Rng& rng() const;
+    pastry::MessagePool& pool() const;
+    /// Issue a lookup from this node (logs the issue through the ledger
+    /// like the Poisson workload). Returns the lookup id.
+    std::uint64_t issue_lookup(NodeId key, std::uint64_t payload = 0,
+                               net::PacketPtr app_data = nullptr) const;
+    /// Send a non-overlay packet; counted as app traffic. Cross-shard
+    /// packets must implement pastry::CloneableAppData.
+    void send_packet(net::Address to, net::PacketPtr packet) const;
+    /// Schedule a callback on this node's shard; it is dropped if the
+    /// node dies first. The callback must fit the inline Env capacity.
+    void schedule(SimDuration delay, InplaceCallback fn) const;
+    /// Record one end-to-end latency sample (seconds) through the
+    /// deferred ledger; merged in S-invariant order at the barrier
+    /// (ShardedDriver::app_latency_samples).
+    void record_latency(double seconds) const;
+
+   private:
+    friend class ShardedDriver;
+    friend class ShardEnv;
+    AppNode(ShardedDriver* d, ShardEnv* env) : d_(d), env_(env) {}
+    ShardedDriver* d_;
+    ShardEnv* env_;
+  };
 
   // --- Introspection (valid after run_trace) ------------------------------
 
@@ -95,15 +196,31 @@ class ShardedDriver {
   SimDuration lookahead() const { return lookahead_; }
 
   /// Packet accounting summed over shards; the identity
-  /// sent == lost + delivered + dropped_unbound + in_flight holds on the
-  /// aggregate (per-shard in-flight counts can be individually negative:
-  /// a send increments on the source shard, delivery decrements on the
-  /// destination shard).
+  /// sent == lost + delivered + dropped_unbound + dropped_adversarial +
+  /// in_flight holds on the aggregate (per-shard in-flight counts can be
+  /// individually negative: a send increments on the source shard,
+  /// delivery decrements on the destination shard).
   std::uint64_t packets_sent() const;
   std::uint64_t packets_lost() const;
   std::uint64_t packets_delivered() const;
   std::uint64_t packets_dropped_unbound() const;
+  std::uint64_t packets_dropped_adversarial() const;
   std::int64_t packets_in_flight() const;
+
+  /// True when `a` belongs to the adversarial population (corrupted
+  /// session or sybil); meaningful once run_trace has assigned sessions.
+  bool session_is_adversarial(net::Address a) const;
+
+  /// Sybil session addresses, in join order (empty without an eclipse).
+  const std::vector<net::Address>& sybil_addresses() const {
+    return sybils_;
+  }
+
+  /// App latency samples recorded via AppNode::record_latency, in the
+  /// ledger's S-invariant (time, uid, seq) order.
+  const std::vector<double>& app_latency_samples() const {
+    return app_samples_;
+  }
 
   /// Merged flight-recorder registry (per-shard domains absorbed at
   /// finish); nullptr when observability is off.
@@ -112,7 +229,6 @@ class ShardedDriver {
   std::size_t live_node_count() const;
 
  private:
-  class ShardEnv;  // per-node Env implementation
   friend class ShardEnv;
 
   /// One deferred-ledger event, written by a shard during an epoch and
@@ -129,6 +245,8 @@ class ShardedDriver {
       kDelivered,
       kMarkedFaulty,
       kNetDropObs,
+      kDevoured,    ///< adversary devoured a lookup (u = lookup id)
+      kAppSample,   ///< app latency sample (u = bit pattern of seconds)
     };
     SimTime t = 0;
     std::uint64_t order = 0;
@@ -141,20 +259,24 @@ class ShardedDriver {
     bool flag = false;                    // right-present
   };
 
-  /// A message queued for another shard: cloned into the destination pool
-  /// and scheduled there at the next barrier. The sender's packet seq
-  /// rides along to give unbound-drop ledger events a shard-count-
-  /// invariant order key.
+  /// A packet queued for another shard: cloned into the destination pool
+  /// (clone_message for overlay messages, CloneableAppData::clone_into
+  /// for app packets) and scheduled there at the next barrier. The
+  /// sender's packet seq rides along to give unbound-drop ledger events a
+  /// shard-count-invariant order key.
   struct OutMsg {
     SimTime t = 0;
     net::Address from = net::kNullAddress;
     net::Address to = net::kNullAddress;
     std::uint64_t send_seq = 0;
-    pastry::MessagePtr msg;
+    net::PacketPtr msg;
   };
 
   struct NodeState {
     std::unique_ptr<ShardEnv> env;  // must outlive node (dtor uses it)
+    /// Installed when the session is adversarial and armed; owned here so
+    /// it dies with the node (declared before node_: destroyed after it).
+    std::unique_ptr<KeyedAdversary> policy;
     std::unique_ptr<pastry::PastryNode> node;
   };
 
@@ -178,6 +300,7 @@ class ShardedDriver {
     std::uint64_t lost = 0;
     std::uint64_t delivered = 0;
     std::uint64_t unbound = 0;
+    std::uint64_t dropped_adversarial = 0;
     std::int64_t in_flight = 0;
   };
 
@@ -186,26 +309,32 @@ class ShardedDriver {
     int router = -1;
     std::size_t shard = 0;
     SimTime first_join = kTimeNever;
+    bool adversarial = false;  ///< corrupted by selection, or a sybil
+    bool sybil = false;
   };
 
   static constexpr SimDuration kJoinRetryDelay = seconds(1);
 
   SimDuration delay_between(net::Address a, net::Address b) const;
   void shard_send(std::size_t src_shard, net::Address from, net::Address to,
-                  pastry::MessagePtr msg, std::uint64_t send_seq);
+                  net::PacketPtr msg, std::uint64_t send_seq);
+  void shard_devour(ShardEnv& env, net::Address to, pastry::MessagePtr msg);
   void note_send_drop(Shard& sh, SimTime now, net::Address from,
-                      net::Address to, const pastry::Message& msg);
+                      net::Address to, const net::Packet& msg);
   void schedule_delivery(std::size_t src_shard, SimTime at, net::Address from,
-                         net::Address to, pastry::MessagePtr msg,
+                         net::Address to, net::PacketPtr msg,
                          std::uint64_t send_seq);
   void deliver(std::size_t dst_shard, net::Address from, net::Address to,
-               std::uint64_t send_seq, pastry::MessagePtr msg);
+               std::uint64_t send_seq, net::PacketPtr msg);
   void create_session(std::uint32_t uid);
   void kill_session(std::uint32_t uid);
   void try_join(std::uint32_t uid);
+  void arm_session(std::uint32_t uid);
+  void install_policy(std::uint32_t uid, NodeState& ns);
   void start_workload_loop(ShardEnv& env);
   void schedule_workload_tick(ShardEnv& env);
   void issue_workload_lookup(ShardEnv& env);
+  double workload_rate(SimTime now) const;
   void apply_barrier(SimTime epoch_end);
   void apply_log_event(const LogEvent& e);
   void finish();
@@ -238,9 +367,51 @@ class ShardedDriver {
 
   std::unique_ptr<obs::TraceDomain> obs_merged_;
 
+  // --- Adversary scenario (immutable during the run) ----------------------
+  std::optional<ShardedAdversaryConfig> adv_;
+  std::vector<net::Address> sybils_;
+
+  // --- Application --------------------------------------------------------
+  ShardedApp* app_ = nullptr;
+  std::vector<double> app_samples_;  ///< barrier-ordered (kAppSample)
+
   bool workload_on_ = false;
   bool ran_ = false;
   bool finished_ = false;
+};
+
+/// Application adapter for the sharded engine — the parallel counterpart
+/// of OverlayDriver's on_app_deliver/on_app_packet hooks plus a per-node
+/// workload. Hooks run on worker threads, one shard at a time: an
+/// implementation must keep its mutable state partitioned per shard
+/// (AppNode::shard() indexes it) and never touch another shard's replica
+/// outside on_run_start/on_run_end. All randomness must come from
+/// AppNode::rng() (the node's own stream) or pure functions of time, so
+/// the app's behavior is shard-count-invariant like the driver's.
+class ShardedApp {
+ public:
+  virtual ~ShardedApp() = default;
+
+  /// Called once from run_trace before anything runs: size per-shard
+  /// state replicas.
+  virtual void on_run_start(ShardedDriver& driver, std::size_t shards) = 0;
+
+  /// Per-node workload rate (requests/s) at `t`. Must be a *pure*
+  /// function of time (every shard evaluates it independently). Return
+  /// <= 0 for no app workload; the driver's Poisson lookup workload is
+  /// then the only traffic source.
+  virtual double workload_rate(SimTime t) const = 0;
+
+  /// One workload event at `node` (issue a request, pick content, ...).
+  virtual void workload_tick(const ShardedDriver::AppNode& node) = 0;
+
+  /// A lookup carrying app_data reached its root at `node`.
+  virtual void deliver(const ShardedDriver::AppNode& node,
+                       const pastry::LookupMsg& m) = 0;
+
+  /// A non-overlay packet arrived at `node`.
+  virtual void packet(const ShardedDriver::AppNode& node, net::Address from,
+                      const net::PacketPtr& packet) = 0;
 };
 
 }  // namespace mspastry::overlay

@@ -76,6 +76,23 @@ const char* traffic_class_name(TrafficClass c) {
   return "?";
 }
 
+const char* wire_status_name(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kTruncated: return "truncated";
+    case WireStatus::kBadMagic: return "bad-magic";
+    case WireStatus::kBadVersion: return "bad-version";
+    case WireStatus::kBadType: return "bad-type";
+    case WireStatus::kBadLength: return "bad-length";
+    case WireStatus::kOversizeVec: return "oversize-vec";
+    case WireStatus::kTrailingBytes: return "trailing-bytes";
+    case WireStatus::kUnknownAddress: return "unknown-address";
+    case WireStatus::kAppData: return "app-data";
+    case WireStatus::kOversizeFrame: return "oversize-frame";
+  }
+  return "?";
+}
+
 MessagePtr clone_message(const Message& m, MessagePool& pool) {
   // Every concrete message type is `final` and copy-constructible, so a
   // switch on the wire type recovers the dynamic type exactly (cheaper
@@ -120,17 +137,31 @@ MessagePtr clone_message(const Message& m, MessagePool& pool) {
       return pool.make<NnReplyMsg>(static_cast<const NnReplyMsg&>(m));
     case MsgType::kLookup: {
       const auto& lookup = static_cast<const LookupMsg&>(m);
-      assert(lookup.app_data == nullptr &&
-             "app_data cannot cross shards (non-atomic refcount)");
-      return pool.make<LookupMsg>(lookup);
+      auto clone = pool.make<LookupMsg>(lookup);
+      if (lookup.app_data != nullptr) {
+        // The copy constructor shared the app_data pointer — a non-atomic
+        // refcount that must not be touched from the destination shard.
+        // Replace it with a payload-owned deep copy, or refuse.
+        const auto* cloneable =
+            dynamic_cast<const CloneableAppData*>(lookup.app_data.get());
+        if (cloneable == nullptr) {
+          clone->app_data = nullptr;  // drop the shared ref before throwing
+          throw CodecError(WireStatus::kAppData,
+                           "clone_message: app_data payload does not "
+                           "implement CloneableAppData");
+        }
+        clone->app_data = cloneable->clone_into(pool);
+      }
+      return clone;
     }
     case MsgType::kAck:
       return pool.make<AckMsg>(static_cast<const AckMsg&>(m));
     case MsgType::kLeave:
       return pool.make<LeaveMsg>(static_cast<const LeaveMsg&>(m));
   }
-  assert(false && "unknown message type");
-  return nullptr;
+  throw CodecError(
+      WireStatus::kBadType,
+      "clone_message: message type byte outside the MsgType enum");
 }
 
 }  // namespace mspastry::pastry

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -82,13 +83,62 @@ using MessagePtr = IntrusivePtr<const Message>;
 
 class MessagePool;
 
+/// Why a codec operation (wire encode/decode, cross-shard clone) rejected
+/// a message. Shared by the rt wire codec (rt/wire.hpp aliases this) and
+/// clone_message below, so a forged type byte and a forged in-memory type
+/// report through one vocabulary.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,       ///< frame shorter than its fields claim
+  kBadMagic,
+  kBadVersion,
+  kBadType,         ///< type byte outside pastry::kMsgTypeCount
+  kBadLength,       ///< length field disagrees with the datagram size
+  kOversizeVec,     ///< vector count above rt::kMaxVecLen
+  kTrailingBytes,   ///< well-formed fields followed by extra bytes
+  kUnknownAddress,  ///< encode: descriptor address not in the book
+  kAppData,         ///< encode/clone: LookupMsg::app_data not supported
+  kOversizeFrame,   ///< encode: frame would exceed rt::kMaxFrameBytes
+};
+
+const char* wire_status_name(WireStatus s);
+
+/// Thrown (in every build mode, NDEBUG included) when a codec operation
+/// meets a message it cannot represent: clone_message on a forged /
+/// out-of-range MsgType, or app_data whose concrete type cannot cross
+/// pools. Callers that must not unwind (worker threads) validate before
+/// sending; the sharded driver's barrier runs single-threaded, so an
+/// escape there fails the run loudly instead of silently corrupting it.
+class CodecError : public std::runtime_error {
+ public:
+  CodecError(WireStatus status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  WireStatus status() const noexcept { return status_; }
+
+ private:
+  WireStatus status_;
+};
+
+/// Application payloads that can follow a lookup across shard boundaries.
+/// A plain net::Packet cannot: refcounts are non-atomic and slabs are
+/// single-threaded, so the clone must be a fresh object in the
+/// *destination* shard's pool. App packet types opt in by implementing
+/// clone_into; clone_message throws CodecError{kAppData} for any other
+/// app_data payload.
+struct CloneableAppData : net::Packet {
+  virtual net::PacketPtr clone_into(MessagePool& pool) const = 0;
+};
+
 /// Deep-copy `m` into `pool`, preserving the dynamic type. The sharded
 /// driver uses this to hand a message across shards: refcounts are
 /// non-atomic and slabs are single-threaded, so a cross-shard delivery
 /// must be a fresh object in the *destination* shard's pool (the
 /// RefCounted copy constructor starts the clone's count at zero).
-/// Lookups carrying app_data are not supported — the attached packet's
-/// refcount cannot be shared across shards (asserted).
+/// Lookups carrying app_data clone the payload through CloneableAppData;
+/// any other app_data type throws CodecError{kAppData}, and a message
+/// whose type byte is outside the enum (memory corruption, a forged
+/// frame that slipped past decode) throws CodecError{kBadType} — in all
+/// build modes, never an assert that compiles out under NDEBUG.
 MessagePtr clone_message(const Message& m, MessagePool& pool);
 
 // Payload vector aliases (LeafVec, RowVec, ...) live in pastry/types.hpp

@@ -399,22 +399,7 @@ WireStatus get_payload(Reader& r, MsgType type, pastry::MessagePool& pool,
 
 }  // namespace
 
-const char* wire_status_name(WireStatus s) {
-  switch (s) {
-    case WireStatus::kOk: return "ok";
-    case WireStatus::kTruncated: return "truncated";
-    case WireStatus::kBadMagic: return "bad-magic";
-    case WireStatus::kBadVersion: return "bad-version";
-    case WireStatus::kBadType: return "bad-type";
-    case WireStatus::kBadLength: return "bad-length";
-    case WireStatus::kOversizeVec: return "oversize-vec";
-    case WireStatus::kTrailingBytes: return "trailing-bytes";
-    case WireStatus::kUnknownAddress: return "unknown-address";
-    case WireStatus::kAppData: return "app-data";
-    case WireStatus::kOversizeFrame: return "oversize-frame";
-  }
-  return "?";
-}
+// wire_status_name lives in pastry/message.cpp with the shared enum.
 
 WireStatus encode_message(const pastry::Message& m, const AddressBook& book,
                           std::vector<std::uint8_t>* out) {

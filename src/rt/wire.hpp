@@ -46,21 +46,11 @@ inline constexpr std::size_t kMaxFrameBytes = 65507;
 /// gigabyte).
 inline constexpr std::size_t kMaxVecLen = 4096;
 
-enum class WireStatus : std::uint8_t {
-  kOk = 0,
-  kTruncated,       ///< frame shorter than its fields claim
-  kBadMagic,
-  kBadVersion,
-  kBadType,         ///< type byte outside pastry::kMsgTypeCount
-  kBadLength,       ///< length field disagrees with the datagram size
-  kOversizeVec,     ///< vector count above kMaxVecLen
-  kTrailingBytes,   ///< well-formed fields followed by extra bytes
-  kUnknownAddress,  ///< encode: descriptor address not in the book
-  kAppData,         ///< encode: LookupMsg::app_data is not serializable
-  kOversizeFrame,   ///< encode: frame would exceed kMaxFrameBytes
-};
-
-const char* wire_status_name(WireStatus s);
+/// The status vocabulary lives with the message taxonomy
+/// (pastry/message.hpp) so clone_message's typed errors and the wire
+/// codec report through one enum; the rt spellings below stay valid.
+using WireStatus = pastry::WireStatus;
+using pastry::wire_status_name;
 
 /// Encode `m` as one frame appended to `out` (out is cleared first).
 /// Descriptor addresses are resolved to endpoints through `book`; every

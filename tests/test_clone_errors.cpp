@@ -1,0 +1,89 @@
+// clone_message's typed error path. The old implementation guarded the
+// "unknown type byte" and "app_data cannot cross pools" cases with plain
+// assert(false), which compiles out under NDEBUG — a Release build would
+// fall through to a null (or shared-refcount) clone and silently corrupt
+// the run. These tests pin the CodecError contract in every build mode.
+
+#include <gtest/gtest.h>
+
+#include "pastry/message.hpp"
+#include "pastry/message_pool.hpp"
+
+namespace mspastry::pastry {
+namespace {
+
+struct PlainPayload final : net::Packet {
+  int value = 0;
+};
+
+struct CloneablePayload final : CloneableAppData {
+  explicit CloneablePayload(int v) : value(v) {}
+  net::PacketPtr clone_into(MessagePool& pool) const override {
+    return pool.make<CloneablePayload>(value);
+  }
+  int value = 0;
+};
+
+TEST(CloneErrors, ForgedMessageTypeThrowsBadType) {
+  MessagePool pool;
+  auto ack = make_msg<AckMsg>(pool);
+  // Forge a type byte outside the enum, the in-memory analogue of a
+  // corrupt frame that slipped past decode.
+  ack->type = static_cast<MsgType>(250);
+  try {
+    clone_message(*ack, pool);
+    FAIL() << "clone of a forged type byte must throw";
+  } catch (const CodecError& e) {
+    EXPECT_EQ(e.status(), WireStatus::kBadType);
+    EXPECT_STREQ(wire_status_name(e.status()), "bad-type");
+  }
+}
+
+TEST(CloneErrors, NonCloneableAppDataThrowsAppData) {
+  MessagePool pool;
+  auto m = make_msg<LookupMsg>(pool);
+  m->app_data = pool.make<PlainPayload>();
+  try {
+    clone_message(*m, pool);
+    FAIL() << "clone of a non-cloneable app payload must throw";
+  } catch (const CodecError& e) {
+    EXPECT_EQ(e.status(), WireStatus::kAppData);
+  }
+  // The aborted clone must not leak a pool slot or pin the payload.
+  m->app_data = nullptr;
+  m = nullptr;
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(CloneErrors, CloneableAppDataDeepCopiesIntoDestinationPool) {
+  MessagePool src;
+  MessagePool dst;
+  auto m = make_msg<LookupMsg>(src);
+  m->lookup_id = 42;
+  m->app_data = src.make<CloneablePayload>(7);
+
+  MessagePtr clone = clone_message(*m, dst);
+  const auto& cl = static_cast<const LookupMsg&>(*clone);
+  EXPECT_EQ(cl.lookup_id, 42u);
+  ASSERT_NE(cl.app_data, nullptr);
+  EXPECT_NE(cl.app_data.get(), m->app_data.get());
+  EXPECT_EQ(static_cast<const CloneablePayload&>(*cl.app_data).value, 7);
+
+  // Destroy the source first: the clone's payload must live in dst.
+  m->app_data = nullptr;
+  m = nullptr;
+  EXPECT_EQ(src.live(), 0u);
+  EXPECT_EQ(dst.live(), 2u);  // the cloned lookup + its payload
+  clone = nullptr;
+  EXPECT_EQ(dst.live(), 0u);
+}
+
+TEST(CloneErrors, WireStatusNamesCoverTheEnum) {
+  EXPECT_STREQ(wire_status_name(WireStatus::kOk), "ok");
+  EXPECT_STREQ(wire_status_name(WireStatus::kAppData), "app-data");
+  EXPECT_STREQ(wire_status_name(WireStatus::kOversizeFrame),
+               "oversize-frame");
+}
+
+}  // namespace
+}  // namespace mspastry::pastry

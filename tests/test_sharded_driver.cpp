@@ -143,7 +143,25 @@ TEST(ShardedDriver, PacketAccountingIdentityHolds) {
   d.run_trace(small_trace());
   EXPECT_EQ(d.packets_sent(),
             d.packets_lost() + d.packets_delivered() +
-                d.packets_dropped_unbound() +
+                d.packets_dropped_unbound() + d.packets_dropped_adversarial() +
+                static_cast<std::uint64_t>(d.packets_in_flight()));
+}
+
+TEST(ShardedDriver, PacketAccountingIdentityHoldsUnderAdversary) {
+  // devour() is a real accounting path on the sharded engine: adversarial
+  // drops land in their own bucket and the conservation identity closes.
+  ShardedDriver d(topo(), {}, small_config(), 4);
+  overlay::ShardedAdversaryConfig adv;
+  adv.behavior = overlay::AdversaryBehavior::kDrop;
+  adv.fraction = 0.25;
+  adv.arm_at = minutes(2);
+  adv.seed = 9;
+  d.set_adversary(adv);
+  d.run_trace(small_trace());
+  EXPECT_GT(d.packets_dropped_adversarial(), 0u);
+  EXPECT_EQ(d.packets_sent(),
+            d.packets_lost() + d.packets_delivered() +
+                d.packets_dropped_unbound() + d.packets_dropped_adversarial() +
                 static_cast<std::uint64_t>(d.packets_in_flight()));
 }
 

@@ -17,6 +17,8 @@
 #include <memory>
 #include <string>
 
+#include "apps/sharded_web_cache.hpp"
+#include "common/stats.hpp"
 #include "net/corpnet.hpp"
 #include "net/hier_as.hpp"
 #include "net/transit_stub.hpp"
@@ -45,6 +47,7 @@ struct Options {
   double duration_min = 90.0; // poisson only
   double loss = 0.0;
   double lookup_rate = 0.01;
+  bool squirrel = false;  // sharded: attach the Squirrel-style web cache
   std::uint64_t seed = 7;
   std::size_t shards = 0;    // 0 = classic engine; N>=1 = sharded engine
   bool fault_recipe = false; // canonical loss+spike+duplicate plan (sharded)
@@ -87,11 +90,16 @@ void usage() {
       "                         run header for reproducibility\n"
       "  --shards N             run on the parallel sharded engine with N\n"
       "                         worker shards; output is byte-identical to\n"
-      "                         --shards 1 (not compatible with --chaos,\n"
-      "                         --adversary, or --eclipse-victim)\n"
+      "                         --shards 1, including --adversary,\n"
+      "                         --eclipse-victim and --squirrel runs\n"
+      "                         (not compatible with --chaos)\n"
       "  --fault-recipe         sharded only: install the canonical fault\n"
       "                         plan (1% loss, 20 ms delay spike mid-run,\n"
       "                         0.5% duplication) on every shard\n"
+      "  --squirrel             sharded only: attach the Squirrel-style\n"
+      "                         cooperative web cache (diurnal request\n"
+      "                         workload, home-node caching) and report\n"
+      "                         hit rates and request latencies\n"
       "  --chaos SCENARIO       run a chaos scenario instead of a trace:\n"
       "                         asym-partition|flap|delay-spike|dup-reorder|\n"
       "                         gray-stall|combined|byzantine-drop|\n"
@@ -152,6 +160,7 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--shards") { if (!(v = need(i))) return false; o.shards = static_cast<std::size_t>(std::atoi(v)); if (o.shards == 0) o.shards = 1; }
     else if (a.rfind("--shards=", 0) == 0) { o.shards = static_cast<std::size_t>(std::atoi(a.c_str() + 9)); if (o.shards == 0) o.shards = 1; }
     else if (a == "--fault-recipe") o.fault_recipe = true;
+    else if (a == "--squirrel") o.squirrel = true;
     else if (a == "--chaos") { if (!(v = need(i))) return false; o.chaos = v; }
     else if (a.rfind("--chaos=", 0) == 0) o.chaos = a.substr(8);
     else if (a == "--chaos-seed") { if (!(v = need(i))) return false; o.chaos_seed = std::strtoull(v, nullptr, 10); }
@@ -297,35 +306,137 @@ int finish_tracing(const Options& o, const obs::TraceDomain& domain,
   return rc;
 }
 
+/// Parse --adversary behavior:fraction (shared by both engines). Returns
+/// false (after printing to stderr) on a malformed spec.
+bool parse_adversary_spec(const Options& o,
+                          overlay::AdversaryBehavior& behavior,
+                          double& fraction) {
+  behavior = overlay::AdversaryBehavior::kMisroute;
+  fraction = 0.0;
+  if (o.adversary.empty()) return true;
+  const auto colon = o.adversary.find(':');
+  const std::string bname = o.adversary.substr(0, colon);
+  const auto parsed = overlay::behavior_from_name(bname);
+  if (!parsed) {
+    std::fprintf(stderr, "unknown adversary behavior: %s\n", bname.c_str());
+    return false;
+  }
+  behavior = *parsed;
+  if (colon != std::string::npos) {
+    char* end = nullptr;
+    fraction = std::strtod(o.adversary.c_str() + colon + 1, &end);
+    if (end == o.adversary.c_str() + colon + 1 || *end != '\0' ||
+        fraction < 0.0 || fraction > 1.0) {
+      std::fprintf(stderr, "bad adversary fraction (want 0..1): %s\n",
+                   o.adversary.c_str() + colon + 1);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Adversary result block shared by both engines.
+void print_adversary_results(overlay::Metrics& m,
+                             const pastry::Counters& c) {
+  std::printf("  incorrect: adversarial    %llu (stale leaf set %llu)\n",
+              (unsigned long long)m.incorrect_misrouted_by_adversary(),
+              (unsigned long long)m.incorrect_stale_leaf_set());
+  std::printf("  lost: devoured            %llu\n",
+              (unsigned long long)m.lost_dropped_by_adversary());
+  std::printf("  adversary actions         %llu drops, %llu misroutes, "
+              "%llu corrupted replies\n",
+              (unsigned long long)c.lookups_dropped_adversarial,
+              (unsigned long long)c.lookups_misrouted_adversarial,
+              (unsigned long long)(c.ls_replies_corrupted +
+                                   c.nn_replies_corrupted));
+  std::printf("  countermeasures           %llu redundant copies, "
+              "%llu leaf rejections, %llu distrusted claims\n",
+              (unsigned long long)c.redundant_lookup_copies,
+              (unsigned long long)c.leaf_candidates_rejected,
+              (unsigned long long)c.failure_claims_distrusted);
+}
+
 int run_sharded(const Options& o, std::shared_ptr<net::Topology> topology,
                 const net::NetworkConfig& ncfg,
                 const overlay::DriverConfig& dcfg,
                 const trace::ChurnTrace& churn) {
-  if (!o.adversary.empty() || !o.eclipse_victim.empty()) {
-    std::fprintf(stderr,
-                 "--shards does not support adversary options; "
-                 "use --shards 1\n");
-    return 2;
-  }
   overlay::ShardedDriver driver(std::move(topology), ncfg, dcfg, o.shards);
   std::printf("sharded engine: %zu shards requested, %zu effective, "
               "lookahead %lld us\n",
               driver.requested_shards(), driver.effective_shards(),
               (long long)driver.lookahead());
-  if (o.fault_recipe) {
-    driver.add_fault_rule(
-        net::FaultRule::loss(net::LinkMatcher::all(), 0.01));
-    driver.add_fault_rule(net::FaultRule::delay_spike(
-        net::LinkMatcher::all(), milliseconds(20), churn.duration() / 3,
-        churn.duration() * 2 / 3));
-    driver.add_fault_rule(net::FaultRule::duplicate(
-        net::LinkMatcher::all(), 0.005, milliseconds(1)));
-    std::printf("fault recipe: loss 1%%, delay spike 20 ms over the middle "
-                "third, duplication 0.5%%\n");
+  apps::ShardedWebCacheService squirrel;
+  const bool with_adversary =
+      !o.adversary.empty() || !o.eclipse_victim.empty();
+  try {
+    if (o.fault_recipe) {
+      driver.add_fault_rule(
+          net::FaultRule::loss(net::LinkMatcher::all(), 0.01));
+      driver.add_fault_rule(net::FaultRule::delay_spike(
+          net::LinkMatcher::all(), milliseconds(20), churn.duration() / 3,
+          churn.duration() * 2 / 3));
+      driver.add_fault_rule(net::FaultRule::duplicate(
+          net::LinkMatcher::all(), 0.005, milliseconds(1)));
+      std::printf("fault recipe: loss 1%%, delay spike 20 ms over the "
+                  "middle third, duplication 0.5%%\n");
+    }
+    if (o.squirrel) {
+      driver.attach_app(&squirrel);
+      std::printf("squirrel: cooperative web cache attached "
+                  "(diurnal workload)\n");
+    }
+    if (with_adversary) {
+      overlay::AdversaryBehavior behavior;
+      double fraction = 0.0;
+      if (!parse_adversary_spec(o, behavior, fraction)) return 2;
+      overlay::ShardedAdversaryConfig adv;
+      adv.behavior = behavior;
+      adv.fraction = fraction;
+      adv.arm_at = dcfg.warmup;
+      if (!o.eclipse_victim.empty()) {
+        adv.eclipse_sybils = 16;
+        adv.eclipse_victim = NodeId::from_string(o.eclipse_victim);
+      }
+      adv.seed = o.seed ^ 0xadd5a17ull;
+      driver.set_adversary(adv);
+      std::printf(
+          "adversary: behavior %s, fraction %.2f, sybils %d, seed %llu, "
+          "arms at %.0f s; countermeasures: redundancy %d, leaf-checks %s\n",
+          overlay::to_string(behavior), fraction, adv.eclipse_sybils,
+          (unsigned long long)adv.seed, to_seconds(adv.arm_at),
+          o.redundancy, o.leaf_checks ? "on" : "off");
+    }
+    driver.run_trace(churn);
+  } catch (const overlay::ConfigError& e) {
+    std::fprintf(stderr, "config error: %s\n", e.what());
+    return 2;
+  } catch (const pastry::CodecError& e) {
+    std::fprintf(stderr, "codec error (%s): %s\n",
+                 pastry::wire_status_name(e.status()), e.what());
+    return 2;
   }
-  driver.run_trace(churn);
   print_results(driver.metrics(), driver.counters(),
                 driver.executed_events());
+  if (with_adversary) {
+    print_adversary_results(driver.metrics(), driver.counters());
+    std::printf("  packets devoured          %llu; sybils joined %zu\n",
+                (unsigned long long)driver.packets_dropped_adversarial(),
+                driver.sybil_addresses().size());
+  }
+  if (o.squirrel) {
+    const auto st = squirrel.stats();
+    SampleSet lat;
+    for (const double s : driver.app_latency_samples()) lat.add(s);
+    std::printf("  squirrel requests         %llu (%llu hits, %llu misses, "
+                "%llu responses)\n",
+                (unsigned long long)st.requests, (unsigned long long)st.hits,
+                (unsigned long long)st.misses,
+                (unsigned long long)st.responses);
+    std::printf("  squirrel latency p50/p95  %.1f / %.1f ms (%zu samples, "
+                "%zu objects cached)\n",
+                lat.quantile(0.5) * 1e3, lat.quantile(0.95) * 1e3,
+                lat.count(), squirrel.cached_total());
+  }
   std::printf("  epochs                    %llu\n",
               (unsigned long long)driver.epochs());
   if (o.series == "rdp" || o.series == "all") {
@@ -487,29 +598,9 @@ int main(int argc, char** argv) {
   // the run is reproducible from the printed line alone.
   std::unique_ptr<overlay::AdversaryController> adversary;
   if (!o.adversary.empty() || !o.eclipse_victim.empty()) {
-    auto behavior = overlay::AdversaryBehavior::kMisroute;
+    overlay::AdversaryBehavior behavior;
     double fraction = 0.0;
-    if (!o.adversary.empty()) {
-      const auto colon = o.adversary.find(':');
-      const std::string bname = o.adversary.substr(0, colon);
-      const auto parsed = overlay::behavior_from_name(bname);
-      if (!parsed) {
-        std::fprintf(stderr, "unknown adversary behavior: %s\n",
-                     bname.c_str());
-        return 2;
-      }
-      behavior = *parsed;
-      if (colon != std::string::npos) {
-        char* end = nullptr;
-        fraction = std::strtod(o.adversary.c_str() + colon + 1, &end);
-        if (end == o.adversary.c_str() + colon + 1 || *end != '\0' ||
-            fraction < 0.0 || fraction > 1.0) {
-          std::fprintf(stderr, "bad adversary fraction (want 0..1): %s\n",
-                       o.adversary.c_str() + colon + 1);
-          return 2;
-        }
-      }
-    }
+    if (!parse_adversary_spec(o, behavior, fraction)) return 2;
     const std::uint64_t adv_seed = o.seed ^ 0xadd5a17ull;
     adversary = std::make_unique<overlay::AdversaryController>(
         driver, behavior, 1.0, adv_seed);
@@ -537,24 +628,7 @@ int main(int argc, char** argv) {
   auto& m = driver.metrics();
   const auto& c = driver.counters();
   print_results(m, c, driver.sim().executed_events());
-  if (adversary != nullptr) {
-    std::printf("  incorrect: adversarial    %llu (stale leaf set %llu)\n",
-                (unsigned long long)m.incorrect_misrouted_by_adversary(),
-                (unsigned long long)m.incorrect_stale_leaf_set());
-    std::printf("  lost: devoured            %llu\n",
-                (unsigned long long)m.lost_dropped_by_adversary());
-    std::printf("  adversary actions         %llu drops, %llu misroutes, "
-                "%llu corrupted replies\n",
-                (unsigned long long)c.lookups_dropped_adversarial,
-                (unsigned long long)c.lookups_misrouted_adversarial,
-                (unsigned long long)(c.ls_replies_corrupted +
-                                     c.nn_replies_corrupted));
-    std::printf("  countermeasures           %llu redundant copies, "
-                "%llu leaf rejections, %llu distrusted claims\n",
-                (unsigned long long)c.redundant_lookup_copies,
-                (unsigned long long)c.leaf_candidates_rejected,
-                (unsigned long long)c.failure_claims_distrusted);
-  }
+  if (adversary != nullptr) print_adversary_results(m, c);
 
   if (o.series == "rdp" || o.series == "all") {
     print_series("RDP", m.rdp_series());
